@@ -1,0 +1,161 @@
+//! Sampling statistics: the paper's Eq. (6) and success-probability
+//! estimation.
+//!
+//! The QPU is "effectively a probabilistic processor" (Sec. 3.2): a single
+//! read lands in the ground state with some characteristic probability
+//! `p_s`, so the number of repetitions needed to see the ground state at
+//! least once with confidence `p_a` is
+//!
+//! ```text
+//! s ≥ log(1 − p_a) / log(1 − p_s)          (Eq. 6)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Compute the repetition count of Eq. (6): the minimum number of
+/// statistically independent reads needed so that the probability of having
+/// observed the ground state at least once reaches `accuracy`, given a
+/// per-read success probability `success`.
+///
+/// Edge cases follow the obvious limits: a certain per-read success needs one
+/// read; an impossible per-read success (or an accuracy of 1.0) cannot be
+/// satisfied and saturates to `usize::MAX`; a non-positive accuracy needs no
+/// reads beyond the one always performed.
+pub fn required_reads(accuracy: f64, success: f64) -> usize {
+    if !(0.0..=1.0).contains(&accuracy) || !(0.0..=1.0).contains(&success) {
+        // Out-of-range inputs are clamped to the nearest meaningful value.
+        return required_reads(accuracy.clamp(0.0, 1.0), success.clamp(0.0, 1.0));
+    }
+    if accuracy <= 0.0 {
+        return 1;
+    }
+    if success >= 1.0 {
+        return 1;
+    }
+    if success <= 0.0 || accuracy >= 1.0 {
+        return usize::MAX;
+    }
+    let s = (1.0 - accuracy).ln() / (1.0 - success).ln();
+    (s.ceil() as usize).max(1)
+}
+
+/// The probability of having observed the ground state at least once after
+/// `reads` independent reads with per-read success probability `success`.
+pub fn achieved_accuracy(reads: usize, success: f64) -> f64 {
+    let success = success.clamp(0.0, 1.0);
+    1.0 - (1.0 - success).powi(reads.min(i32::MAX as usize) as i32)
+}
+
+/// Estimate of the per-read success probability from an observed ensemble.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuccessEstimate {
+    /// Fraction of reads that reached the reference energy.
+    pub p_success: f64,
+    /// Number of reads that reached the reference energy.
+    pub hits: usize,
+    /// Total reads in the ensemble.
+    pub reads: usize,
+}
+
+/// Estimate `p_s` by counting how many sampled energies reach `ground_energy`
+/// within `tolerance`.
+pub fn estimate_success_probability(
+    energies: &[f64],
+    ground_energy: f64,
+    tolerance: f64,
+) -> SuccessEstimate {
+    let hits = energies
+        .iter()
+        .filter(|&&e| e <= ground_energy + tolerance)
+        .count();
+    SuccessEstimate {
+        p_success: if energies.is_empty() {
+            0.0
+        } else {
+            hits as f64 / energies.len() as f64
+        },
+        hits,
+        reads: energies.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq6_matches_paper_examples() {
+        // ps = 0.7, pa = 0.99: ceil(ln(0.01)/ln(0.3)) = 4 reads.
+        assert_eq!(required_reads(0.99, 0.7), 4);
+        // ps = 0.75, pa = 0.99 (the paper's Stage-3 defaults): 4 reads.
+        assert_eq!(required_reads(0.99, 0.75), 4);
+        // ps = 0.9999, pa = 0.99 (the Stage-2 listing defaults): 1 read.
+        assert_eq!(required_reads(0.99, 0.9999), 1);
+    }
+
+    #[test]
+    fn eq6_needs_more_reads_for_higher_accuracy() {
+        let reads: Vec<usize> = [0.9, 0.99, 0.999, 0.9999, 0.99999]
+            .iter()
+            .map(|&pa| required_reads(pa, 0.7))
+            .collect();
+        assert!(reads.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(reads[0], 2);
+    }
+
+    #[test]
+    fn eq6_needs_more_reads_for_lower_success() {
+        let reads: Vec<usize> = [0.9, 0.7, 0.5, 0.3, 0.1, 0.01]
+            .iter()
+            .map(|&ps| required_reads(0.99, ps))
+            .collect();
+        assert!(reads.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(*reads.last().unwrap(), 459);
+    }
+
+    #[test]
+    fn eq6_insensitive_above_point_six() {
+        // The paper notes the stage-2 curve is approximately the same for all
+        // ps > 0.6 because so few reads are needed.
+        for ps in [0.6, 0.7, 0.8, 0.9, 0.99] {
+            assert!(required_reads(0.99, ps) <= 6);
+        }
+    }
+
+    #[test]
+    fn eq6_edge_cases() {
+        assert_eq!(required_reads(0.0, 0.5), 1);
+        assert_eq!(required_reads(-1.0, 0.5), 1);
+        assert_eq!(required_reads(0.99, 1.0), 1);
+        assert_eq!(required_reads(0.99, 1.5), 1);
+        assert_eq!(required_reads(0.99, 0.0), usize::MAX);
+        assert_eq!(required_reads(1.0, 0.5), usize::MAX);
+    }
+
+    #[test]
+    fn achieved_accuracy_inverts_required_reads() {
+        for &(pa, ps) in &[(0.9, 0.3), (0.99, 0.7), (0.999, 0.5)] {
+            let reads = required_reads(pa, ps);
+            assert!(achieved_accuracy(reads, ps) >= pa);
+            if reads > 1 {
+                assert!(achieved_accuracy(reads - 1, ps) < pa);
+            }
+        }
+    }
+
+    #[test]
+    fn success_estimation_counts_hits() {
+        let energies = [-5.0, -4.9, -5.0, -3.0, -5.0];
+        let est = estimate_success_probability(&energies, -5.0, 1e-9);
+        assert_eq!(est.hits, 3);
+        assert_eq!(est.reads, 5);
+        assert!((est.p_success - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn success_estimation_empty_ensemble() {
+        let est = estimate_success_probability(&[], -1.0, 0.0);
+        assert_eq!(est.p_success, 0.0);
+        assert_eq!(est.reads, 0);
+    }
+}

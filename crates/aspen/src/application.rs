@@ -1,0 +1,194 @@
+//! Resolved application models.
+//!
+//! An [`ApplicationModel`] wraps a parsed `model` declaration and resolves its
+//! parameters into a concrete [`ParamEnv`], optionally overriding the
+//! declaration's defaults with caller-supplied inputs (the paper's models
+//! mark such inputs with `// Input Parameter` comments, e.g. `LPS` in Stage 1
+//! and `Accuracy` in Stage 2).
+
+use crate::ast::{DataDecl, KernelDecl, ModelDecl};
+use crate::error::{AspenError, Result};
+use crate::expr::ParamEnv;
+use crate::parser::parse_model;
+
+/// A resolved application model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplicationModel {
+    decl: ModelDecl,
+}
+
+impl ApplicationModel {
+    /// Wrap an already-parsed model declaration.
+    pub fn from_decl(decl: ModelDecl) -> Self {
+        Self { decl }
+    }
+
+    /// Parse a source string containing exactly one model declaration.
+    pub fn from_source(source: &str) -> Result<Self> {
+        Ok(Self::from_decl(parse_model(source)?))
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.decl.name
+    }
+
+    /// Underlying declaration.
+    pub fn decl(&self) -> &ModelDecl {
+        &self.decl
+    }
+
+    /// Names of all declared parameters in declaration order.
+    pub fn param_names(&self) -> Vec<&str> {
+        self.decl.params.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// Look up a kernel declaration.
+    pub fn kernel(&self, name: &str) -> Result<&KernelDecl> {
+        self.decl
+            .kernel(name)
+            .ok_or_else(|| AspenError::UnknownEntity {
+                kind: "kernel",
+                name: name.to_string(),
+            })
+    }
+
+    /// Resolve parameters in declaration order.
+    ///
+    /// `overrides` take precedence over the declared defaults, and later
+    /// parameter definitions see the overridden values of earlier ones — this
+    /// is how `LPS = 0 // Input Parameter` becomes the sweep variable of
+    /// Fig. 9(a): overriding `LPS` changes every derived parameter
+    /// (`Ising`, `EH`, `EmbeddingOps`, ...).
+    pub fn resolve_params(&self, overrides: &ParamEnv) -> Result<ParamEnv> {
+        let mut env = ParamEnv::new();
+        for decl in &self.decl.params {
+            let value = if overrides.contains(&decl.name) {
+                overrides.get(&decl.name)?
+            } else {
+                decl.value.eval(&env)?
+            };
+            env.set(decl.name.clone(), value);
+        }
+        // Overrides that do not correspond to declared parameters are still
+        // made visible (useful for ad-hoc sweeps and custom resources).
+        for (name, value) in overrides.iter() {
+            if !env.contains(name) {
+                env.set(name.to_string(), value);
+            }
+        }
+        Ok(env)
+    }
+
+    /// Compute the size in bytes of every declared data structure under the
+    /// given resolved parameter environment.  `Array(n, s)` denotes `n`
+    /// elements of `s` bytes.
+    pub fn data_sizes(&self, env: &ParamEnv) -> Result<Vec<(String, f64)>> {
+        self.decl
+            .data
+            .iter()
+            .map(|d| Ok((d.name.clone(), data_bytes(d, env)?)))
+            .collect()
+    }
+}
+
+fn data_bytes(decl: &DataDecl, env: &ParamEnv) -> Result<f64> {
+    let mut product = 1.0;
+    for dim in &decl.dims {
+        product *= dim.eval(env)?;
+    }
+    Ok(product)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::listings;
+
+    #[test]
+    fn stage1_default_params_resolve() {
+        let app = ApplicationModel::from_source(listings::STAGE1_LISTING).unwrap();
+        let env = app.resolve_params(&ParamEnv::new()).unwrap();
+        assert_eq!(env.get("LPS").unwrap(), 0.0);
+        assert_eq!(env.get("M").unwrap(), 12.0);
+        assert_eq!(env.get("NG").unwrap(), 8.0 * 12.0 * 12.0);
+        // EG = 4*(2*M*N - M - N) + 16*M*N with M = N = 12.
+        let eg = 4.0 * (2.0 * 144.0 - 24.0) + 16.0 * 144.0;
+        assert_eq!(env.get("EG").unwrap(), eg);
+        // ProcessorInitialize is the sum of the hardware constants.
+        let expected = 252162.0 + 33095.0 + 0.0 + 11264.0 + 10000.0 + 4000.0 + 9052.0;
+        assert_eq!(env.get("ProcessorInitialize").unwrap(), expected);
+    }
+
+    #[test]
+    fn stage1_lps_override_propagates() {
+        let app = ApplicationModel::from_source(listings::STAGE1_LISTING).unwrap();
+        let env = app
+            .resolve_params(&ParamEnv::new().with("LPS", 30.0))
+            .unwrap();
+        assert_eq!(env.get("LPS").unwrap(), 30.0);
+        assert_eq!(env.get("Ising").unwrap(), 900.0);
+        assert_eq!(env.get("NH").unwrap(), 30.0);
+        assert_eq!(env.get("EH").unwrap(), 30.0 * 29.0 / 2.0);
+        assert_eq!(env.get("ParameterSetting").unwrap(), 27_000.0);
+        // EmbeddingOps = (EG + NG*ln(NG)) * (2*EH) * NH * NG
+        let ng = 1152.0f64;
+        let eg = 4.0 * (2.0 * 144.0 - 24.0) + 16.0 * 144.0;
+        let eh = 435.0;
+        let expected = (eg + ng * ng.ln()) * (2.0 * eh) * 30.0 * ng;
+        let got = env.get("EmbeddingOps").unwrap();
+        assert!((got - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn stage2_accuracy_override() {
+        let app = ApplicationModel::from_source(listings::STAGE2_LISTING).unwrap();
+        let env = app
+            .resolve_params(&ParamEnv::new().with("Accuracy", 99.0))
+            .unwrap();
+        assert_eq!(env.get("Accuracy").unwrap(), 99.0);
+        assert_eq!(env.get("Success").unwrap(), 0.9999);
+    }
+
+    #[test]
+    fn extra_overrides_are_visible() {
+        let app = ApplicationModel::from_source(listings::STAGE3_LISTING).unwrap();
+        let env = app
+            .resolve_params(&ParamEnv::new().with("CustomKnob", 7.0))
+            .unwrap();
+        assert_eq!(env.get("CustomKnob").unwrap(), 7.0);
+    }
+
+    #[test]
+    fn data_sizes_for_stage1() {
+        let app = ApplicationModel::from_source(listings::STAGE1_LISTING).unwrap();
+        let env = app
+            .resolve_params(&ParamEnv::new().with("LPS", 10.0))
+            .unwrap();
+        let sizes = app.data_sizes(&env).unwrap();
+        // Input as Array((NH*NH), 4) = 100 * 4 bytes.
+        let input = sizes.iter().find(|(n, _)| n == "Input").unwrap();
+        assert_eq!(input.1, 400.0);
+        // Output as Array((NG*NG), 4).
+        let output = sizes.iter().find(|(n, _)| n == "Output").unwrap();
+        assert_eq!(output.1, 1152.0 * 1152.0 * 4.0);
+    }
+
+    #[test]
+    fn unknown_kernel_is_error() {
+        let app = ApplicationModel::from_source(listings::STAGE2_LISTING).unwrap();
+        assert!(app.kernel("main").is_ok());
+        assert!(matches!(
+            app.kernel("missing").unwrap_err(),
+            AspenError::UnknownEntity { kind: "kernel", .. }
+        ));
+    }
+
+    #[test]
+    fn param_names_in_order() {
+        let app = ApplicationModel::from_source(listings::STAGE3_LISTING).unwrap();
+        let names = app.param_names();
+        assert_eq!(names[0], "LPS");
+        assert!(names.contains(&"SortOps"));
+    }
+}

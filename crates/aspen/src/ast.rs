@@ -1,0 +1,335 @@
+//! Abstract syntax tree for parsed ASPEN-like model documents.
+//!
+//! A single source file (a *document*) may declare hardware components
+//! (`machine`, `node`, `socket`, `core`, `memory`, `link`) and application
+//! models (`model`).  The parser produces these untyped declarations; the
+//! [`crate::machine`] and [`crate::application`] modules resolve them into
+//! executable model objects.
+
+use crate::expr::Expr;
+
+/// A parsed source file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Document {
+    /// `include path/to/file.aspen` directives (recorded, not resolved —
+    /// the built-in component library plays the role of the include tree).
+    pub includes: Vec<String>,
+    /// `machine` declarations.
+    pub machines: Vec<MachineDecl>,
+    /// `node` declarations.
+    pub nodes: Vec<NodeDecl>,
+    /// `socket` declarations.
+    pub sockets: Vec<SocketDecl>,
+    /// `core` declarations.
+    pub cores: Vec<CoreDecl>,
+    /// `memory` declarations.
+    pub memories: Vec<MemoryDecl>,
+    /// `link` declarations.
+    pub links: Vec<LinkDecl>,
+    /// Application `model` declarations.
+    pub models: Vec<ModelDecl>,
+}
+
+impl Document {
+    /// Find an application model by name.
+    pub fn model(&self, name: &str) -> Option<&ModelDecl> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    /// Find a socket declaration by name.
+    pub fn socket(&self, name: &str) -> Option<&SocketDecl> {
+        self.sockets.iter().find(|s| s.name == name)
+    }
+
+    /// Find a core declaration by name.
+    pub fn core(&self, name: &str) -> Option<&CoreDecl> {
+        self.cores.iter().find(|c| c.name == name)
+    }
+
+    /// Total number of top-level declarations of any kind.
+    pub fn declaration_count(&self) -> usize {
+        self.machines.len()
+            + self.nodes.len()
+            + self.sockets.len()
+            + self.cores.len()
+            + self.memories.len()
+            + self.links.len()
+            + self.models.len()
+    }
+}
+
+/// A counted reference to a sub-component, e.g. `[1] SIMPLE nodes` or
+/// `[2] intel_xeon_e5_2680 sockets`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentRef {
+    /// Multiplicity expression (the bracketed count).
+    pub count: Expr,
+    /// Referenced component name.
+    pub name: String,
+    /// Role keyword following the name (`nodes`, `sockets`, `cores`, ...).
+    pub role: String,
+}
+
+/// `machine Name { ... }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineDecl {
+    /// Machine name.
+    pub name: String,
+    /// Contained components (typically nodes).
+    pub contains: Vec<ComponentRef>,
+    /// Named numeric properties.
+    pub properties: Vec<PropertyDecl>,
+}
+
+/// `node Name { ... }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeDecl {
+    /// Node name.
+    pub name: String,
+    /// Contained components (typically sockets).
+    pub contains: Vec<ComponentRef>,
+    /// Named numeric properties.
+    pub properties: Vec<PropertyDecl>,
+}
+
+/// `socket Name { ... }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocketDecl {
+    /// Socket name.
+    pub name: String,
+    /// Contained components (typically cores).
+    pub contains: Vec<ComponentRef>,
+    /// Attached memory component name (`gddr5 memory`).
+    pub memory: Option<String>,
+    /// Attached interconnect name (`linked with pcie`).
+    pub link: Option<String>,
+    /// Resource-to-time mappings declared directly on the socket.
+    pub resources: Vec<ResourceDef>,
+    /// Named numeric properties.
+    pub properties: Vec<PropertyDecl>,
+}
+
+/// `core Name { ... }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreDecl {
+    /// Core name.
+    pub name: String,
+    /// Resource-to-time mappings (e.g. `resource flops(n) [n / peak]`).
+    pub resources: Vec<ResourceDef>,
+    /// Named numeric properties.
+    pub properties: Vec<PropertyDecl>,
+}
+
+/// `memory Name { ... }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryDecl {
+    /// Memory component name.
+    pub name: String,
+    /// Resource-to-time mappings (e.g. `resource loads(n) [n / bandwidth]`).
+    pub resources: Vec<ResourceDef>,
+    /// Named numeric properties (capacity, bandwidth, latency, ...).
+    pub properties: Vec<PropertyDecl>,
+}
+
+/// `link Name { ... }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkDecl {
+    /// Link name (e.g. `pcie`).
+    pub name: String,
+    /// Resource-to-time mappings (e.g. `resource intracomm(n) [n / bandwidth]`).
+    pub resources: Vec<ResourceDef>,
+    /// Named numeric properties.
+    pub properties: Vec<PropertyDecl>,
+}
+
+/// A named numeric property such as `property capacity [6 * 1024]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyDecl {
+    /// Property name.
+    pub name: String,
+    /// Property value.
+    pub value: Expr,
+}
+
+/// A resource-to-time mapping declared on a hardware component:
+/// `resource QuOps(number) [number * 20/1000000]`.
+///
+/// The mapping expression may reference the formal argument (`number`), any
+/// property of the component, and global parameters; its value is interpreted
+/// as seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceDef {
+    /// Resource name (`flops`, `loads`, `QuOps`, ...).
+    pub name: String,
+    /// Formal argument name, usually `number`.
+    pub arg: String,
+    /// Expression mapping a quantity of the resource to seconds.
+    pub mapping: Expr,
+    /// Trait adjustments: `with simd [base / 8]` style modifiers.  Each trait
+    /// provides a replacement mapping expression applied when an application
+    /// clause requests that trait.
+    pub traits: Vec<TraitDef>,
+}
+
+/// A trait modifier attached to a [`ResourceDef`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraitDef {
+    /// Trait name (`sp`, `dp`, `simd`, `fmad`, `copyout`, ...).
+    pub name: String,
+    /// Multiplier applied to the base mapping when the trait is present.
+    /// A value of 0.5 means "twice as fast as the base rate".
+    pub multiplier: Expr,
+}
+
+/// `model Name { param ... data ... kernel ... }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDecl {
+    /// Model name (e.g. `Stage1`).
+    pub name: String,
+    /// Parameter declarations in source order (later ones may reference
+    /// earlier ones).
+    pub params: Vec<ParamDecl>,
+    /// Data-structure declarations.
+    pub data: Vec<DataDecl>,
+    /// Kernel declarations.
+    pub kernels: Vec<KernelDecl>,
+}
+
+impl ModelDecl {
+    /// Find a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelDecl> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+/// `param Name = expr`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Defining expression (may reference previously declared parameters).
+    pub value: Expr,
+}
+
+/// `data Name as Array(rows, element_bytes)`
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataDecl {
+    /// Data-structure name.
+    pub name: String,
+    /// Layout constructor name (`Array`, `Matrix`, ...).
+    pub layout: String,
+    /// Layout arguments; for `Array(n, s)` the total size in bytes is `n * s`.
+    pub dims: Vec<Expr>,
+}
+
+/// `kernel Name { ... }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDecl {
+    /// Kernel name.
+    pub name: String,
+    /// Body statements executed in order.
+    pub statements: Vec<KernelStmt>,
+}
+
+/// A statement inside a kernel body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelStmt {
+    /// An `execute [n] { ... }` block.
+    Execute(ExecuteBlock),
+    /// A call to another kernel by name.
+    Call(String),
+    /// `iterate [n] { ... }` — repeat the body sequentially `n` times.
+    Iterate {
+        /// Repetition count.
+        count: Expr,
+        /// Statements repeated each iteration.
+        body: Vec<KernelStmt>,
+    },
+    /// `map [n] { ... }` — execute the body `n` times, assumed perfectly
+    /// parallel across the containing machine's parallel resources.
+    Map {
+        /// Parallel width.
+        count: Expr,
+        /// Statements executed by each parallel instance.
+        body: Vec<KernelStmt>,
+    },
+}
+
+/// `execute label? [count] { clauses }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecuteBlock {
+    /// Optional label (`execute embed [1]`).
+    pub label: Option<String>,
+    /// Number of times this block executes.
+    pub count: Expr,
+    /// Resource demands of one execution of the block.
+    pub clauses: Vec<ResourceClause>,
+}
+
+/// A resource demand inside an execute block, e.g.
+/// `flops [EmbeddingOps] as sp, simd` or `loads [Results] of size [4*Length]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceClause {
+    /// Resource name (`flops`, `loads`, `stores`, `intracomm`, `messages`,
+    /// `microseconds`, `QuOps`, or any custom resource).
+    pub resource: String,
+    /// Quantity expression (the first bracketed expression).
+    pub quantity: Expr,
+    /// Optional `of size [expr]` multiplier (bytes per element for memory
+    /// traffic clauses).
+    pub size: Option<Expr>,
+    /// Trait names following `as`.
+    pub traits: Vec<String>,
+    /// Data target following `to`/`from` (recorded for traceability).
+    pub target: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn sample_model() -> ModelDecl {
+        ModelDecl {
+            name: "Stage1".into(),
+            params: vec![ParamDecl {
+                name: "LPS".into(),
+                value: Expr::number(0.0),
+            }],
+            data: vec![],
+            kernels: vec![
+                KernelDecl {
+                    name: "main".into(),
+                    statements: vec![KernelStmt::Call("EmbedData".into())],
+                },
+                KernelDecl {
+                    name: "EmbedData".into(),
+                    statements: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn model_kernel_lookup() {
+        let m = sample_model();
+        assert!(m.kernel("main").is_some());
+        assert!(m.kernel("EmbedData").is_some());
+        assert!(m.kernel("nope").is_none());
+    }
+
+    #[test]
+    fn document_lookups() {
+        let mut doc = Document::default();
+        doc.models.push(sample_model());
+        doc.cores.push(CoreDecl {
+            name: "Vesuvius20".into(),
+            resources: vec![],
+            properties: vec![],
+        });
+        assert!(doc.model("Stage1").is_some());
+        assert!(doc.core("Vesuvius20").is_some());
+        assert!(doc.socket("none").is_none());
+        assert_eq!(doc.declaration_count(), 2);
+    }
+}

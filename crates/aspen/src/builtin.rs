@@ -1,0 +1,269 @@
+//! Built-in hardware component library.
+//!
+//! ASPEN models reference hardware sockets via `include` directives
+//! (`include sockets/intel_xeon_e5_2680.aspen`); those component files are
+//! not part of the publication, so this module provides equivalent built-in
+//! definitions based on the public specifications of the referenced parts.
+//! They are deliberately simple — only the quantities that enter the paper's
+//! analysis (sustained FLOP rates, memory bandwidth, PCIe bandwidth, and the
+//! D-Wave 20 µs anneal duration) are modeled.
+
+use crate::machine::{
+    ComponentLibrary, ComponentSpec, MachineBuilder, MachineModel, ResourceRate,
+};
+
+/// Peak single-precision FLOP rate of one Intel Xeon E5-2680 socket
+/// (8 cores × 2.7 GHz × 8 SP FLOPs/cycle), in FLOP/s.
+pub const XEON_E5_2680_PEAK_SP_FLOPS: f64 = 8.0 * 2.7e9 * 8.0;
+
+/// Sustained main-memory bandwidth of a 4-channel DDR3-1066 configuration,
+/// in bytes/s.
+pub const DDR3_1066_BANDWIDTH: f64 = 4.0 * 8.528e9;
+
+/// Peak single-precision FLOP rate of an NVIDIA M2090 (Fermi), in FLOP/s.
+pub const NVIDIA_M2090_PEAK_SP_FLOPS: f64 = 1.331e12;
+
+/// GDDR5 memory bandwidth of an NVIDIA M2090, in bytes/s.
+pub const GDDR5_M2090_BANDWIDTH: f64 = 177e9;
+
+/// Effective PCIe gen-2 x16 bandwidth, in bytes/s.
+pub const PCIE_GEN2_X16_BANDWIDTH: f64 = 8e9;
+
+/// PCIe transaction latency charged once per transfer, in seconds.
+pub const PCIE_LATENCY: f64 = 1e-6;
+
+/// Default D-Wave anneal duration per sample (QuOp), in seconds.  The paper's
+/// Fig. 5 listing encodes this as `number * 20/1000000`.
+pub const DWAVE_ANNEAL_SECONDS: f64 = 20e-6;
+
+/// Number of physical qubits in the D-Wave Two "Vesuvius" processor
+/// (8×8 Chimera lattice of K4,4 cells).
+pub const DWAVE_VESUVIUS_QUBITS: f64 = 512.0;
+
+/// Number of physical qubits in the D-Wave 2X processor (12×12 lattice).
+pub const DWAVE_2X_QUBITS: f64 = 1152.0;
+
+/// Build the resource rates of an Intel Xeon E5-2680 socket.
+///
+/// The base `flops` rate is the scalar single-issue rate (cores × clock);
+/// the `simd` trait widens by 8 lanes and `fmad` doubles throughput, so a
+/// clause tagged `as sp, fmad, simd` reaches the peak rate.  `loads`/`stores`
+/// are serviced by the attached DDR3 memory.
+pub fn intel_xeon_e5_2680() -> ComponentSpec {
+    let scalar = 8.0 * 2.7e9; // cores × clock, one FLOP per cycle per core
+    ComponentSpec {
+        kind: "socket".into(),
+        rates: vec![
+            ResourceRate::per_second("flops", scalar)
+                .with_trait("sp", 1.0)
+                .with_trait("dp", 2.0)
+                .with_trait("simd", 1.0 / 8.0)
+                .with_trait("fmad", 1.0 / 2.0),
+            ResourceRate::per_second("loads", DDR3_1066_BANDWIDTH),
+            ResourceRate::per_second("stores", DDR3_1066_BANDWIDTH),
+        ],
+        properties: vec![
+            ("xeon_cores".into(), 8.0),
+            ("xeon_clock_hz".into(), 2.7e9),
+            ("xeon_peak_sp_flops".into(), XEON_E5_2680_PEAK_SP_FLOPS),
+        ],
+    }
+}
+
+/// Build the resource rates of a DDR3-1066 memory subsystem.
+pub fn ddr3_1066() -> ComponentSpec {
+    ComponentSpec {
+        kind: "memory".into(),
+        rates: vec![
+            ResourceRate::per_second("loads", DDR3_1066_BANDWIDTH),
+            ResourceRate::per_second("stores", DDR3_1066_BANDWIDTH),
+        ],
+        properties: vec![("ddr3_bandwidth".into(), DDR3_1066_BANDWIDTH)],
+    }
+}
+
+/// Build the resource rates of an NVIDIA M2090 accelerator socket.
+pub fn nvidia_m2090() -> ComponentSpec {
+    ComponentSpec {
+        kind: "socket".into(),
+        rates: vec![
+            // Registered under a distinct name so the host CPU remains the
+            // provider of generic `flops` demands, matching the paper (the
+            // GPU is present in the node model but unused by the analysis).
+            ResourceRate::per_second("gpu_flops", NVIDIA_M2090_PEAK_SP_FLOPS),
+            ResourceRate::per_second("gpu_loads", GDDR5_M2090_BANDWIDTH),
+            ResourceRate::per_second("gpu_stores", GDDR5_M2090_BANDWIDTH),
+        ],
+        properties: vec![(
+            "m2090_peak_sp_flops".into(),
+            NVIDIA_M2090_PEAK_SP_FLOPS,
+        )],
+    }
+}
+
+/// Build the resource rates of the GDDR5 memory attached to the QPU socket in
+/// the paper's Fig. 5 (declared but unused by the analysis).
+pub fn gddr5() -> ComponentSpec {
+    ComponentSpec {
+        kind: "memory".into(),
+        rates: vec![],
+        properties: vec![("gddr5_bandwidth".into(), GDDR5_M2090_BANDWIDTH)],
+    }
+}
+
+/// Build the resource rates of a PCIe gen-2 x16 interconnect.
+pub fn pcie() -> ComponentSpec {
+    ComponentSpec {
+        kind: "link".into(),
+        rates: vec![ResourceRate::per_second("intracomm", PCIE_GEN2_X16_BANDWIDTH)
+            .with_latency(PCIE_LATENCY)
+            .with_trait("copyout", 1.0)
+            .with_trait("copyin", 1.0)],
+        properties: vec![("pcie_bandwidth".into(), PCIE_GEN2_X16_BANDWIDTH)],
+    }
+}
+
+/// Build the resource rates of the D-Wave Two (Vesuvius, 512-qubit) QPU
+/// socket: quantum operations are converted to time at 20 µs per anneal.
+pub fn dwave_vesuvius_20() -> ComponentSpec {
+    ComponentSpec {
+        kind: "socket".into(),
+        rates: vec![ResourceRate::seconds_per_unit("QuOps", DWAVE_ANNEAL_SECONDS)],
+        properties: vec![
+            ("qpu_qubits".into(), DWAVE_VESUVIUS_QUBITS),
+            ("qpu_anneal_seconds".into(), DWAVE_ANNEAL_SECONDS),
+        ],
+    }
+}
+
+/// Build the resource rates of the D-Wave 2X (1152-qubit) QPU socket.
+pub fn dwave_2x() -> ComponentSpec {
+    ComponentSpec {
+        kind: "socket".into(),
+        rates: vec![ResourceRate::seconds_per_unit("QuOps", DWAVE_ANNEAL_SECONDS)],
+        properties: vec![
+            ("qpu_qubits".into(), DWAVE_2X_QUBITS),
+            ("qpu_anneal_seconds".into(), DWAVE_ANNEAL_SECONDS),
+        ],
+    }
+}
+
+/// The standard component library used to resolve the paper's machine model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuiltinLibrary;
+
+impl ComponentLibrary for BuiltinLibrary {
+    fn lookup(&self, name: &str) -> Option<ComponentSpec> {
+        match name {
+            "intel_xeon_e5_2680" => Some(intel_xeon_e5_2680()),
+            "ddr3_1066" => Some(ddr3_1066()),
+            "nvidia_m2090" => Some(nvidia_m2090()),
+            "gddr5" => Some(gddr5()),
+            "pcie" => Some(pcie()),
+            "DwaveVesuvius20" | "dwave_vesuvius_20" | "Vesuvius20" => Some(dwave_vesuvius_20()),
+            "DwaveWashington" | "dwave_2x" => Some(dwave_2x()),
+            _ => None,
+        }
+    }
+}
+
+/// Construct the paper's `SimpleNode` machine (Fig. 5) directly: one Xeon
+/// E5-2680 socket, one NVIDIA M2090, one D-Wave QPU socket, DDR3 memory and a
+/// PCIe link between host and QPU.
+///
+/// `qpu` selects which QPU generation is installed.
+pub fn simple_node(qpu: QpuGeneration) -> MachineModel {
+    let xeon = intel_xeon_e5_2680();
+    let gpu = nvidia_m2090();
+    let link = pcie();
+    let qpu_spec = match qpu {
+        QpuGeneration::Vesuvius => dwave_vesuvius_20(),
+        QpuGeneration::Dw2x => dwave_2x(),
+    };
+    let mut builder = MachineBuilder::new("SimpleNode");
+    for spec in [&xeon, &gpu, &link, &qpu_spec] {
+        for rate in &spec.rates {
+            builder = builder.rate(rate.clone());
+        }
+        for (k, v) in &spec.properties {
+            builder = builder.property(k.clone(), *v);
+        }
+    }
+    builder.build()
+}
+
+/// Which D-Wave processor generation the QPU socket models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QpuGeneration {
+    /// D-Wave Two "Vesuvius" (512 qubits, 8×8 Chimera lattice).
+    Vesuvius,
+    /// D-Wave 2X "Washington" (1152 qubits, 12×12 Chimera lattice).
+    #[default]
+    Dw2x,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{ComponentLibrary, MachineModel};
+    use crate::parser::parse_document;
+
+    #[test]
+    fn xeon_peak_rate_with_all_traits() {
+        let spec = intel_xeon_e5_2680();
+        let flops = spec.rates.iter().find(|r| r.name == "flops").unwrap();
+        let t = flops
+            .seconds_for(
+                XEON_E5_2680_PEAK_SP_FLOPS,
+                &["sp".into(), "simd".into()],
+            )
+            .unwrap();
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quops_rate_is_twenty_microseconds() {
+        let spec = dwave_vesuvius_20();
+        let quops = &spec.rates[0];
+        let t = quops.seconds_for(1.0, &[]).unwrap();
+        assert!((t - 20e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn library_lookup_known_and_unknown() {
+        let lib = BuiltinLibrary;
+        assert!(lib.lookup("intel_xeon_e5_2680").is_some());
+        assert!(lib.lookup("pcie").is_some());
+        assert!(lib.lookup("DwaveVesuvius20").is_some());
+        assert!(lib.lookup("quantum_mainframe_9000").is_none());
+    }
+
+    #[test]
+    fn simple_node_supports_all_paper_resources() {
+        let m = simple_node(QpuGeneration::Dw2x);
+        for resource in ["flops", "loads", "stores", "intracomm", "QuOps", "microseconds"] {
+            assert!(m.supports(resource), "missing {resource}");
+        }
+        assert_eq!(m.property("qpu_qubits"), Some(1152.0));
+    }
+
+    #[test]
+    fn vesuvius_node_has_512_qubits() {
+        let m = simple_node(QpuGeneration::Vesuvius);
+        assert_eq!(m.property("qpu_qubits"), Some(512.0));
+    }
+
+    #[test]
+    fn paper_machine_listing_resolves_with_builtin_library() {
+        let doc = parse_document(crate::listings::MACHINE_LISTING).unwrap();
+        let m = MachineModel::from_document(&doc, "SimpleNode", &BuiltinLibrary).unwrap();
+        assert!(m.supports("flops"));
+        assert!(m.supports("QuOps"));
+        assert!(m.supports("intracomm"));
+        // The QuOps rate in the listing is 20 µs per operation.
+        let t = m.seconds_for("QuOps", 5.0, &[]).unwrap();
+        assert!((t - 100e-6).abs() < 1e-12);
+        // The CPU socket is declared first, so it provides `flops`.
+        assert_eq!(m.rate("flops").unwrap().provider, "intel_xeon_e5_2680");
+    }
+}

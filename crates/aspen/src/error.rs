@@ -1,0 +1,173 @@
+//! Error types for the ASPEN-like modeling language.
+
+use std::fmt;
+
+/// Position of a token or syntax element inside a model source string.
+///
+/// Lines and columns are 1-based, matching the conventions of most editors so
+/// that error messages can be pasted directly into a "go to line" prompt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourcePos {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl SourcePos {
+    /// Create a new source position.
+    pub fn new(line: usize, column: usize) -> Self {
+        Self { line, column }
+    }
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Errors produced while lexing, parsing, resolving or evaluating models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AspenError {
+    /// The lexer met a character it does not understand.
+    Lex {
+        /// Where the offending character occurred.
+        pos: SourcePos,
+        /// Human readable description.
+        message: String,
+    },
+    /// The parser met an unexpected token.
+    Parse {
+        /// Where the offending token occurred.
+        pos: SourcePos,
+        /// Human readable description.
+        message: String,
+    },
+    /// An expression referenced a parameter that is not bound.
+    UnknownParameter(String),
+    /// An expression called a function the evaluator does not provide.
+    UnknownFunction(String),
+    /// A function was called with the wrong number of arguments.
+    Arity {
+        /// Function name.
+        function: String,
+        /// Number of arguments expected.
+        expected: usize,
+        /// Number of arguments found.
+        found: usize,
+    },
+    /// Evaluation produced a non-finite value (division by zero, log of a
+    /// non-positive number, ...).
+    NonFinite {
+        /// Description of the expression that failed.
+        context: String,
+    },
+    /// A model, kernel, component or resource was referenced but never defined.
+    UnknownEntity {
+        /// Kind of entity ("kernel", "socket", "resource", ...).
+        kind: &'static str,
+        /// Name that could not be resolved.
+        name: String,
+    },
+    /// An entity was defined twice.
+    DuplicateEntity {
+        /// Kind of entity ("kernel", "socket", "param", ...).
+        kind: &'static str,
+        /// Name that was defined more than once.
+        name: String,
+    },
+    /// The machine model cannot service a resource demanded by the application.
+    UnsupportedResource {
+        /// Resource name demanded by the application model.
+        resource: String,
+    },
+    /// Kernel call graph contains a cycle (`main` eventually calls itself).
+    RecursiveKernel(String),
+    /// Generic semantic error with a message.
+    Semantic(String),
+}
+
+impl fmt::Display for AspenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AspenError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            AspenError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            AspenError::UnknownParameter(name) => write!(f, "unknown parameter `{name}`"),
+            AspenError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            AspenError::Arity {
+                function,
+                expected,
+                found,
+            } => write!(
+                f,
+                "function `{function}` expects {expected} argument(s), found {found}"
+            ),
+            AspenError::NonFinite { context } => {
+                write!(f, "expression produced a non-finite value: {context}")
+            }
+            AspenError::UnknownEntity { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            AspenError::DuplicateEntity { kind, name } => {
+                write!(f, "duplicate {kind} `{name}`")
+            }
+            AspenError::UnsupportedResource { resource } => write!(
+                f,
+                "machine model provides no rate for resource `{resource}`"
+            ),
+            AspenError::RecursiveKernel(name) => {
+                write!(f, "kernel `{name}` is part of a recursive call cycle")
+            }
+            AspenError::Semantic(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for AspenError {}
+
+/// Convenient alias used across the crate.
+pub type Result<T> = std::result::Result<T, AspenError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lex_error_includes_position() {
+        let err = AspenError::Lex {
+            pos: SourcePos::new(3, 7),
+            message: "unexpected `@`".into(),
+        };
+        assert_eq!(err.to_string(), "lex error at 3:7: unexpected `@`");
+    }
+
+    #[test]
+    fn display_arity_error() {
+        let err = AspenError::Arity {
+            function: "log".into(),
+            expected: 1,
+            found: 2,
+        };
+        assert!(err.to_string().contains("log"));
+        assert!(err.to_string().contains("expects 1"));
+    }
+
+    #[test]
+    fn display_unknown_entity() {
+        let err = AspenError::UnknownEntity {
+            kind: "kernel",
+            name: "main".into(),
+        };
+        assert_eq!(err.to_string(), "unknown kernel `main`");
+    }
+
+    #[test]
+    fn source_pos_display() {
+        assert_eq!(SourcePos::new(10, 2).to_string(), "10:2");
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AspenError>();
+    }
+}

@@ -1,0 +1,497 @@
+//! Arithmetic expressions used throughout ASPEN-style models.
+//!
+//! Parameters, resource quantities and custom resource-to-time mappings are
+//! all expressed as arithmetic over named parameters.  The expression language
+//! supports the operators `+ - * / ^`, unary negation, parentheses and a small
+//! set of mathematical functions (`log`, `log2`, `log10`, `ln`, `exp`, `sqrt`,
+//! `ceil`, `floor`, `abs`, `min`, `max`, `pow`).
+//!
+//! `log` follows the convention of the paper's listings and denotes the
+//! natural logarithm; the ratio `log(1-p_a)/log(1-p_s)` in Eq. (6) is base
+//! independent, and stage-3's `log(Results)*Results` only shifts the curve by
+//! a constant factor.
+
+use crate::error::{AspenError, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Binary operators available in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition (`+`).
+    Add,
+    /// Subtraction (`-`).
+    Sub,
+    /// Multiplication (`*`).
+    Mul,
+    /// Division (`/`).
+    Div,
+    /// Exponentiation (`^`).
+    Pow,
+}
+
+impl BinOp {
+    /// Apply the operator to two operands.
+    pub fn apply(self, lhs: f64, rhs: f64) -> f64 {
+        match self {
+            BinOp::Add => lhs + rhs,
+            BinOp::Sub => lhs - rhs,
+            BinOp::Mul => lhs * rhs,
+            BinOp::Div => lhs / rhs,
+            BinOp::Pow => lhs.powf(rhs),
+        }
+    }
+
+    /// Symbol used when pretty-printing.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Pow => "^",
+        }
+    }
+}
+
+/// An arithmetic expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal number.
+    Number(f64),
+    /// Reference to a named parameter.
+    Param(String),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Function call such as `log(x)` or `max(a, b)`.
+    Call {
+        /// Function name (lower-cased at parse time).
+        function: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Literal constructor.
+    pub fn number(value: f64) -> Self {
+        Expr::Number(value)
+    }
+
+    /// Parameter-reference constructor.
+    pub fn param(name: impl Into<String>) -> Self {
+        Expr::Param(name.into())
+    }
+
+    /// Build a binary expression.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Self {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Build a function-call expression.
+    pub fn call(function: impl Into<String>, args: Vec<Expr>) -> Self {
+        Expr::Call {
+            function: function.into().to_ascii_lowercase(),
+            args,
+        }
+    }
+
+    /// Collect the names of all parameters referenced by this expression.
+    pub fn referenced_params(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_params(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Number(_) => {}
+            Expr::Param(name) => out.push(name.clone()),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_params(out);
+                rhs.collect_params(out);
+            }
+            Expr::Neg(inner) => inner.collect_params(out),
+            Expr::Call { args, .. } => {
+                for arg in args {
+                    arg.collect_params(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluate the expression under the given environment.
+    ///
+    /// Returns an error if a referenced parameter is unbound, an unknown
+    /// function is called, or the result is non-finite.
+    pub fn eval(&self, env: &ParamEnv) -> Result<f64> {
+        let value = self.eval_inner(env)?;
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            Err(AspenError::NonFinite {
+                context: self.to_string(),
+            })
+        }
+    }
+
+    fn eval_inner(&self, env: &ParamEnv) -> Result<f64> {
+        match self {
+            Expr::Number(v) => Ok(*v),
+            Expr::Param(name) => env.get(name),
+            Expr::Binary { op, lhs, rhs } => {
+                let l = lhs.eval_inner(env)?;
+                let r = rhs.eval_inner(env)?;
+                Ok(op.apply(l, r))
+            }
+            Expr::Neg(inner) => Ok(-inner.eval_inner(env)?),
+            Expr::Call { function, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for arg in args {
+                    values.push(arg.eval_inner(env)?);
+                }
+                apply_function(function, &values)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Number(v) => write!(f, "{v}"),
+            Expr::Param(name) => write!(f, "{name}"),
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {} {rhs})", op.symbol()),
+            Expr::Neg(inner) => write!(f, "(-{inner})"),
+            Expr::Call { function, args } => {
+                write!(f, "{function}(")?;
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{arg}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn expect_arity(function: &str, args: &[f64], expected: usize) -> Result<()> {
+    if args.len() == expected {
+        Ok(())
+    } else {
+        Err(AspenError::Arity {
+            function: function.to_string(),
+            expected,
+            found: args.len(),
+        })
+    }
+}
+
+/// Apply a built-in mathematical function by name.
+pub fn apply_function(function: &str, args: &[f64]) -> Result<f64> {
+    match function {
+        "log" | "ln" => {
+            expect_arity(function, args, 1)?;
+            Ok(args[0].ln())
+        }
+        "log2" => {
+            expect_arity(function, args, 1)?;
+            Ok(args[0].log2())
+        }
+        "log10" => {
+            expect_arity(function, args, 1)?;
+            Ok(args[0].log10())
+        }
+        "exp" => {
+            expect_arity(function, args, 1)?;
+            Ok(args[0].exp())
+        }
+        "sqrt" => {
+            expect_arity(function, args, 1)?;
+            Ok(args[0].sqrt())
+        }
+        "ceil" => {
+            expect_arity(function, args, 1)?;
+            Ok(args[0].ceil())
+        }
+        "floor" => {
+            expect_arity(function, args, 1)?;
+            Ok(args[0].floor())
+        }
+        "abs" => {
+            expect_arity(function, args, 1)?;
+            Ok(args[0].abs())
+        }
+        "min" => {
+            expect_arity(function, args, 2)?;
+            Ok(args[0].min(args[1]))
+        }
+        "max" => {
+            expect_arity(function, args, 2)?;
+            Ok(args[0].max(args[1]))
+        }
+        "pow" => {
+            expect_arity(function, args, 2)?;
+            Ok(args[0].powf(args[1]))
+        }
+        other => Err(AspenError::UnknownFunction(other.to_string())),
+    }
+}
+
+/// A parameter environment binding names to numeric values.
+///
+/// Bindings are stored in a sorted map so iteration order (and therefore
+/// report output) is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamEnv {
+    bindings: BTreeMap<String, f64>,
+}
+
+impl ParamEnv {
+    /// Create an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `name` to `value`, replacing any previous binding.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.bindings.insert(name.into(), value);
+        self
+    }
+
+    /// Builder-style binding.
+    pub fn with(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, name: &str) -> Result<f64> {
+        self.bindings
+            .get(name)
+            .copied()
+            .ok_or_else(|| AspenError::UnknownParameter(name.to_string()))
+    }
+
+    /// Whether a binding exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.bindings.contains_key(name)
+    }
+
+    /// Iterate over `(name, value)` pairs in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.bindings.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the environment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Merge another environment into this one; `other` wins on conflicts.
+    pub fn extend_from(&mut self, other: &ParamEnv) {
+        for (k, v) in other.iter() {
+            self.bindings.insert(k.to_string(), v);
+        }
+    }
+}
+
+impl<S: Into<String>> FromIterator<(S, f64)> for ParamEnv {
+    fn from_iter<T: IntoIterator<Item = (S, f64)>>(iter: T) -> Self {
+        let mut env = ParamEnv::new();
+        for (k, v) in iter {
+            env.set(k, v);
+        }
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> ParamEnv {
+        ParamEnv::new().with("x", 4.0).with("y", 3.0)
+    }
+
+    #[test]
+    fn eval_literal() {
+        assert_eq!(Expr::number(2.5).eval(&env()).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn eval_param() {
+        assert_eq!(Expr::param("x").eval(&env()).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn unknown_param_is_error() {
+        let err = Expr::param("zzz").eval(&env()).unwrap_err();
+        assert_eq!(err, AspenError::UnknownParameter("zzz".into()));
+    }
+
+    #[test]
+    fn eval_binary_ops() {
+        let e = Expr::binary(BinOp::Add, Expr::param("x"), Expr::param("y"));
+        assert_eq!(e.eval(&env()).unwrap(), 7.0);
+        let e = Expr::binary(BinOp::Sub, Expr::param("x"), Expr::param("y"));
+        assert_eq!(e.eval(&env()).unwrap(), 1.0);
+        let e = Expr::binary(BinOp::Mul, Expr::param("x"), Expr::param("y"));
+        assert_eq!(e.eval(&env()).unwrap(), 12.0);
+        let e = Expr::binary(BinOp::Div, Expr::param("x"), Expr::number(2.0));
+        assert_eq!(e.eval(&env()).unwrap(), 2.0);
+        let e = Expr::binary(BinOp::Pow, Expr::param("x"), Expr::number(2.0));
+        assert_eq!(e.eval(&env()).unwrap(), 16.0);
+    }
+
+    #[test]
+    fn eval_negation() {
+        let e = Expr::Neg(Box::new(Expr::param("y")));
+        assert_eq!(e.eval(&env()).unwrap(), -3.0);
+    }
+
+    #[test]
+    fn eval_functions() {
+        let e = Expr::call("sqrt", vec![Expr::param("x")]);
+        assert_eq!(e.eval(&env()).unwrap(), 2.0);
+        let e = Expr::call("ceil", vec![Expr::number(1.2)]);
+        assert_eq!(e.eval(&env()).unwrap(), 2.0);
+        let e = Expr::call("floor", vec![Expr::number(1.8)]);
+        assert_eq!(e.eval(&env()).unwrap(), 1.0);
+        let e = Expr::call("max", vec![Expr::number(1.0), Expr::number(5.0)]);
+        assert_eq!(e.eval(&env()).unwrap(), 5.0);
+        let e = Expr::call("min", vec![Expr::number(1.0), Expr::number(5.0)]);
+        assert_eq!(e.eval(&env()).unwrap(), 1.0);
+        let e = Expr::call("log", vec![Expr::call("exp", vec![Expr::number(1.0)])]);
+        assert!((e.eval(&env()).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        let e = Expr::call("gamma", vec![Expr::number(1.0)]);
+        assert_eq!(
+            e.eval(&env()).unwrap_err(),
+            AspenError::UnknownFunction("gamma".into())
+        );
+    }
+
+    #[test]
+    fn wrong_arity_is_error() {
+        let e = Expr::call("log", vec![Expr::number(1.0), Expr::number(2.0)]);
+        assert!(matches!(
+            e.eval(&env()).unwrap_err(),
+            AspenError::Arity { .. }
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_reports_non_finite() {
+        let e = Expr::binary(BinOp::Div, Expr::number(1.0), Expr::number(0.0));
+        assert!(matches!(
+            e.eval(&env()).unwrap_err(),
+            AspenError::NonFinite { .. }
+        ));
+    }
+
+    #[test]
+    fn log_of_zero_reports_non_finite() {
+        let e = Expr::call("log", vec![Expr::number(0.0)]);
+        assert!(matches!(
+            e.eval(&env()).unwrap_err(),
+            AspenError::NonFinite { .. }
+        ));
+    }
+
+    #[test]
+    fn referenced_params_are_sorted_and_deduped() {
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::binary(BinOp::Mul, Expr::param("b"), Expr::param("a")),
+            Expr::param("b"),
+        );
+        assert_eq!(e.referenced_params(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn eq6_repetition_expression_matches_formula() {
+        // ceil(log(1 - pa) / log(1 - ps)) with pa = 0.99, ps = 0.7.
+        let e = Expr::call(
+            "ceil",
+            vec![Expr::binary(
+                BinOp::Div,
+                Expr::call(
+                    "log",
+                    vec![Expr::binary(
+                        BinOp::Sub,
+                        Expr::number(1.0),
+                        Expr::param("pa"),
+                    )],
+                ),
+                Expr::call(
+                    "log",
+                    vec![Expr::binary(
+                        BinOp::Sub,
+                        Expr::number(1.0),
+                        Expr::param("ps"),
+                    )],
+                ),
+            )],
+        );
+        let env = ParamEnv::new().with("pa", 0.99).with("ps", 0.7);
+        let expected = ((1.0f64 - 0.99).ln() / (1.0f64 - 0.7).ln()).ceil();
+        assert_eq!(e.eval(&env).unwrap(), expected);
+        assert_eq!(expected, 4.0);
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let e = Expr::binary(BinOp::Pow, Expr::param("LPS"), Expr::number(2.0));
+        assert_eq!(e.to_string(), "(LPS ^ 2)");
+    }
+
+    #[test]
+    fn param_env_iteration_is_sorted() {
+        let env = ParamEnv::new().with("z", 1.0).with("a", 2.0).with("m", 3.0);
+        let names: Vec<&str> = env.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn param_env_extend_overrides() {
+        let mut a = ParamEnv::new().with("x", 1.0);
+        let b = ParamEnv::new().with("x", 9.0).with("y", 2.0);
+        a.extend_from(&b);
+        assert_eq!(a.get("x").unwrap(), 9.0);
+        assert_eq!(a.get("y").unwrap(), 2.0);
+    }
+
+    #[test]
+    fn param_env_from_iterator() {
+        let env: ParamEnv = vec![("a", 1.0), ("b", 2.0)].into_iter().collect();
+        assert_eq!(env.len(), 2);
+        assert!(env.contains("a"));
+        assert!(!env.is_empty());
+    }
+}

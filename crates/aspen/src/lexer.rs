@@ -1,0 +1,484 @@
+//! Tokenizer for the ASPEN-like model language.
+//!
+//! The lexer is a small hand-written scanner.  It understands identifiers,
+//! numeric literals (including scientific notation), punctuation, the path
+//! syntax used by `include` directives (`sockets/intel_xeon_e5_2680.aspen`),
+//! and both `//` line comments and `/* ... */` block comments.
+
+use crate::error::{AspenError, Result, SourcePos};
+use std::fmt;
+
+/// A lexical token together with its position in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// Position of the first character of the token.
+    pub pos: SourcePos,
+}
+
+/// The different kinds of tokens produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`machine`, `kernel`, `flops`, `LPS`, ...).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// A path-like literal used by `include` (contains `/` or `.`).
+    Path(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Equals,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(v) => write!(f, "number `{v}`"),
+            TokenKind::Path(p) => write!(f, "path `{p}`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Equals => write!(f, "`=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Caret => write!(f, "`^`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Tokenize a full source string.
+///
+/// The returned vector always ends with an [`TokenKind::Eof`] token.
+pub fn tokenize(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    index: usize,
+    line: usize,
+    column: usize,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            chars: source.chars().collect(),
+            index: 0,
+            line: 1,
+            column: 1,
+            source,
+        }
+    }
+
+    fn pos(&self) -> SourcePos {
+        SourcePos::new(self.line, self.column)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.index).copied()
+    }
+
+    fn peek_ahead(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.index + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.index += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let pos = self.pos();
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    pos,
+                });
+                break;
+            };
+            let kind = match c {
+                '{' => {
+                    self.bump();
+                    TokenKind::LBrace
+                }
+                '}' => {
+                    self.bump();
+                    TokenKind::RBrace
+                }
+                '[' => {
+                    self.bump();
+                    TokenKind::LBracket
+                }
+                ']' => {
+                    self.bump();
+                    TokenKind::RBracket
+                }
+                '(' => {
+                    self.bump();
+                    TokenKind::LParen
+                }
+                ')' => {
+                    self.bump();
+                    TokenKind::RParen
+                }
+                ',' => {
+                    self.bump();
+                    TokenKind::Comma
+                }
+                '=' => {
+                    self.bump();
+                    TokenKind::Equals
+                }
+                '+' => {
+                    self.bump();
+                    TokenKind::Plus
+                }
+                '-' => {
+                    self.bump();
+                    TokenKind::Minus
+                }
+                '*' => {
+                    self.bump();
+                    TokenKind::Star
+                }
+                '/' => {
+                    self.bump();
+                    TokenKind::Slash
+                }
+                '^' => {
+                    self.bump();
+                    TokenKind::Caret
+                }
+                c if c.is_ascii_digit() || c == '.' => self.lex_number(pos)?,
+                c if is_ident_start(c) => {
+                    // Path literals (`sockets/intel_xeon.aspen`) are only
+                    // recognized immediately after the `include` keyword so
+                    // that `a/b` elsewhere lexes as a division.
+                    let expect_path = matches!(
+                        tokens.last().map(|t: &Token| &t.kind),
+                        Some(TokenKind::Ident(kw)) if kw == "include"
+                    );
+                    self.lex_ident_or_path(expect_path)
+                }
+                other => {
+                    return Err(AspenError::Lex {
+                        pos,
+                        message: format!("unexpected character `{other}`"),
+                    })
+                }
+            };
+            tokens.push(Token { kind, pos });
+        }
+        Ok(tokens)
+    }
+
+    /// Skip whitespace and comments.
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek_ahead(1) == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek_ahead(1) == Some('*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some('*') if self.peek_ahead(1) == Some('/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(AspenError::Lex {
+                                    pos: start,
+                                    message: "unterminated block comment".into(),
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self, pos: SourcePos) -> Result<TokenKind> {
+        let start = self.index;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '.' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Scientific notation: 1.5e-3
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            let mark = self.index;
+            self.bump();
+            if matches!(self.peek(), Some('+') | Some('-')) {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                // not an exponent after all (e.g. `20 es`), rewind
+                self.index = mark;
+            }
+        }
+        let text: String = self.chars[start..self.index].iter().collect();
+        text.parse::<f64>().map(TokenKind::Number).map_err(|_| {
+            AspenError::Lex {
+                pos,
+                message: format!("invalid numeric literal `{text}`"),
+            }
+        })
+    }
+
+    fn lex_ident_or_path(&mut self, allow_path: bool) -> TokenKind {
+        let start = self.index;
+        let mut is_path = false;
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                self.bump();
+            } else if allow_path
+                && (c == '/' || c == '.')
+                && matches!(self.peek_ahead(1), Some(n) if is_ident_continue(n))
+            {
+                // A `/` or `.` immediately followed by an identifier character
+                // inside an identifier is treated as part of a path literal
+                // (used by `include sockets/intel_xeon.aspen`).
+                is_path = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.index].iter().collect();
+        debug_assert!(!text.is_empty(), "lex_ident called on empty input: {}", self.source.len());
+        if is_path {
+            TokenKind::Path(text)
+        } else {
+            TokenKind::Ident(text)
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn empty_source_yields_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn punctuation_tokens() {
+        assert_eq!(
+            kinds("{ } [ ] ( ) , = + - * / ^"),
+            vec![
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::LBracket,
+                TokenKind::RBracket,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Equals,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Caret,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_and_numbers() {
+        assert_eq!(
+            kinds("param LPS = 42"),
+            vec![
+                TokenKind::Ident("param".into()),
+                TokenKind::Ident("LPS".into()),
+                TokenKind::Equals,
+                TokenKind::Number(42.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(kinds("1.5e-3")[0], TokenKind::Number(0.0015));
+        assert_eq!(kinds("2E6")[0], TokenKind::Number(2_000_000.0));
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        assert_eq!(
+            kinds("param X = 1 // Input Parameter\nparam Y = 2"),
+            vec![
+                TokenKind::Ident("param".into()),
+                TokenKind::Ident("X".into()),
+                TokenKind::Equals,
+                TokenKind::Number(1.0),
+                TokenKind::Ident("param".into()),
+                TokenKind::Ident("Y".into()),
+                TokenKind::Equals,
+                TokenKind::Number(2.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn block_comments_are_skipped() {
+        assert_eq!(
+            kinds("a /* multi\nline */ b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(matches!(
+            tokenize("/* never closed").unwrap_err(),
+            AspenError::Lex { .. }
+        ));
+    }
+
+    #[test]
+    fn include_paths_are_path_tokens() {
+        let toks = kinds("include sockets/intel_xeon_e5_2680.aspen");
+        assert_eq!(toks[0], TokenKind::Ident("include".into()));
+        assert_eq!(
+            toks[1],
+            TokenKind::Path("sockets/intel_xeon_e5_2680.aspen".into())
+        );
+    }
+
+    #[test]
+    fn division_is_not_a_path() {
+        assert_eq!(
+            kinds("a / b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Slash,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_reports_position() {
+        let err = tokenize("param @x").unwrap_err();
+        match err {
+            AspenError::Lex { pos, .. } => {
+                assert_eq!(pos.line, 1);
+                assert_eq!(pos.column, 7);
+            }
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, SourcePos::new(1, 1));
+        assert_eq!(toks[1].pos, SourcePos::new(2, 3));
+    }
+
+    #[test]
+    fn paper_stage2_listing_tokenizes() {
+        let src = r#"
+            execute mainblock2[1]
+            {
+                // Number of QPU calls
+                QuOps [ceil(log(1-(Accuracy/100))/log(1-Success))]
+            }
+        "#;
+        let toks = tokenize(src).unwrap();
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Ident("QuOps".into())));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Ident("ceil".into())));
+    }
+}

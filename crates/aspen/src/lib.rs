@@ -1,0 +1,87 @@
+//! # aspen-model — structured analytical performance modeling
+//!
+//! A self-contained reimplementation of the modeling workflow of ORNL's
+//! ASPEN performance-modeling language (Spafford & Vetter, SC'12), sufficient
+//! to express and evaluate the machine and application models published in
+//! *Performance Models for Split-execution Computing Systems* (Humble et al.,
+//! 2016).
+//!
+//! The crate provides three layers:
+//!
+//! 1. **A model language** — [`parser::parse_document`] accepts ASPEN-style
+//!    source describing hardware (`machine`, `node`, `socket`, `core`,
+//!    `memory`, `link`) and applications (`model` with `param`, `data` and
+//!    `kernel` declarations whose `execute` blocks consume `flops`, `loads`,
+//!    `stores`, `intracomm`, `microseconds` or custom resources such as
+//!    `QuOps`).  The paper's Figs. 5–8 listings are included verbatim in
+//!    [`listings`] and parse with this grammar.
+//! 2. **Resolved models** — [`machine::MachineModel`] converts resource
+//!    quantities into seconds (built programmatically, from the built-in
+//!    component library in [`builtin`], or from parsed documents);
+//!    [`application::ApplicationModel`] resolves parameter expressions with
+//!    caller-supplied input overrides.
+//! 3. **The analytical evaluator** — [`predict::Predictor`] walks an
+//!    application model against a machine model and produces a structured
+//!    [`predict::Prediction`] with per-kernel, per-block and per-resource
+//!    timing breakdowns.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use aspen_model::prelude::*;
+//!
+//! // The paper's Stage-2 model: the QPU as a statistical sampler.
+//! let app = ApplicationModel::from_source(aspen_model::listings::STAGE2_LISTING)?;
+//! let machine = aspen_model::builtin::simple_node(Default::default());
+//! let prediction = Predictor::new(&machine)
+//!     .predict(&app, &ParamEnv::new().with("Accuracy", 99.0))?;
+//! // One anneal of 20 us plus 320 us readout plus 5 us thermalization.
+//! assert!((prediction.seconds() - 345e-6).abs() < 1e-9);
+//! # Ok::<(), aspen_model::AspenError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod application;
+pub mod ast;
+pub mod builtin;
+pub mod error;
+pub mod expr;
+pub mod lexer;
+pub mod listings;
+pub mod machine;
+pub mod parser;
+pub mod predict;
+
+pub use application::ApplicationModel;
+pub use error::{AspenError, Result, SourcePos};
+pub use expr::{BinOp, Expr, ParamEnv};
+pub use machine::{MachineBuilder, MachineModel, ResourceRate};
+pub use predict::{BlockSemantics, Prediction, Predictor};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::application::ApplicationModel;
+    pub use crate::builtin::{simple_node, BuiltinLibrary, QpuGeneration};
+    pub use crate::error::{AspenError, Result};
+    pub use crate::expr::{Expr, ParamEnv};
+    pub use crate::machine::{MachineBuilder, MachineModel, ResourceRate};
+    pub use crate::parser::{parse_document, parse_expr, parse_model};
+    pub use crate::predict::{BlockSemantics, Prediction, Predictor};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn crate_level_example_round_trip() {
+        let app = ApplicationModel::from_source(crate::listings::STAGE2_LISTING).unwrap();
+        let machine = simple_node(QpuGeneration::Dw2x);
+        let prediction = Predictor::new(&machine)
+            .predict(&app, &ParamEnv::new().with("Accuracy", 99.0))
+            .unwrap();
+        assert!((prediction.seconds() - 345e-6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,203 @@
+//! The ASPEN model listings published in the paper (Figs. 5-8), reproduced as
+//! string constants so they can be parsed, evaluated and tested verbatim.
+//!
+//! Two small, purely syntactic adaptations are applied relative to the typeset
+//! figures:
+//!
+//! * the Unicode modifier caret printed by the paper's PDF is written as the
+//!   ASCII `^` operator, and
+//! * the machine listing in Fig. 5 references the socket as
+//!   `DwaveVesuvius20` / core `Vesuvius20` consistently (the typeset figure
+//!   mixes `DwaveVesuvius`/`Vesuvius`/`Vesuvius20` due to column truncation).
+//!
+//! The numeric content (hardware constants, expressions and structure) is
+//! identical to the publication.
+
+/// Fig. 5 — ASPEN machine model for the CPU+GPU+QPU node and the D-Wave
+/// Vesuvius hardware socket.
+pub const MACHINE_LISTING: &str = r#"
+include memory/ddr3_1066.aspen
+include sockets/intel_xeon_e5_2680.aspen
+include sockets/nvidia_m2090.aspen
+include sockets/dwave_vesuvius_20.aspen
+
+machine SimpleNode
+{
+    [1] SIMPLE nodes
+}
+
+node SIMPLE
+{
+    [1] intel_xeon_e5_2680 sockets
+    [1] nvidia_m2090 sockets
+    [1] DwaveVesuvius20 sockets
+}
+
+socket DwaveVesuvius20 {
+    [1] Vesuvius20 cores
+    gddr5 memory
+    linked with pcie
+}
+
+core Vesuvius20 {
+    resource QuOps(number) [number * 20/1000000]
+}
+"#;
+
+/// Fig. 6 — Stage 1 of the split-execution application: generation and
+/// embedding of a logical Ising Hamiltonian into the D-Wave processor.
+pub const STAGE1_LISTING: &str = r#"
+model Stage1
+{
+    param LPS = 0 // Input Parameter
+    param Ising = LPS^2
+    param NH = LPS
+    param EH = NH*(NH-1) / 2
+    param M = 12
+    param N = 12
+    param NG = 8*M*N
+    param EG = 4*(2*M*N - M - N) + 16*M*N
+    param EmbeddingOps = (EG+NG*log(NG))*(2*EH)*NH*NG
+    param ParameterSetting = LPS^3
+
+    // Hardware constants for DW2 in microseconds
+    param StateCon = 252162
+    param PMMSW = 33095
+    param PMMElec = 0
+    param PMMChip = 11264
+    param PMMTherm = 10000
+    param SWRun = 4000
+    param ElecRun = 9052
+    param ProcessorInitialize = StateCon+PMMSW+PMMElec+PMMChip+PMMTherm+SWRun+ElecRun
+
+    data Input as Array((NH*NH), 4)
+    data Output as Array((NG*NG), 4)
+
+    kernel InitializeData {
+        execute [1] {
+            flops [Ising] as sp, fmad, simd
+            stores [NH*4] to Input
+        }
+        execute [1] {
+            flops [ParameterSetting] as sp, fmad, simd
+        }
+    }
+
+    kernel EmbedData {
+        execute embed [1] {
+            loads [EH*4] from Input
+            flops [EmbeddingOps] as sp, simd
+            stores [EG*4] to Output
+            intracomm [EG*4] as copyout
+        }
+    }
+
+    kernel InitializeProcessor {
+        execute [1] {microseconds [ProcessorInitialize]}
+    }
+
+    kernel main
+    {
+        InitializeData
+        EmbedData
+        InitializeProcessor
+    }
+}
+"#;
+
+/// Fig. 7 — Stage 2 of the split-execution application: the D-Wave processor
+/// as a statistical-sampling optimization solver.
+pub const STAGE2_LISTING: &str = r#"
+model Stage2
+{
+    param Success = 0.9999
+    param Accuracy = 0 // Input parameter
+    param AnnealReadResults = 320
+    param AnnealThermalization = 5
+
+    kernel Stage2Processing
+    {
+        execute mainblock2[1]
+        {
+            // Number of QPU calls
+            QuOps [ceil(log(1-(Accuracy/100))/log(1-Success))]
+        }
+        execute mainblock3[1]
+        {
+            // Readout time
+            microseconds [AnnealReadResults]
+        }
+        execute mainblock4[1] {
+            // Initialization time
+            microseconds [AnnealThermalization]
+        }
+    }
+
+    kernel main {
+        Stage2Processing
+    }
+}
+"#;
+
+/// Fig. 8 — Stage 3 of the split-execution application: parsing and sorting
+/// the readout results to recover the optimization result.
+pub const STAGE3_LISTING: &str = r#"
+model Stage3
+{
+    param LPS = 0
+    param Success = 0.75
+    param Accuracy = 0.99
+    param Results = ceil(log(1-(Accuracy))/log(1-Success))
+    param Length = LPS
+    param SortOps = log(Results) * Results
+
+    data R as Array(Results, LPS)
+
+    kernel FindSolution {
+        execute sort [1] {
+            loads [Results] of size [4*Length]
+            flops [SortOps] as sp
+            stores [Results] to R
+        }
+    }
+
+    kernel main {
+        FindSolution
+    }
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_document, parse_model};
+
+    #[test]
+    fn machine_listing_parses() {
+        let doc = parse_document(MACHINE_LISTING).unwrap();
+        assert_eq!(doc.includes.len(), 4);
+        assert_eq!(doc.machines.len(), 1);
+        assert_eq!(doc.nodes.len(), 1);
+        assert_eq!(doc.sockets.len(), 1);
+        assert_eq!(doc.cores.len(), 1);
+        assert_eq!(doc.cores[0].resources[0].name, "QuOps");
+    }
+
+    #[test]
+    fn stage_listings_parse() {
+        assert_eq!(parse_model(STAGE1_LISTING).unwrap().name, "Stage1");
+        assert_eq!(parse_model(STAGE2_LISTING).unwrap().name, "Stage2");
+        assert_eq!(parse_model(STAGE3_LISTING).unwrap().name, "Stage3");
+    }
+
+    #[test]
+    fn stage1_has_paper_hardware_constants() {
+        let model = parse_model(STAGE1_LISTING).unwrap();
+        let names: Vec<&str> = model.params.iter().map(|p| p.name.as_str()).collect();
+        for expected in [
+            "StateCon", "PMMSW", "PMMElec", "PMMChip", "PMMTherm", "SWRun", "ElecRun",
+        ] {
+            assert!(names.contains(&expected), "missing param {expected}");
+        }
+    }
+}

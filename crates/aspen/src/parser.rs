@@ -1,0 +1,926 @@
+//! Recursive-descent parser for the ASPEN-like modeling language.
+//!
+//! The grammar is small and line-oriented in spirit, but the parser is purely
+//! token driven so the whitespace layout of the paper's listings (Figs. 5-8)
+//! is irrelevant.  See the crate-level documentation for a grammar summary.
+
+use crate::ast::*;
+use crate::error::{AspenError, Result, SourcePos};
+use crate::expr::{BinOp, Expr};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parse a full document from source text.
+pub fn parse_document(source: &str) -> Result<Document> {
+    Parser::new(source)?.document()
+}
+
+/// Parse a source string that is expected to contain exactly one application
+/// model and return it.
+pub fn parse_model(source: &str) -> Result<ModelDecl> {
+    let doc = parse_document(source)?;
+    match doc.models.len() {
+        1 => Ok(doc.models.into_iter().next().expect("length checked")),
+        0 => Err(AspenError::Semantic(
+            "source contains no `model` declaration".into(),
+        )),
+        n => Err(AspenError::Semantic(format!(
+            "source contains {n} `model` declarations, expected exactly 1"
+        ))),
+    }
+}
+
+/// Parse a standalone arithmetic expression (useful for tests and for
+/// building parameter studies from strings).
+pub fn parse_expr(source: &str) -> Result<Expr> {
+    let mut p = Parser::new(source)?;
+    let expr = p.expression()?;
+    p.expect_eof()?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    index: usize,
+}
+
+impl Parser {
+    fn new(source: &str) -> Result<Self> {
+        Ok(Self {
+            tokens: tokenize(source)?,
+            index: 0,
+        })
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.index].kind
+    }
+
+    fn pos(&self) -> SourcePos {
+        self.tokens[self.index].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.index].kind.clone();
+        if self.index + 1 < self.tokens.len() {
+            self.index += 1;
+        }
+        kind
+    }
+
+    fn error(&self, message: impl Into<String>) -> AspenError {
+        AspenError::Parse {
+            pos: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, expected: &TokenKind) -> Result<()> {
+        if self.peek() == expected {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {expected}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected end of input, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    /// Check whether the next token is the given keyword (case sensitive).
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(name) if name == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Document level
+    // ----------------------------------------------------------------- //
+
+    fn document(&mut self) -> Result<Document> {
+        let mut doc = Document::default();
+        loop {
+            match self.peek().clone() {
+                TokenKind::Eof => break,
+                TokenKind::Ident(kw) => match kw.as_str() {
+                    "include" => {
+                        self.bump();
+                        doc.includes.push(self.include_path()?);
+                    }
+                    "machine" => {
+                        self.bump();
+                        doc.machines.push(self.machine_decl()?);
+                    }
+                    "node" => {
+                        self.bump();
+                        doc.nodes.push(self.node_decl()?);
+                    }
+                    "socket" => {
+                        self.bump();
+                        doc.sockets.push(self.socket_decl()?);
+                    }
+                    "core" => {
+                        self.bump();
+                        doc.cores.push(self.core_like_decl().map(|(name, resources, properties)| {
+                            CoreDecl {
+                                name,
+                                resources,
+                                properties,
+                            }
+                        })?);
+                    }
+                    "memory" => {
+                        self.bump();
+                        doc.memories.push(self.core_like_decl().map(
+                            |(name, resources, properties)| MemoryDecl {
+                                name,
+                                resources,
+                                properties,
+                            },
+                        )?);
+                    }
+                    "link" => {
+                        self.bump();
+                        doc.links.push(self.core_like_decl().map(
+                            |(name, resources, properties)| LinkDecl {
+                                name,
+                                resources,
+                                properties,
+                            },
+                        )?);
+                    }
+                    "model" => {
+                        self.bump();
+                        doc.models.push(self.model_decl()?);
+                    }
+                    other => {
+                        return Err(self.error(format!(
+                            "expected a top-level declaration keyword, found `{other}`"
+                        )))
+                    }
+                },
+                other => {
+                    return Err(
+                        self.error(format!("expected a top-level declaration, found {other}"))
+                    )
+                }
+            }
+        }
+        Ok(doc)
+    }
+
+    fn include_path(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Path(p) => {
+                self.bump();
+                Ok(p)
+            }
+            TokenKind::Ident(p) => {
+                self.bump();
+                Ok(p)
+            }
+            other => Err(self.error(format!("expected include path, found {other}"))),
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Hardware declarations
+    // ----------------------------------------------------------------- //
+
+    fn machine_decl(&mut self) -> Result<MachineDecl> {
+        let name = self.expect_ident()?;
+        let (contains, _, _, _, properties) = self.hardware_body()?;
+        Ok(MachineDecl {
+            name,
+            contains,
+            properties,
+        })
+    }
+
+    fn node_decl(&mut self) -> Result<NodeDecl> {
+        let name = self.expect_ident()?;
+        let (contains, _, _, _, properties) = self.hardware_body()?;
+        Ok(NodeDecl {
+            name,
+            contains,
+            properties,
+        })
+    }
+
+    fn socket_decl(&mut self) -> Result<SocketDecl> {
+        let name = self.expect_ident()?;
+        let (contains, memory, link, resources, properties) = self.hardware_body()?;
+        Ok(SocketDecl {
+            name,
+            contains,
+            memory,
+            link,
+            resources,
+            properties,
+        })
+    }
+
+    fn core_like_decl(&mut self) -> Result<(String, Vec<ResourceDef>, Vec<PropertyDecl>)> {
+        let name = self.expect_ident()?;
+        let (contains, _, _, resources, properties) = self.hardware_body()?;
+        if !contains.is_empty() {
+            return Err(AspenError::Semantic(format!(
+                "component `{name}` cannot contain sub-components"
+            )));
+        }
+        Ok((name, resources, properties))
+    }
+
+    /// Parse the `{ ... }` body shared by all hardware declarations.
+    ///
+    /// Returns `(contains, memory, link, resources, properties)`.
+    #[allow(clippy::type_complexity)]
+    fn hardware_body(
+        &mut self,
+    ) -> Result<(
+        Vec<ComponentRef>,
+        Option<String>,
+        Option<String>,
+        Vec<ResourceDef>,
+        Vec<PropertyDecl>,
+    )> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut contains = Vec::new();
+        let mut memory = None;
+        let mut link = None;
+        let mut resources = Vec::new();
+        let mut properties = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::LBracket => {
+                    // [count] Name role
+                    self.bump();
+                    let count = self.expression()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    let name = self.expect_ident()?;
+                    let role = self.expect_ident()?;
+                    contains.push(ComponentRef { count, name, role });
+                }
+                TokenKind::Ident(kw) if kw == "resource" => {
+                    self.bump();
+                    resources.push(self.resource_def()?);
+                }
+                TokenKind::Ident(kw) if kw == "property" => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    self.expect(&TokenKind::LBracket)?;
+                    let value = self.expression()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    properties.push(PropertyDecl { name, value });
+                }
+                TokenKind::Ident(kw) if kw == "linked" => {
+                    // linked with pcie
+                    self.bump();
+                    if !self.eat_keyword("with") {
+                        return Err(self.error("expected `with` after `linked`"));
+                    }
+                    link = Some(self.expect_ident()?);
+                }
+                TokenKind::Ident(_) => {
+                    // `gddr5 memory` style attachment: Name role
+                    let name = self.expect_ident()?;
+                    let role = self.expect_ident()?;
+                    match role.as_str() {
+                        "memory" => memory = Some(name),
+                        "link" => link = Some(name),
+                        other => {
+                            return Err(self.error(format!(
+                                "unexpected attachment role `{other}` (expected `memory` or `link`)"
+                            )))
+                        }
+                    }
+                }
+                other => {
+                    return Err(
+                        self.error(format!("unexpected token in hardware body: {other}"))
+                    )
+                }
+            }
+        }
+        Ok((contains, memory, link, resources, properties))
+    }
+
+    /// `resource Name(arg) [mapping] (with trait [mult], trait [mult], ...)?`
+    fn resource_def(&mut self) -> Result<ResourceDef> {
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let arg = self.expect_ident()?;
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::LBracket)?;
+        let mapping = self.expression()?;
+        self.expect(&TokenKind::RBracket)?;
+        let mut traits = Vec::new();
+        if self.eat_keyword("with") {
+            loop {
+                let trait_name = self.expect_ident()?;
+                self.expect(&TokenKind::LBracket)?;
+                let multiplier = self.expression()?;
+                self.expect(&TokenKind::RBracket)?;
+                traits.push(TraitDef {
+                    name: trait_name,
+                    multiplier,
+                });
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(ResourceDef {
+            name,
+            arg,
+            mapping,
+            traits,
+        })
+    }
+
+    // ----------------------------------------------------------------- //
+    // Application model declarations
+    // ----------------------------------------------------------------- //
+
+    fn model_decl(&mut self) -> Result<ModelDecl> {
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut params = Vec::new();
+        let mut data = Vec::new();
+        let mut kernels = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Ident(kw) if kw == "param" => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    self.expect(&TokenKind::Equals)?;
+                    let value = self.expression()?;
+                    params.push(ParamDecl { name, value });
+                }
+                TokenKind::Ident(kw) if kw == "data" => {
+                    self.bump();
+                    data.push(self.data_decl()?);
+                }
+                TokenKind::Ident(kw) if kw == "kernel" => {
+                    self.bump();
+                    kernels.push(self.kernel_decl()?);
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected `param`, `data`, `kernel` or `}}` in model body, found {other}"
+                    )))
+                }
+            }
+        }
+        Ok(ModelDecl {
+            name,
+            params,
+            data,
+            kernels,
+        })
+    }
+
+    /// `data Name as Array((NH*NH), 4)`
+    fn data_decl(&mut self) -> Result<DataDecl> {
+        let name = self.expect_ident()?;
+        if !self.eat_keyword("as") {
+            return Err(self.error("expected `as` in data declaration"));
+        }
+        let layout = self.expect_ident()?;
+        let mut dims = Vec::new();
+        self.expect(&TokenKind::LParen)?;
+        if !matches!(self.peek(), TokenKind::RParen) {
+            loop {
+                dims.push(self.expression()?);
+                if matches!(self.peek(), TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(DataDecl { name, layout, dims })
+    }
+
+    fn kernel_decl(&mut self) -> Result<KernelDecl> {
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let statements = self.kernel_statements()?;
+        Ok(KernelDecl { name, statements })
+    }
+
+    /// Parse statements up to and including the closing `}`.
+    fn kernel_statements(&mut self) -> Result<Vec<KernelStmt>> {
+        let mut statements = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Ident(kw) if kw == "execute" => {
+                    self.bump();
+                    statements.push(KernelStmt::Execute(self.execute_block()?));
+                }
+                TokenKind::Ident(kw) if kw == "iterate" || kw == "map" => {
+                    self.bump();
+                    self.expect(&TokenKind::LBracket)?;
+                    let count = self.expression()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    self.expect(&TokenKind::LBrace)?;
+                    let body = self.kernel_statements()?;
+                    statements.push(if kw == "iterate" {
+                        KernelStmt::Iterate { count, body }
+                    } else {
+                        KernelStmt::Map { count, body }
+                    });
+                }
+                TokenKind::Ident(name) => {
+                    self.bump();
+                    statements.push(KernelStmt::Call(name));
+                }
+                other => {
+                    return Err(
+                        self.error(format!("unexpected token in kernel body: {other}"))
+                    )
+                }
+            }
+        }
+        Ok(statements)
+    }
+
+    /// `execute label? [count] { clauses }` — the count bracket is optional
+    /// (defaults to 1) to match some published ASPEN listings.
+    fn execute_block(&mut self) -> Result<ExecuteBlock> {
+        let label = match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Some(name)
+            }
+            _ => None,
+        };
+        let count = if matches!(self.peek(), TokenKind::LBracket) {
+            self.bump();
+            let c = self.expression()?;
+            self.expect(&TokenKind::RBracket)?;
+            c
+        } else {
+            Expr::number(1.0)
+        };
+        self.expect(&TokenKind::LBrace)?;
+        let mut clauses = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Ident(_) => clauses.push(self.resource_clause()?),
+                other => {
+                    return Err(
+                        self.error(format!("unexpected token in execute block: {other}"))
+                    )
+                }
+            }
+        }
+        Ok(ExecuteBlock {
+            label,
+            count,
+            clauses,
+        })
+    }
+
+    /// `resource [quantity] (as t1, t2)? (to X | from X)? (of size [expr])?`
+    /// The tail clauses may appear in any order.
+    fn resource_clause(&mut self) -> Result<ResourceClause> {
+        let resource = self.expect_ident()?;
+        self.expect(&TokenKind::LBracket)?;
+        let quantity = self.expression()?;
+        self.expect(&TokenKind::RBracket)?;
+        let mut traits = Vec::new();
+        let mut target = None;
+        let mut size = None;
+        loop {
+            match self.peek().clone() {
+                TokenKind::Ident(kw) if kw == "as" => {
+                    self.bump();
+                    loop {
+                        traits.push(self.expect_ident()?);
+                        if matches!(self.peek(), TokenKind::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                TokenKind::Ident(kw) if kw == "to" || kw == "from" => {
+                    self.bump();
+                    target = Some(self.expect_ident()?);
+                }
+                TokenKind::Ident(kw) if kw == "of" => {
+                    self.bump();
+                    if !self.eat_keyword("size") {
+                        return Err(self.error("expected `size` after `of`"));
+                    }
+                    self.expect(&TokenKind::LBracket)?;
+                    size = Some(self.expression()?);
+                    self.expect(&TokenKind::RBracket)?;
+                }
+                _ => break,
+            }
+        }
+        Ok(ResourceClause {
+            resource,
+            quantity,
+            size,
+            traits,
+            target,
+        })
+    }
+
+    // ----------------------------------------------------------------- //
+    // Expressions
+    // ----------------------------------------------------------------- //
+
+    /// Entry point: lowest precedence (additive).
+    fn expression(&mut self) -> Result<Expr> {
+        self.additive()
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), TokenKind::Minus) {
+            self.bump();
+            Ok(Expr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.power()
+        }
+    }
+
+    fn power(&mut self) -> Result<Expr> {
+        let base = self.primary()?;
+        if matches!(self.peek(), TokenKind::Caret) {
+            self.bump();
+            // Right-associative.
+            let exponent = self.unary()?;
+            Ok(Expr::binary(BinOp::Pow, base, exponent))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Number(v) => {
+                self.bump();
+                Ok(Expr::number(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if matches!(self.peek(), TokenKind::LParen) && is_function_name(&name) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), TokenKind::RParen) {
+                        loop {
+                            args.push(self.expression()?);
+                            if matches!(self.peek(), TokenKind::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::call(name, args))
+                } else {
+                    Ok(Expr::param(name))
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+/// Names treated as function calls when followed by `(` inside expressions.
+fn is_function_name(name: &str) -> bool {
+    matches!(
+        name.to_ascii_lowercase().as_str(),
+        "log" | "ln" | "log2" | "log10" | "exp" | "sqrt" | "ceil" | "floor" | "abs" | "min"
+            | "max" | "pow"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ParamEnv;
+
+    #[test]
+    fn parse_simple_expression() {
+        let e = parse_expr("2 + 3 * 4").unwrap();
+        assert_eq!(e.eval(&ParamEnv::new()).unwrap(), 14.0);
+    }
+
+    #[test]
+    fn parse_power_is_right_associative_and_binds_tighter_than_mul() {
+        let e = parse_expr("2 * 3 ^ 2").unwrap();
+        assert_eq!(e.eval(&ParamEnv::new()).unwrap(), 18.0);
+        let e = parse_expr("2 ^ 3 ^ 2").unwrap();
+        assert_eq!(e.eval(&ParamEnv::new()).unwrap(), 512.0);
+    }
+
+    #[test]
+    fn parse_unary_minus() {
+        let e = parse_expr("-3 + 5").unwrap();
+        assert_eq!(e.eval(&ParamEnv::new()).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn parse_function_calls() {
+        let e = parse_expr("ceil(log(1-(0.99))/log(1-0.75))").unwrap();
+        assert_eq!(e.eval(&ParamEnv::new()).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn identifier_followed_by_paren_is_param_unless_known_function() {
+        // `NG(3)` would be ambiguous; unknown names are treated as parameters
+        // so `log(NG)` still works while `Array(...)` never appears in exprs.
+        let e = parse_expr("log(NG)").unwrap();
+        let env = ParamEnv::new().with("NG", std::f64::consts::E);
+        assert!((e.eval(&env).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_trailing_garbage_is_error() {
+        assert!(parse_expr("1 + 2 }").is_err());
+    }
+
+    #[test]
+    fn parse_machine_and_node() {
+        let doc = parse_document(
+            r#"
+            machine SimpleNode { [1] SIMPLE nodes }
+            node SIMPLE {
+                [1] intel_xeon_e5_2680 sockets
+                [1] nvidia_m2090 sockets
+                [1] DwaveVesuvius20 sockets
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.machines.len(), 1);
+        assert_eq!(doc.machines[0].name, "SimpleNode");
+        assert_eq!(doc.machines[0].contains.len(), 1);
+        assert_eq!(doc.nodes[0].contains.len(), 3);
+        assert_eq!(doc.nodes[0].contains[2].name, "DwaveVesuvius20");
+        assert_eq!(doc.nodes[0].contains[2].role, "sockets");
+    }
+
+    #[test]
+    fn parse_socket_with_memory_and_link() {
+        let doc = parse_document(
+            r#"
+            socket DwaveVesuvius {
+                [1] Vesuvius cores
+                gddr5 memory
+                linked with pcie
+            }
+            "#,
+        )
+        .unwrap();
+        let s = &doc.sockets[0];
+        assert_eq!(s.name, "DwaveVesuvius");
+        assert_eq!(s.memory.as_deref(), Some("gddr5"));
+        assert_eq!(s.link.as_deref(), Some("pcie"));
+        assert_eq!(s.contains[0].name, "Vesuvius");
+    }
+
+    #[test]
+    fn parse_core_with_custom_resource() {
+        let doc = parse_document(
+            r#"
+            core Vesuvius20 {
+                resource QuOps(number) [number * 20/1000000]
+            }
+            "#,
+        )
+        .unwrap();
+        let core = &doc.cores[0];
+        assert_eq!(core.name, "Vesuvius20");
+        assert_eq!(core.resources.len(), 1);
+        let r = &core.resources[0];
+        assert_eq!(r.name, "QuOps");
+        assert_eq!(r.arg, "number");
+        let env = ParamEnv::new().with("number", 1.0e6);
+        assert!((r.mapping.eval(&env).unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_resource_with_traits() {
+        let doc = parse_document(
+            r#"
+            core xeon_core {
+                property peak_flops [21.6e9]
+                resource flops(number) [number / peak_flops] with simd [0.125], fmad [0.5]
+            }
+            "#,
+        )
+        .unwrap();
+        let core = &doc.cores[0];
+        assert_eq!(core.properties[0].name, "peak_flops");
+        assert_eq!(core.resources[0].traits.len(), 2);
+        assert_eq!(core.resources[0].traits[0].name, "simd");
+    }
+
+    #[test]
+    fn parse_includes() {
+        let doc = parse_document(
+            r#"
+            include memory/ddr3_1066.aspen
+            include sockets/intel_xeon_e5_2680.aspen
+            machine M { [1] N nodes }
+            node N { [1] c sockets }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.includes.len(), 2);
+        assert_eq!(doc.includes[0], "memory/ddr3_1066.aspen");
+    }
+
+    #[test]
+    fn parse_paper_stage1_model() {
+        let model = parse_model(crate::listings::STAGE1_LISTING).unwrap();
+        assert_eq!(model.name, "Stage1");
+        assert!(model.params.iter().any(|p| p.name == "EmbeddingOps"));
+        assert!(model.params.iter().any(|p| p.name == "ProcessorInitialize"));
+        assert_eq!(model.data.len(), 2);
+        let main = model.kernel("main").unwrap();
+        assert_eq!(main.statements.len(), 3);
+        let embed = model.kernel("EmbedData").unwrap();
+        match &embed.statements[0] {
+            KernelStmt::Execute(block) => {
+                assert_eq!(block.label.as_deref(), Some("embed"));
+                assert_eq!(block.clauses.len(), 4);
+                assert_eq!(block.clauses[1].resource, "flops");
+                assert_eq!(block.clauses[1].traits, vec!["sp", "simd"]);
+                assert_eq!(block.clauses[3].resource, "intracomm");
+                assert_eq!(block.clauses[3].traits, vec!["copyout"]);
+            }
+            other => panic!("expected execute block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_paper_stage2_model() {
+        let model = parse_model(crate::listings::STAGE2_LISTING).unwrap();
+        assert_eq!(model.name, "Stage2");
+        let kernel = model.kernel("Stage2Processing").unwrap();
+        assert_eq!(kernel.statements.len(), 3);
+        match &kernel.statements[0] {
+            KernelStmt::Execute(block) => {
+                assert_eq!(block.label.as_deref(), Some("mainblock2"));
+                assert_eq!(block.clauses[0].resource, "QuOps");
+            }
+            other => panic!("expected execute block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_paper_stage3_model() {
+        let model = parse_model(crate::listings::STAGE3_LISTING).unwrap();
+        assert_eq!(model.name, "Stage3");
+        let kernel = model.kernel("FindSolution").unwrap();
+        match &kernel.statements[0] {
+            KernelStmt::Execute(block) => {
+                assert_eq!(block.label.as_deref(), Some("sort"));
+                let loads = &block.clauses[0];
+                assert_eq!(loads.resource, "loads");
+                assert!(loads.size.is_some());
+            }
+            other => panic!("expected execute block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_model_rejects_zero_or_many() {
+        assert!(parse_model("machine M { [1] N nodes }").is_err());
+        assert!(parse_model("model A { } model B { }").is_err());
+    }
+
+    #[test]
+    fn parse_iterate_and_map() {
+        let model = parse_model(
+            r#"
+            model Loop {
+                param N = 10
+                kernel main {
+                    iterate [N] {
+                        execute [1] { flops [100] }
+                    }
+                    map [4] {
+                        execute [1] { flops [50] }
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let main = model.kernel("main").unwrap();
+        assert!(matches!(main.statements[0], KernelStmt::Iterate { .. }));
+        assert!(matches!(main.statements[1], KernelStmt::Map { .. }));
+    }
+
+    #[test]
+    fn execute_without_count_defaults_to_one() {
+        let model = parse_model(
+            r#"
+            model M {
+                kernel main {
+                    execute { flops [10] }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        match &model.kernel("main").unwrap().statements[0] {
+            KernelStmt::Execute(block) => {
+                assert_eq!(block.count, Expr::number(1.0));
+            }
+            other => panic!("unexpected statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let err = parse_document("machine { }").unwrap_err();
+        assert!(matches!(err, AspenError::Parse { .. }));
+    }
+}

@@ -1,0 +1,64 @@
+//! Criterion bench for the Fig. 5 machine-model path: parsing the published
+//! listing, resolving it against the built-in component library, and
+//! converting resource demands to time.  These operations sit on the critical
+//! path of every prediction, so they must remain cheap.
+
+use aspen_model::machine::MachineModel;
+use aspen_model::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_parse_and_resolve(c: &mut Criterion) {
+    c.bench_function("fig5/parse_machine_listing", |b| {
+        b.iter(|| {
+            let doc = parse_document(black_box(aspen_model::listings::MACHINE_LISTING)).unwrap();
+            black_box(doc.declaration_count())
+        })
+    });
+
+    let doc = parse_document(aspen_model::listings::MACHINE_LISTING).unwrap();
+    c.bench_function("fig5/resolve_simple_node", |b| {
+        b.iter(|| {
+            let machine =
+                MachineModel::from_document(black_box(&doc), "SimpleNode", &BuiltinLibrary)
+                    .unwrap();
+            black_box(machine.property("qpu_qubits"))
+        })
+    });
+}
+
+fn bench_resource_conversion(c: &mut Criterion) {
+    let machine = simple_node(QpuGeneration::Dw2x);
+    c.bench_function("fig5/flops_to_seconds", |b| {
+        b.iter(|| {
+            machine
+                .seconds_for(black_box("flops"), black_box(1e12), &["sp".into(), "simd".into()])
+                .unwrap()
+        })
+    });
+    c.bench_function("fig5/quops_to_seconds", |b| {
+        b.iter(|| machine.seconds_for(black_box("QuOps"), black_box(1000.0), &[]).unwrap())
+    });
+}
+
+fn bench_stage_listing_parses(c: &mut Criterion) {
+    c.bench_function("fig5/parse_all_stage_listings", |b| {
+        b.iter(|| {
+            for src in [
+                aspen_model::listings::STAGE1_LISTING,
+                aspen_model::listings::STAGE2_LISTING,
+                aspen_model::listings::STAGE3_LISTING,
+            ] {
+                black_box(parse_model(black_box(src)).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group!(
+    fig5,
+    bench_parse_and_resolve,
+    bench_resource_conversion,
+    bench_stage_listing_parses
+);
+criterion_main!(fig5);

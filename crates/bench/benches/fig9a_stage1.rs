@@ -1,0 +1,58 @@
+//! Criterion bench for Fig. 9(a): stage-1 cost versus input problem size.
+//!
+//! Two benchmark groups mirror the figure's two series: the analytic ASPEN
+//! walk of the Stage-1 model (whose *predicted* seconds are the figure's
+//! solid line — the bench measures the walk itself, which must stay cheap)
+//! and the measured CMR heuristic embedding `K_n` into the 12×12 Chimera
+//! lattice (the dashed line).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use split_exec::prelude::*;
+use std::hint::black_box;
+use sx_bench::measure_cmr_embedding;
+
+fn bench_model_walk(c: &mut Criterion) {
+    let machine = SplitMachine::paper_default();
+    let mut group = c.benchmark_group("fig9a/model_walk");
+    for n in [10usize, 30, 60, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let p = predict_stage1(&machine, black_box(n)).unwrap();
+                black_box(p.total_seconds)
+            })
+        });
+    }
+    group.finish();
+
+    // Record the predicted values themselves (the figure's y-axis) so the
+    // bench output doubles as the data table.
+    eprintln!("\nfig9a predicted stage-1 seconds (solid line):");
+    for n in [1usize, 10, 30, 60, 100] {
+        let p = predict_stage1(&machine, n).unwrap();
+        eprintln!("  n={n:>3}  model={:.4e} s  ops={:.3e}", p.total_seconds, p.embedding_ops);
+    }
+}
+
+fn bench_measured_embedding(c: &mut Criterion) {
+    let machine = SplitMachine::paper_default();
+    let mut group = c.benchmark_group("fig9a/measured_cmr_embedding");
+    group.sample_size(10);
+    for n in [4usize, 6, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(measure_cmr_embedding(&machine, n, 7)))
+        });
+    }
+    group.finish();
+
+    eprintln!("\nfig9a measured CMR embedding seconds (dashed line):");
+    for n in [4usize, 6, 8, 10, 12, 14, 16] {
+        let m = measure_cmr_embedding(&machine, n, 7);
+        eprintln!(
+            "  n={n:>3}  measured={:.4e} s  success={}  qubits={}",
+            m.seconds, m.success, m.qubits_used
+        );
+    }
+}
+
+criterion_group!(fig9a, bench_model_walk, bench_measured_embedding);
+criterion_main!(fig9a);

@@ -1,0 +1,58 @@
+//! Criterion bench for Fig. 9(c): stage-3 cost versus input problem size.
+//!
+//! Benchmarks the Stage-3 model walk and the real post-processing path
+//! (un-embed + rank) for growing ensembles, and prints the predicted series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minor_embed::Embedding;
+use qubo_ising::{rank_solutions, Ising};
+use split_exec::prelude::*;
+use std::hint::black_box;
+use sx_bench::fig9c_sizes;
+
+fn bench_model_walk(c: &mut Criterion) {
+    let machine = SplitMachine::paper_default();
+    let mut group = c.benchmark_group("fig9c/model_walk");
+    for n in [10usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let p = predict_stage3(&machine, black_box(n), 0.99, 0.75).unwrap();
+                black_box(p.total_seconds)
+            })
+        });
+    }
+    group.finish();
+
+    eprintln!("\nfig9c predicted stage-3 seconds:");
+    for n in fig9c_sizes().into_iter().step_by(4) {
+        let p = predict_stage3(&machine, n, 0.99, 0.75).unwrap();
+        eprintln!("  n={n:>3}  model={:.4e} s  results={}", p.total_seconds, p.results);
+    }
+}
+
+fn bench_measured_sort(c: &mut Criterion) {
+    // The measured analogue: rank an ensemble of readout results of growing
+    // logical size (4 reads, as Eq. 6 prescribes for pa=0.99, ps=0.75).
+    let mut group = c.benchmark_group("fig9c/measured_unembed_and_rank");
+    for n in [10usize, 50, 100] {
+        let logical = Ising::new(n);
+        let embedding = Embedding::from_chains((0..n).map(|v| vec![v]).collect());
+        let samples: Vec<Vec<i8>> = (0..4)
+            .map(|r| (0..n).map(|i| if (i + r) % 2 == 0 { 1 } else { -1 }).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let decoded: Vec<Vec<i8>> = samples
+                    .iter()
+                    .map(|s| minor_embed::unembed_sample(&embedding, s).spins)
+                    .collect();
+                let (ranked, ops) = rank_solutions(&logical, &decoded);
+                black_box((ranked.len(), ops))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig9c, bench_model_walk, bench_measured_sort);
+criterion_main!(fig9c);

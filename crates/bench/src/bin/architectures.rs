@@ -1,0 +1,44 @@
+//! Regenerate Fig. 1: the three architectural models for integrating a QPU
+//! into a host HPC system, with the simple capacity/contention argument that
+//! motivates the paper's focus on the asymmetric design.
+//!
+//! ```text
+//! cargo run --release -p sx-bench --bin architectures
+//! ```
+
+use split_exec::prelude::*;
+
+fn main() {
+    println!("# Fig. 1: QPU integration architectures");
+    let total_nodes = 64;
+    println!(
+        "{:<32} {:>14} {:>20}",
+        "architecture", "nodes per QPU", "QPU contention factor"
+    );
+    for arch in Architecture::all() {
+        let nodes_per_qpu = arch.nodes_per_qpu(total_nodes);
+        println!(
+            "{:<32} {:>14} {:>20}",
+            arch.label(),
+            nodes_per_qpu,
+            nodes_per_qpu
+        );
+    }
+
+    println!(
+        "\nThe paper analyzes (a), the asymmetric multi-processor: current D-Wave\n\
+         infrastructure (dilution refrigerator, shielding, client-server access over a LAN)\n\
+         prevents tighter integration, so a single loosely coupled QPU serves the host system."
+    );
+
+    // Show the default machine built for that architecture.
+    let machine = SplitMachine::paper_default();
+    println!(
+        "\ndefault machine: {} / {:?} QPU with {} qubits on a {}x{} Chimera lattice",
+        machine.architecture.label(),
+        machine.qpu,
+        machine.usable_qubits(),
+        machine.lattice_dims().0,
+        machine.lattice_dims().1
+    );
+}

@@ -1,0 +1,74 @@
+//! Regenerate Fig. 3: the Chimera hardware connectivity graph.
+//!
+//! The paper's figure shows the 512-qubit (8×8 cell) Vesuvius lattice and
+//! notes the 1152-qubit (12×12) successor.  This binary prints the structural
+//! statistics of both lattices — qubit and coupler counts, degree
+//! distribution, diameter — and an adjacency dump of a single unit cell so
+//! the bipartite K4,4 structure is visible.
+//!
+//! ```text
+//! cargo run --release -p sx-bench --bin fig3_chimera
+//! ```
+
+use chimera_graph::{metrics, Chimera};
+
+fn describe(name: &str, chimera: &Chimera) {
+    let g = chimera.graph();
+    let stats = metrics::stats(g);
+    println!(
+        "{name}: C({}, {}, {}) -> {} qubits, {} couplers",
+        chimera.rows(),
+        chimera.cols(),
+        chimera.shore_size(),
+        chimera.qubit_count(),
+        chimera.coupler_count()
+    );
+    println!(
+        "  degree: min {} / avg {:.2} / max {} (interior qubits have L+2 = {} neighbors)",
+        stats.min_degree,
+        stats.average_degree,
+        stats.max_degree,
+        chimera.shore_size() + 2
+    );
+    println!(
+        "  connected: {}, diameter {} hops, density {:.4}",
+        stats.components == 1,
+        metrics::diameter(g),
+        stats.density
+    );
+}
+
+fn main() {
+    println!("# Fig. 3: D-Wave Chimera hardware connectivity");
+    let vesuvius = Chimera::dw2_vesuvius();
+    let dw2x = Chimera::dw2x();
+    describe("D-Wave Two (Vesuvius)", &vesuvius);
+    describe("D-Wave 2X", &dw2x);
+
+    println!("\nunit cell (0,0) of the Vesuvius lattice — complete bipartite K4,4:");
+    let cell = vesuvius.cell(0, 0);
+    for &q in &cell {
+        let neighbors: Vec<usize> = vesuvius
+            .graph()
+            .neighbors(q)
+            .filter(|n| cell.contains(n))
+            .collect();
+        let coord = vesuvius.coord(q);
+        println!(
+            "  qubit {q:>3} ({:?} k={}) <-> {:?}",
+            coord.side, coord.k, neighbors
+        );
+    }
+
+    println!("\ninter-cell couplers from cell (0,0): vertical to (1,0), horizontal to (0,1)");
+    for &q in &cell {
+        let external: Vec<usize> = vesuvius
+            .graph()
+            .neighbors(q)
+            .filter(|n| !cell.contains(n))
+            .collect();
+        if !external.is_empty() {
+            println!("  qubit {q:>3} -> {external:?}");
+        }
+    }
+}

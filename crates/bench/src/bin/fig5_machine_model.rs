@@ -1,0 +1,46 @@
+//! Regenerate Fig. 5: the ASPEN machine model for the CPU+GPU+QPU node.
+//!
+//! Parses the paper's machine-model listing, resolves it against the built-in
+//! hardware component library (standing in for the `include` tree), and
+//! prints the resolved resource rates of the `SimpleNode` machine.
+//!
+//! ```text
+//! cargo run --release -p sx-bench --bin fig5_machine_model
+//! ```
+
+use aspen_model::machine::MachineModel;
+use aspen_model::prelude::*;
+
+fn main() {
+    println!("# Fig. 5: ASPEN machine model listing");
+    println!("{}", aspen_model::listings::MACHINE_LISTING.trim());
+
+    let doc = parse_document(aspen_model::listings::MACHINE_LISTING)
+        .expect("the published listing parses");
+    let machine = MachineModel::from_document(&doc, "SimpleNode", &BuiltinLibrary)
+        .expect("the listing resolves against the built-in component library");
+
+    println!("\n# resolved machine `{}`", machine.name);
+    println!(
+        "{:<16} {:<22} {:>18}",
+        "resource", "provider", "units per second"
+    );
+    for rate in machine.rates() {
+        println!(
+            "{:<16} {:<22} {:>18.4e}",
+            rate.name,
+            rate.provider,
+            rate.nominal_units_per_second()
+        );
+    }
+
+    println!("\n# machine properties");
+    for (name, value) in &machine.properties {
+        println!("{name:<24} {value:.4e}");
+    }
+
+    // The headline number of the figure: one quantum operation (anneal)
+    // costs 20 microseconds.
+    let quop = machine.seconds_for("QuOps", 1.0, &[]).unwrap();
+    println!("\none QuOp (anneal) = {} microseconds", quop * 1e6);
+}

@@ -1,0 +1,31 @@
+//! Print the paper's Fig. 6 (Stage-1 ASPEN model) and evaluate it at a few
+//! representative problem sizes.
+//!
+//! ```text
+//! cargo run --release -p sx-bench --bin fig6_stage1_model
+//! ```
+
+use split_exec::prelude::*;
+
+fn main() {
+    println!("# Fig. 6: Stage-1 application model listing");
+    println!("{}", aspen_model::listings::STAGE1_LISTING.trim());
+
+    let machine = SplitMachine::paper_default();
+    println!("\n# evaluation on the SimpleNode machine");
+    println!(
+        "{:>6} {:>16} {:>16} {:>16} {:>16}",
+        "LPS", "init data [s]", "embed [s]", "proc init [s]", "total [s]"
+    );
+    for lps in [1usize, 10, 30, 50, 100] {
+        let p = predict_stage1(&machine, lps).expect("prediction");
+        println!(
+            "{:>6} {:>16.6e} {:>16.6e} {:>16.6e} {:>16.6e}",
+            lps,
+            p.initialize_data_seconds,
+            p.embed_seconds,
+            p.processor_initialize_seconds,
+            p.total_seconds
+        );
+    }
+}

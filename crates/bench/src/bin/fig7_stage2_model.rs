@@ -1,0 +1,21 @@
+//! Print the paper's Fig. 7 (Stage-2 ASPEN model) and evaluate it over the
+//! accuracy input.
+//!
+//! ```text
+//! cargo run --release -p sx-bench --bin fig7_stage2_model
+//! ```
+
+use split_exec::prelude::*;
+
+fn main() {
+    println!("# Fig. 7: Stage-2 application model listing");
+    println!("{}", aspen_model::listings::STAGE2_LISTING.trim());
+
+    let machine = SplitMachine::paper_default();
+    println!("\n# evaluation on the SimpleNode machine (p_s = 0.7)");
+    println!("{:>12} {:>8} {:>16}", "accuracy", "reads", "total [s]");
+    for accuracy in [0.5, 0.9, 0.99, 0.999, 0.9999, 0.999999] {
+        let p = predict_stage2(&machine, accuracy, 0.7).expect("prediction");
+        println!("{:>12.6} {:>8} {:>16.6e}", accuracy, p.reads, p.total_seconds);
+    }
+}

@@ -1,0 +1,21 @@
+//! Print the paper's Fig. 8 (Stage-3 ASPEN model) and evaluate it over the
+//! input size.
+//!
+//! ```text
+//! cargo run --release -p sx-bench --bin fig8_stage3_model
+//! ```
+
+use split_exec::prelude::*;
+
+fn main() {
+    println!("# Fig. 8: Stage-3 application model listing");
+    println!("{}", aspen_model::listings::STAGE3_LISTING.trim());
+
+    let machine = SplitMachine::paper_default();
+    println!("\n# evaluation on the SimpleNode machine (p_s = 0.75, p_a = 0.99)");
+    println!("{:>6} {:>8} {:>16}", "LPS", "results", "total [s]");
+    for lps in [1usize, 10, 25, 50, 75, 100] {
+        let p = predict_stage3(&machine, lps, 0.99, 0.75).expect("prediction");
+        println!("{:>6} {:>8} {:>16.6e}", lps, p.results, p.total_seconds);
+    }
+}

@@ -1,0 +1,255 @@
+//! Workload graph generators.
+//!
+//! The paper's evaluation sweeps complete input graphs `K_n` (the worst case
+//! for embedding), but real QUBO workloads arrive as sparser structures, so
+//! the benchmark harness also exercises Erdős–Rényi, regular-ish, grid,
+//! cycle and scale-free-like inputs.  All generators are deterministic in an
+//! explicit seed.
+
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Path graph `P_n` (n vertices, n-1 edges).
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// Cycle graph `C_n`.
+pub fn cycle(n: usize) -> Graph {
+    let mut g = path(n);
+    if n > 2 {
+        g.add_edge(n - 1, 0);
+    }
+    g
+}
+
+/// Star graph with one hub and `n - 1` leaves.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(0, v);
+    }
+    g
+}
+
+/// Two-dimensional grid graph of `rows × cols` vertices.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(v, v + 1);
+            }
+            if r + 1 < rows {
+                g.add_edge(v, v + cols);
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi random graph `G(n, p)`: each pair is an edge independently
+/// with probability `p` (clamped to `[0, 1]`).
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let p = p.clamp(0.0, 1.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Random graph with exactly `m` edges chosen uniformly without replacement
+/// (`G(n, m)` model).  `m` is clamped to the number of possible edges.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut all_edges: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .collect();
+    all_edges.shuffle(&mut rng);
+    all_edges.truncate(m.min(n * n.saturating_sub(1) / 2));
+    Graph::from_edges(n, &all_edges)
+}
+
+/// Approximately `d`-regular random graph built by repeated perfect-matching
+/// style passes; degrees may deviate by one where parity forces it.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    if n < 2 || d == 0 {
+        return g;
+    }
+    let d = d.min(n - 1);
+    // Configuration-model style: repeatedly pair up vertices that still need
+    // degree, skipping duplicates/self-loops; a small number of retries keeps
+    // the degree sequence close to regular without a full Steger-Wormald
+    // implementation.
+    for _round in 0..(4 * d) {
+        let mut deficient: Vec<usize> = (0..n).filter(|&v| g.degree(v) < d).collect();
+        if deficient.len() < 2 {
+            break;
+        }
+        deficient.shuffle(&mut rng);
+        for pair in deficient.chunks(2) {
+            if let [u, v] = *pair {
+                if u != v && !g.has_edge(u, v) && g.degree(u) < d && g.degree(v) < d {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// A preferential-attachment (Barabási–Albert style) graph: each new vertex
+/// attaches to `m` existing vertices chosen proportionally to degree.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = m.max(1);
+    let seed_size = (m + 1).min(n);
+    let mut g = complete(seed_size);
+    if n <= seed_size {
+        return g;
+    }
+    // Repeated-endpoint list: vertices appear once per unit of degree.
+    let mut endpoints: Vec<usize> = g
+        .vertices()
+        .flat_map(|v| std::iter::repeat(v).take(g.degree(v)))
+        .collect();
+    for _ in seed_size..n {
+        let v = g.add_vertex();
+        let mut targets = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while targets.len() < m.min(v) && guard < 50 * m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v {
+                targets.insert(t);
+            }
+            guard += 1;
+        }
+        for &t in &targets {
+            g.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(10);
+        assert_eq!(g.vertex_count(), 10);
+        assert_eq!(g.edge_count(), 45);
+        assert_eq!(g.max_degree(), 9);
+    }
+
+    #[test]
+    fn complete_graph_trivial_sizes() {
+        assert_eq!(complete(0).vertex_count(), 0);
+        assert_eq!(complete(1).edge_count(), 0);
+        assert_eq!(complete(2).edge_count(), 1);
+    }
+
+    #[test]
+    fn path_cycle_star_counts() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(star(5).edge_count(), 4);
+        assert_eq!(star(5).degree(0), 4);
+        // Degenerate cycles do not double-count the closing edge.
+        assert_eq!(cycle(2).edge_count(), 1);
+        assert_eq!(cycle(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.vertex_count(), 12);
+        // Horizontal: 3 rows × 3, vertical: 2 × 4.
+        assert_eq!(g.edge_count(), 9 + 8);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(20, 0.0, 1).edge_count(), 0);
+        assert_eq!(gnp(20, 1.0, 1).edge_count(), 190);
+    }
+
+    #[test]
+    fn gnp_is_deterministic_and_roughly_dense() {
+        let a = gnp(50, 0.3, 42);
+        let b = gnp(50, 0.3, 42);
+        assert_eq!(a, b);
+        let expected = 0.3 * (50.0 * 49.0 / 2.0);
+        let got = a.edge_count() as f64;
+        assert!((got - expected).abs() < 0.3 * expected, "edge count {got} vs {expected}");
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(30, 100, 7);
+        assert_eq!(g.edge_count(), 100);
+        let g = gnm(5, 1000, 7);
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    fn random_regular_degrees_are_bounded() {
+        let g = random_regular(40, 4, 9);
+        assert!(g.max_degree() <= 4);
+        let avg = g.average_degree();
+        assert!(avg > 3.0, "average degree {avg} too far from regular target");
+    }
+
+    #[test]
+    fn random_regular_degenerate_inputs() {
+        assert_eq!(random_regular(1, 3, 0).edge_count(), 0);
+        assert_eq!(random_regular(10, 0, 0).edge_count(), 0);
+    }
+
+    #[test]
+    fn preferential_attachment_grows_and_stays_connected_enough() {
+        let g = preferential_attachment(60, 2, 5);
+        assert_eq!(g.vertex_count(), 60);
+        assert!(g.edge_count() >= 60);
+        // Hubs should emerge: max degree well above the attachment count.
+        assert!(g.max_degree() >= 4);
+    }
+
+    #[test]
+    fn preferential_attachment_small_n() {
+        let g = preferential_attachment(3, 2, 5);
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! # chimera-graph — hardware-graph substrate
+//!
+//! Graph data structures and generators used throughout the split-execution
+//! reproduction:
+//!
+//! * [`graph::Graph`] — a deterministic adjacency-set graph with the
+//!   operations needed by problem generation and minor embedding.
+//! * [`csr::Csr`] — a compressed sparse row view for traversal-heavy inner
+//!   loops (embedding search, annealing sweeps).
+//! * [`chimera::Chimera`] — the D-Wave Chimera topology `C(M, N, L)`,
+//!   including the 512-qubit Vesuvius (`C(8,8,4)`, the paper's Fig. 3) and
+//!   the 1152-qubit D-Wave 2X (`C(12,12,4)`).
+//! * [`faults::FaultModel`] — fabrication faults (dead qubits/couplers) that
+//!   break the Chimera symmetry and harden the embedding problem.
+//! * [`generators`] — workload graphs: complete, Erdős–Rényi, grid, cycle,
+//!   regular-ish and preferential-attachment inputs.
+//! * [`metrics`] — BFS distances, connectivity, diameter and summary stats.
+//!
+//! ```
+//! use chimera_graph::prelude::*;
+//!
+//! let hw = Chimera::dw2x();
+//! assert_eq!(hw.qubit_count(), 1152);
+//! let k8 = generators::complete(8);
+//! assert!(metrics::is_connected(&k8));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chimera;
+pub mod csr;
+pub mod faults;
+pub mod generators;
+pub mod graph;
+pub mod metrics;
+
+pub use chimera::{Chimera, ChimeraCoord, Side};
+pub use csr::Csr;
+pub use faults::{FaultModel, FaultedHardware};
+pub use graph::Graph;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::chimera::{Chimera, ChimeraCoord, Side};
+    pub use crate::csr::Csr;
+    pub use crate::faults::{FaultModel, FaultedHardware};
+    pub use crate::generators;
+    pub use crate::graph::Graph;
+    pub use crate::metrics;
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::{generators, metrics};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The handshake lemma: degree sum is twice the edge count.
+        #[test]
+        fn edge_count_matches_adjacency(n in 1usize..40, p in 0.0f64..1.0, seed in 0u64..1000) {
+            let g = generators::gnp(n, p, seed);
+            let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+            prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        }
+
+        /// Component count is bounded below by `n - edges` and above by `n`.
+        #[test]
+        fn component_lower_bound(n in 1usize..40, p in 0.0f64..0.2, seed in 0u64..1000) {
+            let g = generators::gnp(n, p, seed);
+            let (_, comps) = metrics::connected_components(&g);
+            prop_assert!(comps >= n.saturating_sub(g.edge_count()));
+            prop_assert!(comps <= n);
+        }
+
+        /// Complete graphs have diameter 1 and the closed-form edge count.
+        #[test]
+        fn complete_graph_invariants(n in 2usize..30) {
+            let g = generators::complete(n);
+            prop_assert_eq!(g.edge_count(), n * (n - 1) / 2);
+            prop_assert_eq!(metrics::diameter(&g), 1);
+        }
+
+        /// Chimera lattices always match the closed-form qubit/coupler counts
+        /// and respect the degree bound L + 2.
+        #[test]
+        fn chimera_counts(m in 1usize..6, n in 1usize..6, l in 1usize..6) {
+            let c = crate::chimera::Chimera::new(m, n, l);
+            prop_assert_eq!(c.qubit_count(), crate::chimera::Chimera::expected_qubits(m, n, l));
+            prop_assert_eq!(c.coupler_count(), crate::chimera::Chimera::expected_couplers(m, n, l));
+            prop_assert!(c.graph().max_degree() <= l + 2);
+        }
+
+        /// Fault application never increases edges and is idempotent.
+        #[test]
+        fn fault_application_monotone(seed in 0u64..500, rate in 0.0f64..0.5) {
+            let c = crate::chimera::Chimera::new(3, 3, 4);
+            let f = crate::faults::FaultModel::random(c.graph(), rate, rate, seed);
+            let once = f.apply(c.graph());
+            let twice = f.apply(&once);
+            prop_assert!(once.edge_count() <= c.graph().edge_count());
+            prop_assert_eq!(&once, &twice);
+        }
+
+        /// Induced subgraphs never contain edges absent from the parent.
+        #[test]
+        fn induced_subgraph_is_subgraph(n in 2usize..30, p in 0.0f64..1.0, seed in 0u64..200) {
+            let g = generators::gnp(n, p, seed);
+            let keep: Vec<usize> = (0..n).step_by(2).collect();
+            let (sub, original) = g.induced_subgraph(&keep);
+            for (u, v) in sub.edges() {
+                prop_assert!(g.has_edge(original[u], original[v]));
+            }
+        }
+
+        /// CSR conversion preserves degrees exactly.
+        #[test]
+        fn csr_preserves_degrees(n in 1usize..40, p in 0.0f64..1.0, seed in 0u64..200) {
+            let g = generators::gnp(n, p, seed);
+            let csr = crate::csr::Csr::from_graph(&g);
+            for v in g.vertices() {
+                prop_assert_eq!(csr.degree(v), g.degree(v));
+            }
+        }
+    }
+}

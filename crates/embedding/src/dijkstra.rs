@@ -1,0 +1,216 @@
+//! Weighted multi-source Dijkstra search used by the CMR embedding heuristic.
+//!
+//! The Cai–Macready–Roy heuristic grows vertex models by repeatedly finding
+//! cheapest paths from candidate root qubits to the existing chains of
+//! already-embedded neighbors.  Costs live on *vertices* (a qubit already
+//! used by other chains is exponentially more expensive to reuse), so the
+//! search accumulates the weight of every vertex on the path, excluding the
+//! source set.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a multi-source shortest-path computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPaths {
+    /// Accumulated cost to reach each vertex (`f64::INFINITY` if unreachable).
+    pub cost: Vec<f64>,
+    /// Predecessor vertex on a cheapest path (`usize::MAX` for sources and
+    /// unreachable vertices).
+    pub predecessor: Vec<usize>,
+    /// Number of edge relaxations performed (for resource accounting).
+    pub relaxations: u64,
+}
+
+impl ShortestPaths {
+    /// Reconstruct the path from a source to `target`, inclusive of both the
+    /// first reached source vertex and the target.  Returns `None` when the
+    /// target is unreachable.
+    pub fn path_to(&self, target: usize) -> Option<Vec<usize>> {
+        if !self.cost[target].is_finite() {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut current = target;
+        while self.predecessor[current] != usize::MAX {
+            current = self.predecessor[current];
+            path.push(current);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    vertex: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the min cost.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Multi-source Dijkstra over a graph given as an adjacency closure.
+///
+/// * `neighbors(v)` must yield the neighbors of `v`.
+/// * `vertex_weight(v)` is the cost of *entering* vertex `v`; source vertices
+///   cost nothing.
+/// * Vertices with non-finite weight are treated as forbidden.
+pub fn multi_source_dijkstra<N, I, W>(
+    num_vertices: usize,
+    sources: &[usize],
+    mut neighbors: N,
+    mut vertex_weight: W,
+) -> ShortestPaths
+where
+    N: FnMut(usize) -> I,
+    I: IntoIterator<Item = usize>,
+    W: FnMut(usize) -> f64,
+{
+    let mut cost = vec![f64::INFINITY; num_vertices];
+    let mut predecessor = vec![usize::MAX; num_vertices];
+    let mut heap = BinaryHeap::new();
+    let mut relaxations: u64 = 0;
+    for &s in sources {
+        if s < num_vertices {
+            cost[s] = 0.0;
+            heap.push(HeapEntry { cost: 0.0, vertex: s });
+        }
+    }
+    while let Some(HeapEntry { cost: c, vertex: v }) = heap.pop() {
+        if c > cost[v] {
+            continue;
+        }
+        for u in neighbors(v) {
+            relaxations += 1;
+            let w = vertex_weight(u);
+            if !w.is_finite() {
+                continue;
+            }
+            let candidate = c + w;
+            if candidate < cost[u] {
+                cost[u] = candidate;
+                predecessor[u] = v;
+                heap.push(HeapEntry {
+                    cost: candidate,
+                    vertex: u,
+                });
+            }
+        }
+    }
+    ShortestPaths {
+        cost,
+        predecessor,
+        relaxations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_graph::generators;
+    use chimera_graph::Graph;
+
+    fn run(graph: &Graph, sources: &[usize]) -> ShortestPaths {
+        multi_source_dijkstra(
+            graph.vertex_count(),
+            sources,
+            |v| graph.neighbors(v).collect::<Vec<_>>(),
+            |_| 1.0,
+        )
+    }
+
+    #[test]
+    fn single_source_unit_weights_match_bfs() {
+        let g = generators::path(6);
+        let sp = run(&g, &[0]);
+        for (v, &c) in sp.cost.iter().enumerate() {
+            assert_eq!(c, v as f64);
+        }
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = generators::path(7);
+        let sp = run(&g, &[0, 6]);
+        assert_eq!(sp.cost[3], 3.0);
+        assert_eq!(sp.cost[5], 1.0);
+        assert_eq!(sp.cost[6], 0.0);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let g = generators::path(5);
+        let sp = run(&g, &[0]);
+        let path = sp.path_to(4).unwrap();
+        assert_eq!(path, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sp.path_to(0).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        let mut g = generators::path(3);
+        g.add_vertex();
+        let sp = run(&g, &[0]);
+        assert!(sp.path_to(3).is_none());
+        assert!(!sp.cost[3].is_finite());
+    }
+
+    #[test]
+    fn vertex_weights_steer_the_path() {
+        // Square 0-1-2-3-0; make vertex 1 very expensive so the path 0 -> 2
+        // goes through 3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let sp = multi_source_dijkstra(
+            4,
+            &[0],
+            |v| g.neighbors(v).collect::<Vec<_>>(),
+            |v| if v == 1 { 100.0 } else { 1.0 },
+        );
+        assert_eq!(sp.path_to(2).unwrap(), vec![0, 3, 2]);
+        assert_eq!(sp.cost[2], 2.0);
+    }
+
+    #[test]
+    fn forbidden_vertices_block_paths() {
+        let g = generators::path(4);
+        let sp = multi_source_dijkstra(
+            4,
+            &[0],
+            |v| g.neighbors(v).collect::<Vec<_>>(),
+            |v| if v == 2 { f64::INFINITY } else { 1.0 },
+        );
+        assert!(sp.path_to(3).is_none());
+        assert!(sp.path_to(1).is_some());
+    }
+
+    #[test]
+    fn relaxation_counter_grows_with_graph_size() {
+        let small = run(&generators::complete(5), &[0]).relaxations;
+        let large = run(&generators::complete(20), &[0]).relaxations;
+        assert!(large > small);
+        assert!(small > 0);
+    }
+
+    #[test]
+    fn out_of_range_sources_are_ignored() {
+        let g = generators::path(3);
+        let sp = run(&g, &[99]);
+        assert!(sp.cost.iter().all(|c| !c.is_finite()));
+    }
+}

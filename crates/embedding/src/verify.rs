@@ -1,0 +1,185 @@
+//! Embedding validation.
+//!
+//! A mapping `φ` is a minor embedding of `G` into `H` when (Sec. 2.2 of the
+//! paper): every logical vertex maps to a *connected* subtree of `H`, the
+//! vertex models are pairwise disjoint, and every logical edge is realized by
+//! at least one hardware coupler between the corresponding vertex models.
+//! The verifier checks all three conditions and is used by every embedding
+//! test in the workspace, so a bug in either embedder cannot silently produce
+//! invalid programs.
+
+use crate::types::{EmbedError, Embedding};
+use chimera_graph::{metrics, Graph};
+
+/// Verify that `embedding` is a valid minor embedding of `input` into
+/// `hardware`.  Returns `Ok(())` or a descriptive [`EmbedError::Invalid`].
+pub fn verify_embedding(
+    input: &Graph,
+    hardware: &Graph,
+    embedding: &Embedding,
+) -> Result<(), EmbedError> {
+    if embedding.num_logical() != input.vertex_count() {
+        return Err(EmbedError::Invalid(format!(
+            "embedding covers {} logical vertices but the input has {}",
+            embedding.num_logical(),
+            input.vertex_count()
+        )));
+    }
+
+    // 1. Non-empty, in-range, connected vertex models.
+    for (v, chain) in embedding.iter() {
+        if chain.is_empty() {
+            return Err(EmbedError::Invalid(format!(
+                "logical vertex {v} has an empty chain"
+            )));
+        }
+        if let Some(&q) = chain.iter().find(|&&q| q >= hardware.vertex_count()) {
+            return Err(EmbedError::Invalid(format!(
+                "chain of logical vertex {v} references qubit {q} outside the hardware"
+            )));
+        }
+        if !metrics::is_connected_subset(hardware, chain) {
+            return Err(EmbedError::Invalid(format!(
+                "chain of logical vertex {v} is not connected in the hardware graph"
+            )));
+        }
+    }
+
+    // 2. Disjoint vertex models.
+    let mut owner = vec![usize::MAX; hardware.vertex_count()];
+    for (v, chain) in embedding.iter() {
+        for &q in chain {
+            if owner[q] != usize::MAX {
+                return Err(EmbedError::Invalid(format!(
+                    "qubit {q} is claimed by logical vertices {} and {v}",
+                    owner[q]
+                )));
+            }
+            owner[q] = v;
+        }
+    }
+
+    // 3. Every logical edge is realized by at least one hardware coupler.
+    for (u, v) in input.edges() {
+        let realized = embedding.chain(u).iter().any(|&qu| {
+            hardware
+                .neighbors(qu)
+                .any(|qn| embedding.chain(v).binary_search(&qn).is_ok())
+        });
+        if !realized {
+            return Err(EmbedError::Invalid(format!(
+                "logical edge ({u}, {v}) has no hardware coupler between its chains"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Count the hardware couplers available to realize each logical edge; used
+/// by the parameter-setting stage to decide how to distribute `J` values.
+pub fn couplers_per_edge(
+    input: &Graph,
+    hardware: &Graph,
+    embedding: &Embedding,
+) -> Vec<((usize, usize), usize)> {
+    input
+        .edges()
+        .map(|(u, v)| {
+            let count = embedding
+                .chain(u)
+                .iter()
+                .map(|&qu| {
+                    hardware
+                        .neighbors(qu)
+                        .filter(|qn| embedding.chain(v).binary_search(qn).is_ok())
+                        .count()
+                })
+                .sum();
+            ((u, v), count)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chimera_graph::{generators, Chimera};
+
+    fn identity_embedding(n: usize) -> Embedding {
+        Embedding::from_chains((0..n).map(|v| vec![v]).collect())
+    }
+
+    #[test]
+    fn identity_embedding_of_subgraph_is_valid() {
+        // A path embeds into itself with singleton chains.
+        let g = generators::path(5);
+        verify_embedding(&g, &g, &identity_embedding(5)).unwrap();
+    }
+
+    #[test]
+    fn missing_edge_is_rejected() {
+        let input = generators::complete(3);
+        let hardware = generators::path(3);
+        let err = verify_embedding(&input, &hardware, &identity_embedding(3)).unwrap_err();
+        assert!(err.to_string().contains("no hardware coupler"));
+    }
+
+    #[test]
+    fn empty_chain_is_rejected() {
+        let input = generators::path(2);
+        let hardware = generators::path(2);
+        let e = Embedding::from_chains(vec![vec![0], vec![]]);
+        let err = verify_embedding(&input, &hardware, &e).unwrap_err();
+        assert!(err.to_string().contains("empty chain"));
+    }
+
+    #[test]
+    fn disconnected_chain_is_rejected() {
+        let input = generators::path(2);
+        let hardware = generators::path(4);
+        // Chain {0, 3} is not connected in the path 0-1-2-3 without 1, 2.
+        let e = Embedding::from_chains(vec![vec![0, 3], vec![1]]);
+        let err = verify_embedding(&input, &hardware, &e).unwrap_err();
+        assert!(err.to_string().contains("not connected"));
+    }
+
+    #[test]
+    fn overlapping_chains_are_rejected() {
+        let input = generators::path(2);
+        let hardware = generators::path(3);
+        let e = Embedding::from_chains(vec![vec![0, 1], vec![1, 2]]);
+        let err = verify_embedding(&input, &hardware, &e).unwrap_err();
+        assert!(err.to_string().contains("claimed by"));
+    }
+
+    #[test]
+    fn out_of_range_qubit_is_rejected() {
+        let input = generators::path(2);
+        let hardware = generators::path(2);
+        let e = Embedding::from_chains(vec![vec![0], vec![7]]);
+        let err = verify_embedding(&input, &hardware, &e).unwrap_err();
+        assert!(err.to_string().contains("outside the hardware"));
+    }
+
+    #[test]
+    fn wrong_logical_count_is_rejected() {
+        let input = generators::path(3);
+        let hardware = generators::path(3);
+        let err = verify_embedding(&input, &hardware, &identity_embedding(2)).unwrap_err();
+        assert!(err.to_string().contains("logical vertices"));
+    }
+
+    #[test]
+    fn couplers_per_edge_counts_crossings() {
+        // K2 embedded into a single Chimera cell with one vertical and one
+        // horizontal qubit per chain: each chain is connected through the
+        // intra-cell coupler, and the two chains cross on two couplers.
+        let chimera = Chimera::new(1, 1, 4);
+        let input = generators::complete(2);
+        let e = Embedding::from_chains(vec![vec![0, 4], vec![1, 5]]);
+        verify_embedding(&input, chimera.graph(), &e).unwrap();
+        let counts = couplers_per_edge(&input, chimera.graph(), &e);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[0].1, 2);
+    }
+}

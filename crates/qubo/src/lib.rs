@@ -1,0 +1,150 @@
+//! # qubo-ising — discrete-optimization problem layer
+//!
+//! The problem representations consumed by the split-execution system:
+//!
+//! * [`qubo::Qubo`] — quadratic unconstrained binary optimization instances
+//!   (`argmin_b bᵀQb`, the paper's Eq. 3),
+//! * [`ising::Ising`] — Ising Hamiltonians with biases and couplings (Eq. 2),
+//! * [`convert`] — the QUBO ⇄ logical-Ising mapping (the paper's Eqs. 4–5),
+//!   energy-preserving with an explicit constant offset,
+//! * [`precision`] — control-electronics quantization of programmed
+//!   parameters (Sec. 2.2),
+//! * [`energy`] — exact brute-force ground states for small instances and
+//!   readout ranking (stage-3 post-processing),
+//! * [`problems`] — reductions from MAX-CUT, number partitioning, minimum
+//!   vertex cover and graph coloring into QUBO form.
+//!
+//! ```
+//! use qubo_ising::prelude::*;
+//! use chimera_graph::generators;
+//!
+//! let maxcut = MaxCut::unweighted(generators::cycle(6));
+//! let qubo = maxcut.to_qubo();
+//! let conversion = qubo_to_ising(&qubo);
+//! assert_eq!(conversion.ising.num_spins(), 6);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod convert;
+pub mod energy;
+pub mod ising;
+pub mod precision;
+pub mod problems;
+pub mod qubo;
+
+pub use convert::{ising_to_qubo, qubo_to_ising, IsingConversion};
+pub use energy::{rank_solutions, solve_ising_exact, solve_qubo_exact, ExactSolution};
+pub use ising::{Ising, Spin};
+pub use precision::{quantize_ising, PrecisionSpec, QuantizedIsing};
+pub use qubo::Qubo;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::convert::{bits_to_spins, ising_to_qubo, qubo_to_ising, spins_to_bits};
+    pub use crate::energy::{rank_solutions, solve_ising_exact, solve_qubo_exact};
+    pub use crate::ising::{Ising, Spin};
+    pub use crate::precision::{quantize_ising, PrecisionSpec};
+    pub use crate::problems::coloring::GraphColoring;
+    pub use crate::problems::maxcut::MaxCut;
+    pub use crate::problems::partition::NumberPartition;
+    pub use crate::problems::vertex_cover::VertexCover;
+    pub use crate::qubo::Qubo;
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::convert::{bits_to_spins, qubo_to_ising};
+    use crate::precision::{quantize_ising, PrecisionSpec};
+    use crate::qubo::Qubo;
+    use proptest::prelude::*;
+
+    fn random_bits(n: usize, mask: u64) -> Vec<bool> {
+        (0..n).map(|i| (mask >> (i % 64)) & 1 == 1).collect()
+    }
+
+    proptest! {
+        /// QUBO → Ising conversion preserves energies up to the offset for
+        /// arbitrary random instances and assignments.
+        #[test]
+        fn conversion_energy_identity(
+            n in 1usize..12,
+            density in 0.0f64..1.0,
+            seed in 0u64..500,
+            mask in 0u64..u64::MAX,
+        ) {
+            let qubo = Qubo::random(n, density, seed);
+            let conv = qubo_to_ising(&qubo);
+            let bits = random_bits(n, mask);
+            let spins = bits_to_spins(&bits);
+            let qe = qubo.energy(&bits);
+            let ie = conv.ising.energy(&spins) + conv.offset;
+            prop_assert!((qe - ie).abs() < 1e-8, "{} vs {}", qe, ie);
+        }
+
+        /// Quantization error never exceeds half a step in scaled units.
+        #[test]
+        fn quantization_error_bound(
+            n in 1usize..15,
+            density in 0.0f64..1.0,
+            seed in 0u64..200,
+            bits in 2u32..10,
+        ) {
+            let qubo = Qubo::random(n, density, seed);
+            let conv = qubo_to_ising(&qubo);
+            let spec = PrecisionSpec::with_bits(bits);
+            let q = quantize_ising(&conv.ising, spec);
+            let bound = spec.step() / 2.0 + 1e-9;
+            prop_assert!(q.max_field_error <= bound);
+            prop_assert!(q.max_coupling_error <= bound);
+        }
+
+        /// The QUBO energy of the all-false assignment is always zero and the
+        /// single-variable assignments equal the diagonal entries.
+        #[test]
+        fn qubo_energy_basis_cases(n in 1usize..16, density in 0.0f64..1.0, seed in 0u64..200) {
+            let qubo = Qubo::random(n, density, seed);
+            prop_assert_eq!(qubo.energy(&vec![false; n]), 0.0);
+            for i in 0..n {
+                let mut bits = vec![false; n];
+                bits[i] = true;
+                prop_assert!((qubo.energy(&bits) - qubo.get(i, i)).abs() < 1e-12);
+            }
+        }
+
+        /// MAX-CUT QUBO energy always equals the negated cut value.
+        #[test]
+        fn maxcut_energy_is_negated_cut(
+            n in 2usize..10,
+            p in 0.0f64..1.0,
+            seed in 0u64..200,
+            mask in 0u64..u64::MAX,
+        ) {
+            use crate::problems::maxcut::MaxCut;
+            use chimera_graph::generators;
+            let mc = MaxCut::unweighted(generators::gnp(n, p, seed));
+            let qubo = mc.to_qubo();
+            let bits = random_bits(n, mask);
+            prop_assert!((qubo.energy(&bits) + mc.cut_value(&bits)).abs() < 1e-9);
+        }
+
+        /// Number-partitioning QUBO energy plus offset equals the squared
+        /// imbalance.
+        #[test]
+        fn partition_energy_is_squared_imbalance(
+            values in proptest::collection::vec(0.0f64..20.0, 1..10),
+            mask in 0u64..u64::MAX,
+        ) {
+            use crate::problems::partition::NumberPartition;
+            let p = NumberPartition::new(values.clone());
+            let qubo = p.to_qubo();
+            let bits = random_bits(values.len(), mask);
+            let lhs = qubo.energy(&bits) + p.offset();
+            let rhs = p.imbalance(&bits).powi(2);
+            // Scale the tolerance with the magnitude of the numbers involved.
+            let tol = 1e-6 * (1.0 + rhs.abs());
+            prop_assert!((lhs - rhs).abs() < tol, "{} vs {}", lhs, rhs);
+        }
+    }
+}

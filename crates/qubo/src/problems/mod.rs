@@ -1,0 +1,20 @@
+//! NP-hard problem reductions to QUBO form.
+//!
+//! Sec. 2.1 of the paper lists the problem families that map into the
+//! D-Wave's Ising/QUBO form — MAX-CUT, MIN-COVER, MAX-SAT, classification,
+//! integer programming, set packing, etc. (following Lucas' catalogue of
+//! Ising formulations).  This module provides the reductions used by the
+//! example applications and the benchmark workload generators:
+//!
+//! * [`maxcut`] — maximum cut of a weighted graph,
+//! * [`partition`] — number partitioning,
+//! * [`vertex_cover`] — minimum vertex cover (the paper's "MIN-COVER"),
+//! * [`coloring`] — graph k-coloring.
+//!
+//! Every reduction also provides a decoder from a QUBO assignment back to the
+//! original combinatorial object and a verifier used by the tests.
+
+pub mod coloring;
+pub mod maxcut;
+pub mod partition;
+pub mod vertex_cover;

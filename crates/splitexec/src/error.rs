@@ -1,0 +1,56 @@
+//! Error type for the split-execution pipeline.
+
+use aspen_model::AspenError;
+use minor_embed::EmbedError;
+use std::fmt;
+
+/// Anything that can go wrong while predicting or executing the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The analytic model walk failed (unknown parameter, unsupported
+    /// resource, ...).
+    Model(AspenError),
+    /// The stage-1 embedding failed.
+    Embedding(EmbedError),
+    /// The input problem is unusable (empty, larger than the hardware, ...).
+    BadInput(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Model(e) => write!(f, "performance-model error: {e}"),
+            PipelineError::Embedding(e) => write!(f, "embedding error: {e}"),
+            PipelineError::BadInput(msg) => write!(f, "bad input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<AspenError> for PipelineError {
+    fn from(e: AspenError) -> Self {
+        PipelineError::Model(e)
+    }
+}
+
+impl From<EmbedError> for PipelineError {
+    fn from(e: EmbedError) -> Self {
+        PipelineError::Embedding(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PipelineError = AspenError::UnknownParameter("LPS".into()).into();
+        assert!(e.to_string().contains("performance-model"));
+        let e: PipelineError = EmbedError::NoEmbeddingFound { passes: 3 }.into();
+        assert!(e.to_string().contains("embedding"));
+        let e = PipelineError::BadInput("empty".into());
+        assert!(e.to_string().contains("bad input"));
+    }
+}

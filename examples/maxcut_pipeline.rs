@@ -1,0 +1,63 @@
+//! MAX-CUT workload study: solve a family of random graphs end-to-end and
+//! compare solution quality against exact optima while tracking where the
+//! time goes.
+//!
+//! This is the "realistic application" scenario the paper's introduction
+//! motivates: a discrete optimization problem arriving from a host
+//! application, offloaded to the QPU, with the host paying the translation
+//! costs.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p split-exec --example maxcut_pipeline
+//! ```
+
+use chimera_graph::generators;
+use qubo_ising::prelude::MaxCut;
+use qubo_ising::solve_qubo_exact;
+use split_exec::prelude::*;
+
+fn main() -> Result<(), PipelineError> {
+    let pipeline = Pipeline::new(SplitMachine::paper_default(), SplitExecConfig::with_seed(11));
+    println!(
+        "{:>4} {:>6} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "n", "edges", "cut", "optimal", "stage1 [s]", "total [s]", "stage1 %"
+    );
+
+    let mut rows = Vec::new();
+    for (n, p, seed) in [
+        (8usize, 0.5, 1u64),
+        (10, 0.4, 2),
+        (12, 0.35, 3),
+        (14, 0.3, 4),
+        (16, 0.25, 5),
+    ] {
+        let graph = generators::gnp(n, p, seed);
+        let maxcut = MaxCut::unweighted(graph);
+        let qubo = maxcut.to_qubo();
+        let exact = solve_qubo_exact(&qubo);
+        let report = pipeline.execute(&qubo)?;
+        let cut = maxcut.cut_value(&report.solution.assignment);
+        let optimal = -exact.energy;
+        println!(
+            "{:>4} {:>6} {:>10.1} {:>10.1} {:>12.6} {:>12.6} {:>9.2}%",
+            n,
+            maxcut.graph().edge_count(),
+            cut,
+            optimal,
+            report.stage1.total_seconds,
+            report.total_seconds(),
+            100.0 * report.stage1_fraction()
+        );
+        rows.push(BreakdownRow::from_execution(n, &report));
+    }
+
+    println!("\nmeasured stage breakdown:");
+    println!("{}", breakdown_table(&rows));
+    println!(
+        "Observation: even for these small instances the classical stage 1 dominates, and the\n\
+         gap widens with problem size — the paper's central conclusion about the quantum-classical\n\
+         interface being the bottleneck."
+    );
+    Ok(())
+}

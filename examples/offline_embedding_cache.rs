@@ -1,0 +1,86 @@
+//! Offline-embedding lookup table: the paper's proposed fix for the stage-1
+//! bottleneck (Sec. 3.3), demonstrated on a workload that re-solves the same
+//! graph families with fresh coefficients.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p split-exec --example offline_embedding_cache
+//! ```
+
+use chimera_graph::generators;
+use qubo_ising::prelude::MaxCut;
+use qubo_ising::Qubo;
+use split_exec::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), PipelineError> {
+    let machine = SplitMachine::paper_default();
+    let config = SplitExecConfig::with_seed(21);
+    let cache = EmbeddingCache::new();
+
+    // A workload of repeated problem structures: rings, grids-as-graphs and
+    // random graphs, each solved several times with different coefficients.
+    let structures = vec![
+        ("cycle-16", generators::cycle(16)),
+        ("grid-4x4", generators::grid(4, 4)),
+        ("gnp-12", generators::gnp(12, 0.3, 5)),
+    ];
+
+    println!(
+        "{:>10} {:>6} {:>8} {:>14} {:>10}",
+        "structure", "round", "hit?", "embed [s]", "qubits"
+    );
+    let mut inline_total = 0.0;
+    let mut cached_total = 0.0;
+    for round in 0..3 {
+        for (name, graph) in &structures {
+            // Fresh coefficients each round: the interaction graph (and thus
+            // the embedding) is unchanged, only the weights move.
+            let _qubo = Qubo::random_on_graph(graph, 100 + round);
+            let start = Instant::now();
+            let cached = cache.get_or_compute(graph, &machine, &config)?;
+            let elapsed = start.elapsed().as_secs_f64();
+            if cached.cache_hit {
+                cached_total += elapsed;
+            } else {
+                inline_total += elapsed;
+            }
+            println!(
+                "{:>10} {:>6} {:>8} {:>14.6} {:>10}",
+                name,
+                round,
+                if cached.cache_hit { "hit" } else { "miss" },
+                elapsed,
+                cached.embedding.qubits_used()
+            );
+        }
+    }
+
+    let stats = cache.stats();
+    println!(
+        "\ncache: {} entries, {} hits / {} misses (hit rate {:.0}%)",
+        cache.len(),
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate()
+    );
+    println!(
+        "inline embedding time {:.6} s vs cached lookups {:.6} s",
+        inline_total, cached_total
+    );
+
+    // End-to-end effect: re-solve one structure with and without the cache.
+    let maxcut = MaxCut::unweighted(generators::cycle(16));
+    let qubo = maxcut.to_qubo();
+    let pipeline = Pipeline::new(machine.clone(), config);
+    let report = pipeline.execute(&qubo)?;
+    let embed_share = report.stage1.embedding_seconds / report.total_seconds();
+    println!(
+        "\nwithout the cache, the inline embedding is {:.1}% of this run's end-to-end time;\n\
+         with a warm lookup table that cost drops to a hash lookup, leaving the (irreducible)\n\
+         electronics programming constant as the stage-1 floor — the paper's point that\n\
+         off-line embedding moves the bottleneck but cannot remove the interface cost entirely.",
+        100.0 * embed_share
+    );
+    Ok(())
+}

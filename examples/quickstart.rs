@@ -1,0 +1,84 @@
+//! Quickstart: solve a small MAX-CUT instance end-to-end on the
+//! split-execution system and print the Fig. 2 sequence trace plus the
+//! three-stage timing breakdown.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p split-exec --example quickstart
+//! ```
+
+use chimera_graph::generators;
+use qubo_ising::prelude::MaxCut;
+use split_exec::prelude::*;
+
+fn main() -> Result<(), PipelineError> {
+    // The paper's default machine: an asymmetric node hosting a 1152-qubit
+    // D-Wave 2X-class QPU (Chimera C(12,12,4)).
+    let machine = SplitMachine::paper_default();
+    println!(
+        "machine: {} architecture, {} qubits ({}x{} Chimera lattice)",
+        machine.architecture.label(),
+        machine.usable_qubits(),
+        machine.lattice_dims().0,
+        machine.lattice_dims().1
+    );
+
+    // Application parameters: 99% solution accuracy assuming a 70% per-read
+    // success probability (the values plotted in the paper's Fig. 9b).
+    let config = SplitExecConfig::with_seed(7)
+        .with_accuracy(0.99)
+        .with_success_probability(0.7);
+    println!(
+        "requesting accuracy {:.2} with per-read success {:.2} -> {} reads (Eq. 6)",
+        config.accuracy,
+        config.success_probability,
+        config.reads()
+    );
+
+    // A small MAX-CUT workload: a ring of 12 vertices.
+    let maxcut = MaxCut::unweighted(generators::cycle(12));
+    let qubo = maxcut.to_qubo();
+
+    let pipeline = Pipeline::new(machine, config);
+
+    // Analytic prediction of the three-stage breakdown at this problem size.
+    let predicted = pipeline.predict(qubo.num_variables())?;
+    println!("\npredicted breakdown (ASPEN model walk):");
+    println!(
+        "  stage 1 (embed + program): {:>12.6} s",
+        predicted.stage1.total_seconds
+    );
+    println!(
+        "  stage 2 (QPU sampling):    {:>12.6} s",
+        predicted.stage2.total_seconds
+    );
+    println!(
+        "  stage 3 (post-process):    {:>12.6} s",
+        predicted.stage3.total_seconds
+    );
+    println!(
+        "  stage 1 share of total:    {:>11.2} %",
+        100.0 * predicted.stage1_fraction()
+    );
+
+    // Execute the real pipeline: convert, embed, sample, post-process.
+    let report = pipeline.execute(&qubo)?;
+    println!("\nexecuted pipeline:");
+    println!("{}", SequenceTrace::from_report(&report));
+    println!(
+        "best cut value: {} of {} edges",
+        maxcut.cut_value(&report.solution.assignment),
+        maxcut.graph().edge_count()
+    );
+    println!(
+        "qubits used: {} (max chain length {})",
+        report.stage1.embedded.embedding.qubits_used(),
+        report.stage1.embedded.embedding.max_chain_length()
+    );
+    println!(
+        "end-to-end time {:.6} s, stage-1 share {:.2} %",
+        report.total_seconds(),
+        100.0 * report.stage1_fraction()
+    );
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! Cross-crate integration test: the paper's published ASPEN listings
+//! (Figs. 5–8) parse, resolve against the built-in hardware library and
+//! reproduce the hand-computable values from the text.
+
+use aspen_model::prelude::*;
+use aspen_model::{listings, machine::MachineModel};
+
+#[test]
+fn fig5_machine_listing_resolves_against_builtin_library() {
+    let doc = parse_document(listings::MACHINE_LISTING).unwrap();
+    assert_eq!(doc.machines.len(), 1);
+    let machine = MachineModel::from_document(&doc, "SimpleNode", &BuiltinLibrary).unwrap();
+    // The QuOps rate defined in the listing (20 µs per anneal).
+    let t = machine.seconds_for("QuOps", 3.0, &[]).unwrap();
+    assert!((t - 60e-6).abs() < 1e-12);
+    // The host CPU provides the flops/loads/stores rates.
+    assert_eq!(machine.rate("flops").unwrap().provider, "intel_xeon_e5_2680");
+    assert!(machine.supports("intracomm"));
+}
+
+#[test]
+fn fig6_stage1_listing_reproduces_parameter_arithmetic() {
+    let app = ApplicationModel::from_source(listings::STAGE1_LISTING).unwrap();
+    let env = app
+        .resolve_params(&ParamEnv::new().with("LPS", 100.0))
+        .unwrap();
+    // NG = 8 * 12 * 12 = 1152 qubits; EG matches the Chimera coupler count.
+    assert_eq!(env.get("NG").unwrap(), 1152.0);
+    assert_eq!(env.get("EG").unwrap(), 3360.0);
+    assert_eq!(env.get("EH").unwrap(), 4950.0);
+    // ProcessorInitialize sums the published microsecond constants.
+    assert_eq!(env.get("ProcessorInitialize").unwrap(), 319_573.0);
+    // The hardware-graph crate agrees with the model's NG/EG formulas.
+    let chimera = chimera_graph::Chimera::dw2x();
+    assert_eq!(chimera.qubit_count() as f64, env.get("NG").unwrap());
+    assert_eq!(chimera.coupler_count() as f64, env.get("EG").unwrap());
+}
+
+#[test]
+fn fig6_stage1_prediction_is_dominated_by_the_embedding_kernel() {
+    let app = ApplicationModel::from_source(listings::STAGE1_LISTING).unwrap();
+    let machine = simple_node(QpuGeneration::Dw2x);
+    let prediction = Predictor::new(&machine)
+        .predict(&app, &ParamEnv::new().with("LPS", 50.0))
+        .unwrap();
+    let embed = prediction.kernel_seconds("EmbedData").unwrap();
+    let init = prediction.kernel_seconds("InitializeProcessor").unwrap();
+    let data = prediction.kernel_seconds("InitializeData").unwrap();
+    assert!(embed > 10.0 * init, "embed {embed} vs init {init}");
+    assert!(embed > 100.0 * data, "embed {embed} vs data {data}");
+    // The dominant resource is the floating-point work of the embedding.
+    let (resource, _) = prediction.dominant_resource().unwrap();
+    assert_eq!(resource, "flops");
+}
+
+#[test]
+fn fig7_stage2_listing_reproduces_eq6_read_counts() {
+    let app = ApplicationModel::from_source(listings::STAGE2_LISTING).unwrap();
+    let machine = simple_node(QpuGeneration::Dw2x);
+    // Success defaults to 0.9999 in the listing; sweep the accuracy input.
+    // With p_s = 0.9999 the ratio of Eq. (6) is log(1-p_a)/log(1e-4): 0.25
+    // for 90%, 0.5 for 99% and 1.5 for 99.9999% — i.e. 1, 1 and 2 reads.
+    for (accuracy_percent, expected_reads) in [(90.0, 1.0), (99.0, 1.0), (99.9999, 2.0)] {
+        let prediction = Predictor::new(&machine)
+            .predict(&app, &ParamEnv::new().with("Accuracy", accuracy_percent))
+            .unwrap();
+        assert_eq!(
+            prediction.resource_totals["QuOps"].quantity, expected_reads,
+            "accuracy {accuracy_percent}%"
+        );
+    }
+}
+
+#[test]
+fn fig8_stage3_listing_costs_are_negligible() {
+    let app = ApplicationModel::from_source(listings::STAGE3_LISTING).unwrap();
+    let machine = simple_node(QpuGeneration::Dw2x);
+    for lps in [10.0, 100.0] {
+        let prediction = Predictor::new(&machine)
+            .predict(&app, &ParamEnv::new().with("LPS", lps))
+            .unwrap();
+        assert!(prediction.seconds() < 1e-3, "LPS {lps}: {}", prediction.seconds());
+    }
+}
+
+#[test]
+fn listing_predictions_match_splitexec_stage_wrappers() {
+    // The split-exec stage wrappers are just parameterized walks of the same
+    // listings; their numbers must match a direct walk exactly.
+    use split_exec::prelude::*;
+    let machine = SplitMachine::paper_default();
+    let app = ApplicationModel::from_source(listings::STAGE1_LISTING).unwrap();
+    let direct = Predictor::new(&machine.aspen)
+        .predict(
+            &app,
+            &ParamEnv::new()
+                .with("LPS", 40.0)
+                .with("M", 12.0)
+                .with("N", 12.0),
+        )
+        .unwrap();
+    let wrapped = predict_stage1(&machine, 40).unwrap();
+    assert!((direct.seconds() - wrapped.total_seconds).abs() < 1e-12);
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration test: the full split-execution pipeline over
+//! several problem families, checking solution quality against exact optima
+//! and the paper's qualitative timing conclusions.
+
+use chimera_graph::generators;
+use qubo_ising::prelude::*;
+use split_exec::prelude::*;
+
+fn pipeline(seed: u64) -> Pipeline {
+    Pipeline::new(SplitMachine::paper_default(), SplitExecConfig::with_seed(seed))
+}
+
+#[test]
+fn maxcut_on_even_cycle_reaches_the_optimum() {
+    let maxcut = MaxCut::unweighted(generators::cycle(10));
+    let qubo = maxcut.to_qubo();
+    let report = pipeline(1).execute(&qubo).unwrap();
+    let cut = maxcut.cut_value(&report.solution.assignment);
+    assert!(
+        cut >= 8.0,
+        "cut {cut} too far from the optimum of 10 for C10"
+    );
+    // Solution consistency: the reported QUBO energy matches re-evaluating
+    // the assignment, and equals the Ising energy plus the conversion offset.
+    assert!(
+        (report.solution.qubo_energy - qubo.energy(&report.solution.assignment)).abs() < 1e-9
+    );
+    assert!(
+        (report.solution.qubo_energy
+            - (report.solution.ising_energy + report.stage1.offset))
+            .abs()
+            < 1e-9
+    );
+}
+
+#[test]
+fn vertex_cover_solution_is_a_valid_cover() {
+    let vc = VertexCover::new(generators::star(9));
+    let qubo = vc.to_qubo();
+    let report = pipeline(2).execute(&qubo).unwrap();
+    assert!(vc.is_cover(&report.solution.assignment));
+    // The hub-only cover is optimal for a star; allow one extra vertex of
+    // slack for the sampler.
+    assert!(vc.cover_size(&report.solution.assignment) <= 2);
+}
+
+#[test]
+fn number_partition_balances_a_balanceable_instance() {
+    let instance = NumberPartition::new(vec![8.0, 7.0, 6.0, 5.0, 4.0, 2.0]);
+    let qubo = instance.to_qubo();
+    let report = pipeline(3).execute(&qubo).unwrap();
+    // Total 32, perfect split exists (16/16).
+    assert_eq!(instance.imbalance(&report.solution.assignment), 0.0);
+}
+
+#[test]
+fn graph_coloring_produces_a_proper_coloring() {
+    // The one-hot coloring QUBO has a rougher landscape than the other
+    // workloads, so request more reads (a pessimistic per-read success
+    // probability) just as a real application would.
+    let coloring = GraphColoring::new(generators::cycle(6), 2);
+    let qubo = coloring.to_qubo();
+    let config = SplitExecConfig::with_seed(4)
+        .with_accuracy(0.999)
+        .with_success_probability(0.2);
+    let pipeline = Pipeline::new(SplitMachine::paper_default(), config);
+    let report = pipeline.execute(&qubo).unwrap();
+    assert!(coloring.is_proper(&report.solution.assignment));
+}
+
+#[test]
+fn measured_breakdown_is_stage1_dominated_for_all_workloads() {
+    let workloads: Vec<Qubo> = vec![
+        MaxCut::unweighted(generators::cycle(8)).to_qubo(),
+        VertexCover::new(generators::path(8)).to_qubo(),
+        Qubo::random_on_graph(&generators::grid(3, 3), 5),
+    ];
+    for (i, qubo) in workloads.iter().enumerate() {
+        let report = pipeline(10 + i as u64).execute(qubo).unwrap();
+        assert!(
+            report.stage1_fraction() > 0.5,
+            "workload {i}: stage-1 share {}",
+            report.stage1_fraction()
+        );
+        assert!(report.stage1.total_seconds > report.stage2.total_seconds);
+        assert!(report.stage1.total_seconds > report.stage3.measured_seconds);
+    }
+}
+
+#[test]
+fn pipeline_handles_faulted_hardware() {
+    use chimera_graph::{Chimera, FaultModel};
+    let chimera = Chimera::dw2x();
+    let faults = FaultModel::exact_dead_qubits(chimera.graph(), 32, 77);
+    let machine = SplitMachine::with_faults(QpuModel::Dw2x, faults);
+    assert_eq!(machine.usable_qubits(), 1152 - 32);
+    let pipeline = Pipeline::new(machine, SplitExecConfig::with_seed(6));
+    let maxcut = MaxCut::unweighted(generators::cycle(10));
+    let report = pipeline.execute(&maxcut.to_qubo()).unwrap();
+    assert!(maxcut.cut_value(&report.solution.assignment) >= 8.0);
+}
+
+#[test]
+fn offline_cache_accelerates_repeat_solves() {
+    let machine = SplitMachine::paper_default();
+    let config = SplitExecConfig::with_seed(9);
+    let cache = EmbeddingCache::new();
+    let graph = generators::cycle(12);
+    let cold = cache.get_or_compute(&graph, &machine, &config).unwrap();
+    let warm = cache.get_or_compute(&graph, &machine, &config).unwrap();
+    assert!(!cold.cache_hit);
+    assert!(warm.cache_hit);
+    assert!(warm.seconds <= cold.seconds);
+    assert_eq!(cold.embedding, warm.embedding);
+}
