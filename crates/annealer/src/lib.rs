@@ -5,6 +5,10 @@
 //! substitution table in DESIGN.md): a seeded, Chimera-agnostic Ising sampler
 //! with the hardware's published timing constants.
 //!
+//! * [`backend`] — the pluggable [`backend::SamplerBackend`] abstraction:
+//!   stage 2 as an interchangeable component, with simulated-annealing,
+//!   parallel-tempering and exact-enumeration implementations selected by
+//!   [`backend::BackendKind`].
 //! * [`schedule`] — annealing schedules (default 20 µs hardware duration).
 //! * [`sa`] — single-spin-flip simulated annealing over a compiled (CSR)
 //!   Ising model; one call = one hardware read.
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod pt;
 pub mod sa;
 pub mod sampler;
@@ -39,15 +44,23 @@ pub mod schedule;
 pub mod stats;
 pub mod timing;
 
-pub use sampler::{IsingSampler, QpuAccessReport, SampleRecord, SampleSet, SimulatedQpu};
+pub use backend::{
+    BackendKind, ExactEnumerationBackend, ParallelTemperingBackend, SampleParams, SamplerBackend,
+    SamplerError,
+};
+pub use sampler::{QpuAccessReport, SampleRecord, SampleSet, SimulatedQpu};
 pub use schedule::{AnnealSchedule, ScheduleShape};
 pub use stats::{achieved_accuracy, estimate_success_probability, required_reads};
 pub use timing::QpuTimings;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::backend::{
+        BackendKind, ExactEnumerationBackend, ParallelTemperingBackend, SampleParams,
+        SamplerBackend, SamplerError,
+    };
     pub use crate::pt::{parallel_tempering, PtConfig};
-    pub use crate::sampler::{IsingSampler, QpuAccessReport, SampleSet, SimulatedQpu};
+    pub use crate::sampler::{QpuAccessReport, SampleSet, SimulatedQpu};
     pub use crate::schedule::{AnnealSchedule, ScheduleShape};
     pub use crate::stats::{achieved_accuracy, estimate_success_probability, required_reads};
     pub use crate::timing::QpuTimings;

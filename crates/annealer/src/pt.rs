@@ -89,10 +89,7 @@ pub fn parallel_tempering(model: &Ising, config: &PtConfig, seed: u64) -> PtResu
         .copied()
         .fold(f64::INFINITY, f64::min)
         .min(f64::INFINITY);
-    let mut best_spins = replicas
-        .get(0)
-        .cloned()
-        .unwrap_or_default();
+    let mut best_spins = replicas.first().cloned().unwrap_or_default();
     if let Some(idx) = energies
         .iter()
         .enumerate()

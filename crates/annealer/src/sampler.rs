@@ -70,7 +70,7 @@ impl SampleSet {
     pub fn energies(&self) -> Vec<f64> {
         self.records
             .iter()
-            .flat_map(|r| std::iter::repeat(r.energy).take(r.occurrences))
+            .flat_map(|r| std::iter::repeat_n(r.energy, r.occurrences))
             .collect()
     }
 }
@@ -86,12 +86,6 @@ pub struct QpuAccessReport {
     pub simulation_seconds: f64,
     /// Total single-spin updates performed by the simulator.
     pub updates: u64,
-}
-
-/// Anything that can sample an Ising model, returning an aggregated set.
-pub trait IsingSampler {
-    /// Draw `num_reads` independent samples; deterministic in `seed`.
-    fn sample(&self, model: &Ising, num_reads: usize, seed: u64) -> SampleSet;
 }
 
 /// The classical simulated-annealing QPU used throughout this reproduction.
@@ -122,6 +116,16 @@ impl SimulatedQpu {
             schedule,
             ..Self::default()
         }
+    }
+
+    /// A copy of this QPU with both schedule temperatures multiplied by
+    /// `scale` — used to match a unit-scale schedule to the actual magnitude
+    /// of an embedded program's parameters.
+    pub fn with_temperature_scale(&self, scale: f64) -> Self {
+        let mut scaled = self.clone();
+        scaled.schedule.initial_temperature *= scale;
+        scaled.schedule.final_temperature *= scale;
+        scaled
     }
 
     /// Sample and also report modeled hardware access time and simulation
@@ -155,8 +159,14 @@ impl SimulatedQpu {
     }
 }
 
-impl IsingSampler for SimulatedQpu {
-    fn sample(&self, model: &Ising, num_reads: usize, seed: u64) -> SampleSet {
+impl SimulatedQpu {
+    /// Draw `num_reads` independent samples; deterministic in `seed`.
+    ///
+    /// (Inherent rather than part of [`crate::backend::SamplerBackend`] so
+    /// the short 3-argument form stays unambiguous at call sites that import
+    /// both; the backend trait's `sample` takes a
+    /// [`crate::backend::SampleParams`].)
+    pub fn sample(&self, model: &Ising, num_reads: usize, seed: u64) -> SampleSet {
         self.sample_with_report(model, num_reads, seed).0
     }
 }
@@ -186,11 +196,7 @@ mod tests {
         // Ties at the best energy are ordered by spin vector; the duplicated
         // [1, 1] read is collapsed into a single record with multiplicity 2.
         assert_eq!(set.best().unwrap().spins, vec![-1, -1]);
-        let duplicated = set
-            .records
-            .iter()
-            .find(|r| r.spins == vec![1, 1])
-            .unwrap();
+        let duplicated = set.records.iter().find(|r| r.spins == vec![1, 1]).unwrap();
         assert_eq!(duplicated.occurrences, 2);
         assert_eq!(set.energies().len(), 4);
         // Energies are non-decreasing.

@@ -77,7 +77,8 @@ impl AnnealSchedule {
     /// Set the nominal hardware duration, clamped to the hardware's allowed
     /// range.
     pub fn with_anneal_microseconds(mut self, us: f64) -> Self {
-        self.anneal_microseconds = us.clamp(ANNEAL_RANGE_MICROSECONDS.0, ANNEAL_RANGE_MICROSECONDS.1);
+        self.anneal_microseconds =
+            us.clamp(ANNEAL_RANGE_MICROSECONDS.0, ANNEAL_RANGE_MICROSECONDS.1);
         self
     }
 

@@ -8,9 +8,7 @@
 //! analysis (sustained FLOP rates, memory bandwidth, PCIe bandwidth, and the
 //! D-Wave 20 µs anneal duration) are modeled.
 
-use crate::machine::{
-    ComponentLibrary, ComponentSpec, MachineBuilder, MachineModel, ResourceRate,
-};
+use crate::machine::{ComponentLibrary, ComponentSpec, MachineBuilder, MachineModel, ResourceRate};
 
 /// Peak single-precision FLOP rate of one Intel Xeon E5-2680 socket
 /// (8 cores × 2.7 GHz × 8 SP FLOPs/cycle), in FLOP/s.
@@ -94,10 +92,7 @@ pub fn nvidia_m2090() -> ComponentSpec {
             ResourceRate::per_second("gpu_loads", GDDR5_M2090_BANDWIDTH),
             ResourceRate::per_second("gpu_stores", GDDR5_M2090_BANDWIDTH),
         ],
-        properties: vec![(
-            "m2090_peak_sp_flops".into(),
-            NVIDIA_M2090_PEAK_SP_FLOPS,
-        )],
+        properties: vec![("m2090_peak_sp_flops".into(), NVIDIA_M2090_PEAK_SP_FLOPS)],
     }
 }
 
@@ -115,10 +110,12 @@ pub fn gddr5() -> ComponentSpec {
 pub fn pcie() -> ComponentSpec {
     ComponentSpec {
         kind: "link".into(),
-        rates: vec![ResourceRate::per_second("intracomm", PCIE_GEN2_X16_BANDWIDTH)
-            .with_latency(PCIE_LATENCY)
-            .with_trait("copyout", 1.0)
-            .with_trait("copyin", 1.0)],
+        rates: vec![
+            ResourceRate::per_second("intracomm", PCIE_GEN2_X16_BANDWIDTH)
+                .with_latency(PCIE_LATENCY)
+                .with_trait("copyout", 1.0)
+                .with_trait("copyin", 1.0),
+        ],
         properties: vec![("pcie_bandwidth".into(), PCIE_GEN2_X16_BANDWIDTH)],
     }
 }
@@ -128,7 +125,10 @@ pub fn pcie() -> ComponentSpec {
 pub fn dwave_vesuvius_20() -> ComponentSpec {
     ComponentSpec {
         kind: "socket".into(),
-        rates: vec![ResourceRate::seconds_per_unit("QuOps", DWAVE_ANNEAL_SECONDS)],
+        rates: vec![ResourceRate::seconds_per_unit(
+            "QuOps",
+            DWAVE_ANNEAL_SECONDS,
+        )],
         properties: vec![
             ("qpu_qubits".into(), DWAVE_VESUVIUS_QUBITS),
             ("qpu_anneal_seconds".into(), DWAVE_ANNEAL_SECONDS),
@@ -140,7 +140,10 @@ pub fn dwave_vesuvius_20() -> ComponentSpec {
 pub fn dwave_2x() -> ComponentSpec {
     ComponentSpec {
         kind: "socket".into(),
-        rates: vec![ResourceRate::seconds_per_unit("QuOps", DWAVE_ANNEAL_SECONDS)],
+        rates: vec![ResourceRate::seconds_per_unit(
+            "QuOps",
+            DWAVE_ANNEAL_SECONDS,
+        )],
         properties: vec![
             ("qpu_qubits".into(), DWAVE_2X_QUBITS),
             ("qpu_anneal_seconds".into(), DWAVE_ANNEAL_SECONDS),
@@ -213,10 +216,7 @@ mod tests {
         let spec = intel_xeon_e5_2680();
         let flops = spec.rates.iter().find(|r| r.name == "flops").unwrap();
         let t = flops
-            .seconds_for(
-                XEON_E5_2680_PEAK_SP_FLOPS,
-                &["sp".into(), "simd".into()],
-            )
+            .seconds_for(XEON_E5_2680_PEAK_SP_FLOPS, &["sp".into(), "simd".into()])
             .unwrap();
         assert!((t - 1.0).abs() < 1e-9);
     }
@@ -241,7 +241,14 @@ mod tests {
     #[test]
     fn simple_node_supports_all_paper_resources() {
         let m = simple_node(QpuGeneration::Dw2x);
-        for resource in ["flops", "loads", "stores", "intracomm", "QuOps", "microseconds"] {
+        for resource in [
+            "flops",
+            "loads",
+            "stores",
+            "intracomm",
+            "QuOps",
+            "microseconds",
+        ] {
             assert!(m.supports(resource), "missing {resource}");
         }
         assert_eq!(m.property("qpu_qubits"), Some(1152.0));

@@ -431,7 +431,10 @@ mod tests {
             Expr::binary(BinOp::Mul, Expr::param("b"), Expr::param("a")),
             Expr::param("b"),
         );
-        assert_eq!(e.referenced_params(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            e.referenced_params(),
+            vec!["a".to_string(), "b".to_string()]
+        );
     }
 
     #[test]

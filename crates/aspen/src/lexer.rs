@@ -287,12 +287,12 @@ impl<'a> Lexer<'a> {
             }
         }
         let text: String = self.chars[start..self.index].iter().collect();
-        text.parse::<f64>().map(TokenKind::Number).map_err(|_| {
-            AspenError::Lex {
+        text.parse::<f64>()
+            .map(TokenKind::Number)
+            .map_err(|_| AspenError::Lex {
                 pos,
                 message: format!("invalid numeric literal `{text}`"),
-            }
-        })
+            })
     }
 
     fn lex_ident_or_path(&mut self, allow_path: bool) -> TokenKind {
@@ -315,7 +315,11 @@ impl<'a> Lexer<'a> {
             }
         }
         let text: String = self.chars[start..self.index].iter().collect();
-        debug_assert!(!text.is_empty(), "lex_ident called on empty input: {}", self.source.len());
+        debug_assert!(
+            !text.is_empty(),
+            "lex_ident called on empty input: {}",
+            self.source.len()
+        );
         if is_path {
             TokenKind::Path(text)
         } else {
@@ -478,7 +482,11 @@ mod tests {
             }
         "#;
         let toks = tokenize(src).unwrap();
-        assert!(toks.iter().any(|t| t.kind == TokenKind::Ident("QuOps".into())));
-        assert!(toks.iter().any(|t| t.kind == TokenKind::Ident("ceil".into())));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident("QuOps".into())));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident("ceil".into())));
     }
 }

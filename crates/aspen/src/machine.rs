@@ -632,16 +632,16 @@ mod tests {
         let doc = parse_document("machine A { [1] B nodes } node B { }").unwrap();
         assert!(matches!(
             MachineModel::from_document(&doc, "Missing", &EmptyLibrary).unwrap_err(),
-            AspenError::UnknownEntity { kind: "machine", .. }
+            AspenError::UnknownEntity {
+                kind: "machine",
+                ..
+            }
         ));
     }
 
     #[test]
     fn resolve_unknown_socket_is_error() {
-        let doc = parse_document(
-            "machine A { [1] B nodes } node B { [1] ghost sockets }",
-        )
-        .unwrap();
+        let doc = parse_document("machine A { [1] B nodes } node B { [1] ghost sockets }").unwrap();
         assert!(matches!(
             MachineModel::from_document(&doc, "A", &EmptyLibrary).unwrap_err(),
             AspenError::UnknownEntity { kind: "socket", .. }

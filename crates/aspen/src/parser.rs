@@ -143,13 +143,13 @@ impl Parser {
                     }
                     "core" => {
                         self.bump();
-                        doc.cores.push(self.core_like_decl().map(|(name, resources, properties)| {
-                            CoreDecl {
+                        doc.cores.push(self.core_like_decl().map(
+                            |(name, resources, properties)| CoreDecl {
                                 name,
                                 resources,
                                 properties,
-                            }
-                        })?);
+                            },
+                        )?);
                     }
                     "memory" => {
                         self.bump();
@@ -322,9 +322,7 @@ impl Parser {
                     }
                 }
                 other => {
-                    return Err(
-                        self.error(format!("unexpected token in hardware body: {other}"))
-                    )
+                    return Err(self.error(format!("unexpected token in hardware body: {other}")))
                 }
             }
         }
@@ -473,9 +471,7 @@ impl Parser {
                     statements.push(KernelStmt::Call(name));
                 }
                 other => {
-                    return Err(
-                        self.error(format!("unexpected token in kernel body: {other}"))
-                    )
+                    return Err(self.error(format!("unexpected token in kernel body: {other}")))
                 }
             }
         }
@@ -510,9 +506,7 @@ impl Parser {
                 }
                 TokenKind::Ident(_) => clauses.push(self.resource_clause()?),
                 other => {
-                    return Err(
-                        self.error(format!("unexpected token in execute block: {other}"))
-                    )
+                    return Err(self.error(format!("unexpected token in execute block: {other}")))
                 }
             }
         }
@@ -673,8 +667,18 @@ impl Parser {
 fn is_function_name(name: &str) -> bool {
     matches!(
         name.to_ascii_lowercase().as_str(),
-        "log" | "ln" | "log2" | "log10" | "exp" | "sqrt" | "ceil" | "floor" | "abs" | "min"
-            | "max" | "pow"
+        "log"
+            | "ln"
+            | "log2"
+            | "log10"
+            | "exp"
+            | "sqrt"
+            | "ceil"
+            | "floor"
+            | "abs"
+            | "min"
+            | "max"
+            | "pow"
     )
 }
 

@@ -249,14 +249,14 @@ impl<'m> Predictor<'m> {
         for stmt in statements {
             match stmt {
                 KernelStmt::Execute(block) => {
-                    items.push(PredictionItem::Block(self.predict_block(
-                        block, env, 1.0, totals,
-                    )?));
+                    items.push(PredictionItem::Block(
+                        self.predict_block(block, env, 1.0, totals)?,
+                    ));
                 }
                 KernelStmt::Call(name) => {
-                    items.push(PredictionItem::Call(self.walk_kernel(
-                        app, name, env, totals, stack,
-                    )?));
+                    items.push(PredictionItem::Call(
+                        self.walk_kernel(app, name, env, totals, stack)?,
+                    ));
                 }
                 KernelStmt::Iterate { count, body } => {
                     let trips = count.eval(env)?.max(0.0);

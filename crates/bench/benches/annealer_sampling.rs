@@ -19,9 +19,7 @@ fn bench_single_read(c: &mut Criterion) {
         let model = Ising::random_on_graph(&graph, 5);
         let compiled = CompiledIsing::new(&model);
         let schedule = AnnealSchedule::default();
-        group.throughput(Throughput::Elements(
-            (n * schedule.sweeps) as u64,
-        ));
+        group.throughput(Throughput::Elements((n * schedule.sweeps) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &compiled, |b, compiled| {
             b.iter(|| black_box(anneal_once(compiled, &schedule, 9).energy))
         });

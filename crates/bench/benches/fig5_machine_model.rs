@@ -32,12 +32,20 @@ fn bench_resource_conversion(c: &mut Criterion) {
     c.bench_function("fig5/flops_to_seconds", |b| {
         b.iter(|| {
             machine
-                .seconds_for(black_box("flops"), black_box(1e12), &["sp".into(), "simd".into()])
+                .seconds_for(
+                    black_box("flops"),
+                    black_box(1e12),
+                    &["sp".into(), "simd".into()],
+                )
                 .unwrap()
         })
     });
     c.bench_function("fig5/quops_to_seconds", |b| {
-        b.iter(|| machine.seconds_for(black_box("QuOps"), black_box(1000.0), &[]).unwrap())
+        b.iter(|| {
+            machine
+                .seconds_for(black_box("QuOps"), black_box(1000.0), &[])
+                .unwrap()
+        })
     });
 }
 

@@ -29,7 +29,10 @@ fn bench_model_walk(c: &mut Criterion) {
     eprintln!("\nfig9a predicted stage-1 seconds (solid line):");
     for n in [1usize, 10, 30, 60, 100] {
         let p = predict_stage1(&machine, n).unwrap();
-        eprintln!("  n={n:>3}  model={:.4e} s  ops={:.3e}", p.total_seconds, p.embedding_ops);
+        eprintln!(
+            "  n={n:>3}  model={:.4e} s  ops={:.3e}",
+            p.total_seconds, p.embedding_ops
+        );
     }
 }
 

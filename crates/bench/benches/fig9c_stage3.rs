@@ -26,7 +26,10 @@ fn bench_model_walk(c: &mut Criterion) {
     eprintln!("\nfig9c predicted stage-3 seconds:");
     for n in fig9c_sizes().into_iter().step_by(4) {
         let p = predict_stage3(&machine, n, 0.99, 0.75).unwrap();
-        eprintln!("  n={n:>3}  model={:.4e} s  results={}", p.total_seconds, p.results);
+        eprintln!(
+            "  n={n:>3}  model={:.4e} s  results={}",
+            p.total_seconds, p.results
+        );
     }
 }
 
@@ -38,7 +41,11 @@ fn bench_measured_sort(c: &mut Criterion) {
         let logical = Ising::new(n);
         let embedding = Embedding::from_chains((0..n).map(|v| vec![v]).collect());
         let samples: Vec<Vec<i8>> = (0..4)
-            .map(|r| (0..n).map(|i| if (i + r) % 2 == 0 { 1 } else { -1 }).collect())
+            .map(|r| {
+                (0..n)
+                    .map(|i| if (i + r) % 2 == 0 { 1 } else { -1 })
+                    .collect()
+            })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {

@@ -16,6 +16,9 @@ fn main() {
     println!("{:>12} {:>8} {:>16}", "accuracy", "reads", "total [s]");
     for accuracy in [0.5, 0.9, 0.99, 0.999, 0.9999, 0.999999] {
         let p = predict_stage2(&machine, accuracy, 0.7).expect("prediction");
-        println!("{:>12.6} {:>8} {:>16.6e}", accuracy, p.reads, p.total_seconds);
+        println!(
+            "{:>12.6} {:>8} {:>16.6e}",
+            accuracy, p.reads, p.total_seconds
+        );
     }
 }

@@ -11,7 +11,7 @@
 use chimera_graph::generators;
 use qubo_ising::prelude::MaxCut;
 use split_exec::prelude::*;
-use sx_bench::fig9c_sizes;
+use sx_bench::{backend_from_env_args, fig9c_sizes};
 
 fn main() {
     let machine = SplitMachine::paper_default();
@@ -25,9 +25,11 @@ fn main() {
     }
 
     println!();
+    let backend = backend_from_env_args();
     println!("# series 2: measured un-embed + sort of a sampled ensemble (cycle graphs)");
+    println!("# stage-2 backend: {backend}");
     println!("n,measured_seconds,chain_breaks");
-    let config = SplitExecConfig::with_seed(5);
+    let config = SplitExecConfig::with_seed(5).with_backend(backend);
     let pipeline = Pipeline::new(machine, config);
     for n in [4usize, 8, 12, 16, 20, 24] {
         let qubo = MaxCut::unweighted(generators::cycle(n)).to_qubo();

@@ -10,9 +10,13 @@
 use chimera_graph::generators;
 use qubo_ising::prelude::MaxCut;
 use split_exec::prelude::*;
+use sx_bench::backend_from_env_args;
 
 fn main() {
-    let pipeline = Pipeline::new(SplitMachine::paper_default(), SplitExecConfig::with_seed(17));
+    let backend = backend_from_env_args();
+    let config = SplitExecConfig::with_seed(17).with_backend(backend);
+    let pipeline = Pipeline::new(SplitMachine::paper_default(), config);
+    println!("# stage-2 backend: {backend} (select with --backend=<sa|pt|exact> or SX_BACKEND)");
 
     println!("# predicted three-stage breakdown (ASPEN walk), n = 10..100");
     let mut rows = Vec::new();

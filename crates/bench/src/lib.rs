@@ -14,7 +14,12 @@
 //! | Fig. 7 / 9(b) (stage 2) | `--bin fig9b`, bench `fig9b_stage2` |
 //! | Fig. 8 / 9(c) (stage 3) | `--bin fig9c`, bench `fig9c_stage3` |
 //! | Stage-dominance conclusion | `--bin stage_breakdown` |
-//! | Ablations | benches `ablation_offline_embedding`, `ablation_embedding_algorithms`, `annealer_sampling` |
+//! | Batch amortization (Sec. 3.3) | `--bin batch_throughput` |
+//! | Ablations | benches `ablation_offline_embedding`, `ablation_embedding_algorithms`, `annealer_sampling`, `backend_comparison` |
+//!
+//! Binaries that execute stage 2 accept `--backend=<sa|pt|exact>` (or the
+//! `SX_BACKEND` environment variable) to swap the sampler backend without
+//! recompiling; see [`backend_from_env_args`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,8 +27,40 @@
 use chimera_graph::generators;
 use chimera_graph::Graph;
 use minor_embed::{find_embedding, CmrConfig, CmrOutcome, EmbedError};
+use quantum_anneal::BackendKind;
 use split_exec::prelude::*;
 use std::time::Instant;
+
+/// Resolve the stage-2 sampler backend for a binary or bench from, in order
+/// of precedence: a `--backend=<name>` / `--backend <name>` CLI argument,
+/// the `SX_BACKEND` environment variable, and finally the default
+/// (simulated annealing).  Accepted names are those of
+/// [`BackendKind`]'s `FromStr` (`sa`, `pt`, `exact`, long forms included).
+///
+/// Unknown names abort with a message listing the accepted ones, so a typo
+/// in a sweep script fails loudly instead of silently benchmarking the
+/// wrong backend.
+pub fn backend_from_env_args() -> BackendKind {
+    let mut args = std::env::args().skip(1);
+    let mut named: Option<String> = None;
+    while let Some(arg) = args.next() {
+        if let Some(value) = arg.strip_prefix("--backend=") {
+            named = Some(value.to_string());
+        } else if arg == "--backend" {
+            // A trailing `--backend` with no value is a mistake; surface it
+            // as an unknown-name error instead of silently using the default.
+            named = Some(args.next().unwrap_or_default());
+        }
+    }
+    let source = named.or_else(|| std::env::var("SX_BACKEND").ok());
+    match source {
+        None => BackendKind::default(),
+        Some(name) => name.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+    }
+}
 
 /// The problem sizes swept by the Fig. 9(a) model line (the paper uses
 /// n = 1..100).

@@ -51,7 +51,10 @@ impl Chimera {
     /// # Panics
     /// Panics if any dimension is zero.
     pub fn new(m: usize, n: usize, l: usize) -> Self {
-        assert!(m > 0 && n > 0 && l > 0, "Chimera dimensions must be positive");
+        assert!(
+            m > 0 && n > 0 && l > 0,
+            "Chimera dimensions must be positive"
+        );
         let qubits = Self::expected_qubits(m, n, l);
         let mut graph = Graph::new(qubits);
         for row in 0..m {
@@ -149,7 +152,9 @@ impl Chimera {
 
     /// Linear index of a qubit coordinate.
     pub fn linear_index(&self, coord: ChimeraCoord) -> usize {
-        Self::index(self.m, self.n, self.l, coord.row, coord.col, coord.side, coord.k)
+        Self::index(
+            self.m, self.n, self.l, coord.row, coord.col, coord.side, coord.k,
+        )
     }
 
     /// Structured coordinate of a linear qubit index.
@@ -178,15 +183,7 @@ impl Chimera {
         (base..base + 2 * self.l).collect()
     }
 
-    fn index(
-        _m: usize,
-        n: usize,
-        l: usize,
-        row: usize,
-        col: usize,
-        side: Side,
-        k: usize,
-    ) -> usize {
+    fn index(_m: usize, n: usize, l: usize, row: usize, col: usize, side: Side, k: usize) -> usize {
         let side_offset = match side {
             Side::Vertical => 0,
             Side::Horizontal => l,
@@ -203,10 +200,7 @@ mod tests {
     fn vesuvius_dimensions_match_paper_fig3() {
         let c = Chimera::dw2_vesuvius();
         assert_eq!(c.qubit_count(), 512);
-        assert_eq!(
-            c.coupler_count(),
-            Chimera::expected_couplers(8, 8, 4)
-        );
+        assert_eq!(c.coupler_count(), Chimera::expected_couplers(8, 8, 4));
     }
 
     #[test]

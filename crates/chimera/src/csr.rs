@@ -25,7 +25,10 @@ impl Csr {
     /// beyond any hardware graph considered here.
     pub fn from_graph(graph: &Graph) -> Self {
         let n = graph.vertex_count();
-        assert!(n <= u32::MAX as usize, "graph too large for CSR u32 indices");
+        assert!(
+            n <= u32::MAX as usize,
+            "graph too large for CSR u32 indices"
+        );
         let mut offsets = Vec::with_capacity(n + 1);
         let mut targets = Vec::with_capacity(2 * graph.edge_count());
         offsets.push(0u32);

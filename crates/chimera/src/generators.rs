@@ -138,7 +138,7 @@ pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Graph {
     // Repeated-endpoint list: vertices appear once per unit of degree.
     let mut endpoints: Vec<usize> = g
         .vertices()
-        .flat_map(|v| std::iter::repeat(v).take(g.degree(v)))
+        .flat_map(|v| std::iter::repeat_n(v, g.degree(v)))
         .collect();
     for _ in seed_size..n {
         let v = g.add_vertex();
@@ -212,7 +212,10 @@ mod tests {
         assert_eq!(a, b);
         let expected = 0.3 * (50.0 * 49.0 / 2.0);
         let got = a.edge_count() as f64;
-        assert!((got - expected).abs() < 0.3 * expected, "edge count {got} vs {expected}");
+        assert!(
+            (got - expected).abs() < 0.3 * expected,
+            "edge count {got} vs {expected}"
+        );
     }
 
     #[test]
@@ -228,7 +231,10 @@ mod tests {
         let g = random_regular(40, 4, 9);
         assert!(g.max_degree() <= 4);
         let avg = g.average_degree();
-        assert!(avg > 3.0, "average degree {avg} too far from regular target");
+        assert!(
+            avg > 3.0,
+            "average degree {avg} too far from regular target"
+        );
     }
 
     #[test]

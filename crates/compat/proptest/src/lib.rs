@@ -1,0 +1,274 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the syntax the workspace's property tests are written in:
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!
+//!     #[test]
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! build:
+//!
+//! * no shrinking — a failing case panics with its deterministic case index
+//!   (re-running reproduces it exactly, since the RNG is seeded from the
+//!   test's module path),
+//! * strategies are plain uniform samplers ([`strategy::Strategy`] over
+//!   numeric ranges and [`collection::vec`]), not the full combinator
+//!   algebra,
+//! * the default case count is 64 (upstream: 256) to keep `cargo test`
+//!   fast on the heavier embedding properties.
+
+#![forbid(unsafe_code)]
+// The crate-level example necessarily shows `#[test]` inside `proptest!` —
+// that is the macro's required syntax, not a runnable unit test.
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod strategy {
+    //! Uniform sampling strategies over the shapes used in this workspace.
+
+    use rand::SampleRange;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A source of random values for one proptest case.
+    pub type TestRng = ChaCha8Rng;
+
+    /// Types that can produce a value per test case.
+    pub trait Strategy {
+        /// The value produced.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T, R> Strategy for R
+    where
+        R: Clone + SampleRange<Output = T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.clone().sample_from(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with element strategy `S` and a uniformly
+    /// drawn length.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` strategy with lengths drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Execution configuration and deterministic RNG construction.
+
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of cases to execute.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Deterministic per-test RNG: seeded from the hash of the test's fully
+    /// qualified name, so failures reproduce across runs and machines.
+    pub fn rng_for(test_path: &str) -> TestRng {
+        let mut hasher = DefaultHasher::new();
+        test_path.hash(&mut hasher);
+        TestRng::seed_from_u64(hasher.finish())
+    }
+}
+
+pub mod prelude {
+    //! Glob import mirroring `proptest::prelude`.
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert inside a property; panics (no shrinking) with the standard message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Skip the current case when an assumption does not hold.  Without
+/// shrinking machinery this facade simply `return`s from the case body,
+/// which runs inside its own closure per case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// The `proptest!` block macro: each contained `#[test] fn name(arg in
+/// strategy, ...) { body }` becomes a plain `#[test]` running the body over
+/// `config.cases` deterministically sampled argument tuples.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::rng_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                    let run = || {
+                        $body
+                    };
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest case {case} of {} failed in {}",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Sampled integers respect their range.
+        #[test]
+        fn ranges_are_respected(n in 1usize..12, x in 0u64..500, f in 0.25f64..0.75) {
+            prop_assert!((1..12).contains(&n));
+            prop_assert!(x < 500);
+            prop_assert!((0.25..0.75).contains(&f), "f = {}", f);
+        }
+
+        /// Vec strategy respects element and length bounds.
+        #[test]
+        fn vec_strategy_bounds(values in collection::vec(0.0f64..20.0, 1..10)) {
+            prop_assert!(!values.is_empty() && values.len() < 10);
+            prop_assert!(values.iter().all(|v| (0.0..20.0).contains(v)));
+        }
+
+        /// prop_assume skips cases without failing them.
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n % 2, 1);
+        }
+    }
+
+    proptest! {
+        /// The unconfigured form uses the default config.
+        #[test]
+        fn default_config_form(b in 0u64..2) {
+            prop_assert!(b < 2);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::rng_for("x::y");
+        let mut b = crate::test_runner::rng_for("x::y");
+        let s = 0u64..1000;
+        let xs: Vec<u64> = (0..32).map(|_| s.sample(&mut a)).collect();
+        let ys: Vec<u64> = (0..32).map(|_| s.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+}

@@ -1,0 +1,151 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the one idiom the workspace uses — `(0..n).into_par_iter()
+//! .map(f).collect::<Vec<_>>()` — with genuine data parallelism: the index
+//! range is chunked across `std::thread::available_parallelism()` scoped
+//! threads and results are concatenated in index order, so parallel and
+//! serial execution produce identical output for pure `f`.
+//!
+//! This is not a work-stealing pool; each call site pays thread spawn cost.
+//! For the sampling workloads here (dozens of multi-millisecond anneals per
+//! call) that overhead is noise.  If a future PR needs finer-grained
+//! parallelism, swap this facade for the real `rayon` — the call sites
+//! already use its API.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Run `f` over `range` with ordered results, splitting across threads.
+fn par_map_range<T, F>(range: Range<usize>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(len.max(1));
+    if len <= 1 || workers <= 1 {
+        return range.map(f).collect();
+    }
+    let chunk = len.div_ceil(workers);
+    let f = &f;
+    let mut out: Vec<T> = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = range.start + w * chunk;
+                let hi = (lo + chunk).min(range.end);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("rayon facade worker panicked"));
+        }
+    });
+    out
+}
+
+/// Parallel iterator over a `usize` index range.
+#[derive(Debug, Clone)]
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+/// The mapped form of [`ParRange`], ready to collect.
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl ParRange {
+    /// Apply `f` to every index, preserving order.
+    pub fn map<T, F>(self, f: F) -> ParRangeMap<F>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+impl<F> ParRangeMap<F> {
+    /// Execute the map in parallel and collect the ordered results.
+    pub fn collect<C, T>(self) -> C
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: FromIterator<T>,
+    {
+        par_map_range(self.range, self.f).into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator (mirrors `rayon`'s trait of the same
+/// name; implemented for the index ranges the workspace parallelizes over).
+pub trait IntoParallelIterator {
+    /// The parallel-iterator form.
+    type Iter;
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon facade join panicked"))
+    })
+}
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::join;
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        assert!(squares.iter().enumerate().all(|(i, &s)| s == i * i));
+    }
+
+    #[test]
+    fn empty_and_singleton_ranges() {
+        let none: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(none.is_empty());
+        let one: Vec<usize> = (5..6).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

@@ -1,0 +1,46 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container building this workspace has no crates.io access, so this
+//! facade keeps the `#[derive(Serialize, Deserialize)]` annotations used
+//! throughout the workspace compiling without pulling in the real
+//! dependency.  `Serialize` and `Deserialize` are marker traits
+//! blanket-implemented for every type; the derive macros (re-exported from
+//! the sibling `serde_derive` proc-macro crate) expand to nothing.
+//!
+//! No code in this workspace performs actual serialization; if a future PR
+//! needs wire formats, this facade is the seam to replace with the real
+//! `serde` (the public names match).
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.  The real trait is parameterized over a deserializer lifetime; no
+/// workspace code names that parameter, so it is omitted here.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Probe {
+        a: u32,
+        b: Vec<f64>,
+    }
+
+    fn assert_impls<T: Serialize + Deserialize>(_: &T) {}
+
+    #[test]
+    fn derives_compile_and_traits_are_blanket() {
+        let p = Probe { a: 1, b: vec![2.0] };
+        assert_impls(&p);
+        assert_impls(&42u64);
+    }
+}

@@ -89,7 +89,10 @@ where
     for &s in sources {
         if s < num_vertices {
             cost[s] = 0.0;
-            heap.push(HeapEntry { cost: 0.0, vertex: s });
+            heap.push(HeapEntry {
+                cost: 0.0,
+                vertex: s,
+            });
         }
     }
     while let Some(HeapEntry { cost: c, vertex: v }) = heap.pop() {

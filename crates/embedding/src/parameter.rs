@@ -254,7 +254,10 @@ mod tests {
             assert!((j - 3.5).abs() < 1e-12);
             found += 1;
         }
-        assert!(found > 0, "chains of length > 1 must produce chain couplings");
+        assert!(
+            found > 0,
+            "chains of length > 1 must produce chain couplings"
+        );
         assert_eq!(embedded.chain_strength, 3.5);
     }
 
@@ -322,7 +325,9 @@ mod tests {
         let chimera = Chimera::new(4, 4, 4);
         let small = embed_ising(
             &logical,
-            &clique_embedding(8, &Chimera::new(2, 2, 4)).unwrap().embedding,
+            &clique_embedding(8, &Chimera::new(2, 2, 4))
+                .unwrap()
+                .embedding,
             Chimera::new(2, 2, 4).graph(),
             ParameterSetting::default(),
         );

@@ -58,7 +58,10 @@ impl Embedding {
 
     /// Iterate over `(logical vertex, chain)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[usize])> {
-        self.chains.iter().enumerate().map(|(v, c)| (v, c.as_slice()))
+        self.chains
+            .iter()
+            .enumerate()
+            .map(|(v, c)| (v, c.as_slice()))
     }
 
     /// Total number of hardware qubits used (counting duplicates once).

@@ -114,12 +114,16 @@ pub fn ising_to_qubo(ising: &Ising) -> (Qubo, f64) {
     (qubo, offset)
 }
 
+/// Bias and coupling vectors in the paper's notation: `(h, J)` with `J`
+/// keyed by the upper-triangle index pair.
+pub type PaperIsingParameters = (Vec<f64>, Vec<((usize, usize), f64)>);
+
 /// The logical Ising parameters exactly as printed in the paper's Eqs. 4–5:
 /// `hᵢ = Qᵢᵢ/2 + ¼ Σⱼ Qᵢⱼ` and `Jᵢⱼ = Qᵢⱼ/4` for `i < j`.
 ///
 /// Returned as `(h, J)` vectors; used to validate the operation-count model
 /// of Stage 1 rather than for energy-preserving execution.
-pub fn paper_ising_parameters(qubo: &Qubo) -> (Vec<f64>, Vec<((usize, usize), f64)>) {
+pub fn paper_ising_parameters(qubo: &Qubo) -> PaperIsingParameters {
     let n = qubo.num_variables();
     let mut h = vec![0.0; n];
     for (i, hi) in h.iter_mut().enumerate() {

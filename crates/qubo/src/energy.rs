@@ -110,9 +110,7 @@ pub fn rank_solutions(ising: &Ising, samples: &[Vec<Spin>]) -> (Vec<RankedSoluti
     // Rust's sort is a mergesort variant; the paper assumes heapsort.  Both
     // are O(k log k) comparisons, which is what the Stage-3 model charges.
     scored.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(b.1)));
-    operations += (scored.len() as u64)
-        .max(1)
-        .ilog2() as u64 * scored.len() as u64;
+    operations += (scored.len() as u64).max(1).ilog2() as u64 * scored.len() as u64;
     let mut ranked: Vec<RankedSolution> = Vec::new();
     for (energy, spins) in scored {
         match ranked.last_mut() {

@@ -141,7 +141,7 @@ impl Ising {
     /// The interaction graph induced by nonzero couplings.
     pub fn interaction_graph(&self) -> Graph {
         let mut g = Graph::new(self.num_spins());
-        for (&(i, j), _) in &self.j {
+        for &(i, j) in self.j.keys() {
             g.add_edge(i, j);
         }
         g
@@ -179,7 +179,9 @@ impl Ising {
     /// A random spin configuration, deterministic in `seed`.
     pub fn random_spins(n: usize, seed: u64) -> Vec<Spin> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..n).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect()
+        (0..n)
+            .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+            .collect()
     }
 }
 
@@ -289,7 +291,7 @@ mod tests {
         let b = Ising::random_spins(50, 1);
         assert_eq!(a, b);
         assert!(a.iter().all(|&s| s == 1 || s == -1));
-        assert!(a.iter().any(|&s| s == 1) && a.iter().any(|&s| s == -1));
+        assert!(a.contains(&1) && a.contains(&-1));
     }
 
     #[test]

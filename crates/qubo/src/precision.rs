@@ -24,7 +24,10 @@ impl Default for PrecisionSpec {
     fn default() -> Self {
         // The D-Wave control system exposes roughly 4-5 bits of effective
         // precision over the [-1, 1] analog range.
-        Self { bits: 5, range: 1.0 }
+        Self {
+            bits: 5,
+            range: 1.0,
+        }
     }
 }
 
@@ -133,7 +136,11 @@ mod tests {
         let q = quantize_ising(&m, spec);
         let half_step = spec.step() / 2.0 + 1e-12;
         assert!(q.max_field_error <= half_step, "{}", q.max_field_error);
-        assert!(q.max_coupling_error <= half_step, "{}", q.max_coupling_error);
+        assert!(
+            q.max_coupling_error <= half_step,
+            "{}",
+            q.max_coupling_error
+        );
     }
 
     #[test]

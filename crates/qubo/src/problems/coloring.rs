@@ -108,9 +108,7 @@ impl GraphColoring {
         if colors.iter().any(Option::is_none) {
             return false;
         }
-        self.graph
-            .edges()
-            .all(|(u, v)| colors[u] != colors[v])
+        self.graph.edges().all(|(u, v)| colors[u] != colors[v])
     }
 }
 

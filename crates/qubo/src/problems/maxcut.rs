@@ -31,7 +31,10 @@ impl MaxCut {
                 entry.1 = w;
             }
         }
-        Self { graph, weights: all }
+        Self {
+            graph,
+            weights: all,
+        }
     }
 
     /// The underlying graph.

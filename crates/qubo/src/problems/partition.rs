@@ -113,7 +113,10 @@ mod tests {
     fn balanced_instance_reaches_zero_imbalance() {
         let p = NumberPartition::new(vec![3.0, 1.0, 4.0, 2.0, 2.0]);
         let sol = solve_qubo_exact(&p.to_qubo());
-        assert!((sol.energy + p.offset()).abs() < 1e-9, "perfect split exists");
+        assert!(
+            (sol.energy + p.offset()).abs() < 1e-9,
+            "perfect split exists"
+        );
         assert_eq!(p.imbalance(&sol.assignment), 0.0);
     }
 

@@ -32,7 +32,10 @@ impl VertexCover {
     /// Panics if the penalty is not greater than 1 (the reduction is only
     /// exact for `P > 1`).
     pub fn with_penalty(mut self, penalty: f64) -> Self {
-        assert!(penalty > 1.0, "penalty must exceed the per-vertex cost of 1");
+        assert!(
+            penalty > 1.0,
+            "penalty must exceed the per-vertex cost of 1"
+        );
         self.penalty = penalty;
         self
     }
@@ -141,7 +144,10 @@ mod tests {
         let b = solve_qubo_exact(&strict.to_qubo());
         assert!(base.is_cover(&a.assignment));
         assert!(strict.is_cover(&b.assignment));
-        assert_eq!(base.cover_size(&a.assignment), strict.cover_size(&b.assignment));
+        assert_eq!(
+            base.cover_size(&a.assignment),
+            strict.cover_size(&b.assignment)
+        );
     }
 
     #[test]

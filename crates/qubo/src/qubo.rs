@@ -23,7 +23,10 @@ pub struct Qubo {
 impl Qubo {
     /// Create an all-zero QUBO over `n` binary variables.
     pub fn new(n: usize) -> Self {
-        Self { n, q: vec![0.0; n * n] }
+        Self {
+            n,
+            q: vec![0.0; n * n],
+        }
     }
 
     /// Build a QUBO from a full matrix given as rows.
@@ -39,9 +42,9 @@ impl Qubo {
             assert_eq!(row.len(), n, "row {i} has length {} != {n}", row.len());
         }
         let mut qubo = Self::new(n);
-        for i in 0..n {
-            for j in 0..n {
-                qubo.q[i * n + j] = (rows[i][j] + rows[j][i]) / 2.0;
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &value) in row.iter().enumerate() {
+                qubo.q[i * n + j] = (value + rows[j][i]) / 2.0;
             }
         }
         qubo
@@ -89,8 +92,8 @@ impl Qubo {
             }
             // Diagonal term plus twice the upper-triangle terms (symmetric).
             total += self.get(i, i);
-            for j in (i + 1)..self.n {
-                if bits[j] {
+            for (j, &bit) in bits.iter().enumerate().skip(i + 1) {
+                if bit {
                     total += 2.0 * self.get(i, j);
                 }
             }

@@ -1,7 +1,7 @@
 //! Configuration of the split-execution application.
 
 use minor_embed::CmrConfig;
-use quantum_anneal::AnnealSchedule;
+use quantum_anneal::{AnnealSchedule, BackendKind};
 use serde::{Deserialize, Serialize};
 
 /// Tunable parameters of the three-stage split-execution application.
@@ -21,6 +21,8 @@ pub struct SplitExecConfig {
     pub cmr: CmrConfig,
     /// Annealing schedule of the simulated QPU (stage 2).
     pub schedule: AnnealSchedule,
+    /// Which stage-2 sampler backend [`crate::Pipeline::new`] builds.
+    pub backend: BackendKind,
     /// Base seed for all stochastic components.
     pub seed: u64,
     /// Cap on the number of reads regardless of Eq. (6) (protects against
@@ -36,6 +38,7 @@ impl Default for SplitExecConfig {
             chain_strength_factor: 2.0,
             cmr: CmrConfig::default(),
             schedule: AnnealSchedule::default(),
+            backend: BackendKind::default(),
             seed: 0,
             max_reads: Some(10_000),
         }
@@ -65,6 +68,12 @@ impl SplitExecConfig {
         self
     }
 
+    /// Builder-style stage-2 backend selection.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The number of QPU reads this configuration requests, per Eq. (6),
     /// respecting `max_reads`.
     pub fn reads(&self) -> usize {
@@ -86,6 +95,16 @@ mod tests {
         assert_eq!(c.accuracy, 0.99);
         assert_eq!(c.success_probability, 0.7);
         assert_eq!(c.reads(), 4);
+    }
+
+    #[test]
+    fn backend_defaults_to_simulated_annealing_and_is_overridable() {
+        assert_eq!(
+            SplitExecConfig::default().backend,
+            BackendKind::SimulatedAnnealing
+        );
+        let c = SplitExecConfig::default().with_backend(BackendKind::Exact);
+        assert_eq!(c.backend, BackendKind::Exact);
     }
 
     #[test]

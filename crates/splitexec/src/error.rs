@@ -2,6 +2,7 @@
 
 use aspen_model::AspenError;
 use minor_embed::EmbedError;
+use quantum_anneal::SamplerError;
 use std::fmt;
 
 /// Anything that can go wrong while predicting or executing the pipeline.
@@ -12,6 +13,8 @@ pub enum PipelineError {
     Model(AspenError),
     /// The stage-1 embedding failed.
     Embedding(EmbedError),
+    /// The stage-2 sampler backend rejected the program.
+    Backend(SamplerError),
     /// The input problem is unusable (empty, larger than the hardware, ...).
     BadInput(String),
 }
@@ -21,6 +24,7 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Model(e) => write!(f, "performance-model error: {e}"),
             PipelineError::Embedding(e) => write!(f, "embedding error: {e}"),
+            PipelineError::Backend(e) => write!(f, "sampler-backend error: {e}"),
             PipelineError::BadInput(msg) => write!(f, "bad input: {msg}"),
         }
     }
@@ -40,6 +44,12 @@ impl From<EmbedError> for PipelineError {
     }
 }
 
+impl From<SamplerError> for PipelineError {
+    fn from(e: SamplerError) -> Self {
+        PipelineError::Backend(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,6 +60,12 @@ mod tests {
         assert!(e.to_string().contains("performance-model"));
         let e: PipelineError = EmbedError::NoEmbeddingFound { passes: 3 }.into();
         assert!(e.to_string().contains("embedding"));
+        let e: PipelineError = quantum_anneal::SamplerError::TooLarge {
+            spins: 30,
+            max_spins: 24,
+        }
+        .into();
+        assert!(e.to_string().contains("sampler-backend"));
         let e = PipelineError::BadInput("empty".into());
         assert!(e.to_string().contains("bad input"));
     }

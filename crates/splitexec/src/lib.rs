@@ -11,7 +11,11 @@
 //!    hardware graph, spread the parameters over the embedded chains and
 //!    program the electronic control system.
 //! 2. **Stage 2 — quantum execution** ([`stage2`]): run enough annealing
-//!    reads (Eq. 6) to reach the requested solution accuracy.
+//!    reads (Eq. 6) to reach the requested solution accuracy.  The sampler
+//!    is a pluggable [`quantum_anneal::SamplerBackend`] — simulated
+//!    annealing by default, parallel tempering or exact enumeration by
+//!    configuration ([`SplitExecConfig::with_backend`]) or injection
+//!    ([`Pipeline::with_backend`]).
 //! 3. **Stage 3 — classical post-processing** ([`stage3`]): un-embed and
 //!    sort the readout ensemble and return the optimization result.
 //!
@@ -23,6 +27,11 @@
 //! embedding step dominates the time-to-solution, so the bottleneck of
 //! split-execution lies at the quantum-classical interface rather than in
 //! quantum execution — falls out of either path.
+//!
+//! Batch submission ([`batch`]) amortizes the stage-1 bottleneck: jobs
+//! sharing an interaction topology are embedded once (the paper's Sec. 3.3
+//! off-line embedding table, [`offline_cache`]) and fan out across a thread
+//! pool.
 //!
 //! ```
 //! use split_exec::prelude::*;
@@ -37,12 +46,26 @@
 //! let qubo = MaxCut::unweighted(generators::cycle(8)).to_qubo();
 //! let report = pipeline.execute(&qubo)?;
 //! assert_eq!(report.solution.assignment.len(), 8);
+//!
+//! // Stage 2 is pluggable: the same job on the exact-enumeration oracle.
+//! let exact = Pipeline::new(
+//!     SplitMachine::paper_default(),
+//!     SplitExecConfig::with_seed(7).with_backend(BackendKind::Exact),
+//! );
+//! assert_eq!(exact.execute(&qubo)?.stage2.backend, "exact");
+//!
+//! // Batch submission embeds a repeated topology once and reuses it.
+//! let jobs = vec![qubo.clone(), qubo.clone(), qubo];
+//! let batch = pipeline.execute_batch_report(&jobs);
+//! assert_eq!(batch.succeeded, 3);
+//! assert_eq!(batch.embedding_cache.misses, 1);
 //! # Ok::<(), split_exec::PipelineError>(())
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod config;
 pub mod error;
 pub mod machine;
@@ -55,25 +78,35 @@ pub mod stage2;
 pub mod stage3;
 pub mod timing;
 
+pub use batch::BatchReport;
 pub use config::SplitExecConfig;
 pub use error::PipelineError;
 pub use machine::{Architecture, QpuModel, SplitMachine};
-pub use offline_cache::EmbeddingCache;
+pub use offline_cache::{CacheStats, EmbeddingCache};
 pub use pipeline::{ExecutionReport, Pipeline, PredictedBreakdown, SolutionSummary};
 pub use sequence::{Layer, SequenceTrace};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::batch::BatchReport;
     pub use crate::config::SplitExecConfig;
     pub use crate::error::PipelineError;
     pub use crate::machine::{Architecture, QpuModel, SplitMachine};
-    pub use crate::offline_cache::EmbeddingCache;
+    pub use crate::offline_cache::{CacheStats, EmbeddingCache};
     pub use crate::pipeline::{ExecutionReport, Pipeline, PredictedBreakdown, SolutionSummary};
     pub use crate::report::{breakdown_table, csv_series, BreakdownRow};
     pub use crate::sequence::{Layer, SequenceTrace};
-    pub use crate::stage1::{execute_stage1, predict_stage1};
-    pub use crate::stage2::{execute_stage2, predict_stage2, reads_for_accuracy};
+    pub use crate::stage1::{execute_stage1, execute_stage1_cached, predict_stage1};
+    pub use crate::stage2::{
+        execute_stage2, execute_stage2_with_backend, predict_stage2, reads_for_accuracy,
+    };
     pub use crate::stage3::{execute_stage3, predict_stage3};
+    // Stage-2 backend selection, re-exported so pipeline users need only one
+    // glob import.
+    pub use quantum_anneal::backend::{
+        BackendKind, ExactEnumerationBackend, ParallelTemperingBackend, SampleParams,
+        SamplerBackend, SamplerError,
+    };
 }
 
 #[cfg(test)]

@@ -158,9 +158,7 @@ mod tests {
     #[test]
     fn architecture_labels_and_enumeration() {
         assert_eq!(Architecture::all().len(), 3);
-        assert!(Architecture::default()
-            .label()
-            .contains("asymmetric"));
+        assert!(Architecture::default().label().contains("asymmetric"));
         assert_eq!(Architecture::DedicatedPerNode.nodes_per_qpu(64), 1);
         assert_eq!(Architecture::SharedResource.nodes_per_qpu(64), 64);
         assert_eq!(Architecture::AsymmetricMultiProcessor.nodes_per_qpu(0), 1);
@@ -182,7 +180,14 @@ mod tests {
         assert_eq!(m.usable_qubits(), 1152);
         assert_eq!(m.lattice_dims(), (12, 12));
         // The analytic model can service every resource the stage models use.
-        for r in ["flops", "loads", "stores", "intracomm", "QuOps", "microseconds"] {
+        for r in [
+            "flops",
+            "loads",
+            "stores",
+            "intracomm",
+            "QuOps",
+            "microseconds",
+        ] {
             assert!(m.aspen.supports(r), "missing {r}");
         }
     }

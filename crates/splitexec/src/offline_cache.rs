@@ -20,7 +20,7 @@ use crate::error::PipelineError;
 use crate::machine::SplitMachine;
 use crate::timing::timed;
 use chimera_graph::Graph;
-use minor_embed::{find_embedding, Embedding};
+use minor_embed::{find_embedding, CmrStats, Embedding};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
@@ -66,6 +66,26 @@ pub fn graph_key(graph: &Graph) -> u64 {
     hasher.finish()
 }
 
+/// Full entry key: the input graph *and* the embedding context — the
+/// hardware graph and the CMR configuration.  A cache held across batches
+/// (or shared between pipelines) must not serve an embedding computed for a
+/// different machine or heuristic configuration: chains could reference
+/// qubits the other hardware lacks, and determinism guarantees would break
+/// silently.
+pub fn entry_key(input: &Graph, machine: &SplitMachine, config: &SplitExecConfig) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    graph_key(input).hash(&mut hasher);
+    graph_key(&machine.hardware).hash(&mut hasher);
+    let cmr = &config.cmr;
+    cmr.max_passes.hash(&mut hasher);
+    cmr.tries.hash(&mut hasher);
+    cmr.seed.hash(&mut hasher);
+    cmr.overlap_penalty_base.to_bits().hash(&mut hasher);
+    // `parallel_tries` is deliberately excluded: serial and parallel tries
+    // produce identical embeddings (each try is independently seeded).
+    hasher.finish()
+}
+
 /// Result of a cached lookup.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CachedEmbedding {
@@ -75,6 +95,9 @@ pub struct CachedEmbedding {
     pub cache_hit: bool,
     /// Seconds spent obtaining it (close to zero on a hit).
     pub seconds: f64,
+    /// Heuristic work counters for this lookup (zero on a hit — no
+    /// embedding work was performed).
+    pub stats: CmrStats,
 }
 
 impl EmbeddingCache {
@@ -98,10 +121,33 @@ impl EmbeddingCache {
         *self.stats.lock()
     }
 
+    /// Whether an embedding for `graph` under this machine/config context is
+    /// stored (does not count as a lookup in the statistics).
+    pub fn contains(
+        &self,
+        graph: &Graph,
+        machine: &SplitMachine,
+        config: &SplitExecConfig,
+    ) -> bool {
+        self.entries
+            .lock()
+            .contains_key(&entry_key(graph, machine, config))
+    }
+
     /// Insert a pre-computed embedding for an input graph (the "offline"
     /// path: embeddings computed ahead of time and loaded into the table).
-    pub fn insert(&self, graph: &Graph, embedding: Embedding) {
-        self.entries.lock().insert(graph_key(graph), embedding);
+    /// The machine/config pair must be the context the embedding was
+    /// computed under — it is part of the key.
+    pub fn insert(
+        &self,
+        graph: &Graph,
+        machine: &SplitMachine,
+        config: &SplitExecConfig,
+        embedding: Embedding,
+    ) {
+        self.entries
+            .lock()
+            .insert(entry_key(graph, machine, config), embedding);
     }
 
     /// Look up the embedding for `input`, computing (and storing) it with the
@@ -112,25 +158,25 @@ impl EmbeddingCache {
         machine: &SplitMachine,
         config: &SplitExecConfig,
     ) -> Result<CachedEmbedding, PipelineError> {
-        let key = graph_key(input);
+        let key = entry_key(input, machine, config);
         if let Some(found) = self.entries.lock().get(&key).cloned() {
             self.stats.lock().hits += 1;
             return Ok(CachedEmbedding {
                 embedding: found,
                 cache_hit: true,
                 seconds: 0.0,
+                stats: CmrStats::default(),
             });
         }
         let (outcome, seconds) = timed(|| find_embedding(input, &machine.hardware, &config.cmr));
         let outcome = outcome?;
-        self.entries
-            .lock()
-            .insert(key, outcome.embedding.clone());
+        self.entries.lock().insert(key, outcome.embedding.clone());
         self.stats.lock().misses += 1;
         Ok(CachedEmbedding {
             embedding: outcome.embedding,
             cache_hit: false,
             seconds,
+            stats: outcome.stats,
         })
     }
 }
@@ -192,13 +238,37 @@ mod tests {
         let (machine, config, cache) = setup();
         let input = generators::path(4);
         // Pre-compute offline and insert.
-        let outcome =
-            find_embedding(&input, &machine.hardware, &config.cmr).unwrap();
-        cache.insert(&input, outcome.embedding.clone());
+        let outcome = find_embedding(&input, &machine.hardware, &config.cmr).unwrap();
+        cache.insert(&input, &machine, &config, outcome.embedding.clone());
+        assert!(cache.contains(&input, &machine, &config));
         let served = cache.get_or_compute(&input, &machine, &config).unwrap();
         assert!(served.cache_hit);
         assert_eq!(served.embedding, outcome.embedding);
         assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn different_machines_and_configs_do_not_share_entries() {
+        let (machine, config, cache) = setup();
+        let input = generators::cycle(6);
+        cache.get_or_compute(&input, &machine, &config).unwrap();
+        assert_eq!(cache.stats().misses, 1);
+
+        // A different hardware graph must not be served the old embedding
+        // (its chains would reference the wrong qubit space)...
+        let vesuvius = SplitMachine::new(crate::machine::QpuModel::Vesuvius);
+        let other_hw = cache.get_or_compute(&input, &vesuvius, &config).unwrap();
+        assert!(!other_hw.cache_hit);
+
+        // ...and neither must a different CMR configuration (determinism:
+        // cached results must equal what a fresh run would compute).
+        let other_config = SplitExecConfig::with_seed(config.seed + 1);
+        let other_seed = cache
+            .get_or_compute(&input, &machine, &other_config)
+            .unwrap();
+        assert!(!other_seed.cache_hit);
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]

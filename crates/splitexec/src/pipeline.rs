@@ -8,12 +8,17 @@
 use crate::config::SplitExecConfig;
 use crate::error::PipelineError;
 use crate::machine::SplitMachine;
-use crate::stage1::{execute_stage1, predict_stage1, Stage1Execution, Stage1Prediction};
-use crate::stage2::{execute_stage2, predict_stage2, Stage2Execution, Stage2Prediction};
+use crate::offline_cache::EmbeddingCache;
+use crate::stage1::{execute_stage1_cached, predict_stage1, Stage1Execution, Stage1Prediction};
+use crate::stage2::{
+    execute_stage2_with_backend, predict_stage2, Stage2Execution, Stage2Prediction,
+};
 use crate::stage3::{execute_stage3, predict_stage3, Stage3Execution, Stage3Prediction};
+use quantum_anneal::SamplerBackend;
 use qubo_ising::convert::spins_to_bits;
 use qubo_ising::Qubo;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The analytic three-stage breakdown for one problem size.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -80,24 +85,54 @@ impl ExecutionReport {
     }
 }
 
-/// The split-execution pipeline: a machine plus an application configuration.
+/// The split-execution pipeline: a machine, an application configuration and
+/// a pluggable stage-2 sampler backend.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     /// The machine the application runs on.
     pub machine: SplitMachine,
     /// Application parameters.
     pub config: SplitExecConfig,
+    /// An injected stage-2 sampler; `None` means "build from `config`", so
+    /// mutating `config.backend`/`config.schedule` after construction takes
+    /// effect on the next execution.
+    injected_backend: Option<Arc<dyn SamplerBackend>>,
 }
 
 impl Pipeline {
-    /// Create a pipeline over the given machine and configuration.
+    /// Create a pipeline over the given machine and configuration; stage 2
+    /// is served by the backend named in `config.backend` (simulated
+    /// annealing by default).
     pub fn new(machine: SplitMachine, config: SplitExecConfig) -> Self {
-        Self { machine, config }
+        Self {
+            machine,
+            config,
+            injected_backend: None,
+        }
     }
 
     /// A pipeline with the paper's default machine and parameters.
     pub fn paper_default() -> Self {
         Self::new(SplitMachine::paper_default(), SplitExecConfig::default())
+    }
+
+    /// Replace the stage-2 sampler with any [`SamplerBackend`]
+    /// implementation (builder style).  An injected backend takes precedence
+    /// over `config.backend` until the pipeline is rebuilt.
+    pub fn with_backend(mut self, backend: Arc<dyn SamplerBackend>) -> Self {
+        self.injected_backend = Some(backend);
+        self
+    }
+
+    /// The stage-2 backend the next execution will dispatch onto: the
+    /// injected one if present, otherwise the one named by the *current*
+    /// `config.backend` (built with the current `config.schedule`).
+    pub fn backend(&self) -> Arc<dyn SamplerBackend> {
+        self.injected_backend.clone().unwrap_or_else(|| {
+            self.config
+                .backend
+                .build_with_schedule(self.config.schedule)
+        })
     }
 
     /// Analytic prediction of the three-stage breakdown for a logical problem
@@ -122,8 +157,36 @@ impl Pipeline {
 
     /// Execute the full application on a concrete QUBO instance.
     pub fn execute(&self, qubo: &Qubo) -> Result<ExecutionReport, PipelineError> {
-        let stage1 = execute_stage1(&self.machine, &self.config, qubo)?;
-        let stage2 = execute_stage2(&self.machine, &self.config, &stage1.embedded.physical)?;
+        self.execute_impl(qubo, None)
+    }
+
+    /// Execute the full application, serving the stage-1 minor embedding
+    /// from `cache` when an identical interaction topology has been embedded
+    /// before (and storing it on a miss).  With identical configuration the
+    /// solution and samples equal [`Pipeline::execute`]'s — the CMR
+    /// heuristic is deterministic in its seed, so a cached embedding is the
+    /// embedding a fresh run would compute.
+    pub fn execute_cached(
+        &self,
+        qubo: &Qubo,
+        cache: &EmbeddingCache,
+    ) -> Result<ExecutionReport, PipelineError> {
+        self.execute_impl(qubo, Some(cache))
+    }
+
+    fn execute_impl(
+        &self,
+        qubo: &Qubo,
+        cache: Option<&EmbeddingCache>,
+    ) -> Result<ExecutionReport, PipelineError> {
+        let stage1 = execute_stage1_cached(&self.machine, &self.config, qubo, cache)?;
+        let backend = self.backend();
+        let stage2 = execute_stage2_with_backend(
+            &self.machine,
+            &self.config,
+            &stage1.embedded.physical,
+            backend.as_ref(),
+        )?;
         let stage3 = execute_stage3(
             &self.machine,
             &stage1.embedded.embedding,
@@ -159,7 +222,10 @@ mod tests {
     use qubo_ising::solve_qubo_exact;
 
     fn pipeline(seed: u64) -> Pipeline {
-        Pipeline::new(SplitMachine::paper_default(), SplitExecConfig::with_seed(seed))
+        Pipeline::new(
+            SplitMachine::paper_default(),
+            SplitExecConfig::with_seed(seed),
+        )
     }
 
     #[test]
@@ -203,7 +269,11 @@ mod tests {
 
     #[test]
     fn execute_number_partition_reaches_exact_optimum() {
-        let p = pipeline(11);
+        // Ask for more nines of accuracy so Eq. (6) sizes the read count
+        // generously enough that the 4-spin optimum is found regardless of
+        // the sampler's stream details.
+        let mut p = pipeline(11);
+        p.config = p.config.with_accuracy(0.999_999);
         let instance = NumberPartition::new(vec![5.0, 4.0, 3.0, 2.0, 2.0]);
         let qubo = instance.to_qubo();
         let exact = solve_qubo_exact(&qubo);
@@ -226,6 +296,50 @@ mod tests {
         let b = pipeline(3).execute(&qubo).unwrap();
         assert_eq!(a.solution, b.solution);
         assert_eq!(a.stage2.samples, b.stage2.samples);
+    }
+
+    #[test]
+    fn backend_is_pluggable_per_pipeline() {
+        use quantum_anneal::{BackendKind, ExactEnumerationBackend};
+        use std::sync::Arc;
+        let qubo = MaxCut::unweighted(generators::cycle(8)).to_qubo();
+        let exact = solve_qubo_exact(&qubo);
+
+        // Config-selected backend.
+        let config = SplitExecConfig::with_seed(7).with_backend(BackendKind::Exact);
+        let p = Pipeline::new(SplitMachine::paper_default(), config);
+        assert_eq!(p.backend().name(), "exact");
+        let report = p.execute(&qubo).unwrap();
+        assert!((report.solution.qubo_energy - exact.energy).abs() < 1e-9);
+        assert_eq!(report.stage2.backend, "exact");
+
+        // Builder-injected custom backend instance.
+        let p = pipeline(7).with_backend(Arc::new(ExactEnumerationBackend::with_max_spins(64)));
+        let report = p.execute(&qubo).unwrap();
+        assert!((report.solution.qubo_energy - exact.energy).abs() < 1e-9);
+
+        // Mutating the public config after construction must take effect on
+        // the next execution (no stale snapshot).
+        let mut p = pipeline(7);
+        assert_eq!(p.backend().name(), "simulated-annealing");
+        p.config = p.config.with_backend(BackendKind::Exact);
+        assert_eq!(p.backend().name(), "exact");
+        assert_eq!(p.execute(&qubo).unwrap().stage2.backend, "exact");
+    }
+
+    #[test]
+    fn oversized_program_is_a_backend_error() {
+        use quantum_anneal::{BackendKind, SamplerError};
+        let config = SplitExecConfig::with_seed(1).with_backend(BackendKind::Exact);
+        let p = Pipeline::new(SplitMachine::paper_default(), config);
+        // 30 logical vertices exceed the exact backend's 24-spin cap once
+        // embedded (the physical program only grows).
+        let qubo = MaxCut::unweighted(generators::cycle(30)).to_qubo();
+        let err = p.execute(&qubo).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::Backend(SamplerError::TooLarge { .. })
+        ));
     }
 
     #[test]

@@ -187,10 +187,7 @@ mod tests {
         assert_eq!(trace.events.len(), 9);
         assert_eq!(trace.events.first().unwrap().from, Layer::CallingThread);
         assert_eq!(trace.events.last().unwrap().to, Layer::CallingThread);
-        assert!(trace
-            .events
-            .iter()
-            .any(|e| e.to == Layer::QuantumHardware));
+        assert!(trace.events.iter().any(|e| e.to == Layer::QuantumHardware));
     }
 
     #[test]

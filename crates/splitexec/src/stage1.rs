@@ -17,11 +17,12 @@
 use crate::config::SplitExecConfig;
 use crate::error::PipelineError;
 use crate::machine::SplitMachine;
+use crate::offline_cache::EmbeddingCache;
 use crate::timing::timed;
 use aspen_model::{listings, ApplicationModel, ParamEnv, Prediction, Predictor};
 use minor_embed::{embed_ising, find_embedding, CmrStats, EmbeddedIsing, ParameterSetting};
-use qubo_ising::{qubo_to_ising, Ising, Qubo};
 use quantum_anneal::QpuTimings;
+use qubo_ising::{qubo_to_ising, Ising, Qubo};
 use serde::{Deserialize, Serialize};
 
 /// Analytic prediction for stage 1 at a given logical problem size.
@@ -83,8 +84,12 @@ pub struct Stage1Execution {
     pub conversion_operations: u64,
     /// Seconds spent in the CMR embedding heuristic.
     pub embedding_seconds: f64,
-    /// Work counters reported by the heuristic.
+    /// Work counters reported by the heuristic (zero when the embedding was
+    /// served from a cache).
     pub embedding_stats: CmrStats,
+    /// Whether the embedding came from an [`EmbeddingCache`] rather than
+    /// being computed in-line.
+    pub embedding_cache_hit: bool,
     /// Seconds spent spreading parameters over the embedded chains.
     pub parameter_seconds: f64,
     /// Parameter-setting operation count.
@@ -112,6 +117,19 @@ pub fn execute_stage1(
     config: &SplitExecConfig,
     qubo: &Qubo,
 ) -> Result<Stage1Execution, PipelineError> {
+    execute_stage1_cached(machine, config, qubo, None)
+}
+
+/// Execute stage 1, optionally serving the minor embedding from an
+/// [`EmbeddingCache`] (the paper's Sec. 3.3 "off-line embedding" remedy; the
+/// batch-submission path uses this to amortize the dominant stage-1 cost
+/// across jobs with the same interaction topology).
+pub fn execute_stage1_cached(
+    machine: &SplitMachine,
+    config: &SplitExecConfig,
+    qubo: &Qubo,
+    cache: Option<&EmbeddingCache>,
+) -> Result<Stage1Execution, PipelineError> {
     if qubo.num_variables() == 0 {
         return Err(PipelineError::BadInput(
             "the QUBO instance has no variables".into(),
@@ -123,22 +141,31 @@ pub fn execute_stage1(
     let (conversion, conversion_seconds) = timed(|| qubo_to_ising(qubo));
     let logical = conversion.ising;
 
-    // 2. Minor embedding with the CMR heuristic (`EmbedData`).
+    // 2. Minor embedding with the CMR heuristic (`EmbedData`), or a cache
+    //    lookup keyed on the interaction graph.
     let interaction = logical.interaction_graph();
-    let (embedding_outcome, embedding_seconds) =
-        timed(|| find_embedding(&interaction, &machine.hardware, &config.cmr));
-    let embedding_outcome = embedding_outcome?;
+    let (embedding, embedding_stats, embedding_seconds, embedding_cache_hit) = match cache {
+        Some(cache) => {
+            let served = cache.get_or_compute(&interaction, machine, config)?;
+            (
+                served.embedding,
+                served.stats,
+                served.seconds,
+                served.cache_hit,
+            )
+        }
+        None => {
+            let (outcome, seconds) =
+                timed(|| find_embedding(&interaction, &machine.hardware, &config.cmr));
+            let outcome = outcome?;
+            (outcome.embedding, outcome.stats, seconds, false)
+        }
+    };
 
     // 3. Parameter setting over the embedded chains.
     let setting = ParameterSetting::auto(&logical, config.chain_strength_factor);
-    let (embedded, parameter_seconds) = timed(|| {
-        embed_ising(
-            &logical,
-            &embedding_outcome.embedding,
-            &machine.hardware,
-            setting,
-        )
-    });
+    let (embedded, parameter_seconds) =
+        timed(|| embed_ising(&logical, &embedding, &machine.hardware, setting));
 
     // 4. Electronics initialization: a constant taken from the hardware
     //    model (we have no programmable magnetic memory to drive).
@@ -150,7 +177,8 @@ pub fn execute_stage1(
         conversion_seconds,
         conversion_operations: conversion.operations,
         embedding_seconds,
-        embedding_stats: embedding_outcome.stats,
+        embedding_stats,
+        embedding_cache_hit,
         parameter_seconds,
         parameter_operations: embedded.operations,
         processor_initialize_seconds,
@@ -236,8 +264,8 @@ mod tests {
 
     #[test]
     fn execution_rejects_empty_problem() {
-        let err = execute_stage1(&machine(), &SplitExecConfig::default(), &Qubo::new(0))
-            .unwrap_err();
+        let err =
+            execute_stage1(&machine(), &SplitExecConfig::default(), &Qubo::new(0)).unwrap_err();
         assert!(matches!(err, PipelineError::BadInput(_)));
     }
 

@@ -14,10 +14,11 @@ use crate::config::SplitExecConfig;
 use crate::error::PipelineError;
 use crate::machine::SplitMachine;
 use aspen_model::{listings, ApplicationModel, ParamEnv, Prediction, Predictor};
-use qubo_ising::Ising;
 use quantum_anneal::{
-    estimate_success_probability, required_reads, QpuAccessReport, SampleSet, SimulatedQpu,
+    estimate_success_probability, required_reads, QpuAccessReport, SampleParams, SampleSet,
+    SamplerBackend,
 };
+use qubo_ising::Ising;
 use serde::{Deserialize, Serialize};
 
 /// Analytic prediction for stage 2.
@@ -63,9 +64,13 @@ pub fn predict_stage2(
     })
 }
 
-/// Measured result of running stage 2 on the simulated QPU.
+/// Measured result of running stage 2 on a sampler backend.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Stage2Execution {
+    /// Name of the backend that served the request.  (Owned rather than
+    /// `&'static str` so the struct stays deserializable under a real
+    /// serde implementation.)
+    pub backend: String,
     /// Number of reads performed (Eq. 6 with the configured cap).
     pub reads: usize,
     /// The aggregated readout ensemble (physical spins).
@@ -80,40 +85,52 @@ pub struct Stage2Execution {
     pub total_seconds: f64,
 }
 
-/// Execute stage 2: sample the embedded (physical) Ising program.
+/// Execute stage 2 on the backend named by `config.backend` (convenience
+/// wrapper over [`execute_stage2_with_backend`]).
 pub fn execute_stage2(
     machine: &SplitMachine,
     config: &SplitExecConfig,
     physical: &Ising,
 ) -> Result<Stage2Execution, PipelineError> {
-    let _ = machine; // the simulated QPU is independent of the host model
+    let backend = config.backend.build_with_schedule(config.schedule);
+    execute_stage2_with_backend(machine, config, physical, backend.as_ref())
+}
+
+/// Execute stage 2: sample the embedded (physical) Ising program on any
+/// [`SamplerBackend`].
+pub fn execute_stage2_with_backend(
+    machine: &SplitMachine,
+    config: &SplitExecConfig,
+    physical: &Ising,
+    backend: &dyn SamplerBackend,
+) -> Result<Stage2Execution, PipelineError> {
+    let _ = machine; // the sampler backends are independent of the host model
     let reads = config.reads();
     if reads == usize::MAX {
         return Err(PipelineError::BadInput(
             "requested accuracy needs an unbounded number of reads".into(),
         ));
     }
-    // The configured schedule expresses temperatures relative to a unit
-    // energy scale; rescale it to the embedded program's actual parameter
-    // magnitude (chain couplings are deliberately the largest parameters) so
-    // the simulated anneal explores rather than quenches.
+    // Backends express their temperature schedules relative to a unit energy
+    // scale; pass the embedded program's actual parameter magnitude (chain
+    // couplings are deliberately the largest parameters) so the dynamics
+    // explore rather than quench.
     let scale = physical
         .max_abs_field()
         .max(physical.max_abs_coupling())
         .max(1.0);
-    let mut schedule = config.schedule;
-    schedule.initial_temperature *= scale;
-    schedule.final_temperature *= scale;
-    let qpu = SimulatedQpu::with_schedule(schedule);
-    let (samples, access) = qpu.sample_with_report(physical, reads, config.seed);
+    let params = SampleParams::new(reads, config.seed).with_energy_scale(scale);
+    let (samples, access) = backend.sample_with_report(physical, &params)?;
     let observed_success = samples
         .best_energy()
         .map(|best| estimate_success_probability(&samples.energies(), best, 1e-9).p_success)
         .unwrap_or(0.0);
     // The modeled stage time charges the per-read anneal plus the constant
     // readout and thermalization blocks, exactly like the Fig. 7 model.
-    let total_seconds = qpu.timings.anneal_seconds(reads) + qpu.timings.readout_seconds();
+    let timings = backend.timings();
+    let total_seconds = timings.anneal_seconds(reads) + timings.readout_seconds();
     Ok(Stage2Execution {
+        backend: backend.name().to_string(),
         reads,
         samples,
         access,
@@ -170,7 +187,9 @@ mod tests {
     fn prediction_grows_slowly_with_accuracy() {
         let machine = machine();
         let low = predict_stage2(&machine, 0.9, 0.7).unwrap().total_seconds;
-        let high = predict_stage2(&machine, 0.999_999, 0.7).unwrap().total_seconds;
+        let high = predict_stage2(&machine, 0.999_999, 0.7)
+            .unwrap()
+            .total_seconds;
         assert!(high > low);
         // Even six nines of accuracy keep stage 2 under a millisecond.
         assert!(high < 1e-3);
@@ -187,6 +206,20 @@ mod tests {
         assert!(result.observed_success > 0.0);
         assert!(result.total_seconds > 0.0);
         assert!(result.access.modeled_seconds > result.total_seconds);
+    }
+
+    #[test]
+    fn execution_works_on_every_builtin_backend() {
+        use quantum_anneal::BackendKind;
+        let machine = machine();
+        let logical = Ising::random_on_graph(&generators::cycle(8), 3);
+        for kind in BackendKind::all() {
+            let config = SplitExecConfig::with_seed(5).with_backend(kind);
+            let result = execute_stage2(&machine, &config, &logical).unwrap();
+            assert_eq!(result.backend, kind.to_string(), "{kind}");
+            assert_eq!(result.samples.num_reads(), config.reads(), "{kind}");
+            assert!(result.total_seconds > 0.0, "{kind}");
+        }
     }
 
     #[test]

@@ -15,9 +15,9 @@ use crate::machine::SplitMachine;
 use crate::timing::timed;
 use aspen_model::{listings, ApplicationModel, ParamEnv, Prediction, Predictor};
 use minor_embed::{unembed_sample, Embedding};
+use quantum_anneal::SampleSet;
 use qubo_ising::energy::RankedSolution;
 use qubo_ising::{rank_solutions, Ising, Spin};
-use quantum_anneal::SampleSet;
 use serde::{Deserialize, Serialize};
 
 /// Analytic prediction for stage 3.
@@ -136,8 +136,12 @@ mod tests {
     #[test]
     fn prediction_scales_roughly_linearly_with_input_size() {
         let machine = machine();
-        let small = predict_stage3(&machine, 10, 0.99, 0.75).unwrap().total_seconds;
-        let large = predict_stage3(&machine, 100, 0.99, 0.75).unwrap().total_seconds;
+        let small = predict_stage3(&machine, 10, 0.99, 0.75)
+            .unwrap()
+            .total_seconds;
+        let large = predict_stage3(&machine, 100, 0.99, 0.75)
+            .unwrap()
+            .total_seconds;
         assert!(large > small);
         // Near-linear: a 10x larger input should cost well under 100x more.
         assert!(large < small * 30.0);
@@ -146,8 +150,12 @@ mod tests {
     #[test]
     fn prediction_is_negligible_compared_to_stage1() {
         let machine = machine();
-        let s1 = crate::stage1::predict_stage1(&machine, 50).unwrap().total_seconds;
-        let s3 = predict_stage3(&machine, 50, 0.99, 0.75).unwrap().total_seconds;
+        let s1 = crate::stage1::predict_stage1(&machine, 50)
+            .unwrap()
+            .total_seconds;
+        let s3 = predict_stage3(&machine, 50, 0.99, 0.75)
+            .unwrap()
+            .total_seconds;
         assert!(s1 / s3 > 1e3, "stage1 {s1} vs stage3 {s3}");
     }
 
@@ -172,12 +180,11 @@ mod tests {
             }
         }
         let samples = SampleSet::from_reads(vec![
-            (all_up.clone(), logical.energy(&vec![1; 6])),
-            (all_down.clone(), logical.energy(&vec![-1; 6])),
-            (all_up.clone(), logical.energy(&vec![1; 6])),
+            (all_up.clone(), logical.energy(&[1; 6])),
+            (all_down.clone(), logical.energy(&[-1; 6])),
+            (all_up.clone(), logical.energy(&[1; 6])),
         ]);
-        let result =
-            execute_stage3(&machine, &outcome.embedding, &logical, &samples).unwrap();
+        let result = execute_stage3(&machine, &outcome.embedding, &logical, &samples).unwrap();
         assert_eq!(result.chain_breaks, 0);
         assert!(result.sort_operations > 0);
         assert_eq!(
@@ -185,8 +192,8 @@ mod tests {
             3
         );
         // Best logical energy is the smaller of the two configurations.
-        let up_energy = logical.energy(&vec![1; 6]);
-        let down_energy = logical.energy(&vec![-1; 6]);
+        let up_energy = logical.energy(&[1; 6]);
+        let down_energy = logical.energy(&[-1; 6]);
         assert!((result.best_energy - up_energy.min(down_energy)).abs() < 1e-9);
     }
 
@@ -195,8 +202,8 @@ mod tests {
         let machine = machine();
         let logical = Ising::new(2);
         let embedding = Embedding::from_chains(vec![vec![0], vec![1]]);
-        let err = execute_stage3(&machine, &embedding, &logical, &SampleSet::default())
-            .unwrap_err();
+        let err =
+            execute_stage3(&machine, &embedding, &logical, &SampleSet::default()).unwrap_err();
         assert!(matches!(err, PipelineError::BadInput(_)));
     }
 }

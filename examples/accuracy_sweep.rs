@@ -16,7 +16,10 @@ fn main() -> Result<(), PipelineError> {
     println!("{:>12} {:>8} {:>14}", "accuracy", "reads", "stage2 [s]");
     for accuracy in [0.5, 0.75, 0.9, 0.99, 0.999, 0.9999, 0.99999, 0.999999] {
         let p = predict_stage2(&machine, accuracy, 0.7)?;
-        println!("{:>12.6} {:>8} {:>14.6e}", accuracy, p.reads, p.total_seconds);
+        println!(
+            "{:>12.6} {:>8} {:>14.6e}",
+            accuracy, p.reads, p.total_seconds
+        );
     }
 
     println!("\nsensitivity to the per-read success probability (accuracy = 0.99):");

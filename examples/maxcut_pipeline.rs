@@ -18,7 +18,10 @@ use qubo_ising::solve_qubo_exact;
 use split_exec::prelude::*;
 
 fn main() -> Result<(), PipelineError> {
-    let pipeline = Pipeline::new(SplitMachine::paper_default(), SplitExecConfig::with_seed(11));
+    let pipeline = Pipeline::new(
+        SplitMachine::paper_default(),
+        SplitExecConfig::with_seed(11),
+    );
     println!(
         "{:>4} {:>6} {:>10} {:>10} {:>12} {:>12} {:>10}",
         "n", "edges", "cut", "optimal", "stage1 [s]", "total [s]", "stage1 %"

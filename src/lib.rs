@@ -1,0 +1,21 @@
+//! Workspace umbrella for the split-execution reproduction.
+//!
+//! This root crate carries the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the implementation lives
+//! in the member crates, re-exported here for convenience:
+//!
+//! * [`qubo_ising`] — QUBO/Ising problem layer,
+//! * [`chimera_graph`] — hardware-graph substrate,
+//! * [`minor_embed`] — minor embedding (the stage-1 bottleneck),
+//! * [`quantum_anneal`] — sampler backends (the pluggable stage 2),
+//! * [`aspen_model`] — ASPEN-style analytic performance models,
+//! * [`split_exec`] — the three-stage pipeline and batch execution.
+
+#![forbid(unsafe_code)]
+
+pub use aspen_model;
+pub use chimera_graph;
+pub use minor_embed;
+pub use quantum_anneal;
+pub use qubo_ising;
+pub use split_exec;

@@ -14,7 +14,10 @@ fn fig5_machine_listing_resolves_against_builtin_library() {
     let t = machine.seconds_for("QuOps", 3.0, &[]).unwrap();
     assert!((t - 60e-6).abs() < 1e-12);
     // The host CPU provides the flops/loads/stores rates.
-    assert_eq!(machine.rate("flops").unwrap().provider, "intel_xeon_e5_2680");
+    assert_eq!(
+        machine.rate("flops").unwrap().provider,
+        "intel_xeon_e5_2680"
+    );
     assert!(machine.supports("intracomm"));
 }
 
@@ -79,7 +82,11 @@ fn fig8_stage3_listing_costs_are_negligible() {
         let prediction = Predictor::new(&machine)
             .predict(&app, &ParamEnv::new().with("LPS", lps))
             .unwrap();
-        assert!(prediction.seconds() < 1e-3, "LPS {lps}: {}", prediction.seconds());
+        assert!(
+            prediction.seconds() < 1e-3,
+            "LPS {lps}: {}",
+            prediction.seconds()
+        );
     }
 }
 

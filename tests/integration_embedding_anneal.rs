@@ -4,9 +4,9 @@
 
 use chimera_graph::{generators, Chimera, FaultModel};
 use minor_embed::prelude::*;
+use quantum_anneal::prelude::*;
 use qubo_ising::prelude::*;
 use qubo_ising::solve_ising_exact;
-use quantum_anneal::prelude::*;
 
 /// Embed a logical model, sample the physical program, decode, and compare
 /// with the exact logical optimum.
