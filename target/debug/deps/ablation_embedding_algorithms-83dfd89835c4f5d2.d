@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_embedding_algorithms-83dfd89835c4f5d2.d: crates/bench/benches/ablation_embedding_algorithms.rs
+
+/root/repo/target/debug/deps/ablation_embedding_algorithms-83dfd89835c4f5d2: crates/bench/benches/ablation_embedding_algorithms.rs
+
+crates/bench/benches/ablation_embedding_algorithms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_embedding_algorithms-c562be433d5abff2.d: crates/bench/benches/ablation_embedding_algorithms.rs
+
+/root/repo/target/debug/deps/ablation_embedding_algorithms-c562be433d5abff2: crates/bench/benches/ablation_embedding_algorithms.rs
+
+crates/bench/benches/ablation_embedding_algorithms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_embedding_algorithms-c5ac829e9918ef70.d: crates/bench/benches/ablation_embedding_algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_embedding_algorithms-c5ac829e9918ef70.rmeta: crates/bench/benches/ablation_embedding_algorithms.rs Cargo.toml
+
+crates/bench/benches/ablation_embedding_algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

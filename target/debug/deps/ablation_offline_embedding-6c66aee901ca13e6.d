@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_offline_embedding-6c66aee901ca13e6.d: crates/bench/benches/ablation_offline_embedding.rs
+
+/root/repo/target/debug/deps/ablation_offline_embedding-6c66aee901ca13e6: crates/bench/benches/ablation_offline_embedding.rs
+
+crates/bench/benches/ablation_offline_embedding.rs:

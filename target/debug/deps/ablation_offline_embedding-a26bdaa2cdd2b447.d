@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_offline_embedding-a26bdaa2cdd2b447.d: crates/bench/benches/ablation_offline_embedding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_offline_embedding-a26bdaa2cdd2b447.rmeta: crates/bench/benches/ablation_offline_embedding.rs Cargo.toml
+
+crates/bench/benches/ablation_offline_embedding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_offline_embedding-ae31641900fcdc9b.d: crates/bench/benches/ablation_offline_embedding.rs
+
+/root/repo/target/debug/deps/ablation_offline_embedding-ae31641900fcdc9b: crates/bench/benches/ablation_offline_embedding.rs
+
+crates/bench/benches/ablation_offline_embedding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/annealer_sampling-6f1352812c4d63eb.d: crates/bench/benches/annealer_sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libannealer_sampling-6f1352812c4d63eb.rmeta: crates/bench/benches/annealer_sampling.rs Cargo.toml
+
+crates/bench/benches/annealer_sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/annealer_sampling-7b0ab1ec5eee6ddd.d: crates/bench/benches/annealer_sampling.rs
+
+/root/repo/target/debug/deps/annealer_sampling-7b0ab1ec5eee6ddd: crates/bench/benches/annealer_sampling.rs
+
+crates/bench/benches/annealer_sampling.rs:

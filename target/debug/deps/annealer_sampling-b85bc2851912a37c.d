@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/annealer_sampling-b85bc2851912a37c.d: crates/bench/benches/annealer_sampling.rs
+
+/root/repo/target/debug/deps/annealer_sampling-b85bc2851912a37c: crates/bench/benches/annealer_sampling.rs
+
+crates/bench/benches/annealer_sampling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/architectures-5acc6ce1239d7812.d: crates/bench/src/bin/architectures.rs
+
+/root/repo/target/debug/deps/architectures-5acc6ce1239d7812: crates/bench/src/bin/architectures.rs
+
+crates/bench/src/bin/architectures.rs:

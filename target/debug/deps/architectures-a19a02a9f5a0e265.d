@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/architectures-a19a02a9f5a0e265.d: crates/bench/src/bin/architectures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchitectures-a19a02a9f5a0e265.rmeta: crates/bench/src/bin/architectures.rs Cargo.toml
+
+crates/bench/src/bin/architectures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/architectures-a893443f60c92a53.d: crates/bench/src/bin/architectures.rs
+
+/root/repo/target/debug/deps/architectures-a893443f60c92a53: crates/bench/src/bin/architectures.rs
+
+crates/bench/src/bin/architectures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/architectures-aa1662a088be41a2.d: crates/bench/src/bin/architectures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchitectures-aa1662a088be41a2.rmeta: crates/bench/src/bin/architectures.rs Cargo.toml
+
+crates/bench/src/bin/architectures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

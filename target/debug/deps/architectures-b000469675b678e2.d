@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/architectures-b000469675b678e2.d: crates/bench/src/bin/architectures.rs
+
+/root/repo/target/debug/deps/architectures-b000469675b678e2: crates/bench/src/bin/architectures.rs
+
+crates/bench/src/bin/architectures.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/aspen_model-1616ebaf2902de3c.d: crates/aspen/src/lib.rs crates/aspen/src/application.rs crates/aspen/src/ast.rs crates/aspen/src/builtin.rs crates/aspen/src/error.rs crates/aspen/src/expr.rs crates/aspen/src/lexer.rs crates/aspen/src/listings.rs crates/aspen/src/machine.rs crates/aspen/src/parser.rs crates/aspen/src/predict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaspen_model-1616ebaf2902de3c.rmeta: crates/aspen/src/lib.rs crates/aspen/src/application.rs crates/aspen/src/ast.rs crates/aspen/src/builtin.rs crates/aspen/src/error.rs crates/aspen/src/expr.rs crates/aspen/src/lexer.rs crates/aspen/src/listings.rs crates/aspen/src/machine.rs crates/aspen/src/parser.rs crates/aspen/src/predict.rs Cargo.toml
+
+crates/aspen/src/lib.rs:
+crates/aspen/src/application.rs:
+crates/aspen/src/ast.rs:
+crates/aspen/src/builtin.rs:
+crates/aspen/src/error.rs:
+crates/aspen/src/expr.rs:
+crates/aspen/src/lexer.rs:
+crates/aspen/src/listings.rs:
+crates/aspen/src/machine.rs:
+crates/aspen/src/parser.rs:
+crates/aspen/src/predict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

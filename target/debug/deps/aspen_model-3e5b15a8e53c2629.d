@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/aspen_model-3e5b15a8e53c2629.d: crates/aspen/src/lib.rs crates/aspen/src/application.rs crates/aspen/src/ast.rs crates/aspen/src/builtin.rs crates/aspen/src/error.rs crates/aspen/src/expr.rs crates/aspen/src/lexer.rs crates/aspen/src/listings.rs crates/aspen/src/machine.rs crates/aspen/src/parser.rs crates/aspen/src/predict.rs
+
+/root/repo/target/debug/deps/aspen_model-3e5b15a8e53c2629: crates/aspen/src/lib.rs crates/aspen/src/application.rs crates/aspen/src/ast.rs crates/aspen/src/builtin.rs crates/aspen/src/error.rs crates/aspen/src/expr.rs crates/aspen/src/lexer.rs crates/aspen/src/listings.rs crates/aspen/src/machine.rs crates/aspen/src/parser.rs crates/aspen/src/predict.rs
+
+crates/aspen/src/lib.rs:
+crates/aspen/src/application.rs:
+crates/aspen/src/ast.rs:
+crates/aspen/src/builtin.rs:
+crates/aspen/src/error.rs:
+crates/aspen/src/expr.rs:
+crates/aspen/src/lexer.rs:
+crates/aspen/src/listings.rs:
+crates/aspen/src/machine.rs:
+crates/aspen/src/parser.rs:
+crates/aspen/src/predict.rs:

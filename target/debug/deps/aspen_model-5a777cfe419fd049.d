@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/aspen_model-5a777cfe419fd049.d: crates/aspen/src/lib.rs crates/aspen/src/application.rs crates/aspen/src/ast.rs crates/aspen/src/builtin.rs crates/aspen/src/error.rs crates/aspen/src/expr.rs crates/aspen/src/lexer.rs crates/aspen/src/listings.rs crates/aspen/src/machine.rs crates/aspen/src/parser.rs crates/aspen/src/predict.rs
+
+/root/repo/target/debug/deps/aspen_model-5a777cfe419fd049: crates/aspen/src/lib.rs crates/aspen/src/application.rs crates/aspen/src/ast.rs crates/aspen/src/builtin.rs crates/aspen/src/error.rs crates/aspen/src/expr.rs crates/aspen/src/lexer.rs crates/aspen/src/listings.rs crates/aspen/src/machine.rs crates/aspen/src/parser.rs crates/aspen/src/predict.rs
+
+crates/aspen/src/lib.rs:
+crates/aspen/src/application.rs:
+crates/aspen/src/ast.rs:
+crates/aspen/src/builtin.rs:
+crates/aspen/src/error.rs:
+crates/aspen/src/expr.rs:
+crates/aspen/src/lexer.rs:
+crates/aspen/src/listings.rs:
+crates/aspen/src/machine.rs:
+crates/aspen/src/parser.rs:
+crates/aspen/src/predict.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_comparison-999ab9b43ec16c4f.d: crates/bench/benches/backend_comparison.rs
+
+/root/repo/target/debug/deps/backend_comparison-999ab9b43ec16c4f: crates/bench/benches/backend_comparison.rs
+
+crates/bench/benches/backend_comparison.rs:

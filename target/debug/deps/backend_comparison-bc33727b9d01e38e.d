@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backend_comparison-bc33727b9d01e38e.d: crates/bench/benches/backend_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackend_comparison-bc33727b9d01e38e.rmeta: crates/bench/benches/backend_comparison.rs Cargo.toml
+
+crates/bench/benches/backend_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_throughput-7ca700cabbd65cb2.d: crates/bench/src/bin/batch_throughput.rs
+
+/root/repo/target/debug/deps/batch_throughput-7ca700cabbd65cb2: crates/bench/src/bin/batch_throughput.rs
+
+crates/bench/src/bin/batch_throughput.rs:

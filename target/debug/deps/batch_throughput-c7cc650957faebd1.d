@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_throughput-c7cc650957faebd1.d: crates/bench/src/bin/batch_throughput.rs
+
+/root/repo/target/debug/deps/batch_throughput-c7cc650957faebd1: crates/bench/src/bin/batch_throughput.rs
+
+crates/bench/src/bin/batch_throughput.rs:

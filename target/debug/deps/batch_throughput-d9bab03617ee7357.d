@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_throughput-d9bab03617ee7357.d: crates/bench/src/bin/batch_throughput.rs
+
+/root/repo/target/debug/deps/batch_throughput-d9bab03617ee7357: crates/bench/src/bin/batch_throughput.rs
+
+crates/bench/src/bin/batch_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch_throughput-e4114c1593d88166.d: crates/bench/src/bin/batch_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_throughput-e4114c1593d88166.rmeta: crates/bench/src/bin/batch_throughput.rs Cargo.toml
+
+crates/bench/src/bin/batch_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

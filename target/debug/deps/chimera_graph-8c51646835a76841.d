@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/chimera_graph-8c51646835a76841.d: crates/chimera/src/lib.rs crates/chimera/src/chimera.rs crates/chimera/src/csr.rs crates/chimera/src/faults.rs crates/chimera/src/generators.rs crates/chimera/src/graph.rs crates/chimera/src/metrics.rs
+
+/root/repo/target/debug/deps/libchimera_graph-8c51646835a76841.rlib: crates/chimera/src/lib.rs crates/chimera/src/chimera.rs crates/chimera/src/csr.rs crates/chimera/src/faults.rs crates/chimera/src/generators.rs crates/chimera/src/graph.rs crates/chimera/src/metrics.rs
+
+/root/repo/target/debug/deps/libchimera_graph-8c51646835a76841.rmeta: crates/chimera/src/lib.rs crates/chimera/src/chimera.rs crates/chimera/src/csr.rs crates/chimera/src/faults.rs crates/chimera/src/generators.rs crates/chimera/src/graph.rs crates/chimera/src/metrics.rs
+
+crates/chimera/src/lib.rs:
+crates/chimera/src/chimera.rs:
+crates/chimera/src/csr.rs:
+crates/chimera/src/faults.rs:
+crates/chimera/src/generators.rs:
+crates/chimera/src/graph.rs:
+crates/chimera/src/metrics.rs:

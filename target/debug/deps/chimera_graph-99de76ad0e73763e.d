@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/chimera_graph-99de76ad0e73763e.d: crates/chimera/src/lib.rs crates/chimera/src/chimera.rs crates/chimera/src/csr.rs crates/chimera/src/faults.rs crates/chimera/src/generators.rs crates/chimera/src/graph.rs crates/chimera/src/metrics.rs
+
+/root/repo/target/debug/deps/chimera_graph-99de76ad0e73763e: crates/chimera/src/lib.rs crates/chimera/src/chimera.rs crates/chimera/src/csr.rs crates/chimera/src/faults.rs crates/chimera/src/generators.rs crates/chimera/src/graph.rs crates/chimera/src/metrics.rs
+
+crates/chimera/src/lib.rs:
+crates/chimera/src/chimera.rs:
+crates/chimera/src/csr.rs:
+crates/chimera/src/faults.rs:
+crates/chimera/src/generators.rs:
+crates/chimera/src/graph.rs:
+crates/chimera/src/metrics.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/chimera_graph-a1bffbac1cb59812.d: crates/chimera/src/lib.rs crates/chimera/src/chimera.rs crates/chimera/src/csr.rs crates/chimera/src/faults.rs crates/chimera/src/generators.rs crates/chimera/src/graph.rs crates/chimera/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchimera_graph-a1bffbac1cb59812.rmeta: crates/chimera/src/lib.rs crates/chimera/src/chimera.rs crates/chimera/src/csr.rs crates/chimera/src/faults.rs crates/chimera/src/generators.rs crates/chimera/src/graph.rs crates/chimera/src/metrics.rs Cargo.toml
+
+crates/chimera/src/lib.rs:
+crates/chimera/src/chimera.rs:
+crates/chimera/src/csr.rs:
+crates/chimera/src/faults.rs:
+crates/chimera/src/generators.rs:
+crates/chimera/src/graph.rs:
+crates/chimera/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/chimera_graph-c6b1cbc230c555c2.d: crates/chimera/src/lib.rs crates/chimera/src/chimera.rs crates/chimera/src/csr.rs crates/chimera/src/faults.rs crates/chimera/src/generators.rs crates/chimera/src/graph.rs crates/chimera/src/metrics.rs
+
+/root/repo/target/debug/deps/libchimera_graph-c6b1cbc230c555c2.rlib: crates/chimera/src/lib.rs crates/chimera/src/chimera.rs crates/chimera/src/csr.rs crates/chimera/src/faults.rs crates/chimera/src/generators.rs crates/chimera/src/graph.rs crates/chimera/src/metrics.rs
+
+/root/repo/target/debug/deps/libchimera_graph-c6b1cbc230c555c2.rmeta: crates/chimera/src/lib.rs crates/chimera/src/chimera.rs crates/chimera/src/csr.rs crates/chimera/src/faults.rs crates/chimera/src/generators.rs crates/chimera/src/graph.rs crates/chimera/src/metrics.rs
+
+crates/chimera/src/lib.rs:
+crates/chimera/src/chimera.rs:
+crates/chimera/src/csr.rs:
+crates/chimera/src/faults.rs:
+crates/chimera/src/generators.rs:
+crates/chimera/src/graph.rs:
+crates/chimera/src/metrics.rs:

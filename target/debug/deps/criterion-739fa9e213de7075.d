@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-739fa9e213de7075.d: crates/compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-739fa9e213de7075.rmeta: crates/compat/criterion/src/lib.rs Cargo.toml
+
+crates/compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

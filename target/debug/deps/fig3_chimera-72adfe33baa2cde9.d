@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_chimera-72adfe33baa2cde9.d: crates/bench/src/bin/fig3_chimera.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_chimera-72adfe33baa2cde9.rmeta: crates/bench/src/bin/fig3_chimera.rs Cargo.toml
+
+crates/bench/src/bin/fig3_chimera.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

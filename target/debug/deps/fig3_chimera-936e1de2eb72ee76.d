@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_chimera-936e1de2eb72ee76.d: crates/bench/src/bin/fig3_chimera.rs
+
+/root/repo/target/debug/deps/fig3_chimera-936e1de2eb72ee76: crates/bench/src/bin/fig3_chimera.rs
+
+crates/bench/src/bin/fig3_chimera.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_chimera-e12bc2c29439e301.d: crates/bench/src/bin/fig3_chimera.rs
+
+/root/repo/target/debug/deps/fig3_chimera-e12bc2c29439e301: crates/bench/src/bin/fig3_chimera.rs
+
+crates/bench/src/bin/fig3_chimera.rs:

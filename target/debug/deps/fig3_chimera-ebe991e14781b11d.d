@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_chimera-ebe991e14781b11d.d: crates/bench/src/bin/fig3_chimera.rs
+
+/root/repo/target/debug/deps/fig3_chimera-ebe991e14781b11d: crates/bench/src/bin/fig3_chimera.rs
+
+crates/bench/src/bin/fig3_chimera.rs:

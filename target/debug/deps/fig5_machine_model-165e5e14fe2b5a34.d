@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_machine_model-165e5e14fe2b5a34.d: crates/bench/src/bin/fig5_machine_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_machine_model-165e5e14fe2b5a34.rmeta: crates/bench/src/bin/fig5_machine_model.rs Cargo.toml
+
+crates/bench/src/bin/fig5_machine_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_machine_model-31ff2dbc9f87eece.d: crates/bench/src/bin/fig5_machine_model.rs
+
+/root/repo/target/debug/deps/fig5_machine_model-31ff2dbc9f87eece: crates/bench/src/bin/fig5_machine_model.rs
+
+crates/bench/src/bin/fig5_machine_model.rs:

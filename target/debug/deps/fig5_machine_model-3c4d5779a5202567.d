@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_machine_model-3c4d5779a5202567.d: crates/bench/benches/fig5_machine_model.rs
+
+/root/repo/target/debug/deps/fig5_machine_model-3c4d5779a5202567: crates/bench/benches/fig5_machine_model.rs
+
+crates/bench/benches/fig5_machine_model.rs:

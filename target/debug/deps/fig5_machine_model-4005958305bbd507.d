@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_machine_model-4005958305bbd507.d: crates/bench/src/bin/fig5_machine_model.rs
+
+/root/repo/target/debug/deps/fig5_machine_model-4005958305bbd507: crates/bench/src/bin/fig5_machine_model.rs
+
+crates/bench/src/bin/fig5_machine_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_machine_model-43ce4cce69a81096.d: crates/bench/benches/fig5_machine_model.rs
+
+/root/repo/target/debug/deps/fig5_machine_model-43ce4cce69a81096: crates/bench/benches/fig5_machine_model.rs
+
+crates/bench/benches/fig5_machine_model.rs:

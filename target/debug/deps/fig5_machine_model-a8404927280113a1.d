@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_machine_model-a8404927280113a1.d: crates/bench/src/bin/fig5_machine_model.rs
+
+/root/repo/target/debug/deps/fig5_machine_model-a8404927280113a1: crates/bench/src/bin/fig5_machine_model.rs
+
+crates/bench/src/bin/fig5_machine_model.rs:

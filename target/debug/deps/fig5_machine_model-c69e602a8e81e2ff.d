@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_machine_model-c69e602a8e81e2ff.d: crates/bench/benches/fig5_machine_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_machine_model-c69e602a8e81e2ff.rmeta: crates/bench/benches/fig5_machine_model.rs Cargo.toml
+
+crates/bench/benches/fig5_machine_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_stage1_model-095f5b4a8d0bbfdd.d: crates/bench/src/bin/fig6_stage1_model.rs
+
+/root/repo/target/debug/deps/fig6_stage1_model-095f5b4a8d0bbfdd: crates/bench/src/bin/fig6_stage1_model.rs
+
+crates/bench/src/bin/fig6_stage1_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_stage1_model-2d475f403c35b38a.d: crates/bench/src/bin/fig6_stage1_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_stage1_model-2d475f403c35b38a.rmeta: crates/bench/src/bin/fig6_stage1_model.rs Cargo.toml
+
+crates/bench/src/bin/fig6_stage1_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

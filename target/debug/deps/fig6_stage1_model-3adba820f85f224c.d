@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_stage1_model-3adba820f85f224c.d: crates/bench/src/bin/fig6_stage1_model.rs
+
+/root/repo/target/debug/deps/fig6_stage1_model-3adba820f85f224c: crates/bench/src/bin/fig6_stage1_model.rs
+
+crates/bench/src/bin/fig6_stage1_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_stage1_model-5c91618505b0dfb7.d: crates/bench/src/bin/fig6_stage1_model.rs
+
+/root/repo/target/debug/deps/fig6_stage1_model-5c91618505b0dfb7: crates/bench/src/bin/fig6_stage1_model.rs
+
+crates/bench/src/bin/fig6_stage1_model.rs:

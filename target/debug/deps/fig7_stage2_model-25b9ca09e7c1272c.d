@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_stage2_model-25b9ca09e7c1272c.d: crates/bench/src/bin/fig7_stage2_model.rs
+
+/root/repo/target/debug/deps/fig7_stage2_model-25b9ca09e7c1272c: crates/bench/src/bin/fig7_stage2_model.rs
+
+crates/bench/src/bin/fig7_stage2_model.rs:

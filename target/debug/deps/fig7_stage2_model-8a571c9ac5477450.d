@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_stage2_model-8a571c9ac5477450.d: crates/bench/src/bin/fig7_stage2_model.rs
+
+/root/repo/target/debug/deps/fig7_stage2_model-8a571c9ac5477450: crates/bench/src/bin/fig7_stage2_model.rs
+
+crates/bench/src/bin/fig7_stage2_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_stage2_model-c1f83c82adf9a9b9.d: crates/bench/src/bin/fig7_stage2_model.rs
+
+/root/repo/target/debug/deps/fig7_stage2_model-c1f83c82adf9a9b9: crates/bench/src/bin/fig7_stage2_model.rs
+
+crates/bench/src/bin/fig7_stage2_model.rs:

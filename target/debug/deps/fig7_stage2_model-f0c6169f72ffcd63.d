@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_stage2_model-f0c6169f72ffcd63.d: crates/bench/src/bin/fig7_stage2_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_stage2_model-f0c6169f72ffcd63.rmeta: crates/bench/src/bin/fig7_stage2_model.rs Cargo.toml
+
+crates/bench/src/bin/fig7_stage2_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_stage3_model-43cd4ab70a7b6094.d: crates/bench/src/bin/fig8_stage3_model.rs
+
+/root/repo/target/debug/deps/fig8_stage3_model-43cd4ab70a7b6094: crates/bench/src/bin/fig8_stage3_model.rs
+
+crates/bench/src/bin/fig8_stage3_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_stage3_model-82bb4407e0440341.d: crates/bench/src/bin/fig8_stage3_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_stage3_model-82bb4407e0440341.rmeta: crates/bench/src/bin/fig8_stage3_model.rs Cargo.toml
+
+crates/bench/src/bin/fig8_stage3_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_stage3_model-a82abf85ed78e173.d: crates/bench/src/bin/fig8_stage3_model.rs
+
+/root/repo/target/debug/deps/fig8_stage3_model-a82abf85ed78e173: crates/bench/src/bin/fig8_stage3_model.rs
+
+crates/bench/src/bin/fig8_stage3_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_stage3_model-ee4bc9af3a4e44b5.d: crates/bench/src/bin/fig8_stage3_model.rs
+
+/root/repo/target/debug/deps/fig8_stage3_model-ee4bc9af3a4e44b5: crates/bench/src/bin/fig8_stage3_model.rs
+
+crates/bench/src/bin/fig8_stage3_model.rs:

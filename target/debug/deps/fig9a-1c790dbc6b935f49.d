@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a-1c790dbc6b935f49.d: crates/bench/src/bin/fig9a.rs
+
+/root/repo/target/debug/deps/fig9a-1c790dbc6b935f49: crates/bench/src/bin/fig9a.rs
+
+crates/bench/src/bin/fig9a.rs:

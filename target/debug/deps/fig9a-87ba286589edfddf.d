@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a-87ba286589edfddf.d: crates/bench/src/bin/fig9a.rs
+
+/root/repo/target/debug/deps/fig9a-87ba286589edfddf: crates/bench/src/bin/fig9a.rs
+
+crates/bench/src/bin/fig9a.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9a-982dd1651d6e1f41.d: crates/bench/src/bin/fig9a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9a-982dd1651d6e1f41.rmeta: crates/bench/src/bin/fig9a.rs Cargo.toml
+
+crates/bench/src/bin/fig9a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

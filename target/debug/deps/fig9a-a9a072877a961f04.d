@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a-a9a072877a961f04.d: crates/bench/src/bin/fig9a.rs
+
+/root/repo/target/debug/deps/fig9a-a9a072877a961f04: crates/bench/src/bin/fig9a.rs
+
+crates/bench/src/bin/fig9a.rs:

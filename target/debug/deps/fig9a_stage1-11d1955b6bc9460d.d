@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9a_stage1-11d1955b6bc9460d.d: crates/bench/benches/fig9a_stage1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9a_stage1-11d1955b6bc9460d.rmeta: crates/bench/benches/fig9a_stage1.rs Cargo.toml
+
+crates/bench/benches/fig9a_stage1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

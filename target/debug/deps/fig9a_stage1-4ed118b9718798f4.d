@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a_stage1-4ed118b9718798f4.d: crates/bench/benches/fig9a_stage1.rs
+
+/root/repo/target/debug/deps/fig9a_stage1-4ed118b9718798f4: crates/bench/benches/fig9a_stage1.rs
+
+crates/bench/benches/fig9a_stage1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9a_stage1-8ad978d5603e7dbb.d: crates/bench/benches/fig9a_stage1.rs
+
+/root/repo/target/debug/deps/fig9a_stage1-8ad978d5603e7dbb: crates/bench/benches/fig9a_stage1.rs
+
+crates/bench/benches/fig9a_stage1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9b-3f0faa55b772d979.d: crates/bench/src/bin/fig9b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9b-3f0faa55b772d979.rmeta: crates/bench/src/bin/fig9b.rs Cargo.toml
+
+crates/bench/src/bin/fig9b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b-5e1af4a9af90e16f.d: crates/bench/src/bin/fig9b.rs
+
+/root/repo/target/debug/deps/fig9b-5e1af4a9af90e16f: crates/bench/src/bin/fig9b.rs
+
+crates/bench/src/bin/fig9b.rs:

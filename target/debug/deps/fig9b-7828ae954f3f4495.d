@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b-7828ae954f3f4495.d: crates/bench/src/bin/fig9b.rs
+
+/root/repo/target/debug/deps/fig9b-7828ae954f3f4495: crates/bench/src/bin/fig9b.rs
+
+crates/bench/src/bin/fig9b.rs:

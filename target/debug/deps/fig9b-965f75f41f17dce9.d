@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b-965f75f41f17dce9.d: crates/bench/src/bin/fig9b.rs
+
+/root/repo/target/debug/deps/fig9b-965f75f41f17dce9: crates/bench/src/bin/fig9b.rs
+
+crates/bench/src/bin/fig9b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9b-fee0c4bb77e2af25.d: crates/bench/src/bin/fig9b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9b-fee0c4bb77e2af25.rmeta: crates/bench/src/bin/fig9b.rs Cargo.toml
+
+crates/bench/src/bin/fig9b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

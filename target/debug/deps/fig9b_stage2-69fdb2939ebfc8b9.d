@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b_stage2-69fdb2939ebfc8b9.d: crates/bench/benches/fig9b_stage2.rs
+
+/root/repo/target/debug/deps/fig9b_stage2-69fdb2939ebfc8b9: crates/bench/benches/fig9b_stage2.rs
+
+crates/bench/benches/fig9b_stage2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9b_stage2-7dafcde26240b7c2.d: crates/bench/benches/fig9b_stage2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9b_stage2-7dafcde26240b7c2.rmeta: crates/bench/benches/fig9b_stage2.rs Cargo.toml
+
+crates/bench/benches/fig9b_stage2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

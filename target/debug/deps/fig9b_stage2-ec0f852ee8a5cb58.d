@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9b_stage2-ec0f852ee8a5cb58.d: crates/bench/benches/fig9b_stage2.rs
+
+/root/repo/target/debug/deps/fig9b_stage2-ec0f852ee8a5cb58: crates/bench/benches/fig9b_stage2.rs
+
+crates/bench/benches/fig9b_stage2.rs:

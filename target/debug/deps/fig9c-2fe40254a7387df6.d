@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9c-2fe40254a7387df6.d: crates/bench/src/bin/fig9c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9c-2fe40254a7387df6.rmeta: crates/bench/src/bin/fig9c.rs Cargo.toml
+
+crates/bench/src/bin/fig9c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

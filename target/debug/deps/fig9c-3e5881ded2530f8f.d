@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9c-3e5881ded2530f8f.d: crates/bench/src/bin/fig9c.rs
+
+/root/repo/target/debug/deps/fig9c-3e5881ded2530f8f: crates/bench/src/bin/fig9c.rs
+
+crates/bench/src/bin/fig9c.rs:

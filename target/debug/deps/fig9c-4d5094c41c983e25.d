@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9c-4d5094c41c983e25.d: crates/bench/src/bin/fig9c.rs
+
+/root/repo/target/debug/deps/fig9c-4d5094c41c983e25: crates/bench/src/bin/fig9c.rs
+
+crates/bench/src/bin/fig9c.rs:

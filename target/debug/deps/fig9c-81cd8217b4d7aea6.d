@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9c-81cd8217b4d7aea6.d: crates/bench/src/bin/fig9c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9c-81cd8217b4d7aea6.rmeta: crates/bench/src/bin/fig9c.rs Cargo.toml
+
+crates/bench/src/bin/fig9c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9c-b604a8e6b47bb331.d: crates/bench/src/bin/fig9c.rs
+
+/root/repo/target/debug/deps/fig9c-b604a8e6b47bb331: crates/bench/src/bin/fig9c.rs
+
+crates/bench/src/bin/fig9c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9c_stage3-24504f4c908523af.d: crates/bench/benches/fig9c_stage3.rs
+
+/root/repo/target/debug/deps/fig9c_stage3-24504f4c908523af: crates/bench/benches/fig9c_stage3.rs
+
+crates/bench/benches/fig9c_stage3.rs:

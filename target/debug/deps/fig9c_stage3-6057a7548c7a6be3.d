@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9c_stage3-6057a7548c7a6be3.d: crates/bench/benches/fig9c_stage3.rs
+
+/root/repo/target/debug/deps/fig9c_stage3-6057a7548c7a6be3: crates/bench/benches/fig9c_stage3.rs
+
+crates/bench/benches/fig9c_stage3.rs:

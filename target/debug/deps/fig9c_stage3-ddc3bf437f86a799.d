@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9c_stage3-ddc3bf437f86a799.d: crates/bench/benches/fig9c_stage3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9c_stage3-ddc3bf437f86a799.rmeta: crates/bench/benches/fig9c_stage3.rs Cargo.toml
+
+crates/bench/benches/fig9c_stage3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_aspen_listings-020e34d2eb1de3a6.d: tests/integration_aspen_listings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_aspen_listings-020e34d2eb1de3a6.rmeta: tests/integration_aspen_listings.rs Cargo.toml
+
+tests/integration_aspen_listings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

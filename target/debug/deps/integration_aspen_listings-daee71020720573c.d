@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_aspen_listings-daee71020720573c.d: tests/integration_aspen_listings.rs
+
+/root/repo/target/debug/deps/integration_aspen_listings-daee71020720573c: tests/integration_aspen_listings.rs
+
+tests/integration_aspen_listings.rs:

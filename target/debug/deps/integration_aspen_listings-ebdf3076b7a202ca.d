@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_aspen_listings-ebdf3076b7a202ca.d: tests/integration_aspen_listings.rs
+
+/root/repo/target/debug/deps/integration_aspen_listings-ebdf3076b7a202ca: tests/integration_aspen_listings.rs
+
+tests/integration_aspen_listings.rs:

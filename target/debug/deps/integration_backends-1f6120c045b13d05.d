@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_backends-1f6120c045b13d05.d: tests/integration_backends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_backends-1f6120c045b13d05.rmeta: tests/integration_backends.rs Cargo.toml
+
+tests/integration_backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_backends-9c07ffdaffe8393b.d: tests/integration_backends.rs
+
+/root/repo/target/debug/deps/integration_backends-9c07ffdaffe8393b: tests/integration_backends.rs
+
+tests/integration_backends.rs:

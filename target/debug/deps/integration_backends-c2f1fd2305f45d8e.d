@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_backends-c2f1fd2305f45d8e.d: tests/integration_backends.rs
+
+/root/repo/target/debug/deps/integration_backends-c2f1fd2305f45d8e: tests/integration_backends.rs
+
+tests/integration_backends.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_embedding_anneal-0aee173acfcdd01e.d: tests/integration_embedding_anneal.rs
+
+/root/repo/target/debug/deps/integration_embedding_anneal-0aee173acfcdd01e: tests/integration_embedding_anneal.rs
+
+tests/integration_embedding_anneal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_embedding_anneal-42b3cf115d331d01.d: tests/integration_embedding_anneal.rs
+
+/root/repo/target/debug/deps/integration_embedding_anneal-42b3cf115d331d01: tests/integration_embedding_anneal.rs
+
+tests/integration_embedding_anneal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_embedding_anneal-59d268fb66cb7028.d: tests/integration_embedding_anneal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_embedding_anneal-59d268fb66cb7028.rmeta: tests/integration_embedding_anneal.rs Cargo.toml
+
+tests/integration_embedding_anneal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_model_vs_measured-3e7b45b763c7d6b7.d: tests/integration_model_vs_measured.rs
+
+/root/repo/target/debug/deps/integration_model_vs_measured-3e7b45b763c7d6b7: tests/integration_model_vs_measured.rs
+
+tests/integration_model_vs_measured.rs:

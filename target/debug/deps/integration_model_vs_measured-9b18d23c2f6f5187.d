@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_model_vs_measured-9b18d23c2f6f5187.d: tests/integration_model_vs_measured.rs
+
+/root/repo/target/debug/deps/integration_model_vs_measured-9b18d23c2f6f5187: tests/integration_model_vs_measured.rs
+
+tests/integration_model_vs_measured.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_model_vs_measured-ca43bc7cc7c8f650.d: tests/integration_model_vs_measured.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_model_vs_measured-ca43bc7cc7c8f650.rmeta: tests/integration_model_vs_measured.rs Cargo.toml
+
+tests/integration_model_vs_measured.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

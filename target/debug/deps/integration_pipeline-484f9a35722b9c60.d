@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-484f9a35722b9c60.d: tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-484f9a35722b9c60: tests/integration_pipeline.rs
+
+tests/integration_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-580adfa5b9a85571.d: tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-580adfa5b9a85571: tests/integration_pipeline.rs
+
+tests/integration_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_pipeline-832b1604a82d3056.d: tests/integration_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_pipeline-832b1604a82d3056.rmeta: tests/integration_pipeline.rs Cargo.toml
+
+tests/integration_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/minor_embed-1601b2f8b857e93e.d: crates/embedding/src/lib.rs crates/embedding/src/clique.rs crates/embedding/src/cmr.rs crates/embedding/src/dijkstra.rs crates/embedding/src/parameter.rs crates/embedding/src/types.rs crates/embedding/src/verify.rs
+
+/root/repo/target/debug/deps/libminor_embed-1601b2f8b857e93e.rlib: crates/embedding/src/lib.rs crates/embedding/src/clique.rs crates/embedding/src/cmr.rs crates/embedding/src/dijkstra.rs crates/embedding/src/parameter.rs crates/embedding/src/types.rs crates/embedding/src/verify.rs
+
+/root/repo/target/debug/deps/libminor_embed-1601b2f8b857e93e.rmeta: crates/embedding/src/lib.rs crates/embedding/src/clique.rs crates/embedding/src/cmr.rs crates/embedding/src/dijkstra.rs crates/embedding/src/parameter.rs crates/embedding/src/types.rs crates/embedding/src/verify.rs
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/clique.rs:
+crates/embedding/src/cmr.rs:
+crates/embedding/src/dijkstra.rs:
+crates/embedding/src/parameter.rs:
+crates/embedding/src/types.rs:
+crates/embedding/src/verify.rs:

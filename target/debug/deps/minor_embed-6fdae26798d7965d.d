@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/minor_embed-6fdae26798d7965d.d: crates/embedding/src/lib.rs crates/embedding/src/clique.rs crates/embedding/src/cmr.rs crates/embedding/src/dijkstra.rs crates/embedding/src/parameter.rs crates/embedding/src/types.rs crates/embedding/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libminor_embed-6fdae26798d7965d.rmeta: crates/embedding/src/lib.rs crates/embedding/src/clique.rs crates/embedding/src/cmr.rs crates/embedding/src/dijkstra.rs crates/embedding/src/parameter.rs crates/embedding/src/types.rs crates/embedding/src/verify.rs Cargo.toml
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/clique.rs:
+crates/embedding/src/cmr.rs:
+crates/embedding/src/dijkstra.rs:
+crates/embedding/src/parameter.rs:
+crates/embedding/src/types.rs:
+crates/embedding/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

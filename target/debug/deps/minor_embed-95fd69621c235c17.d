@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/minor_embed-95fd69621c235c17.d: crates/embedding/src/lib.rs crates/embedding/src/clique.rs crates/embedding/src/cmr.rs crates/embedding/src/dijkstra.rs crates/embedding/src/parameter.rs crates/embedding/src/types.rs crates/embedding/src/verify.rs
+
+/root/repo/target/debug/deps/minor_embed-95fd69621c235c17: crates/embedding/src/lib.rs crates/embedding/src/clique.rs crates/embedding/src/cmr.rs crates/embedding/src/dijkstra.rs crates/embedding/src/parameter.rs crates/embedding/src/types.rs crates/embedding/src/verify.rs
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/clique.rs:
+crates/embedding/src/cmr.rs:
+crates/embedding/src/dijkstra.rs:
+crates/embedding/src/parameter.rs:
+crates/embedding/src/types.rs:
+crates/embedding/src/verify.rs:

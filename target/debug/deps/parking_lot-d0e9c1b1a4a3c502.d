@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-d0e9c1b1a4a3c502.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d0e9c1b1a4a3c502.rlib: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d0e9c1b1a4a3c502.rmeta: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-0ca7091d11e99388.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0ca7091d11e99388.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0ca7091d11e99388.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

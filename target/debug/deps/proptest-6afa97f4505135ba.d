@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-6afa97f4505135ba.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-6afa97f4505135ba: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/quantum_anneal-3170e672d0ae5a16.d: crates/annealer/src/lib.rs crates/annealer/src/backend.rs crates/annealer/src/pt.rs crates/annealer/src/sa.rs crates/annealer/src/sampler.rs crates/annealer/src/schedule.rs crates/annealer/src/stats.rs crates/annealer/src/timing.rs
+
+/root/repo/target/debug/deps/quantum_anneal-3170e672d0ae5a16: crates/annealer/src/lib.rs crates/annealer/src/backend.rs crates/annealer/src/pt.rs crates/annealer/src/sa.rs crates/annealer/src/sampler.rs crates/annealer/src/schedule.rs crates/annealer/src/stats.rs crates/annealer/src/timing.rs
+
+crates/annealer/src/lib.rs:
+crates/annealer/src/backend.rs:
+crates/annealer/src/pt.rs:
+crates/annealer/src/sa.rs:
+crates/annealer/src/sampler.rs:
+crates/annealer/src/schedule.rs:
+crates/annealer/src/stats.rs:
+crates/annealer/src/timing.rs:

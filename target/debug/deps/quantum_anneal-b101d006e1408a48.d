@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/quantum_anneal-b101d006e1408a48.d: crates/annealer/src/lib.rs crates/annealer/src/backend.rs crates/annealer/src/pt.rs crates/annealer/src/sa.rs crates/annealer/src/sampler.rs crates/annealer/src/schedule.rs crates/annealer/src/stats.rs crates/annealer/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquantum_anneal-b101d006e1408a48.rmeta: crates/annealer/src/lib.rs crates/annealer/src/backend.rs crates/annealer/src/pt.rs crates/annealer/src/sa.rs crates/annealer/src/sampler.rs crates/annealer/src/schedule.rs crates/annealer/src/stats.rs crates/annealer/src/timing.rs Cargo.toml
+
+crates/annealer/src/lib.rs:
+crates/annealer/src/backend.rs:
+crates/annealer/src/pt.rs:
+crates/annealer/src/sa.rs:
+crates/annealer/src/sampler.rs:
+crates/annealer/src/schedule.rs:
+crates/annealer/src/stats.rs:
+crates/annealer/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/quantum_anneal-b39e2ff3b9a32775.d: crates/annealer/src/lib.rs crates/annealer/src/backend.rs crates/annealer/src/pt.rs crates/annealer/src/sa.rs crates/annealer/src/sampler.rs crates/annealer/src/schedule.rs crates/annealer/src/stats.rs crates/annealer/src/timing.rs
+
+/root/repo/target/debug/deps/libquantum_anneal-b39e2ff3b9a32775.rlib: crates/annealer/src/lib.rs crates/annealer/src/backend.rs crates/annealer/src/pt.rs crates/annealer/src/sa.rs crates/annealer/src/sampler.rs crates/annealer/src/schedule.rs crates/annealer/src/stats.rs crates/annealer/src/timing.rs
+
+/root/repo/target/debug/deps/libquantum_anneal-b39e2ff3b9a32775.rmeta: crates/annealer/src/lib.rs crates/annealer/src/backend.rs crates/annealer/src/pt.rs crates/annealer/src/sa.rs crates/annealer/src/sampler.rs crates/annealer/src/schedule.rs crates/annealer/src/stats.rs crates/annealer/src/timing.rs
+
+crates/annealer/src/lib.rs:
+crates/annealer/src/backend.rs:
+crates/annealer/src/pt.rs:
+crates/annealer/src/sa.rs:
+crates/annealer/src/sampler.rs:
+crates/annealer/src/schedule.rs:
+crates/annealer/src/stats.rs:
+crates/annealer/src/timing.rs:

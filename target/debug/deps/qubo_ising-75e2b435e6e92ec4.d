@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qubo_ising-75e2b435e6e92ec4.d: crates/qubo/src/lib.rs crates/qubo/src/convert.rs crates/qubo/src/energy.rs crates/qubo/src/ising.rs crates/qubo/src/precision.rs crates/qubo/src/problems/mod.rs crates/qubo/src/problems/coloring.rs crates/qubo/src/problems/maxcut.rs crates/qubo/src/problems/partition.rs crates/qubo/src/problems/vertex_cover.rs crates/qubo/src/qubo.rs
+
+/root/repo/target/debug/deps/qubo_ising-75e2b435e6e92ec4: crates/qubo/src/lib.rs crates/qubo/src/convert.rs crates/qubo/src/energy.rs crates/qubo/src/ising.rs crates/qubo/src/precision.rs crates/qubo/src/problems/mod.rs crates/qubo/src/problems/coloring.rs crates/qubo/src/problems/maxcut.rs crates/qubo/src/problems/partition.rs crates/qubo/src/problems/vertex_cover.rs crates/qubo/src/qubo.rs
+
+crates/qubo/src/lib.rs:
+crates/qubo/src/convert.rs:
+crates/qubo/src/energy.rs:
+crates/qubo/src/ising.rs:
+crates/qubo/src/precision.rs:
+crates/qubo/src/problems/mod.rs:
+crates/qubo/src/problems/coloring.rs:
+crates/qubo/src/problems/maxcut.rs:
+crates/qubo/src/problems/partition.rs:
+crates/qubo/src/problems/vertex_cover.rs:
+crates/qubo/src/qubo.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/qubo_ising-7e442e0b08674e0b.d: crates/qubo/src/lib.rs crates/qubo/src/convert.rs crates/qubo/src/energy.rs crates/qubo/src/ising.rs crates/qubo/src/precision.rs crates/qubo/src/problems/mod.rs crates/qubo/src/problems/coloring.rs crates/qubo/src/problems/maxcut.rs crates/qubo/src/problems/partition.rs crates/qubo/src/problems/vertex_cover.rs crates/qubo/src/qubo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqubo_ising-7e442e0b08674e0b.rmeta: crates/qubo/src/lib.rs crates/qubo/src/convert.rs crates/qubo/src/energy.rs crates/qubo/src/ising.rs crates/qubo/src/precision.rs crates/qubo/src/problems/mod.rs crates/qubo/src/problems/coloring.rs crates/qubo/src/problems/maxcut.rs crates/qubo/src/problems/partition.rs crates/qubo/src/problems/vertex_cover.rs crates/qubo/src/qubo.rs Cargo.toml
+
+crates/qubo/src/lib.rs:
+crates/qubo/src/convert.rs:
+crates/qubo/src/energy.rs:
+crates/qubo/src/ising.rs:
+crates/qubo/src/precision.rs:
+crates/qubo/src/problems/mod.rs:
+crates/qubo/src/problems/coloring.rs:
+crates/qubo/src/problems/maxcut.rs:
+crates/qubo/src/problems/partition.rs:
+crates/qubo/src/problems/vertex_cover.rs:
+crates/qubo/src/qubo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

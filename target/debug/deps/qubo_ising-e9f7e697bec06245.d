@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qubo_ising-e9f7e697bec06245.d: crates/qubo/src/lib.rs crates/qubo/src/convert.rs crates/qubo/src/energy.rs crates/qubo/src/ising.rs crates/qubo/src/precision.rs crates/qubo/src/problems/mod.rs crates/qubo/src/problems/coloring.rs crates/qubo/src/problems/maxcut.rs crates/qubo/src/problems/partition.rs crates/qubo/src/problems/vertex_cover.rs crates/qubo/src/qubo.rs
+
+/root/repo/target/debug/deps/libqubo_ising-e9f7e697bec06245.rlib: crates/qubo/src/lib.rs crates/qubo/src/convert.rs crates/qubo/src/energy.rs crates/qubo/src/ising.rs crates/qubo/src/precision.rs crates/qubo/src/problems/mod.rs crates/qubo/src/problems/coloring.rs crates/qubo/src/problems/maxcut.rs crates/qubo/src/problems/partition.rs crates/qubo/src/problems/vertex_cover.rs crates/qubo/src/qubo.rs
+
+/root/repo/target/debug/deps/libqubo_ising-e9f7e697bec06245.rmeta: crates/qubo/src/lib.rs crates/qubo/src/convert.rs crates/qubo/src/energy.rs crates/qubo/src/ising.rs crates/qubo/src/precision.rs crates/qubo/src/problems/mod.rs crates/qubo/src/problems/coloring.rs crates/qubo/src/problems/maxcut.rs crates/qubo/src/problems/partition.rs crates/qubo/src/problems/vertex_cover.rs crates/qubo/src/qubo.rs
+
+crates/qubo/src/lib.rs:
+crates/qubo/src/convert.rs:
+crates/qubo/src/energy.rs:
+crates/qubo/src/ising.rs:
+crates/qubo/src/precision.rs:
+crates/qubo/src/problems/mod.rs:
+crates/qubo/src/problems/coloring.rs:
+crates/qubo/src/problems/maxcut.rs:
+crates/qubo/src/problems/partition.rs:
+crates/qubo/src/problems/vertex_cover.rs:
+crates/qubo/src/qubo.rs:

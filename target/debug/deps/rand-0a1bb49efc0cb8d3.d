@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-0a1bb49efc0cb8d3.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-0a1bb49efc0cb8d3: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

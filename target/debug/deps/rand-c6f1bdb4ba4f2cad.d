@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-c6f1bdb4ba4f2cad.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c6f1bdb4ba4f2cad.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c6f1bdb4ba4f2cad.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-49dc54ebf7b22ade.d: crates/compat/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-49dc54ebf7b22ade.rmeta: crates/compat/rand_chacha/src/lib.rs Cargo.toml
+
+crates/compat/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

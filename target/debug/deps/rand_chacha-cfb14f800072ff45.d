@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-cfb14f800072ff45.d: crates/compat/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-cfb14f800072ff45.rmeta: crates/compat/rand_chacha/src/lib.rs Cargo.toml
+
+crates/compat/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

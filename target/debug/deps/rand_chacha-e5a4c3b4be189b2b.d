@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-e5a4c3b4be189b2b.d: crates/compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-e5a4c3b4be189b2b: crates/compat/rand_chacha/src/lib.rs
+
+crates/compat/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-ee68421c8cdea917.d: crates/compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-ee68421c8cdea917.rlib: crates/compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-ee68421c8cdea917.rmeta: crates/compat/rand_chacha/src/lib.rs
+
+crates/compat/rand_chacha/src/lib.rs:

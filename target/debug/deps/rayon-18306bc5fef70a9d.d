@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-18306bc5fef70a9d.d: crates/compat/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-18306bc5fef70a9d.rmeta: crates/compat/rayon/src/lib.rs Cargo.toml
+
+crates/compat/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

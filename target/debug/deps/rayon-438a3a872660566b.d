@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-438a3a872660566b.d: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-438a3a872660566b.rlib: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-438a3a872660566b.rmeta: crates/compat/rayon/src/lib.rs
+
+crates/compat/rayon/src/lib.rs:

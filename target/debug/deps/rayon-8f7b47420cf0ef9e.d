@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-8f7b47420cf0ef9e.d: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-8f7b47420cf0ef9e: crates/compat/rayon/src/lib.rs
+
+crates/compat/rayon/src/lib.rs:

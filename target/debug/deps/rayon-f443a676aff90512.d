@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-f443a676aff90512.d: crates/compat/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-f443a676aff90512.rmeta: crates/compat/rayon/src/lib.rs Cargo.toml
+
+crates/compat/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

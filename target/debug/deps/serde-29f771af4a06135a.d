@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-29f771af4a06135a.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-29f771af4a06135a.rlib: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-29f771af4a06135a.rmeta: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

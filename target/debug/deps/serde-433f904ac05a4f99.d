@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-433f904ac05a4f99.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-433f904ac05a4f99: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-58a3241120e53681.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-58a3241120e53681.rlib: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-58a3241120e53681.rmeta: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

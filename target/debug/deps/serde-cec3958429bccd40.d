@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-cec3958429bccd40.d: crates/compat/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-cec3958429bccd40.rmeta: crates/compat/serde/src/lib.rs Cargo.toml
+
+crates/compat/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e1283c7825ced4a8.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-e1283c7825ced4a8: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

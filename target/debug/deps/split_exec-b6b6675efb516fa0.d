@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/split_exec-b6b6675efb516fa0.d: crates/splitexec/src/lib.rs crates/splitexec/src/batch.rs crates/splitexec/src/config.rs crates/splitexec/src/error.rs crates/splitexec/src/machine.rs crates/splitexec/src/offline_cache.rs crates/splitexec/src/pipeline.rs crates/splitexec/src/report.rs crates/splitexec/src/sequence.rs crates/splitexec/src/stage1.rs crates/splitexec/src/stage2.rs crates/splitexec/src/stage3.rs crates/splitexec/src/timing.rs
+
+/root/repo/target/debug/deps/libsplit_exec-b6b6675efb516fa0.rlib: crates/splitexec/src/lib.rs crates/splitexec/src/batch.rs crates/splitexec/src/config.rs crates/splitexec/src/error.rs crates/splitexec/src/machine.rs crates/splitexec/src/offline_cache.rs crates/splitexec/src/pipeline.rs crates/splitexec/src/report.rs crates/splitexec/src/sequence.rs crates/splitexec/src/stage1.rs crates/splitexec/src/stage2.rs crates/splitexec/src/stage3.rs crates/splitexec/src/timing.rs
+
+/root/repo/target/debug/deps/libsplit_exec-b6b6675efb516fa0.rmeta: crates/splitexec/src/lib.rs crates/splitexec/src/batch.rs crates/splitexec/src/config.rs crates/splitexec/src/error.rs crates/splitexec/src/machine.rs crates/splitexec/src/offline_cache.rs crates/splitexec/src/pipeline.rs crates/splitexec/src/report.rs crates/splitexec/src/sequence.rs crates/splitexec/src/stage1.rs crates/splitexec/src/stage2.rs crates/splitexec/src/stage3.rs crates/splitexec/src/timing.rs
+
+crates/splitexec/src/lib.rs:
+crates/splitexec/src/batch.rs:
+crates/splitexec/src/config.rs:
+crates/splitexec/src/error.rs:
+crates/splitexec/src/machine.rs:
+crates/splitexec/src/offline_cache.rs:
+crates/splitexec/src/pipeline.rs:
+crates/splitexec/src/report.rs:
+crates/splitexec/src/sequence.rs:
+crates/splitexec/src/stage1.rs:
+crates/splitexec/src/stage2.rs:
+crates/splitexec/src/stage3.rs:
+crates/splitexec/src/timing.rs:

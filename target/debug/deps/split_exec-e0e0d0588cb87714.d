@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/split_exec-e0e0d0588cb87714.d: crates/splitexec/src/lib.rs crates/splitexec/src/batch.rs crates/splitexec/src/config.rs crates/splitexec/src/error.rs crates/splitexec/src/machine.rs crates/splitexec/src/offline_cache.rs crates/splitexec/src/pipeline.rs crates/splitexec/src/report.rs crates/splitexec/src/sequence.rs crates/splitexec/src/stage1.rs crates/splitexec/src/stage2.rs crates/splitexec/src/stage3.rs crates/splitexec/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsplit_exec-e0e0d0588cb87714.rmeta: crates/splitexec/src/lib.rs crates/splitexec/src/batch.rs crates/splitexec/src/config.rs crates/splitexec/src/error.rs crates/splitexec/src/machine.rs crates/splitexec/src/offline_cache.rs crates/splitexec/src/pipeline.rs crates/splitexec/src/report.rs crates/splitexec/src/sequence.rs crates/splitexec/src/stage1.rs crates/splitexec/src/stage2.rs crates/splitexec/src/stage3.rs crates/splitexec/src/timing.rs Cargo.toml
+
+crates/splitexec/src/lib.rs:
+crates/splitexec/src/batch.rs:
+crates/splitexec/src/config.rs:
+crates/splitexec/src/error.rs:
+crates/splitexec/src/machine.rs:
+crates/splitexec/src/offline_cache.rs:
+crates/splitexec/src/pipeline.rs:
+crates/splitexec/src/report.rs:
+crates/splitexec/src/sequence.rs:
+crates/splitexec/src/stage1.rs:
+crates/splitexec/src/stage2.rs:
+crates/splitexec/src/stage3.rs:
+crates/splitexec/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/split_exec_repro-369167a7c867b5cb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsplit_exec_repro-369167a7c867b5cb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/split_exec_repro-48b85cd4e8bf5ff9.d: src/lib.rs
+
+/root/repo/target/debug/deps/split_exec_repro-48b85cd4e8bf5ff9: src/lib.rs
+
+src/lib.rs:

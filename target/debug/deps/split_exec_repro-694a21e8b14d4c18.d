@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/split_exec_repro-694a21e8b14d4c18.d: src/lib.rs
+
+/root/repo/target/debug/deps/split_exec_repro-694a21e8b14d4c18: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/split_exec_repro-8b758a710c929f6e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsplit_exec_repro-8b758a710c929f6e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsplit_exec_repro-8b758a710c929f6e.rmeta: src/lib.rs
+
+src/lib.rs:

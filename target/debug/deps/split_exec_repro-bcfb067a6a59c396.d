@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/split_exec_repro-bcfb067a6a59c396.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsplit_exec_repro-bcfb067a6a59c396.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

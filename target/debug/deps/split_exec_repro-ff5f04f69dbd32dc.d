@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/split_exec_repro-ff5f04f69dbd32dc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsplit_exec_repro-ff5f04f69dbd32dc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsplit_exec_repro-ff5f04f69dbd32dc.rmeta: src/lib.rs
+
+src/lib.rs:

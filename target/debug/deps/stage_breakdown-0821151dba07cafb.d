@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stage_breakdown-0821151dba07cafb.d: crates/bench/src/bin/stage_breakdown.rs
+
+/root/repo/target/debug/deps/stage_breakdown-0821151dba07cafb: crates/bench/src/bin/stage_breakdown.rs
+
+crates/bench/src/bin/stage_breakdown.rs:

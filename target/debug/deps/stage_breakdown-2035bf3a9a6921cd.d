@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stage_breakdown-2035bf3a9a6921cd.d: crates/bench/src/bin/stage_breakdown.rs
+
+/root/repo/target/debug/deps/stage_breakdown-2035bf3a9a6921cd: crates/bench/src/bin/stage_breakdown.rs
+
+crates/bench/src/bin/stage_breakdown.rs:

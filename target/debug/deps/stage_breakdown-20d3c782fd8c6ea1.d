@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stage_breakdown-20d3c782fd8c6ea1.d: crates/bench/src/bin/stage_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstage_breakdown-20d3c782fd8c6ea1.rmeta: crates/bench/src/bin/stage_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/stage_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

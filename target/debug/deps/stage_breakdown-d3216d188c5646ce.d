@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stage_breakdown-d3216d188c5646ce.d: crates/bench/src/bin/stage_breakdown.rs
+
+/root/repo/target/debug/deps/stage_breakdown-d3216d188c5646ce: crates/bench/src/bin/stage_breakdown.rs
+
+crates/bench/src/bin/stage_breakdown.rs:

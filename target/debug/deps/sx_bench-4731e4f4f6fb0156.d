@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sx_bench-4731e4f4f6fb0156.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsx_bench-4731e4f4f6fb0156.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsx_bench-4731e4f4f6fb0156.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

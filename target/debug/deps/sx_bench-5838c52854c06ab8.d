@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sx_bench-5838c52854c06ab8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sx_bench-5838c52854c06ab8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sx_bench-6c4349fea266947e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsx_bench-6c4349fea266947e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sx_bench-7db2b04d7ff53e89.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sx_bench-7db2b04d7ff53e89: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

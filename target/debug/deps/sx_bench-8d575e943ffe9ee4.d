@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sx_bench-8d575e943ffe9ee4.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsx_bench-8d575e943ffe9ee4.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sx_bench-918afd84e7a21d05.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsx_bench-918afd84e7a21d05.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsx_bench-918afd84e7a21d05.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

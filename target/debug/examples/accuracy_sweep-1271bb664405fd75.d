@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/accuracy_sweep-1271bb664405fd75.d: examples/accuracy_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaccuracy_sweep-1271bb664405fd75.rmeta: examples/accuracy_sweep.rs Cargo.toml
+
+examples/accuracy_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

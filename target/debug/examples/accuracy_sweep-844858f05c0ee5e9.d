@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accuracy_sweep-844858f05c0ee5e9.d: examples/accuracy_sweep.rs
+
+/root/repo/target/debug/examples/accuracy_sweep-844858f05c0ee5e9: examples/accuracy_sweep.rs
+
+examples/accuracy_sweep.rs:

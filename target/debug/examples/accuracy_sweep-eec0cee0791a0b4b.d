@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accuracy_sweep-eec0cee0791a0b4b.d: examples/accuracy_sweep.rs
+
+/root/repo/target/debug/examples/accuracy_sweep-eec0cee0791a0b4b: examples/accuracy_sweep.rs
+
+examples/accuracy_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/backend_batch-2c9817e6fe2462c2.d: examples/backend_batch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbackend_batch-2c9817e6fe2462c2.rmeta: examples/backend_batch.rs Cargo.toml
+
+examples/backend_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/backend_batch-607478c23ef9a7fa.d: examples/backend_batch.rs
+
+/root/repo/target/debug/examples/backend_batch-607478c23ef9a7fa: examples/backend_batch.rs
+
+examples/backend_batch.rs:

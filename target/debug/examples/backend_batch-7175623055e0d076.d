@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/backend_batch-7175623055e0d076.d: examples/backend_batch.rs
+
+/root/repo/target/debug/examples/backend_batch-7175623055e0d076: examples/backend_batch.rs
+
+examples/backend_batch.rs:

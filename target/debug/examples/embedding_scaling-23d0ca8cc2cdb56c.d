@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/embedding_scaling-23d0ca8cc2cdb56c.d: examples/embedding_scaling.rs
+
+/root/repo/target/debug/examples/embedding_scaling-23d0ca8cc2cdb56c: examples/embedding_scaling.rs
+
+examples/embedding_scaling.rs:

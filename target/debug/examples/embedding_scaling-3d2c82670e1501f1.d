@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/embedding_scaling-3d2c82670e1501f1.d: examples/embedding_scaling.rs
+
+/root/repo/target/debug/examples/embedding_scaling-3d2c82670e1501f1: examples/embedding_scaling.rs
+
+examples/embedding_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/embedding_scaling-afb8baffea6c9829.d: examples/embedding_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libembedding_scaling-afb8baffea6c9829.rmeta: examples/embedding_scaling.rs Cargo.toml
+
+examples/embedding_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/maxcut_pipeline-4e4e60526f43fe76.d: examples/maxcut_pipeline.rs
+
+/root/repo/target/debug/examples/maxcut_pipeline-4e4e60526f43fe76: examples/maxcut_pipeline.rs
+
+examples/maxcut_pipeline.rs:

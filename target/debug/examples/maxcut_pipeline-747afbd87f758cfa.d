@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/maxcut_pipeline-747afbd87f758cfa.d: examples/maxcut_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmaxcut_pipeline-747afbd87f758cfa.rmeta: examples/maxcut_pipeline.rs Cargo.toml
+
+examples/maxcut_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

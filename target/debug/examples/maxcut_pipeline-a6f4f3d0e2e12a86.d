@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/maxcut_pipeline-a6f4f3d0e2e12a86.d: examples/maxcut_pipeline.rs
+
+/root/repo/target/debug/examples/maxcut_pipeline-a6f4f3d0e2e12a86: examples/maxcut_pipeline.rs
+
+examples/maxcut_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/offline_embedding_cache-7b48a56d38cbb763.d: examples/offline_embedding_cache.rs
+
+/root/repo/target/debug/examples/offline_embedding_cache-7b48a56d38cbb763: examples/offline_embedding_cache.rs
+
+examples/offline_embedding_cache.rs:

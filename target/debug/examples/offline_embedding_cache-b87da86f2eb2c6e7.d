@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/offline_embedding_cache-b87da86f2eb2c6e7.d: examples/offline_embedding_cache.rs
+
+/root/repo/target/debug/examples/offline_embedding_cache-b87da86f2eb2c6e7: examples/offline_embedding_cache.rs
+
+examples/offline_embedding_cache.rs:

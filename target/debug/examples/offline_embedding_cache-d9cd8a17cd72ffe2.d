@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/offline_embedding_cache-d9cd8a17cd72ffe2.d: examples/offline_embedding_cache.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboffline_embedding_cache-d9cd8a17cd72ffe2.rmeta: examples/offline_embedding_cache.rs Cargo.toml
+
+examples/offline_embedding_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

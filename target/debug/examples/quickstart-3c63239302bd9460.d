@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3c63239302bd9460.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3c63239302bd9460: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9d787447eba31817.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9d787447eba31817: examples/quickstart.rs
+
+examples/quickstart.rs:

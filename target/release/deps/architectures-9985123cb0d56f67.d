@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/architectures-9985123cb0d56f67.d: crates/bench/src/bin/architectures.rs
+
+/root/repo/target/release/deps/architectures-9985123cb0d56f67: crates/bench/src/bin/architectures.rs
+
+crates/bench/src/bin/architectures.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/aspen_model-0ef8a8c981ef7da9.d: crates/aspen/src/lib.rs crates/aspen/src/application.rs crates/aspen/src/ast.rs crates/aspen/src/builtin.rs crates/aspen/src/error.rs crates/aspen/src/expr.rs crates/aspen/src/lexer.rs crates/aspen/src/listings.rs crates/aspen/src/machine.rs crates/aspen/src/parser.rs crates/aspen/src/predict.rs
+
+/root/repo/target/release/deps/libaspen_model-0ef8a8c981ef7da9.rlib: crates/aspen/src/lib.rs crates/aspen/src/application.rs crates/aspen/src/ast.rs crates/aspen/src/builtin.rs crates/aspen/src/error.rs crates/aspen/src/expr.rs crates/aspen/src/lexer.rs crates/aspen/src/listings.rs crates/aspen/src/machine.rs crates/aspen/src/parser.rs crates/aspen/src/predict.rs
+
+/root/repo/target/release/deps/libaspen_model-0ef8a8c981ef7da9.rmeta: crates/aspen/src/lib.rs crates/aspen/src/application.rs crates/aspen/src/ast.rs crates/aspen/src/builtin.rs crates/aspen/src/error.rs crates/aspen/src/expr.rs crates/aspen/src/lexer.rs crates/aspen/src/listings.rs crates/aspen/src/machine.rs crates/aspen/src/parser.rs crates/aspen/src/predict.rs
+
+crates/aspen/src/lib.rs:
+crates/aspen/src/application.rs:
+crates/aspen/src/ast.rs:
+crates/aspen/src/builtin.rs:
+crates/aspen/src/error.rs:
+crates/aspen/src/expr.rs:
+crates/aspen/src/lexer.rs:
+crates/aspen/src/listings.rs:
+crates/aspen/src/machine.rs:
+crates/aspen/src/parser.rs:
+crates/aspen/src/predict.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/backend_comparison-9b8eb996003afb59.d: crates/bench/benches/backend_comparison.rs
+
+/root/repo/target/release/deps/backend_comparison-9b8eb996003afb59: crates/bench/benches/backend_comparison.rs
+
+crates/bench/benches/backend_comparison.rs:

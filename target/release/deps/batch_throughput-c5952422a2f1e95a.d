@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batch_throughput-c5952422a2f1e95a.d: crates/bench/src/bin/batch_throughput.rs
+
+/root/repo/target/release/deps/batch_throughput-c5952422a2f1e95a: crates/bench/src/bin/batch_throughput.rs
+
+crates/bench/src/bin/batch_throughput.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/chimera_graph-113dc85a22aa4569.d: crates/chimera/src/lib.rs crates/chimera/src/chimera.rs crates/chimera/src/csr.rs crates/chimera/src/faults.rs crates/chimera/src/generators.rs crates/chimera/src/graph.rs crates/chimera/src/metrics.rs
+
+/root/repo/target/release/deps/libchimera_graph-113dc85a22aa4569.rlib: crates/chimera/src/lib.rs crates/chimera/src/chimera.rs crates/chimera/src/csr.rs crates/chimera/src/faults.rs crates/chimera/src/generators.rs crates/chimera/src/graph.rs crates/chimera/src/metrics.rs
+
+/root/repo/target/release/deps/libchimera_graph-113dc85a22aa4569.rmeta: crates/chimera/src/lib.rs crates/chimera/src/chimera.rs crates/chimera/src/csr.rs crates/chimera/src/faults.rs crates/chimera/src/generators.rs crates/chimera/src/graph.rs crates/chimera/src/metrics.rs
+
+crates/chimera/src/lib.rs:
+crates/chimera/src/chimera.rs:
+crates/chimera/src/csr.rs:
+crates/chimera/src/faults.rs:
+crates/chimera/src/generators.rs:
+crates/chimera/src/graph.rs:
+crates/chimera/src/metrics.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-3c71b3f004cc3295.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3c71b3f004cc3295.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3c71b3f004cc3295.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_chimera-e71e624a11c3490e.d: crates/bench/src/bin/fig3_chimera.rs
+
+/root/repo/target/release/deps/fig3_chimera-e71e624a11c3490e: crates/bench/src/bin/fig3_chimera.rs
+
+crates/bench/src/bin/fig3_chimera.rs:

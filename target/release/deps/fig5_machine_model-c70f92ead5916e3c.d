@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_machine_model-c70f92ead5916e3c.d: crates/bench/src/bin/fig5_machine_model.rs
+
+/root/repo/target/release/deps/fig5_machine_model-c70f92ead5916e3c: crates/bench/src/bin/fig5_machine_model.rs
+
+crates/bench/src/bin/fig5_machine_model.rs:

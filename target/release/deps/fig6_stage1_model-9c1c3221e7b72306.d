@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_stage1_model-9c1c3221e7b72306.d: crates/bench/src/bin/fig6_stage1_model.rs
+
+/root/repo/target/release/deps/fig6_stage1_model-9c1c3221e7b72306: crates/bench/src/bin/fig6_stage1_model.rs
+
+crates/bench/src/bin/fig6_stage1_model.rs:

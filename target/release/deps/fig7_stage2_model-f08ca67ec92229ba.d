@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_stage2_model-f08ca67ec92229ba.d: crates/bench/src/bin/fig7_stage2_model.rs
+
+/root/repo/target/release/deps/fig7_stage2_model-f08ca67ec92229ba: crates/bench/src/bin/fig7_stage2_model.rs
+
+crates/bench/src/bin/fig7_stage2_model.rs:

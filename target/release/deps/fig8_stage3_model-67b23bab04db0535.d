@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_stage3_model-67b23bab04db0535.d: crates/bench/src/bin/fig8_stage3_model.rs
+
+/root/repo/target/release/deps/fig8_stage3_model-67b23bab04db0535: crates/bench/src/bin/fig8_stage3_model.rs
+
+crates/bench/src/bin/fig8_stage3_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9a-d4d1584db27f2d05.d: crates/bench/src/bin/fig9a.rs
+
+/root/repo/target/release/deps/fig9a-d4d1584db27f2d05: crates/bench/src/bin/fig9a.rs
+
+crates/bench/src/bin/fig9a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9b-13aa0fcaa9fc07a1.d: crates/bench/src/bin/fig9b.rs
+
+/root/repo/target/release/deps/fig9b-13aa0fcaa9fc07a1: crates/bench/src/bin/fig9b.rs
+
+crates/bench/src/bin/fig9b.rs:

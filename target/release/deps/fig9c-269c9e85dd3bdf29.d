@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9c-269c9e85dd3bdf29.d: crates/bench/src/bin/fig9c.rs
+
+/root/repo/target/release/deps/fig9c-269c9e85dd3bdf29: crates/bench/src/bin/fig9c.rs
+
+crates/bench/src/bin/fig9c.rs:

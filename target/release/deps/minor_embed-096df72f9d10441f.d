@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/minor_embed-096df72f9d10441f.d: crates/embedding/src/lib.rs crates/embedding/src/clique.rs crates/embedding/src/cmr.rs crates/embedding/src/dijkstra.rs crates/embedding/src/parameter.rs crates/embedding/src/types.rs crates/embedding/src/verify.rs
+
+/root/repo/target/release/deps/libminor_embed-096df72f9d10441f.rlib: crates/embedding/src/lib.rs crates/embedding/src/clique.rs crates/embedding/src/cmr.rs crates/embedding/src/dijkstra.rs crates/embedding/src/parameter.rs crates/embedding/src/types.rs crates/embedding/src/verify.rs
+
+/root/repo/target/release/deps/libminor_embed-096df72f9d10441f.rmeta: crates/embedding/src/lib.rs crates/embedding/src/clique.rs crates/embedding/src/cmr.rs crates/embedding/src/dijkstra.rs crates/embedding/src/parameter.rs crates/embedding/src/types.rs crates/embedding/src/verify.rs
+
+crates/embedding/src/lib.rs:
+crates/embedding/src/clique.rs:
+crates/embedding/src/cmr.rs:
+crates/embedding/src/dijkstra.rs:
+crates/embedding/src/parameter.rs:
+crates/embedding/src/types.rs:
+crates/embedding/src/verify.rs:

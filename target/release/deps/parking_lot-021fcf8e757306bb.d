@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-021fcf8e757306bb.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-021fcf8e757306bb.rlib: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-021fcf8e757306bb.rmeta: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-9b893ff1fd259044.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-9b893ff1fd259044.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-9b893ff1fd259044.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/quantum_anneal-a2ff7c1a582ea8d6.d: crates/annealer/src/lib.rs crates/annealer/src/backend.rs crates/annealer/src/pt.rs crates/annealer/src/sa.rs crates/annealer/src/sampler.rs crates/annealer/src/schedule.rs crates/annealer/src/stats.rs crates/annealer/src/timing.rs
+
+/root/repo/target/release/deps/libquantum_anneal-a2ff7c1a582ea8d6.rlib: crates/annealer/src/lib.rs crates/annealer/src/backend.rs crates/annealer/src/pt.rs crates/annealer/src/sa.rs crates/annealer/src/sampler.rs crates/annealer/src/schedule.rs crates/annealer/src/stats.rs crates/annealer/src/timing.rs
+
+/root/repo/target/release/deps/libquantum_anneal-a2ff7c1a582ea8d6.rmeta: crates/annealer/src/lib.rs crates/annealer/src/backend.rs crates/annealer/src/pt.rs crates/annealer/src/sa.rs crates/annealer/src/sampler.rs crates/annealer/src/schedule.rs crates/annealer/src/stats.rs crates/annealer/src/timing.rs
+
+crates/annealer/src/lib.rs:
+crates/annealer/src/backend.rs:
+crates/annealer/src/pt.rs:
+crates/annealer/src/sa.rs:
+crates/annealer/src/sampler.rs:
+crates/annealer/src/schedule.rs:
+crates/annealer/src/stats.rs:
+crates/annealer/src/timing.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/qubo_ising-66102f949e803ce8.d: crates/qubo/src/lib.rs crates/qubo/src/convert.rs crates/qubo/src/energy.rs crates/qubo/src/ising.rs crates/qubo/src/precision.rs crates/qubo/src/problems/mod.rs crates/qubo/src/problems/coloring.rs crates/qubo/src/problems/maxcut.rs crates/qubo/src/problems/partition.rs crates/qubo/src/problems/vertex_cover.rs crates/qubo/src/qubo.rs
+
+/root/repo/target/release/deps/libqubo_ising-66102f949e803ce8.rlib: crates/qubo/src/lib.rs crates/qubo/src/convert.rs crates/qubo/src/energy.rs crates/qubo/src/ising.rs crates/qubo/src/precision.rs crates/qubo/src/problems/mod.rs crates/qubo/src/problems/coloring.rs crates/qubo/src/problems/maxcut.rs crates/qubo/src/problems/partition.rs crates/qubo/src/problems/vertex_cover.rs crates/qubo/src/qubo.rs
+
+/root/repo/target/release/deps/libqubo_ising-66102f949e803ce8.rmeta: crates/qubo/src/lib.rs crates/qubo/src/convert.rs crates/qubo/src/energy.rs crates/qubo/src/ising.rs crates/qubo/src/precision.rs crates/qubo/src/problems/mod.rs crates/qubo/src/problems/coloring.rs crates/qubo/src/problems/maxcut.rs crates/qubo/src/problems/partition.rs crates/qubo/src/problems/vertex_cover.rs crates/qubo/src/qubo.rs
+
+crates/qubo/src/lib.rs:
+crates/qubo/src/convert.rs:
+crates/qubo/src/energy.rs:
+crates/qubo/src/ising.rs:
+crates/qubo/src/precision.rs:
+crates/qubo/src/problems/mod.rs:
+crates/qubo/src/problems/coloring.rs:
+crates/qubo/src/problems/maxcut.rs:
+crates/qubo/src/problems/partition.rs:
+crates/qubo/src/problems/vertex_cover.rs:
+crates/qubo/src/qubo.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-1585d6f08cd12b4c.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1585d6f08cd12b4c.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1585d6f08cd12b4c.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

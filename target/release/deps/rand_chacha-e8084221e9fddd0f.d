@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-e8084221e9fddd0f.d: crates/compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-e8084221e9fddd0f.rlib: crates/compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-e8084221e9fddd0f.rmeta: crates/compat/rand_chacha/src/lib.rs
+
+crates/compat/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-fe07fd22e6b3057e.d: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-fe07fd22e6b3057e.rlib: crates/compat/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-fe07fd22e6b3057e.rmeta: crates/compat/rayon/src/lib.rs
+
+crates/compat/rayon/src/lib.rs:

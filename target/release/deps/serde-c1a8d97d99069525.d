@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-c1a8d97d99069525.d: crates/compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c1a8d97d99069525.rlib: crates/compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c1a8d97d99069525.rmeta: crates/compat/serde/src/lib.rs
+
+crates/compat/serde/src/lib.rs:

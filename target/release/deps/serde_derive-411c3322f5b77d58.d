@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-411c3322f5b77d58.d: crates/compat/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-411c3322f5b77d58.so: crates/compat/serde_derive/src/lib.rs
+
+crates/compat/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/split_exec_repro-dadc78e7ae91989a.d: src/lib.rs
+
+/root/repo/target/release/deps/libsplit_exec_repro-dadc78e7ae91989a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsplit_exec_repro-dadc78e7ae91989a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stage_breakdown-600edddbbfa84316.d: crates/bench/src/bin/stage_breakdown.rs
+
+/root/repo/target/release/deps/stage_breakdown-600edddbbfa84316: crates/bench/src/bin/stage_breakdown.rs
+
+crates/bench/src/bin/stage_breakdown.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sx_bench-c94069d1343412d4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsx_bench-c94069d1343412d4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsx_bench-c94069d1343412d4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

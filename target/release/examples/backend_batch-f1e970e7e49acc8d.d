@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/backend_batch-f1e970e7e49acc8d.d: examples/backend_batch.rs
+
+/root/repo/target/release/examples/backend_batch-f1e970e7e49acc8d: examples/backend_batch.rs
+
+examples/backend_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_tmp-1b945a34ef6a0398.d: examples/probe_tmp.rs
+
+/root/repo/target/release/examples/probe_tmp-1b945a34ef6a0398: examples/probe_tmp.rs
+
+examples/probe_tmp.rs:
