@@ -50,7 +50,10 @@ pub use backend::{
 };
 pub use sampler::{QpuAccessReport, SampleRecord, SampleSet, SimulatedQpu};
 pub use schedule::{AnnealSchedule, ScheduleShape};
-pub use stats::{achieved_accuracy, estimate_success_probability, required_reads};
+pub use stats::{
+    achieved_accuracy, estimate_success_probability, percentile, percentile_sorted, required_reads,
+    Histogram,
+};
 pub use timing::QpuTimings;
 
 /// Commonly used items, for glob import.
@@ -62,7 +65,10 @@ pub mod prelude {
     pub use crate::pt::{parallel_tempering, PtConfig};
     pub use crate::sampler::{QpuAccessReport, SampleSet, SimulatedQpu};
     pub use crate::schedule::{AnnealSchedule, ScheduleShape};
-    pub use crate::stats::{achieved_accuracy, estimate_success_probability, required_reads};
+    pub use crate::stats::{
+        achieved_accuracy, estimate_success_probability, percentile, percentile_sorted,
+        required_reads, Histogram,
+    };
     pub use crate::timing::QpuTimings;
 }
 

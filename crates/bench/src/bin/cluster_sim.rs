@@ -1,0 +1,234 @@
+//! Datacenter simulation: scheduling policies compared on one seeded
+//! workload.
+//!
+//! Replays a stream of QUBO jobs against a fleet of simulated QPUs (each
+//! with its own fault map) under each scheduling policy, on the same seeds,
+//! and prints a comparison table — the fleet-scale version of the paper's
+//! performance model.  The run demonstrates the two acceptance claims of
+//! the `sx_cluster` subsystem: embedding-cache-affinity scheduling beats
+//! FIFO on mean latency for a repeated-topology mix, and the aggregate
+//! per-stage breakdown stays stage-1 dominated at fleet scale.
+//!
+//! ```text
+//! cargo run --release -p sx-bench --bin cluster_sim -- \
+//!     [--jobs N] [--qpus N] [--seed S] [--rate R] [--closed CLIENTS] \
+//!     [--workload repeated|mixed|bursty] [--policy fifo|spjf|affinity|all] \
+//!     [--virtual]
+//! ```
+//!
+//! `--virtual` skips the (slow) calibration step that executes a real job
+//! through `split_exec::Pipeline` to sanity-check the analytic service
+//! model; CI runs `--jobs 50 --virtual` as a smoke test.
+
+use split_exec::SplitExecConfig;
+use sx_cluster::prelude::*;
+
+#[derive(Debug)]
+struct Args {
+    jobs: usize,
+    qpus: usize,
+    seed: u64,
+    rate_hz: f64,
+    closed: Option<usize>,
+    workload: String,
+    policy: String,
+    virtual_only: bool,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            jobs: 200,
+            qpus: 4,
+            seed: 7,
+            rate_hz: 1.0,
+            closed: None,
+            workload: "repeated".into(),
+            policy: "all".into(),
+            virtual_only: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--jobs" => args.jobs = parse_or_die(&value("--jobs"), "--jobs"),
+                "--qpus" => args.qpus = parse_or_die(&value("--qpus"), "--qpus"),
+                "--seed" => args.seed = parse_or_die(&value("--seed"), "--seed"),
+                "--rate" => args.rate_hz = parse_or_die(&value("--rate"), "--rate"),
+                "--closed" => args.closed = Some(parse_or_die(&value("--closed"), "--closed")),
+                "--workload" => args.workload = value("--workload"),
+                "--policy" => args.policy = value("--policy"),
+                "--virtual" => args.virtual_only = true,
+                other => {
+                    eprintln!("unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+fn parse_or_die<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse {flag} value '{raw}'");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+
+    let spec = match args.workload.as_str() {
+        "repeated" => WorkloadSpec::repeated_topologies(args.jobs, args.rate_hz, args.seed),
+        "mixed" => WorkloadSpec::mixed(args.jobs, args.rate_hz, args.seed),
+        "bursty" => WorkloadSpec::bursty(args.jobs, args.rate_hz, 8, args.seed),
+        other => {
+            eprintln!("unknown workload '{other}' (expected repeated, mixed or bursty)");
+            std::process::exit(2);
+        }
+    };
+    let workload = spec.generate();
+
+    let policies: Vec<PolicyKind> = if args.policy == "all" {
+        PolicyKind::all().to_vec()
+    } else {
+        vec![args.policy.parse().unwrap_or_else(|e: String| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })]
+    };
+
+    let mode = match args.closed {
+        Some(clients) => WorkloadMode::Closed { clients },
+        None => WorkloadMode::Open,
+    };
+
+    println!(
+        "# cluster_sim: {} jobs ({} distinct topologies, max lps {}), {} QPUs, seed {}, {:?}",
+        workload.len(),
+        workload.distinct_topologies(),
+        workload.max_lps(),
+        args.qpus,
+        args.seed,
+        mode,
+    );
+
+    if !args.virtual_only {
+        calibrate(args.seed);
+    }
+
+    println!(
+        "\n{:>9} {:>6} {:>4} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6} {:>5} {:>9} {:>10}",
+        "policy",
+        "done",
+        "rej",
+        "mean [s]",
+        "p50 [s]",
+        "p95 [s]",
+        "p99 [s]",
+        "util%",
+        "warm%",
+        "cold",
+        "stage1%",
+        "makespan"
+    );
+
+    let mut by_policy: Vec<(PolicyKind, SimReport)> = Vec::new();
+    for policy in policies {
+        let fleet = Fleet::new(
+            FleetConfig {
+                qpus: args.qpus,
+                seed: args.seed,
+                ..FleetConfig::default()
+            },
+            SplitExecConfig::with_seed(args.seed),
+        );
+        let mut scheduler = policy.build();
+        let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig { mode });
+        let warm_rate = if report.completed > 0 {
+            report.warm_hits() as f64 / report.completed as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>9} {:>6} {:>4} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6.1} {:>6.1} {:>5} {:>9.2} {:>9.1}s",
+            report.policy,
+            report.completed,
+            report.rejected,
+            report.latency.mean,
+            report.latency.p50,
+            report.latency.p95,
+            report.latency.p99,
+            100.0 * report.mean_utilization(),
+            100.0 * warm_rate,
+            report.cold_misses(),
+            100.0 * report.stage1_fraction(),
+            report.makespan_seconds,
+        );
+        by_policy.push((policy, report));
+    }
+
+    // The shared batch/cluster report format, for the last policy run.
+    if let Some((policy, report)) = by_policy.last() {
+        println!("\n# shared BatchSummary format ({policy}):");
+        println!("{}", report.batch_summary());
+    }
+
+    // Acceptance checks: stage-1 dominance at fleet scale, and (on the
+    // repeated mix with both policies present) affinity beating FIFO.
+    let mut ok = true;
+    for (policy, report) in &by_policy {
+        if report.completed > 0 && report.stage1_fraction() <= 0.5 {
+            println!("FAIL: {policy} breakdown is not stage-1 dominated");
+            ok = false;
+        }
+    }
+    let fifo = by_policy.iter().find(|(p, _)| *p == PolicyKind::Fifo);
+    let affinity = by_policy
+        .iter()
+        .find(|(p, _)| *p == PolicyKind::CacheAffinity);
+    if let (Some((_, fifo)), Some((_, affinity))) = (fifo, affinity) {
+        let speedup = fifo.latency.mean / affinity.latency.mean;
+        println!(
+            "\naffinity vs fifo: {speedup:.2}x mean latency ({} vs {} cold embeds)",
+            affinity.cold_misses(),
+            fifo.cold_misses()
+        );
+        if args.workload == "repeated" && speedup <= 1.0 {
+            println!("FAIL: cache-affinity did not beat FIFO on the repeated-topology mix");
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// Execute one real job through the pipeline and compare its stage shape
+/// with the analytic model the simulator charges — the tie between the
+/// simulator and the measured system.
+fn calibrate(seed: u64) {
+    use chimera_graph::generators;
+    use qubo_ising::prelude::MaxCut;
+    use split_exec::{Pipeline, SplitMachine};
+
+    let pipeline = Pipeline::new(
+        SplitMachine::paper_default(),
+        SplitExecConfig::with_seed(seed),
+    );
+    let qubo = MaxCut::unweighted(generators::cycle(12)).to_qubo();
+    match pipeline.execute(&qubo) {
+        Ok(report) => println!(
+            "calibration (real lps-12 job): stage-1 share measured {:.1}% — the simulator's \
+             analytic service model charges the same shape",
+            100.0 * report.stage1_fraction()
+        ),
+        Err(err) => println!("calibration job failed: {err}"),
+    }
+}

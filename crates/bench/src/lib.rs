@@ -15,6 +15,7 @@
 //! | Fig. 8 / 9(c) (stage 3) | `--bin fig9c`, bench `fig9c_stage3` |
 //! | Stage-dominance conclusion | `--bin stage_breakdown` |
 //! | Batch amortization (Sec. 3.3) | `--bin batch_throughput` |
+//! | Fleet-scale scheduling (`sx_cluster`) | `--bin cluster_sim` |
 //! | Ablations | benches `ablation_offline_embedding`, `ablation_embedding_algorithms`, `annealer_sampling`, `backend_comparison` |
 //!
 //! Binaries that execute stage 2 accept `--backend=<sa|pt|exact>` (or the

@@ -1,0 +1,323 @@
+//! The fleet: a rack of simulated QPUs, each with its own fault map.
+//!
+//! Real annealers ship with fabrication faults (Sec. 2.2 of the paper), and
+//! no two devices fault identically — so in a fleet, the *same* job costs
+//! different amounts on different devices, and an embedding computed for one
+//! device does not transfer to another (its chains reference that device's
+//! qubits).  Each [`QpuDevice`] therefore carries:
+//!
+//! * a [`SplitMachine`] whose hardware graph has a per-device
+//!   [`chimera_graph::FaultModel`] applied,
+//! * a per-device [`CostModel`] serving the paper's analytic stage costs,
+//! * a per-device *warm set* — the interaction topologies whose embeddings
+//!   this device has already computed (the simulator's stand-in for
+//!   [`split_exec::EmbeddingCache`], keyed the same way),
+//! * a capacity bound and a fault-difficulty factor derived from the yield.
+//!
+//! The capacity bound uses the clique-minor fact that pristine
+//! `C(M, N, 4)` Chimera embeds `K_{4·min(M,N)+1}`, degraded linearly by the
+//! qubit yield; the difficulty factor charges embedding on a faulted lattice
+//! `1/yield³` of the pristine cost (fewer usable qubits ⇒ more CMR passes).
+//! Both are modeling assumptions of the simulator, not measurements — they
+//! are deliberately simple and deterministic.
+
+use serde::{Deserialize, Serialize};
+use split_exec::cost::{CostModel, StageCosts};
+use split_exec::{PipelineError, QpuModel, SplitExecConfig, SplitMachine};
+use std::collections::HashSet;
+
+use chimera_graph::FaultModel;
+
+/// Configuration of a simulated fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of QPUs in the fleet.
+    pub qpus: usize,
+    /// Installed QPU generation (shared across the fleet).
+    pub qpu_model: QpuModel,
+    /// Per-qubit fault probability for each device's fault draw.
+    pub qubit_fault_rate: f64,
+    /// Per-coupler fault probability.
+    pub coupler_fault_rate: f64,
+    /// Base seed; device `i` draws its faults with `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            qpus: 4,
+            qpu_model: QpuModel::Dw2x,
+            qubit_fault_rate: 0.02,
+            coupler_fault_rate: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+/// One simulated QPU: hardware model, cost oracle, warm-embedding set and
+/// runtime occupancy.
+#[derive(Debug)]
+pub struct QpuDevice {
+    /// Fleet-wide device index.
+    pub id: usize,
+    /// The device's machine model (hardware graph carries this device's
+    /// faults).
+    pub machine: SplitMachine,
+    /// Analytic per-stage cost oracle for this device.
+    pub cost: CostModel,
+    /// Largest logical problem size this device can embed.
+    pub capacity_lps: usize,
+    /// Multiplier on the embedding cost reflecting fault-induced difficulty
+    /// (1.0 for a pristine device).
+    pub fault_difficulty: f64,
+    /// Topology keys whose embeddings this device has computed.
+    warm: HashSet<u64>,
+    /// When the device becomes idle (virtual seconds); `<= now` means idle.
+    pub busy_until: f64,
+    /// Total busy seconds accumulated.
+    pub busy_seconds: f64,
+    /// Jobs served.
+    pub jobs_served: usize,
+    /// Jobs served with a warm embedding.
+    pub warm_hits: usize,
+    /// Jobs that had to embed cold.
+    pub cold_misses: usize,
+}
+
+impl QpuDevice {
+    /// Build device `id` from the fleet configuration.
+    fn new(id: usize, config: &FleetConfig, app: &SplitExecConfig) -> Self {
+        let (m, n, l) = config.qpu_model.lattice();
+        let pristine = chimera_graph::Chimera::new(m, n, l);
+        let faults = FaultModel::random(
+            pristine.graph(),
+            config.qubit_fault_rate,
+            config.coupler_fault_rate,
+            config.seed.wrapping_add(id as u64),
+        );
+        let machine = SplitMachine::with_faults(config.qpu_model, faults);
+        let yield_fraction = machine.usable_qubits() as f64 / machine.chimera.qubit_count() as f64;
+        let pristine_clique = 4 * m.min(n) + 1;
+        let capacity_lps = ((pristine_clique as f64) * yield_fraction).floor() as usize;
+        let fault_difficulty = (1.0 / yield_fraction.powi(3)).max(1.0);
+        let cost = CostModel::new(machine.clone(), *app);
+        Self {
+            id,
+            machine,
+            cost,
+            capacity_lps,
+            fault_difficulty,
+            warm: HashSet::new(),
+            busy_until: 0.0,
+            busy_seconds: 0.0,
+            jobs_served: 0,
+            warm_hits: 0,
+            cold_misses: 0,
+        }
+    }
+
+    /// Whether a logical problem of `lps` spins fits this device.
+    pub fn can_run(&self, lps: usize) -> bool {
+        lps <= self.capacity_lps
+    }
+
+    /// Whether this device already holds an embedding for `topology_key`.
+    pub fn is_warm(&self, topology_key: u64) -> bool {
+        self.warm.contains(&topology_key)
+    }
+
+    /// Number of distinct topologies this device has embedded.
+    pub fn warm_topologies(&self) -> usize {
+        self.warm.len()
+    }
+
+    /// Whether the device is idle at virtual time `now`.
+    pub fn is_idle(&self, now: f64) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Per-stage service seconds this device would charge a job of `lps`
+    /// spins with the given cache state (cold embedding scaled by the
+    /// fault-difficulty factor).
+    pub fn service_breakdown(
+        &self,
+        lps: usize,
+        warm: bool,
+    ) -> Result<(f64, f64, f64), PipelineError> {
+        let costs: StageCosts = self.cost.costs(lps)?;
+        let stage1 = if warm {
+            costs.stage1_warm_seconds()
+        } else {
+            costs.stage1_warm_seconds() + costs.stage1_embed_seconds * self.fault_difficulty
+        };
+        Ok((stage1, costs.stage2_seconds, costs.stage3_seconds))
+    }
+
+    /// Predicted total service seconds for a job of `lps` spins, accounting
+    /// for this device's current cache state — the oracle the
+    /// shortest-predicted-job-first and affinity schedulers consult.
+    pub fn predicted_service_seconds(
+        &self,
+        lps: usize,
+        topology_key: u64,
+    ) -> Result<f64, PipelineError> {
+        let (s1, s2, s3) = self.service_breakdown(lps, self.is_warm(topology_key))?;
+        Ok(s1 + s2 + s3)
+    }
+
+    /// Record that this device computed (and cached) an embedding for
+    /// `topology_key`.
+    pub(crate) fn mark_warm(&mut self, topology_key: u64) {
+        self.warm.insert(topology_key);
+    }
+}
+
+/// The fleet: all devices plus shared application configuration.
+#[derive(Debug)]
+pub struct Fleet {
+    /// The devices, indexed by id.
+    pub devices: Vec<QpuDevice>,
+    /// The application configuration shared by all devices.
+    pub app_config: SplitExecConfig,
+}
+
+impl Fleet {
+    /// Build a fleet, drawing each device's faults deterministically from
+    /// the configured seed.
+    pub fn new(config: FleetConfig, app_config: SplitExecConfig) -> Self {
+        assert!(config.qpus > 0, "a fleet needs at least one QPU");
+        let devices = (0..config.qpus)
+            .map(|id| QpuDevice::new(id, &config, &app_config))
+            .collect();
+        Self {
+            devices,
+            app_config,
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet is empty (never true for a constructed fleet).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Ids of devices idle at virtual time `now`, in id order.
+    pub fn idle_devices(&self, now: f64) -> Vec<usize> {
+        self.devices
+            .iter()
+            .filter(|d| d.is_idle(now))
+            .map(|d| d.id)
+            .collect()
+    }
+
+    /// The largest problem size any device in the fleet can embed.
+    pub fn max_capacity_lps(&self) -> usize {
+        self.devices
+            .iter()
+            .map(|d| d.capacity_lps)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(qpus: usize, rate: f64, seed: u64) -> Fleet {
+        Fleet::new(
+            FleetConfig {
+                qpus,
+                qubit_fault_rate: rate,
+                coupler_fault_rate: rate / 2.0,
+                seed,
+                ..FleetConfig::default()
+            },
+            SplitExecConfig::with_seed(seed),
+        )
+    }
+
+    #[test]
+    fn devices_draw_distinct_fault_maps() {
+        let f = fleet(3, 0.05, 7);
+        assert_eq!(f.len(), 3);
+        let fault_sets: Vec<_> = f.devices.iter().map(|d| &d.machine.faults).collect();
+        assert_ne!(fault_sets[0], fault_sets[1]);
+        assert_ne!(fault_sets[1], fault_sets[2]);
+        // Same seed rebuilds the same fleet.
+        let g = fleet(3, 0.05, 7);
+        for (a, b) in f.devices.iter().zip(&g.devices) {
+            assert_eq!(a.machine.faults, b.machine.faults);
+            assert_eq!(a.capacity_lps, b.capacity_lps);
+        }
+    }
+
+    #[test]
+    fn pristine_device_has_full_capacity_and_unit_difficulty() {
+        let f = fleet(1, 0.0, 1);
+        let d = &f.devices[0];
+        // C(12,12,4) pristine: K_49 capacity, no difficulty penalty.
+        assert_eq!(d.capacity_lps, 49);
+        assert_eq!(d.fault_difficulty, 1.0);
+        assert!(d.can_run(49));
+        assert!(!d.can_run(50));
+    }
+
+    #[test]
+    fn faults_reduce_capacity_and_raise_difficulty() {
+        let faulty = fleet(1, 0.08, 3);
+        let pristine = fleet(1, 0.0, 3);
+        let d = &faulty.devices[0];
+        assert!(d.capacity_lps < pristine.devices[0].capacity_lps);
+        assert!(d.fault_difficulty > 1.0);
+        // Stage-1 cold cost is dearer on the faulty device.
+        let (cold_faulty, _, _) = d.service_breakdown(20, false).unwrap();
+        let (cold_pristine, _, _) = pristine.devices[0].service_breakdown(20, false).unwrap();
+        assert!(cold_faulty > cold_pristine);
+        // Warm cost is identical — no embedding happens.
+        let (warm_faulty, _, _) = d.service_breakdown(20, true).unwrap();
+        let (warm_pristine, _, _) = pristine.devices[0].service_breakdown(20, true).unwrap();
+        assert!((warm_faulty - warm_pristine).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_set_drives_predicted_service() {
+        let mut f = fleet(1, 0.01, 5);
+        let key = 0xDEADBEEF;
+        let cold = f.devices[0].predicted_service_seconds(40, key).unwrap();
+        f.devices[0].mark_warm(key);
+        assert!(f.devices[0].is_warm(key));
+        let warm = f.devices[0].predicted_service_seconds(40, key).unwrap();
+        assert!(
+            warm < cold / 10.0,
+            "warm {warm} should be far below cold {cold}"
+        );
+        assert_eq!(f.devices[0].warm_topologies(), 1);
+    }
+
+    #[test]
+    fn idle_tracking() {
+        let mut f = fleet(2, 0.0, 1);
+        assert_eq!(f.idle_devices(0.0), vec![0, 1]);
+        f.devices[0].busy_until = 5.0;
+        assert_eq!(f.idle_devices(1.0), vec![1]);
+        assert_eq!(f.idle_devices(5.0), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one QPU")]
+    fn empty_fleet_is_rejected() {
+        Fleet::new(
+            FleetConfig {
+                qpus: 0,
+                ..FleetConfig::default()
+            },
+            SplitExecConfig::default(),
+        );
+    }
+}

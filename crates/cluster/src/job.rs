@@ -1,0 +1,94 @@
+//! Jobs: what flows through the simulated datacenter.
+//!
+//! A [`Job`] is the simulator's view of one QUBO submission — the logical
+//! problem size that drives the analytic service-time model, the canonical
+//! key of its interaction topology (what an embedding cache would key on),
+//! and its arrival time.  The full coefficient matrix is irrelevant to the
+//! queueing behavior: two jobs with the same interaction topology are
+//! interchangeable for stage-1 purposes (that is precisely the observation
+//! the offline embedding cache exploits), so the workload generator reduces
+//! each generated problem instance to this record.
+
+use serde::{Deserialize, Serialize};
+
+/// One QUBO job in flight through the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Workload-wide index, also the submission order.
+    pub id: usize,
+    /// Human-readable problem-family label (e.g. `maxcut-cycle-12`).
+    pub family: String,
+    /// Logical problem size (number of logical spins) — the `LPS` parameter
+    /// of the paper's stage models.
+    pub lps: usize,
+    /// Canonical key of the job's interaction topology
+    /// ([`split_exec::offline_cache::graph_key`]); jobs sharing a key share
+    /// an embedding.
+    pub topology_key: u64,
+    /// Arrival time in virtual seconds (ignored in closed-loop mode).
+    pub arrival: f64,
+}
+
+/// Everything the metrics layer records about one finished job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The job's workload index.
+    pub job: usize,
+    /// Device that served it.
+    pub qpu: usize,
+    /// Arrival time (virtual seconds).
+    pub arrival: f64,
+    /// Time service began.
+    pub start: f64,
+    /// Time service finished.
+    pub finish: f64,
+    /// Stage-1 service seconds actually charged (warm or cold).
+    pub stage1_seconds: f64,
+    /// Stage-2 service seconds.
+    pub stage2_seconds: f64,
+    /// Stage-3 service seconds.
+    pub stage3_seconds: f64,
+    /// Whether the device's embedding cache was warm for this topology.
+    pub warm_hit: bool,
+}
+
+impl JobRecord {
+    /// Queueing delay: seconds between arrival and service start.
+    pub fn wait_seconds(&self) -> f64 {
+        self.start - self.arrival
+    }
+
+    /// Service time: seconds between start and finish.
+    pub fn service_seconds(&self) -> f64 {
+        self.finish - self.start
+    }
+
+    /// End-to-end latency: seconds between arrival and finish.
+    pub fn latency_seconds(&self) -> f64 {
+        self.finish - self.arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_derived_times_are_consistent() {
+        let r = JobRecord {
+            job: 0,
+            qpu: 1,
+            arrival: 2.0,
+            start: 5.0,
+            finish: 9.0,
+            stage1_seconds: 3.0,
+            stage2_seconds: 0.5,
+            stage3_seconds: 0.5,
+            warm_hit: false,
+        };
+        assert_eq!(r.wait_seconds(), 3.0);
+        assert_eq!(r.service_seconds(), 4.0);
+        assert_eq!(r.latency_seconds(), 7.0);
+        assert_eq!(r.wait_seconds() + r.service_seconds(), r.latency_seconds());
+    }
+}

@@ -1,0 +1,304 @@
+//! Metrics: what the simulator reports about a run.
+//!
+//! Latency percentiles come from [`quantum_anneal::stats::percentile`] (the
+//! shared order-statistics helper), the per-stage breakdown mirrors the
+//! paper's three-stage accounting, and [`SimReport::batch_summary`] exports
+//! the run in the same [`split_exec::BatchSummary`] format the batch
+//! pipeline uses — one report shape whether jobs went through a single
+//! pipeline or a simulated datacenter.
+
+use crate::job::JobRecord;
+use crate::sim::TraceRecord;
+use quantum_anneal::stats::{percentile_sorted, Histogram};
+use serde::{Deserialize, Serialize};
+use split_exec::offline_cache::CacheStats;
+use split_exec::BatchSummary;
+use std::fmt;
+
+/// Latency distribution summary (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Compute the summary from raw per-job values (zeroes when empty).
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let pct = |p| percentile_sorted(&sorted, p).unwrap_or(0.0);
+        Self {
+            mean: if sorted.is_empty() {
+                0.0
+            } else {
+                sorted.iter().sum::<f64>() / sorted.len() as f64
+            },
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Per-device utilization and cache behavior over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QpuStats {
+    /// Device id.
+    pub qpu: usize,
+    /// Jobs served.
+    pub jobs: usize,
+    /// Busy fraction of the makespan (0 when the makespan is zero).
+    pub utilization: f64,
+    /// Jobs whose embedding was warm on this device.
+    pub warm_hits: usize,
+    /// Jobs that embedded cold on this device.
+    pub cold_misses: usize,
+    /// Distinct topologies in this device's cache at the end of the run.
+    pub warm_topologies: usize,
+}
+
+/// The full outcome of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The policy that produced the run.
+    pub policy: String,
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs rejected at arrival (infeasible on every device).
+    pub rejected: usize,
+    /// Virtual time at which the last event fired.
+    pub makespan_seconds: f64,
+    /// End-to-end latency distribution.
+    pub latency: LatencyStats,
+    /// Queueing-delay distribution.
+    pub wait: LatencyStats,
+    /// Summed stage-1 service seconds over completed jobs.
+    pub stage1_seconds: f64,
+    /// Summed stage-2 service seconds.
+    pub stage2_seconds: f64,
+    /// Summed stage-3 service seconds.
+    pub stage3_seconds: f64,
+    /// Per-device statistics.
+    pub per_qpu: Vec<QpuStats>,
+    /// Queue depth sampled after every event: `(virtual time, depth)`.
+    pub queue_depth: Vec<(f64, usize)>,
+    /// Per-job records in completion order.
+    pub records: Vec<JobRecord>,
+    /// The full deterministic event trace (fired events, dispatches,
+    /// rejections, in order).
+    pub trace: Vec<TraceRecord>,
+}
+
+impl SimReport {
+    /// Summed service seconds across all stages.
+    pub fn total_service_seconds(&self) -> f64 {
+        self.stage1_seconds + self.stage2_seconds + self.stage3_seconds
+    }
+
+    /// Fraction of the summed service time spent in stage 1 — the paper's
+    /// headline, measured at fleet scale.
+    pub fn stage1_fraction(&self) -> f64 {
+        let total = self.total_service_seconds();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.stage1_seconds / total
+        }
+    }
+
+    /// Total warm-embedding hits across the fleet.
+    pub fn warm_hits(&self) -> usize {
+        self.per_qpu.iter().map(|q| q.warm_hits).sum()
+    }
+
+    /// Total cold embeds across the fleet.
+    pub fn cold_misses(&self) -> usize {
+        self.per_qpu.iter().map(|q| q.cold_misses).sum()
+    }
+
+    /// Mean device utilization over the makespan.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.per_qpu.is_empty() {
+            0.0
+        } else {
+            self.per_qpu.iter().map(|q| q.utilization).sum::<f64>() / self.per_qpu.len() as f64
+        }
+    }
+
+    /// Largest queue depth observed.
+    pub fn max_queue_depth(&self) -> usize {
+        self.queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0)
+    }
+
+    /// Histogram of end-to-end latencies with `bins` uniform bins.
+    pub fn latency_histogram(&self, bins: usize) -> Histogram {
+        let latencies: Vec<f64> = self.records.iter().map(|r| r.latency_seconds()).collect();
+        Histogram::from_samples(&latencies, bins)
+    }
+
+    /// Export the run in the shared batch-report format
+    /// ([`split_exec::BatchSummary`]): the virtual makespan plays the role
+    /// of the batch's wall clock, and warm hits / cold misses map onto the
+    /// embedding-cache statistics.
+    pub fn batch_summary(&self) -> BatchSummary {
+        BatchSummary {
+            jobs: self.jobs,
+            succeeded: self.completed,
+            failed: self.jobs - self.completed,
+            stage1_seconds: self.stage1_seconds,
+            stage2_seconds: self.stage2_seconds,
+            stage3_seconds: self.stage3_seconds,
+            total_seconds: self.total_service_seconds(),
+            wall_seconds: self.makespan_seconds,
+            stage1_fraction: self.stage1_fraction(),
+            embedding_cache: CacheStats {
+                hits: self.warm_hits(),
+                misses: self.cold_misses(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "policy {}: {}/{} jobs completed ({} rejected) in {:.1} virtual seconds",
+            self.policy, self.completed, self.jobs, self.rejected, self.makespan_seconds
+        )?;
+        writeln!(
+            f,
+            "latency: mean {:.2}s, p50 {:.2}s, p95 {:.2}s, p99 {:.2}s, max {:.2}s",
+            self.latency.mean,
+            self.latency.p50,
+            self.latency.p95,
+            self.latency.p99,
+            self.latency.max
+        )?;
+        writeln!(
+            f,
+            "stages: 1 = {:.3e}s, 2 = {:.3e}s, 3 = {:.3e}s (stage-1 share {:.1}%)",
+            self.stage1_seconds,
+            self.stage2_seconds,
+            self.stage3_seconds,
+            100.0 * self.stage1_fraction()
+        )?;
+        write!(
+            f,
+            "fleet: {:.0}% mean utilization, {} warm hits / {} cold embeds, max queue depth {}",
+            100.0 * self.mean_utilization(),
+            self.warm_hits(),
+            self.cold_misses(),
+            self.max_queue_depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(job: usize, arrival: f64, start: f64, finish: f64) -> JobRecord {
+        JobRecord {
+            job,
+            qpu: 0,
+            arrival,
+            start,
+            finish,
+            stage1_seconds: start.max(1.0),
+            stage2_seconds: 0.001,
+            stage3_seconds: 0.001,
+            warm_hit: false,
+        }
+    }
+
+    fn report() -> SimReport {
+        let records = vec![record(0, 0.0, 0.0, 2.0), record(1, 1.0, 2.0, 5.0)];
+        SimReport {
+            policy: "fifo".into(),
+            jobs: 3,
+            completed: 2,
+            rejected: 1,
+            makespan_seconds: 5.0,
+            latency: LatencyStats::from_values(&[2.0, 4.0]),
+            wait: LatencyStats::from_values(&[0.0, 1.0]),
+            stage1_seconds: 4.0,
+            stage2_seconds: 0.002,
+            stage3_seconds: 0.002,
+            per_qpu: vec![QpuStats {
+                qpu: 0,
+                jobs: 2,
+                utilization: 0.8,
+                warm_hits: 1,
+                cold_misses: 1,
+                warm_topologies: 1,
+            }],
+            queue_depth: vec![(0.0, 1), (2.0, 2), (5.0, 0)],
+            records,
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn latency_stats_from_values() {
+        let s = LatencyStats::from_values(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.p50, 2.5);
+        assert_eq!(s.max, 4.0);
+        let empty = LatencyStats::from_values(&[]);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.p99, 0.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let r = report();
+        assert!((r.stage1_fraction() - 4.0 / 4.004).abs() < 1e-12);
+        assert_eq!(r.warm_hits(), 1);
+        assert_eq!(r.cold_misses(), 1);
+        assert_eq!(r.max_queue_depth(), 2);
+        assert!((r.mean_utilization() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_summary_shares_the_pipeline_format() {
+        let r = report();
+        let s = r.batch_summary();
+        assert_eq!(s.jobs, 3);
+        assert_eq!(s.succeeded, 2);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.wall_seconds, 5.0);
+        assert_eq!(s.embedding_cache.hits, 1);
+        assert_eq!(s.embedding_cache.misses, 1);
+        // The shared Display implementation renders it.
+        let text = format!("{s}");
+        assert!(text.contains("3 jobs: 2 succeeded, 1 failed"));
+    }
+
+    #[test]
+    fn report_displays_headline_lines() {
+        let text = format!("{}", report());
+        assert!(text.contains("policy fifo"));
+        assert!(text.contains("stage-1 share"));
+        assert!(text.contains("max queue depth 2"));
+    }
+
+    #[test]
+    fn latency_histogram_counts_all_jobs() {
+        let h = report().latency_histogram(4);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.bins.iter().sum::<u64>(), 2);
+    }
+}

@@ -1,0 +1,371 @@
+//! Pluggable scheduling policies.
+//!
+//! Whenever a device goes idle or a job arrives, the engine repeatedly asks
+//! the active [`Scheduler`] for one `(job, device)` assignment until it
+//! declines; the engine then dispatches the pair and charges the service
+//! time.  All policies must be deterministic — ties are broken by job
+//! arrival order and device id — so a seeded simulation replays exactly.
+//!
+//! Three policies ship:
+//!
+//! * [`Fifo`] — strict arrival order with head-of-line blocking: the head
+//!   job waits for a feasible idle device and nothing overtakes it.  The
+//!   baseline, and the policy whose no-reordering property is proptested.
+//! * [`ShortestPredictedFirst`] — the classic SJF heuristic with the
+//!   paper's analytic model as the oracle: among queued jobs and idle
+//!   devices, dispatch the pair with the smallest predicted service time
+//!   (cache-aware, so a warm topology counts as short).
+//! * [`CacheAffinity`] — route jobs to the device whose embedding cache
+//!   already holds their topology; cold jobs are spread to the idle device
+//!   with the fewest warm topologies (building specialized caches), and a
+//!   job whose warm device is busy waits for it only when waiting is
+//!   predicted cheaper than re-embedding cold elsewhere.
+
+use crate::fleet::Fleet;
+use crate::job::Job;
+
+/// A scheduling policy.
+///
+/// `queue` is the pending jobs in arrival order; implementations return
+/// `Some((queue_index, device_id))` to dispatch, or `None` to leave the
+/// remaining queue waiting (e.g. for a busy device to free up).  The engine
+/// guarantees every returned device is idle at `now` and re-invokes the
+/// method until it returns `None`.
+pub trait Scheduler {
+    /// Stable policy name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Choose the next `(queue index, device id)` assignment, or `None`.
+    fn next_assignment(&mut self, queue: &[Job], fleet: &Fleet, now: f64)
+        -> Option<(usize, usize)>;
+}
+
+/// First-in-first-out with head-of-line blocking.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fifo;
+
+impl Scheduler for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn next_assignment(
+        &mut self,
+        queue: &[Job],
+        fleet: &Fleet,
+        now: f64,
+    ) -> Option<(usize, usize)> {
+        let head = queue.first()?;
+        let device = fleet
+            .idle_devices(now)
+            .into_iter()
+            .find(|&d| fleet.devices[d].can_run(head.lps))?;
+        Some((0, device))
+    }
+}
+
+/// Shortest-predicted-job-first over the analytic cost oracle.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShortestPredictedFirst;
+
+impl Scheduler for ShortestPredictedFirst {
+    fn name(&self) -> &'static str {
+        "spjf"
+    }
+
+    fn next_assignment(
+        &mut self,
+        queue: &[Job],
+        fleet: &Fleet,
+        now: f64,
+    ) -> Option<(usize, usize)> {
+        let idle = fleet.idle_devices(now);
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (qi, job) in queue.iter().enumerate() {
+            for &d in &idle {
+                let device = &fleet.devices[d];
+                if !device.can_run(job.lps) {
+                    continue;
+                }
+                let Ok(predicted) = device.predicted_service_seconds(job.lps, job.topology_key)
+                else {
+                    continue;
+                };
+                // Strict `<` keeps the earliest (queue-order, id-order)
+                // candidate on ties, so the policy is deterministic.
+                if best.map(|(t, _, _)| predicted < t).unwrap_or(true) {
+                    best = Some((predicted, qi, d));
+                }
+            }
+        }
+        best.map(|(_, qi, d)| (qi, d))
+    }
+}
+
+/// Embedding-cache-affinity routing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CacheAffinity;
+
+impl Scheduler for CacheAffinity {
+    fn name(&self) -> &'static str {
+        "affinity"
+    }
+
+    fn next_assignment(
+        &mut self,
+        queue: &[Job],
+        fleet: &Fleet,
+        now: f64,
+    ) -> Option<(usize, usize)> {
+        let idle = fleet.idle_devices(now);
+        if idle.is_empty() {
+            return None;
+        }
+
+        // Pass 1: oldest job whose topology is warm on an idle device.
+        for (qi, job) in queue.iter().enumerate() {
+            if let Some(&d) = idle.iter().find(|&&d| {
+                fleet.devices[d].can_run(job.lps) && fleet.devices[d].is_warm(job.topology_key)
+            }) {
+                return Some((qi, d));
+            }
+        }
+
+        // Pass 2: place a job that must embed cold anyway.  Spread cold
+        // embeds to the least-specialized idle device so caches partition
+        // the topology space instead of all devices learning everything.
+        for (qi, job) in queue.iter().enumerate() {
+            let warm_somewhere = fleet
+                .devices
+                .iter()
+                .any(|dev| dev.is_warm(job.topology_key));
+            if warm_somewhere {
+                // Its warm device is busy (pass 1 would have taken it).
+                // Wait for that device only when wait + warm service is
+                // predicted to finish sooner than re-embedding cold on an
+                // idle one.
+                let warm_finish = fleet
+                    .devices
+                    .iter()
+                    .filter(|dev| dev.is_warm(job.topology_key) && dev.can_run(job.lps))
+                    .filter_map(|dev| {
+                        let warm_service = dev
+                            .predicted_service_seconds(job.lps, job.topology_key)
+                            .ok()?;
+                        Some((dev.busy_until - now).max(0.0) + warm_service)
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                let cold_cost = idle
+                    .iter()
+                    .filter(|&&d| fleet.devices[d].can_run(job.lps))
+                    .filter_map(|&d| {
+                        fleet.devices[d]
+                            .predicted_service_seconds(job.lps, job.topology_key)
+                            .ok()
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                if warm_finish < cold_cost {
+                    continue; // hold this job for its warm device
+                }
+            }
+            let placement = idle
+                .iter()
+                .filter(|&&d| fleet.devices[d].can_run(job.lps))
+                .min_by_key(|&&d| (fleet.devices[d].warm_topologies(), d));
+            if let Some(&d) = placement {
+                return Some((qi, d));
+            }
+        }
+        None
+    }
+}
+
+/// Policy selection by name, for CLI surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`Fifo`].
+    Fifo,
+    /// [`ShortestPredictedFirst`].
+    ShortestPredictedFirst,
+    /// [`CacheAffinity`].
+    CacheAffinity,
+}
+
+impl PolicyKind {
+    /// All policies, in comparison-table order.
+    pub fn all() -> [PolicyKind; 3] {
+        [
+            PolicyKind::Fifo,
+            PolicyKind::ShortestPredictedFirst,
+            PolicyKind::CacheAffinity,
+        ]
+    }
+
+    /// Instantiate the policy.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            PolicyKind::Fifo => Box::new(Fifo),
+            PolicyKind::ShortestPredictedFirst => Box::new(ShortestPredictedFirst),
+            PolicyKind::CacheAffinity => Box::new(CacheAffinity),
+        }
+    }
+
+    /// The policy's stable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::ShortestPredictedFirst => "spjf",
+            PolicyKind::CacheAffinity => "affinity",
+        }
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "fifo" => Ok(PolicyKind::Fifo),
+            "spjf" | "sjf" | "shortest" => Ok(PolicyKind::ShortestPredictedFirst),
+            "affinity" | "cache" | "cache-affinity" => Ok(PolicyKind::CacheAffinity),
+            other => Err(format!(
+                "unknown scheduling policy '{other}' (expected fifo, spjf or affinity)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfig;
+    use split_exec::SplitExecConfig;
+
+    fn fleet(qpus: usize) -> Fleet {
+        Fleet::new(
+            FleetConfig {
+                qpus,
+                qubit_fault_rate: 0.0,
+                coupler_fault_rate: 0.0,
+                seed: 1,
+                ..FleetConfig::default()
+            },
+            SplitExecConfig::with_seed(1),
+        )
+    }
+
+    fn job(id: usize, lps: usize, key: u64) -> Job {
+        Job {
+            id,
+            family: format!("test-{lps}"),
+            lps,
+            topology_key: key,
+            arrival: id as f64,
+        }
+    }
+
+    #[test]
+    fn fifo_takes_the_head_job_on_the_lowest_idle_device() {
+        let fleet = fleet(2);
+        let queue = vec![job(0, 10, 1), job(1, 8, 2)];
+        assert_eq!(Fifo.next_assignment(&queue, &fleet, 0.0), Some((0, 0)));
+    }
+
+    #[test]
+    fn fifo_blocks_at_the_head() {
+        let mut fleet = fleet(2);
+        // Head job only fits device 1; device 1 busy ⇒ nothing dispatches
+        // even though device 0 could serve the second job.
+        fleet.devices[0].capacity_lps = 5;
+        fleet.devices[1].busy_until = 100.0;
+        let queue = vec![job(0, 10, 1), job(1, 4, 2)];
+        assert_eq!(Fifo.next_assignment(&queue, &fleet, 0.0), None);
+    }
+
+    #[test]
+    fn spjf_prefers_the_warm_short_job() {
+        let mut fleet = fleet(1);
+        fleet.devices[0].mark_warm(42);
+        let queue = vec![job(0, 10, 1), job(1, 10, 42)];
+        // Same size, but job 1 is warm on device 0 ⇒ far shorter predicted.
+        assert_eq!(
+            ShortestPredictedFirst.next_assignment(&queue, &fleet, 0.0),
+            Some((1, 0))
+        );
+    }
+
+    #[test]
+    fn spjf_breaks_ties_by_arrival_order() {
+        let fleet = fleet(1);
+        let queue = vec![job(0, 10, 1), job(1, 10, 2)];
+        assert_eq!(
+            ShortestPredictedFirst.next_assignment(&queue, &fleet, 0.0),
+            Some((0, 0))
+        );
+    }
+
+    #[test]
+    fn affinity_routes_warm_jobs_to_their_device() {
+        let mut fleet = fleet(3);
+        fleet.devices[2].mark_warm(7);
+        let queue = vec![job(0, 10, 7)];
+        assert_eq!(
+            CacheAffinity.next_assignment(&queue, &fleet, 0.0),
+            Some((0, 2))
+        );
+    }
+
+    #[test]
+    fn affinity_spreads_cold_jobs_to_least_specialized_device() {
+        let mut fleet = fleet(3);
+        fleet.devices[0].mark_warm(100);
+        fleet.devices[0].mark_warm(101);
+        fleet.devices[1].mark_warm(102);
+        let queue = vec![job(0, 10, 7)];
+        // Device 2 has the emptiest cache.
+        assert_eq!(
+            CacheAffinity.next_assignment(&queue, &fleet, 0.0),
+            Some((0, 2))
+        );
+    }
+
+    #[test]
+    fn affinity_holds_a_job_for_its_warm_device_when_the_wait_is_short() {
+        let mut fleet = fleet(2);
+        fleet.devices[0].mark_warm(7);
+        fleet.devices[0].busy_until = 1.0; // frees up in 1 virtual second
+        let queue = vec![job(0, 30, 7)];
+        // Cold embedding of lps 30 costs far more than a 1-second wait, so
+        // the scheduler declines to burn device 1 on it.
+        assert_eq!(CacheAffinity.next_assignment(&queue, &fleet, 0.0), None);
+        // Once the warm device is idle, the job goes there.
+        assert_eq!(
+            CacheAffinity.next_assignment(&queue, &fleet, 1.0),
+            Some((0, 0))
+        );
+    }
+
+    #[test]
+    fn policy_kind_parses_and_displays() {
+        assert_eq!("fifo".parse::<PolicyKind>().unwrap(), PolicyKind::Fifo);
+        assert_eq!(
+            "SPJF".parse::<PolicyKind>().unwrap(),
+            PolicyKind::ShortestPredictedFirst
+        );
+        assert_eq!(
+            "cache-affinity".parse::<PolicyKind>().unwrap(),
+            PolicyKind::CacheAffinity
+        );
+        assert!("nope".parse::<PolicyKind>().is_err());
+        for kind in PolicyKind::all() {
+            assert_eq!(kind.to_string(), kind.name());
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! The simulation engine: replaying a workload against a fleet.
+//!
+//! [`simulate`] is the whole simulator: pop the earliest event, update
+//! state, let the scheduler dispatch, repeat until the future-event list is
+//! empty.  Everything runs on the virtual clock of [`crate::event`] — no
+//! wall time, no global RNG — so the outcome (trace included) is a pure
+//! function of `(fleet seed, workload, policy, mode)`.
+//!
+//! Two workload modes:
+//!
+//! * **Open** — jobs arrive at the timestamps the workload generator drew
+//!   (Poisson/bursty); the queue grows when the fleet saturates.
+//! * **Closed** — `clients` jobs circulate: each completion (or rejection)
+//!   releases the next job from the stream immediately, the classic
+//!   fixed-population throughput experiment.
+
+use crate::event::{Event, EventKind, EventQueue};
+use crate::fleet::Fleet;
+use crate::job::{Job, JobRecord};
+use crate::metrics::{LatencyStats, QpuStats, SimReport};
+use crate::scheduler::Scheduler;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+
+/// How the workload's jobs are released into the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadMode {
+    /// Use the generated arrival times (open system).
+    Open,
+    /// Keep a fixed population in flight: start `clients` jobs at time
+    /// zero, release the next job whenever one finishes (closed system;
+    /// generated arrival times are ignored).
+    Closed {
+        /// Number of concurrent clients.
+        clients: usize,
+    },
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Open or closed workload release.
+    pub mode: WorkloadMode,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            mode: WorkloadMode::Open,
+        }
+    }
+}
+
+/// One entry of the deterministic event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceRecord {
+    /// An event fired.
+    Fired(Event),
+    /// The scheduler dispatched a job onto a device.
+    Dispatched {
+        /// Virtual time of the dispatch.
+        time: f64,
+        /// The job.
+        job: usize,
+        /// The device.
+        qpu: usize,
+        /// Whether the device's embedding cache was warm.
+        warm: bool,
+        /// When the job will finish.
+        finish: f64,
+    },
+    /// A job was rejected (infeasible on every device).
+    Rejected {
+        /// Virtual time of the rejection.
+        time: f64,
+        /// The job.
+        job: usize,
+    },
+}
+
+/// Run `workload` against `fleet` under `scheduler`.
+///
+/// The fleet is consumed: its warm sets and occupancy are part of the run's
+/// state, so policy comparisons must rebuild the fleet (same
+/// [`crate::fleet::FleetConfig`], hence identical fault maps) per run.
+pub fn simulate(
+    mut fleet: Fleet,
+    workload: &Workload,
+    scheduler: &mut dyn Scheduler,
+    config: SimConfig,
+) -> SimReport {
+    let mut events = EventQueue::new();
+    let mut trace: Vec<TraceRecord> = Vec::new();
+    let mut queue: Vec<Job> = Vec::new();
+    let mut queue_depth: Vec<(f64, usize)> = Vec::new();
+    let mut records: Vec<JobRecord> = Vec::with_capacity(workload.len());
+    let mut in_flight: Vec<Option<JobRecord>> = vec![None; workload.len()];
+    let mut rejected = 0usize;
+    let mut clock = 0.0_f64;
+
+    // Release the initial population.
+    let mut next_release = match config.mode {
+        WorkloadMode::Open => {
+            for job in &workload.jobs {
+                events.schedule(job.arrival, EventKind::JobArrival { job: job.id });
+            }
+            workload.len()
+        }
+        WorkloadMode::Closed { clients } => {
+            let initial = clients.max(1).min(workload.len());
+            for job in &workload.jobs[..initial] {
+                events.schedule(0.0, EventKind::JobArrival { job: job.id });
+            }
+            initial
+        }
+    };
+
+    while let Some(event) = events.pop() {
+        clock = event.time;
+        trace.push(TraceRecord::Fired(event));
+        let mut release_next = false;
+
+        match event.kind {
+            EventKind::JobArrival { job } => {
+                let mut job = workload.jobs[job].clone();
+                // In closed mode the release time is the true arrival.
+                job.arrival = clock;
+                if fleet.devices.iter().any(|d| d.can_run(job.lps)) {
+                    queue.push(job);
+                } else {
+                    rejected += 1;
+                    trace.push(TraceRecord::Rejected {
+                        time: clock,
+                        job: job.id,
+                    });
+                    release_next = true;
+                }
+            }
+            EventKind::JobCompletion { qpu: _, job } => {
+                let record = in_flight[job]
+                    .take()
+                    .expect("completion event for a job that was never dispatched");
+                records.push(record);
+                release_next = true;
+            }
+        }
+
+        // Closed mode: every departure (completion or rejection) admits the
+        // next job of the stream.
+        if release_next
+            && matches!(config.mode, WorkloadMode::Closed { .. })
+            && next_release < workload.len()
+        {
+            events.schedule(
+                clock,
+                EventKind::JobArrival {
+                    job: workload.jobs[next_release].id,
+                },
+            );
+            next_release += 1;
+        }
+
+        // Let the policy fill every idle device it wants to.
+        while let Some((qi, d)) = scheduler.next_assignment(&queue, &fleet, clock) {
+            let job = queue.remove(qi);
+            let device = &mut fleet.devices[d];
+            debug_assert!(device.is_idle(clock) && device.can_run(job.lps));
+            let warm = device.is_warm(job.topology_key);
+            let Ok((s1, s2, s3)) = device.service_breakdown(job.lps, warm) else {
+                // An analytic-model failure is unreachable for feasible
+                // sizes; account it as a rejection rather than crashing.
+                rejected += 1;
+                trace.push(TraceRecord::Rejected {
+                    time: clock,
+                    job: job.id,
+                });
+                // Closed mode: this departure, too, admits the next job —
+                // otherwise the population silently shrinks.
+                if matches!(config.mode, WorkloadMode::Closed { .. })
+                    && next_release < workload.len()
+                {
+                    events.schedule(
+                        clock,
+                        EventKind::JobArrival {
+                            job: workload.jobs[next_release].id,
+                        },
+                    );
+                    next_release += 1;
+                }
+                continue;
+            };
+            let service = s1 + s2 + s3;
+            let finish = clock + service;
+            device.busy_until = finish;
+            device.busy_seconds += service;
+            device.jobs_served += 1;
+            if warm {
+                device.warm_hits += 1;
+            } else {
+                device.cold_misses += 1;
+                device.mark_warm(job.topology_key);
+            }
+            in_flight[job.id] = Some(JobRecord {
+                job: job.id,
+                qpu: d,
+                arrival: job.arrival,
+                start: clock,
+                finish,
+                stage1_seconds: s1,
+                stage2_seconds: s2,
+                stage3_seconds: s3,
+                warm_hit: warm,
+            });
+            events.schedule(
+                finish,
+                EventKind::JobCompletion {
+                    qpu: d,
+                    job: job.id,
+                },
+            );
+            trace.push(TraceRecord::Dispatched {
+                time: clock,
+                job: job.id,
+                qpu: d,
+                warm,
+                finish,
+            });
+        }
+
+        queue_depth.push((clock, queue.len()));
+    }
+
+    debug_assert!(
+        queue.is_empty(),
+        "event list drained with jobs still queued"
+    );
+
+    let makespan = clock;
+    let latencies: Vec<f64> = records.iter().map(|r| r.latency_seconds()).collect();
+    let waits: Vec<f64> = records.iter().map(|r| r.wait_seconds()).collect();
+    let per_qpu: Vec<QpuStats> = fleet
+        .devices
+        .iter()
+        .map(|d| QpuStats {
+            qpu: d.id,
+            jobs: d.jobs_served,
+            utilization: if makespan > 0.0 {
+                d.busy_seconds / makespan
+            } else {
+                0.0
+            },
+            warm_hits: d.warm_hits,
+            cold_misses: d.cold_misses,
+            warm_topologies: d.warm_topologies(),
+        })
+        .collect();
+
+    SimReport {
+        policy: scheduler.name().to_string(),
+        jobs: workload.len(),
+        completed: records.len(),
+        rejected,
+        makespan_seconds: makespan,
+        latency: LatencyStats::from_values(&latencies),
+        wait: LatencyStats::from_values(&waits),
+        stage1_seconds: records.iter().map(|r| r.stage1_seconds).sum(),
+        stage2_seconds: records.iter().map(|r| r.stage2_seconds).sum(),
+        stage3_seconds: records.iter().map(|r| r.stage3_seconds).sum(),
+        per_qpu,
+        queue_depth,
+        records,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfig;
+    use crate::scheduler::PolicyKind;
+    use crate::workload::WorkloadSpec;
+    use split_exec::SplitExecConfig;
+
+    fn fleet(seed: u64) -> Fleet {
+        Fleet::new(
+            FleetConfig {
+                qpus: 3,
+                seed,
+                ..FleetConfig::default()
+            },
+            SplitExecConfig::with_seed(seed),
+        )
+    }
+
+    fn run(policy: PolicyKind, seed: u64, mode: WorkloadMode) -> SimReport {
+        let workload = WorkloadSpec::repeated_topologies(40, 0.5, seed).generate();
+        let mut scheduler = policy.build();
+        simulate(
+            fleet(seed),
+            &workload,
+            scheduler.as_mut(),
+            SimConfig { mode },
+        )
+    }
+
+    #[test]
+    fn every_job_is_accounted_for() {
+        for policy in PolicyKind::all() {
+            let report = run(policy, 7, WorkloadMode::Open);
+            assert_eq!(report.completed + report.rejected, report.jobs);
+            assert_eq!(report.records.len(), report.completed);
+            assert_eq!(
+                report.per_qpu.iter().map(|q| q.jobs).sum::<usize>(),
+                report.completed
+            );
+            assert!(report.makespan_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn per_job_times_are_causal() {
+        let report = run(PolicyKind::Fifo, 3, WorkloadMode::Open);
+        for r in &report.records {
+            assert!(r.start >= r.arrival, "job {} started before arrival", r.job);
+            assert!(r.finish > r.start);
+            let service = r.stage1_seconds + r.stage2_seconds + r.stage3_seconds;
+            assert!((r.service_seconds() - service).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn devices_never_overlap_jobs() {
+        let report = run(PolicyKind::ShortestPredictedFirst, 5, WorkloadMode::Open);
+        for qpu in 0..3 {
+            let mut spans: Vec<(f64, f64)> = report
+                .records
+                .iter()
+                .filter(|r| r.qpu == qpu)
+                .map(|r| (r.start, r.finish))
+                .collect();
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for pair in spans.windows(2) {
+                assert!(
+                    pair[1].0 >= pair[0].1 - 1e-12,
+                    "device {qpu} overlapped: {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stage1_dominates_at_fleet_scale() {
+        // The paper's single-machine headline must survive the move to a
+        // fleet: summed stage-1 service far exceeds summed stage-2.
+        for policy in PolicyKind::all() {
+            let report = run(policy, 11, WorkloadMode::Open);
+            assert!(
+                report.stage1_fraction() > 0.9,
+                "{}: stage-1 fraction {}",
+                report.policy,
+                report.stage1_fraction()
+            );
+            assert!(report.stage1_seconds > 100.0 * report.stage2_seconds);
+        }
+    }
+
+    #[test]
+    fn closed_mode_keeps_population_bounded() {
+        let report = run(PolicyKind::Fifo, 9, WorkloadMode::Closed { clients: 2 });
+        assert_eq!(report.completed + report.rejected, report.jobs);
+        // With 2 clients, at most 2 jobs are ever queued or in service, so
+        // the dispatch queue never exceeds the client count.
+        assert!(report.max_queue_depth() <= 2);
+    }
+
+    #[test]
+    fn warm_hits_accumulate_on_repeated_topologies() {
+        let report = run(PolicyKind::CacheAffinity, 13, WorkloadMode::Open);
+        assert!(report.warm_hits() > 0);
+        // Cold embeds are bounded by topologies × devices.
+        assert!(report.cold_misses() <= 4 * 3);
+    }
+
+    #[test]
+    fn empty_workload_produces_an_empty_report() {
+        let workload = Workload { jobs: vec![] };
+        let mut scheduler = PolicyKind::Fifo.build();
+        let report = simulate(
+            fleet(1),
+            &workload,
+            scheduler.as_mut(),
+            SimConfig::default(),
+        );
+        assert_eq!(report.jobs, 0);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.makespan_seconds, 0.0);
+        assert!(report.trace.is_empty());
+    }
+}

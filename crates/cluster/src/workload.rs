@@ -1,0 +1,384 @@
+//! Workload generation: job streams drawn from the paper's problem families.
+//!
+//! A workload is a seeded, deterministic stream of [`Job`]s: each job is a
+//! real problem instance from [`qubo_ising::problems`] (MAX-CUT, number
+//! partitioning, vertex cover) reduced to the simulator's view — logical
+//! problem size plus canonical interaction-topology key — and stamped with
+//! an arrival time from an open arrival process (Poisson or bursty).  The
+//! topology keys are computed through the *actual* QUBO → Ising reduction,
+//! so "two jobs share an embedding" in the simulator means exactly what it
+//! means in [`split_exec`]'s batch path.
+//!
+//! Mixes with few distinct topologies (re-solving a problem family with
+//! fresh coefficients — the production shape the ROADMAP targets) are where
+//! embedding-cache-affinity scheduling pays off; mixes of all-distinct
+//! topologies degenerate to every job being cold.
+
+use crate::job::Job;
+use chimera_graph::generators;
+use qubo_ising::problems::maxcut::MaxCut;
+use qubo_ising::problems::partition::NumberPartition;
+use qubo_ising::problems::vertex_cover::VertexCover;
+use qubo_ising::{qubo_to_ising, Qubo};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use split_exec::offline_cache::graph_key;
+
+/// How jobs arrive in an open workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: exponential inter-arrival times with the given
+    /// mean rate.
+    Poisson {
+        /// Mean arrival rate in jobs per (virtual) second.
+        rate_hz: f64,
+    },
+    /// Bursty arrivals: bursts of `burst` back-to-back jobs, with the
+    /// bursts themselves Poisson at `rate_hz / burst` so the long-run rate
+    /// matches the Poisson process of the same `rate_hz`.
+    Bursty {
+        /// Long-run mean arrival rate in jobs per second.
+        rate_hz: f64,
+        /// Jobs per burst.
+        burst: usize,
+    },
+}
+
+/// One problem family in a workload mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FamilySpec {
+    /// MAX-CUT over a cycle of `n` vertices with random edge weights: every
+    /// job of the same `n` shares one interaction topology.
+    MaxCutCycle {
+        /// Cycle sizes to draw from (uniformly).
+        sizes: Vec<usize>,
+    },
+    /// MAX-CUT over Erdős–Rényi graphs: `variants` distinct topologies of
+    /// `n` vertices, drawn uniformly per job.
+    MaxCutGnp {
+        /// Vertex count.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+        /// Number of distinct graph variants in circulation.
+        variants: usize,
+    },
+    /// Number partitioning of `n` random values — the interaction graph is
+    /// the complete graph `K_n`, so all jobs of one `n` share a topology.
+    Partition {
+        /// Set size.
+        n: usize,
+    },
+    /// Minimum vertex cover over a fixed grid — one topology for the whole
+    /// family.
+    VertexCoverGrid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+}
+
+impl FamilySpec {
+    /// Generate one concrete instance: a label and the QUBO.
+    fn instantiate(&self, rng: &mut ChaCha8Rng, base_seed: u64) -> (String, Qubo) {
+        match self {
+            FamilySpec::MaxCutCycle { sizes } => {
+                let n = sizes[rng.gen_range(0..sizes.len())];
+                let graph = generators::cycle(n);
+                let weights: Vec<((usize, usize), f64)> = graph
+                    .edges()
+                    .map(|(u, v)| ((u, v), rng.gen_range(0.5..2.0)))
+                    .collect();
+                (
+                    format!("maxcut-cycle-{n}"),
+                    MaxCut::weighted(graph.clone(), &weights).to_qubo(),
+                )
+            }
+            FamilySpec::MaxCutGnp { n, p, variants } => {
+                let variant = rng.gen_range(0..(*variants).max(1));
+                // The graph seed depends only on the workload seed and the
+                // variant index, so variant k is the same topology in every
+                // job that draws it.
+                let graph = generators::gnp(*n, *p, base_seed ^ (0xA5A5 + variant as u64));
+                let weights: Vec<((usize, usize), f64)> = graph
+                    .edges()
+                    .map(|(u, v)| ((u, v), rng.gen_range(0.5..2.0)))
+                    .collect();
+                (
+                    format!("maxcut-gnp-{n}-v{variant}"),
+                    MaxCut::weighted(graph.clone(), &weights).to_qubo(),
+                )
+            }
+            FamilySpec::Partition { n } => {
+                let numbers: Vec<f64> = (0..*n).map(|_| rng.gen_range(1.0..50.0)).collect();
+                (
+                    format!("partition-{n}"),
+                    NumberPartition::new(numbers).to_qubo(),
+                )
+            }
+            FamilySpec::VertexCoverGrid { rows, cols } => (
+                format!("vcover-grid-{rows}x{cols}"),
+                VertexCover::new(generators::grid(*rows, *cols)).to_qubo(),
+            ),
+        }
+    }
+}
+
+/// Specification of a workload: how many jobs, how they arrive, and the
+/// weighted mix of problem families they are drawn from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// RNG seed — the workload is a pure function of this spec.
+    pub seed: u64,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// `(weight, family)` pairs; weights need not be normalized.
+    pub mix: Vec<(f64, FamilySpec)>,
+}
+
+impl WorkloadSpec {
+    /// The repeated-topology mix used by the acceptance demo: three cycle
+    /// sizes re-solved with fresh coefficients plus a partition family —
+    /// few topologies, many jobs, the shape an embedding cache loves.  The
+    /// sizes are large enough that the modeled embedding cost (∝ LPS³)
+    /// dwarfs the fixed programming constant, so warm and cold service
+    /// times differ by an order of magnitude.
+    pub fn repeated_topologies(jobs: usize, rate_hz: f64, seed: u64) -> Self {
+        Self {
+            jobs,
+            seed,
+            arrivals: ArrivalProcess::Poisson { rate_hz },
+            mix: vec![
+                (
+                    3.0,
+                    FamilySpec::MaxCutCycle {
+                        sizes: vec![24, 30, 36],
+                    },
+                ),
+                (1.0, FamilySpec::Partition { n: 28 }),
+            ],
+        }
+    }
+
+    /// A diverse mix with many distinct topologies (caches help less).
+    pub fn mixed(jobs: usize, rate_hz: f64, seed: u64) -> Self {
+        Self {
+            jobs,
+            seed,
+            arrivals: ArrivalProcess::Poisson { rate_hz },
+            mix: vec![
+                (
+                    2.0,
+                    FamilySpec::MaxCutGnp {
+                        n: 14,
+                        p: 0.3,
+                        variants: 12,
+                    },
+                ),
+                (
+                    1.0,
+                    FamilySpec::MaxCutCycle {
+                        sizes: vec![8, 12, 16, 20],
+                    },
+                ),
+                (1.0, FamilySpec::VertexCoverGrid { rows: 4, cols: 4 }),
+            ],
+        }
+    }
+
+    /// The repeated-topology mix under bursty arrivals.
+    pub fn bursty(jobs: usize, rate_hz: f64, burst: usize, seed: u64) -> Self {
+        Self {
+            arrivals: ArrivalProcess::Bursty { rate_hz, burst },
+            ..Self::repeated_topologies(jobs, rate_hz, seed)
+        }
+    }
+
+    /// Generate the job stream.
+    pub fn generate(&self) -> Workload {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let total_weight: f64 = self.mix.iter().map(|(w, _)| w.max(0.0)).sum();
+        assert!(
+            total_weight > 0.0 && !self.mix.is_empty(),
+            "workload mix must contain at least one positively weighted family"
+        );
+
+        let mut jobs = Vec::with_capacity(self.jobs);
+        let mut clock = 0.0_f64;
+        let mut burst_remaining = 0usize;
+        for id in 0..self.jobs {
+            // Advance the arrival clock.
+            match self.arrivals {
+                ArrivalProcess::Poisson { rate_hz } => {
+                    clock += exponential(&mut rng, rate_hz);
+                }
+                ArrivalProcess::Bursty { rate_hz, burst } => {
+                    if burst_remaining == 0 {
+                        let burst = burst.max(1);
+                        clock += exponential(&mut rng, rate_hz / burst as f64);
+                        burst_remaining = burst;
+                    }
+                    burst_remaining -= 1;
+                }
+            }
+
+            // Draw a family by weight.
+            let mut draw = rng.gen_range(0.0..total_weight);
+            let mut chosen = &self.mix[0].1;
+            for (weight, family) in &self.mix {
+                let weight = weight.max(0.0);
+                if draw < weight {
+                    chosen = family;
+                    break;
+                }
+                draw -= weight;
+            }
+
+            let (family, qubo) = chosen.instantiate(&mut rng, self.seed);
+            let interaction = qubo_to_ising(&qubo).ising.interaction_graph();
+            jobs.push(Job {
+                id,
+                family,
+                lps: qubo.num_variables(),
+                topology_key: graph_key(&interaction),
+                arrival: clock,
+            });
+        }
+        Workload { jobs }
+    }
+}
+
+/// An exponential draw with the given rate (inverse-CDF of a uniform).
+fn exponential(rng: &mut ChaCha8Rng, rate_hz: f64) -> f64 {
+    assert!(rate_hz > 0.0, "arrival rate must be positive");
+    let u: f64 = rng.gen::<f64>();
+    // 1 - u is in (0, 1]; ln of it is finite and non-positive.
+    -(1.0 - u).ln() / rate_hz
+}
+
+/// A generated job stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Jobs in arrival order.
+    pub jobs: Vec<Job>,
+}
+
+impl Workload {
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The largest logical problem size in the stream.
+    pub fn max_lps(&self) -> usize {
+        self.jobs.iter().map(|j| j.lps).max().unwrap_or(0)
+    }
+
+    /// Number of distinct interaction topologies in the stream.
+    pub fn distinct_topologies(&self) -> usize {
+        let keys: std::collections::HashSet<u64> =
+            self.jobs.iter().map(|j| j.topology_key).collect();
+        keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let spec = WorkloadSpec::repeated_topologies(40, 0.05, 7);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b);
+        let c = WorkloadSpec::repeated_topologies(40, 0.05, 8).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_ids_sequential() {
+        let w = WorkloadSpec::mixed(60, 0.1, 3).generate();
+        assert_eq!(w.len(), 60);
+        for (i, job) in w.jobs.iter().enumerate() {
+            assert_eq!(job.id, i);
+            assert!(job.lps > 0);
+        }
+        assert!(w.jobs.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+    }
+
+    #[test]
+    fn repeated_mix_has_few_topologies() {
+        let w = WorkloadSpec::repeated_topologies(80, 0.05, 11).generate();
+        // Three cycle sizes + one partition size = four distinct topologies.
+        assert_eq!(w.distinct_topologies(), 4);
+        assert!(w.max_lps() <= 36);
+    }
+
+    #[test]
+    fn same_family_same_size_shares_a_topology_key() {
+        let spec = WorkloadSpec {
+            jobs: 30,
+            seed: 5,
+            arrivals: ArrivalProcess::Poisson { rate_hz: 1.0 },
+            mix: vec![(1.0, FamilySpec::MaxCutCycle { sizes: vec![12] })],
+        };
+        let w = spec.generate();
+        assert_eq!(w.distinct_topologies(), 1);
+        assert!(w.jobs.iter().all(|j| j.lps == 12));
+    }
+
+    #[test]
+    fn gnp_variants_produce_distinct_topologies() {
+        let spec = WorkloadSpec {
+            jobs: 60,
+            seed: 9,
+            arrivals: ArrivalProcess::Poisson { rate_hz: 1.0 },
+            mix: vec![(
+                1.0,
+                FamilySpec::MaxCutGnp {
+                    n: 12,
+                    p: 0.4,
+                    variants: 5,
+                },
+            )],
+        };
+        let w = spec.generate();
+        assert!(w.distinct_topologies() > 1);
+        assert!(w.distinct_topologies() <= 5);
+    }
+
+    #[test]
+    fn bursty_arrivals_cluster() {
+        let w = WorkloadSpec::bursty(40, 0.1, 8, 3).generate();
+        // Within a burst, consecutive arrival gaps are exactly zero.
+        let zero_gaps = w
+            .jobs
+            .windows(2)
+            .filter(|p| p[1].arrival == p[0].arrival)
+            .count();
+        assert!(zero_gaps >= 30, "only {zero_gaps} back-to-back arrivals");
+    }
+
+    #[test]
+    #[should_panic(expected = "positively weighted")]
+    fn empty_mix_is_rejected() {
+        WorkloadSpec {
+            jobs: 1,
+            seed: 0,
+            arrivals: ArrivalProcess::Poisson { rate_hz: 1.0 },
+            mix: vec![],
+        }
+        .generate();
+    }
+}

@@ -21,12 +21,14 @@ use crate::offline_cache::{CacheStats, EmbeddingCache};
 use crate::pipeline::{ExecutionReport, Pipeline};
 use qubo_ising::{qubo_to_ising, Qubo};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Aggregated outcome of one batch submission.
 ///
-/// (No serde derives: `results` holds `Result<_, PipelineError>`, which the
-/// real `serde` cannot derive through; a wire format for batch outcomes is a
-/// deliberate future seam, not a free derive.)
+/// (No serde derives on the full report: `results` holds
+/// `Result<_, PipelineError>`, which the real `serde` cannot derive through.
+/// The wire format is [`BatchSummary`] — see [`BatchReport::summary`].)
 #[derive(Debug)]
 pub struct BatchReport {
     /// Per-job results, in submission order.
@@ -65,6 +67,82 @@ impl BatchReport {
         } else {
             self.stage1_seconds / self.total_seconds
         }
+    }
+
+    /// The serializable aggregate view of this report.
+    pub fn summary(&self) -> BatchSummary {
+        BatchSummary {
+            jobs: self.jobs,
+            succeeded: self.succeeded,
+            failed: self.failed(),
+            stage1_seconds: self.stage1_seconds,
+            stage2_seconds: self.stage2_seconds,
+            stage3_seconds: self.stage3_seconds,
+            total_seconds: self.total_seconds,
+            wall_seconds: self.wall_seconds,
+            stage1_fraction: self.stage1_fraction(),
+            embedding_cache: self.embedding_cache,
+        }
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.summary().fmt(f)
+    }
+}
+
+/// The aggregate, wire-friendly view of a batch (or cluster-simulation)
+/// outcome: job counts, summed per-stage seconds, wall clock and embedding
+/// cache behavior.  This is the shared report format between
+/// [`Pipeline::execute_batch_report`] and the `sx_cluster` simulator, which
+/// produces the same shape for a whole fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchSummary {
+    /// Number of jobs submitted.
+    pub jobs: usize,
+    /// Number of jobs that produced a solution.
+    pub succeeded: usize,
+    /// Number of jobs that failed (or were rejected).
+    pub failed: usize,
+    /// Sum of stage-1 seconds over successful jobs.
+    pub stage1_seconds: f64,
+    /// Sum of stage-2 seconds over successful jobs.
+    pub stage2_seconds: f64,
+    /// Sum of stage-3 seconds over successful jobs.
+    pub stage3_seconds: f64,
+    /// Sum of end-to-end seconds over successful jobs (serial accounting).
+    pub total_seconds: f64,
+    /// Wall-clock (or virtual-clock) seconds the whole run spanned.
+    pub wall_seconds: f64,
+    /// Fraction of the summed time spent in stage 1.
+    pub stage1_fraction: f64,
+    /// Embedding-cache behavior over the run.
+    pub embedding_cache: CacheStats,
+}
+
+impl fmt::Display for BatchSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} jobs: {} succeeded, {} failed, {:.3}s wall",
+            self.jobs, self.succeeded, self.failed, self.wall_seconds
+        )?;
+        writeln!(
+            f,
+            "stages: 1 = {:.3e}s, 2 = {:.3e}s, 3 = {:.3e}s (stage-1 share {:.1}%)",
+            self.stage1_seconds,
+            self.stage2_seconds,
+            self.stage3_seconds,
+            100.0 * self.stage1_fraction
+        )?;
+        write!(
+            f,
+            "embedding cache: {} misses, {} hits ({:.0}% amortized)",
+            self.embedding_cache.misses,
+            self.embedding_cache.hits,
+            100.0 * self.embedding_cache.hit_rate()
+        )
     }
 }
 
@@ -273,6 +351,31 @@ mod tests {
         let second = p.execute_batch_with_cache(&jobs, &cache);
         assert_eq!(second.embedding_cache.misses, 0);
         assert_eq!(second.embedding_cache.hits, 1);
+    }
+
+    #[test]
+    fn summary_mirrors_the_report_and_displays() {
+        let p = pipeline(9);
+        let jobs: Vec<Qubo> = vec![
+            MaxCut::unweighted(generators::cycle(6)).to_qubo(),
+            Qubo::new(0),
+            MaxCut::unweighted(generators::cycle(6)).to_qubo(),
+        ];
+        let report = p.execute_batch_report(&jobs);
+        let summary = report.summary();
+        assert_eq!(summary.jobs, 3);
+        assert_eq!(summary.succeeded, 2);
+        assert_eq!(summary.failed, 1);
+        assert_eq!(summary.stage1_seconds, report.stage1_seconds);
+        assert_eq!(summary.total_seconds, report.total_seconds);
+        assert_eq!(summary.embedding_cache, report.embedding_cache);
+        assert!((summary.stage1_fraction - report.stage1_fraction()).abs() < 1e-15);
+
+        let text = format!("{report}");
+        assert!(text.contains("3 jobs: 2 succeeded, 1 failed"));
+        assert!(text.contains("stage-1 share"));
+        assert!(text.contains("embedding cache"));
+        assert_eq!(text, format!("{summary}"));
     }
 
     #[test]

@@ -67,6 +67,7 @@
 
 pub mod batch;
 pub mod config;
+pub mod cost;
 pub mod error;
 pub mod machine;
 pub mod offline_cache;
@@ -78,8 +79,9 @@ pub mod stage2;
 pub mod stage3;
 pub mod timing;
 
-pub use batch::BatchReport;
+pub use batch::{BatchReport, BatchSummary};
 pub use config::SplitExecConfig;
+pub use cost::{CostModel, StageCosts};
 pub use error::PipelineError;
 pub use machine::{Architecture, QpuModel, SplitMachine};
 pub use offline_cache::{CacheStats, EmbeddingCache};
@@ -88,8 +90,9 @@ pub use sequence::{Layer, SequenceTrace};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::batch::BatchReport;
+    pub use crate::batch::{BatchReport, BatchSummary};
     pub use crate::config::SplitExecConfig;
+    pub use crate::cost::{CostModel, StageCosts};
     pub use crate::error::PipelineError;
     pub use crate::machine::{Architecture, QpuModel, SplitMachine};
     pub use crate::offline_cache::{CacheStats, EmbeddingCache};

@@ -1,0 +1,51 @@
+//! Simulating a datacenter of annealers: workloads, policies, metrics.
+//!
+//! Builds a 4-QPU fleet (each device with its own fault map), generates a
+//! bursty stream of repeated-topology jobs, and compares the three
+//! scheduling policies on identical seeds.  Run with:
+//!
+//! ```text
+//! cargo run --release --example cluster_fleet
+//! ```
+
+use split_exec::SplitExecConfig;
+use sx_cluster::prelude::*;
+
+fn main() {
+    let seed = 42;
+    let workload = WorkloadSpec::bursty(120, 1.5, 6, seed).generate();
+    println!(
+        "workload: {} jobs over {} distinct topologies (max lps {})\n",
+        workload.len(),
+        workload.distinct_topologies(),
+        workload.max_lps()
+    );
+
+    for policy in PolicyKind::all() {
+        // Same fleet seed per policy: identical fault maps, fair comparison.
+        let fleet = Fleet::new(
+            FleetConfig {
+                qpus: 4,
+                seed,
+                ..FleetConfig::default()
+            },
+            SplitExecConfig::with_seed(seed),
+        );
+        let mut scheduler = policy.build();
+        let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default());
+        println!("{report}");
+        for qpu in &report.per_qpu {
+            println!(
+                "  qpu {}: {} jobs, {:.0}% util, {} warm hits / {} cold embeds, {} topologies cached",
+                qpu.qpu,
+                qpu.jobs,
+                100.0 * qpu.utilization,
+                qpu.warm_hits,
+                qpu.cold_misses,
+                qpu.warm_topologies
+            );
+        }
+        // The same summary shape a batch run produces:
+        println!("{}\n", report.batch_summary());
+    }
+}

@@ -1,0 +1,159 @@
+//! Workspace-level integration tests for the `sx_cluster` datacenter
+//! simulator: the acceptance criteria of the subsystem, exercised through
+//! the public APIs of `sx_cluster`, `split_exec` and `quantum_anneal`
+//! together.
+
+use split_exec::SplitExecConfig;
+use sx_cluster::prelude::*;
+
+fn fleet(qpus: usize, seed: u64) -> Fleet {
+    Fleet::new(
+        FleetConfig {
+            qpus,
+            seed,
+            ..FleetConfig::default()
+        },
+        SplitExecConfig::with_seed(seed),
+    )
+}
+
+fn run(policy: PolicyKind, workload: &Workload, qpus: usize, seed: u64) -> SimReport {
+    let mut scheduler = policy.build();
+    simulate(
+        fleet(qpus, seed),
+        workload,
+        scheduler.as_mut(),
+        SimConfig::default(),
+    )
+}
+
+/// The headline acceptance demo: on a seeded repeated-topology mix,
+/// embedding-cache-affinity scheduling beats FIFO on mean latency, because
+/// it pays roughly one cold embedding per topology instead of one per
+/// (topology, device) pair.
+#[test]
+fn affinity_beats_fifo_on_the_seeded_repeated_mix() {
+    let workload = WorkloadSpec::repeated_topologies(60, 1.0, 7).generate();
+    let fifo = run(PolicyKind::Fifo, &workload, 4, 7);
+    let affinity = run(PolicyKind::CacheAffinity, &workload, 4, 7);
+
+    assert_eq!(fifo.completed, 60);
+    assert_eq!(affinity.completed, 60);
+    assert!(
+        affinity.latency.mean < fifo.latency.mean,
+        "affinity mean {:.3}s !< fifo mean {:.3}s",
+        affinity.latency.mean,
+        fifo.latency.mean
+    );
+    assert!(affinity.cold_misses() < fifo.cold_misses());
+    // Affinity never needs more cold embeds than there are topologies —
+    // FIFO re-embeds the same topology on several devices.
+    assert!(affinity.cold_misses() <= workload.distinct_topologies() + 1);
+}
+
+/// The paper's single-machine headline — stage 1 dominates — survives the
+/// move to fleet scale under every policy.
+#[test]
+fn fleet_scale_breakdown_reproduces_stage1_dominance() {
+    let workload = WorkloadSpec::mixed(40, 0.8, 3).generate();
+    for policy in PolicyKind::all() {
+        let report = run(policy, &workload, 3, 3);
+        assert!(report.completed > 0);
+        assert!(
+            report.stage1_fraction() > 0.9,
+            "{}: stage-1 fraction {:.3}",
+            report.policy,
+            report.stage1_fraction()
+        );
+        assert!(report.stage1_seconds > 100.0 * report.stage2_seconds);
+        assert!(report.stage1_seconds > 100.0 * report.stage3_seconds);
+    }
+}
+
+/// Same seed + workload ⇒ bit-identical trace and metrics, across the
+/// workspace boundary (fleet fault maps, analytic cost oracle and workload
+/// generation all resolve from the seed).
+#[test]
+fn simulation_is_deterministic_end_to_end() {
+    let spec = WorkloadSpec::bursty(50, 1.2, 5, 19);
+    for policy in PolicyKind::all() {
+        let a = run(policy, &spec.generate(), 4, 19);
+        let b = run(policy, &spec.generate(), 4, 19);
+        assert_eq!(a, b, "policy {policy} is not deterministic");
+    }
+}
+
+/// The simulator's report exports to the same `BatchSummary` shape the
+/// batch pipeline produces, so downstream consumers need one format.
+#[test]
+fn cluster_and_batch_reports_share_one_summary_format() {
+    use chimera_graph::generators;
+    use qubo_ising::prelude::MaxCut;
+    use split_exec::{BatchSummary, Pipeline, SplitMachine};
+
+    // A real batch run through the pipeline...
+    let pipeline = Pipeline::new(SplitMachine::paper_default(), SplitExecConfig::with_seed(5));
+    let jobs = vec![
+        MaxCut::unweighted(generators::cycle(8)).to_qubo(),
+        MaxCut::unweighted(generators::cycle(8)).to_qubo(),
+    ];
+    let batch: BatchSummary = pipeline.execute_batch_report(&jobs).summary();
+
+    // ...and a simulated cluster run produce the same struct.
+    let workload = WorkloadSpec::repeated_topologies(10, 1.0, 5).generate();
+    let cluster: BatchSummary = run(PolicyKind::CacheAffinity, &workload, 2, 5).batch_summary();
+
+    for summary in [batch, cluster] {
+        assert_eq!(summary.succeeded + summary.failed, summary.jobs);
+        assert!(summary.stage1_fraction > 0.5);
+        // The shared Display renders both.
+        assert!(format!("{summary}").contains("jobs:"));
+    }
+}
+
+/// Jobs too large for every device in the fleet are rejected, not lost.
+#[test]
+fn oversized_jobs_are_rejected_cleanly() {
+    let workload = Workload {
+        jobs: vec![
+            Job {
+                id: 0,
+                family: "too-big".into(),
+                lps: 500,
+                topology_key: 1,
+                arrival: 0.0,
+            },
+            Job {
+                id: 1,
+                family: "fits".into(),
+                lps: 20,
+                topology_key: 2,
+                arrival: 1.0,
+            },
+        ],
+    };
+    let report = run(PolicyKind::Fifo, &workload, 2, 1);
+    assert_eq!(report.rejected, 1);
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.records[0].job, 1);
+}
+
+/// Closed-loop mode sustains a fixed population and completes the stream.
+#[test]
+fn closed_loop_completes_the_stream() {
+    let workload = WorkloadSpec::repeated_topologies(30, 1.0, 9).generate();
+    let mut scheduler = PolicyKind::ShortestPredictedFirst.build();
+    let report = simulate(
+        fleet(2, 9),
+        &workload,
+        scheduler.as_mut(),
+        SimConfig {
+            mode: WorkloadMode::Closed { clients: 3 },
+        },
+    );
+    assert_eq!(report.completed + report.rejected, 30);
+    assert!(report.max_queue_depth() <= 3);
+    // A closed system with demand always waiting keeps devices busier than
+    // an idle open one would be.
+    assert!(report.mean_utilization() > 0.3);
+}
