@@ -359,3 +359,46 @@ mod tests {
         assert_eq!(constant.bins.iter().sum::<u64>(), 3);
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Percentiles are order statistics: for any sample set the summary
+        /// points are mutually ordered and bracketed by the extremes,
+        /// `min ≤ p50 ≤ p95 ≤ p99 ≤ max`.
+        #[test]
+        fn percentile_bounds_hold(samples in vec(-1e6f64..1e6, 1..200)) {
+            let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let p50 = percentile(&samples, 0.50).unwrap();
+            let p95 = percentile(&samples, 0.95).unwrap();
+            let p99 = percentile(&samples, 0.99).unwrap();
+            prop_assert!(min <= p50, "min {min} > p50 {p50}");
+            prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+            prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+            prop_assert!(p99 <= max, "p99 {p99} > max {max}");
+            prop_assert_eq!(percentile(&samples, 0.0).unwrap(), min);
+            prop_assert_eq!(percentile(&samples, 1.0).unwrap(), max);
+        }
+
+        /// Percentiles are monotone in `p` over a dense grid, not just the
+        /// headline points.
+        #[test]
+        fn percentile_is_monotone_in_p(samples in vec(-1e3f64..1e3, 1..100)) {
+            let mut sorted = samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            let grid: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+            for pair in grid.windows(2) {
+                let lo = percentile_sorted(&sorted, pair[0]).unwrap();
+                let hi = percentile_sorted(&sorted, pair[1]).unwrap();
+                prop_assert!(lo <= hi, "percentile({}) = {lo} > percentile({}) = {hi}", pair[0], pair[1]);
+            }
+        }
+    }
+}

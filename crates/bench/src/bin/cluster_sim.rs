@@ -1,30 +1,42 @@
-//! Datacenter simulation: scheduling policies compared on one seeded
-//! workload.
+//! Datacenter simulation: scheduling policies and cache-eviction sweeps.
 //!
-//! Replays a stream of QUBO jobs against a fleet of simulated QPUs (each
-//! with its own fault map) under each scheduling policy, on the same seeds,
-//! and prints a comparison table — the fleet-scale version of the paper's
-//! performance model.  The run demonstrates the two acceptance claims of
-//! the `sx_cluster` subsystem: embedding-cache-affinity scheduling beats
-//! FIFO on mean latency for a repeated-topology mix, and the aggregate
-//! per-stage breakdown stays stage-1 dominated at fleet scale.
+//! Two modes:
+//!
+//! * `--mode compare` (default) — replays a stream of QUBO jobs against a
+//!   fleet of simulated QPUs (each with its own fault map) under each
+//!   scheduling policy, on the same seeds, and prints a comparison table —
+//!   the fleet-scale version of the paper's performance model.  The run
+//!   demonstrates the two acceptance claims of the `sx_cluster` subsystem:
+//!   embedding-cache-affinity scheduling beats FIFO on mean latency for a
+//!   repeated-topology mix, and the aggregate per-stage breakdown stays
+//!   stage-1 dominated at fleet scale.
+//! * `--mode cache-cliff` — sweeps per-device warm-cache capacity ×
+//!   workload topology diversity × eviction policy (LRU vs cost-aware) and
+//!   maps the hit-rate cliff: once capacity falls below the number of
+//!   distinct topologies in circulation, hit rate collapses and mean
+//!   latency climbs.  Cost-aware eviction (protect the topologies that are
+//!   expensive to re-embed) must match or beat LRU on mean latency at the
+//!   cliff; the run exits non-zero if it does not, so CI catches
+//!   eviction-policy regressions.
 //!
 //! ```text
 //! cargo run --release -p sx-bench --bin cluster_sim -- \
-//!     [--jobs N] [--qpus N] [--seed S] [--rate R] [--closed CLIENTS] \
-//!     [--workload repeated|mixed|bursty] [--policy fifo|spjf|affinity|all] \
-//!     [--virtual]
+//!     [--mode compare|cache-cliff] [--jobs N] [--qpus N] [--seed S] [--rate R] \
+//!     [--closed CLIENTS] [--workload repeated|mixed|bursty] \
+//!     [--policy fifo|spjf|affinity|all] [--fleet uniform|hetero] \
+//!     [--capacity N] [--eviction lru|cost-aware] [--virtual]
 //! ```
 //!
 //! `--virtual` skips the (slow) calibration step that executes a real job
 //! through `split_exec::Pipeline` to sanity-check the analytic service
-//! model; CI runs `--jobs 50 --virtual` as a smoke test.
+//! model; CI runs both modes with `--virtual` as smoke tests.
 
 use split_exec::SplitExecConfig;
 use sx_cluster::prelude::*;
 
 #[derive(Debug)]
 struct Args {
+    mode: String,
     jobs: usize,
     qpus: usize,
     seed: u64,
@@ -32,12 +44,16 @@ struct Args {
     closed: Option<usize>,
     workload: String,
     policy: String,
+    fleet: String,
+    capacity: Option<usize>,
+    eviction: Option<EvictionPolicyKind>,
     virtual_only: bool,
 }
 
 impl Args {
     fn parse() -> Args {
         let mut args = Args {
+            mode: "compare".into(),
             jobs: 200,
             qpus: 4,
             seed: 7,
@@ -45,6 +61,9 @@ impl Args {
             closed: None,
             workload: "repeated".into(),
             policy: "all".into(),
+            fleet: "uniform".into(),
+            capacity: None,
+            eviction: None,
             virtual_only: false,
         };
         let mut it = std::env::args().skip(1);
@@ -56,6 +75,7 @@ impl Args {
                 })
             };
             match flag.as_str() {
+                "--mode" => args.mode = value("--mode"),
                 "--jobs" => args.jobs = parse_or_die(&value("--jobs"), "--jobs"),
                 "--qpus" => args.qpus = parse_or_die(&value("--qpus"), "--qpus"),
                 "--seed" => args.seed = parse_or_die(&value("--seed"), "--seed"),
@@ -63,6 +83,13 @@ impl Args {
                 "--closed" => args.closed = Some(parse_or_die(&value("--closed"), "--closed")),
                 "--workload" => args.workload = value("--workload"),
                 "--policy" => args.policy = value("--policy"),
+                "--fleet" => args.fleet = value("--fleet"),
+                "--capacity" => {
+                    args.capacity = Some(parse_or_die(&value("--capacity"), "--capacity"))
+                }
+                "--eviction" => {
+                    args.eviction = Some(parse_or_die(&value("--eviction"), "--eviction"))
+                }
                 "--virtual" => args.virtual_only = true,
                 other => {
                     eprintln!("unknown flag {other}");
@@ -71,6 +98,29 @@ impl Args {
             }
         }
         args
+    }
+
+    /// The fleet configuration shared by every run of this invocation
+    /// (before any per-sweep cache bound is applied).
+    fn fleet_config(&self) -> FleetConfig {
+        let base = match self.fleet.as_str() {
+            "uniform" => FleetConfig {
+                qpus: self.qpus,
+                seed: self.seed,
+                ..FleetConfig::default()
+            },
+            "hetero" | "heterogeneous" | "mixed" => {
+                FleetConfig::heterogeneous(self.qpus, self.seed)
+            }
+            other => {
+                eprintln!("unknown fleet '{other}' (expected uniform or hetero)");
+                std::process::exit(2);
+            }
+        };
+        match self.capacity {
+            Some(cap) => base.with_cache(cap, self.eviction.unwrap_or_default()),
+            None => base,
+        }
     }
 }
 
@@ -84,6 +134,26 @@ fn parse_or_die<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
 fn main() {
     let args = Args::parse();
 
+    if !args.virtual_only {
+        calibrate(args.seed);
+    }
+
+    let ok = match args.mode.as_str() {
+        "compare" => compare(&args),
+        "cache-cliff" | "cache_cliff" | "cliff" => cache_cliff(&args),
+        other => {
+            eprintln!("unknown mode '{other}' (expected compare or cache-cliff)");
+            std::process::exit(2);
+        }
+    };
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// The policy-comparison mode (the original `cluster_sim` behavior, now
+/// heterogeneity- and bounded-cache-aware).
+fn compare(args: &Args) -> bool {
     let spec = match args.workload.as_str() {
         "repeated" => WorkloadSpec::repeated_topologies(args.jobs, args.rate_hz, args.seed),
         "mixed" => WorkloadSpec::mixed(args.jobs, args.rate_hz, args.seed),
@@ -93,7 +163,13 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let workload = spec.generate();
+    let workload = match spec.try_generate() {
+        Ok(workload) => workload,
+        Err(err) => {
+            eprintln!("invalid workload spec: {err}");
+            std::process::exit(2);
+        }
+    };
 
     let policies: Vec<PolicyKind> = if args.policy == "all" {
         PolicyKind::all().to_vec()
@@ -109,22 +185,24 @@ fn main() {
         None => WorkloadMode::Open,
     };
 
+    let cache_label = match args.capacity {
+        Some(cap) => format!("cache {cap}/{}", args.eviction.unwrap_or_default()),
+        None => "unbounded cache".into(),
+    };
     println!(
-        "# cluster_sim: {} jobs ({} distinct topologies, max lps {}), {} QPUs, seed {}, {:?}",
+        "# cluster_sim compare: {} jobs ({} distinct topologies, max lps {}), {} {} QPUs, {}, seed {}, {:?}",
         workload.len(),
         workload.distinct_topologies(),
         workload.max_lps(),
         args.qpus,
+        args.fleet,
+        cache_label,
         args.seed,
         mode,
     );
 
-    if !args.virtual_only {
-        calibrate(args.seed);
-    }
-
     println!(
-        "\n{:>9} {:>6} {:>4} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6} {:>5} {:>9} {:>10}",
+        "\n{:>9} {:>6} {:>4} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6} {:>5} {:>5} {:>9} {:>10}",
         "policy",
         "done",
         "rej",
@@ -135,29 +213,18 @@ fn main() {
         "util%",
         "warm%",
         "cold",
+        "evict",
         "stage1%",
         "makespan"
     );
 
     let mut by_policy: Vec<(PolicyKind, SimReport)> = Vec::new();
     for policy in policies {
-        let fleet = Fleet::new(
-            FleetConfig {
-                qpus: args.qpus,
-                seed: args.seed,
-                ..FleetConfig::default()
-            },
-            SplitExecConfig::with_seed(args.seed),
-        );
+        let fleet = Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed));
         let mut scheduler = policy.build();
         let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig { mode });
-        let warm_rate = if report.completed > 0 {
-            report.warm_hits() as f64 / report.completed as f64
-        } else {
-            0.0
-        };
         println!(
-            "{:>9} {:>6} {:>4} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6.1} {:>6.1} {:>5} {:>9.2} {:>9.1}s",
+            "{:>9} {:>6} {:>4} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6.1} {:>6.1} {:>5} {:>5} {:>9.2} {:>9.1}s",
             report.policy,
             report.completed,
             report.rejected,
@@ -166,8 +233,9 @@ fn main() {
             report.latency.p95,
             report.latency.p99,
             100.0 * report.mean_utilization(),
-            100.0 * warm_rate,
+            100.0 * report.hit_rate(),
             report.cold_misses(),
+            report.evictions(),
             100.0 * report.stage1_fraction(),
             report.makespan_seconds,
         );
@@ -200,14 +268,145 @@ fn main() {
             affinity.cold_misses(),
             fifo.cold_misses()
         );
-        if args.workload == "repeated" && speedup <= 1.0 {
+        if args.workload == "repeated" && args.capacity.is_none() && speedup <= 1.0 {
             println!("FAIL: cache-affinity did not beat FIFO on the repeated-topology mix");
             ok = false;
         }
     }
-    if !ok {
-        std::process::exit(1);
+    ok
+}
+
+/// `--mode cache-cliff`: hit rate and mean latency over capacity ×
+/// topology diversity × eviction policy.
+fn cache_cliff(args: &Args) -> bool {
+    // The sweep owns the capacity/eviction grid; a pinned value would be
+    // silently overridden, so refuse it instead.
+    if args.capacity.is_some() || args.eviction.is_some() {
+        eprintln!("--capacity/--eviction select the compare-mode cache; cache-cliff sweeps both");
+        std::process::exit(2);
     }
+    // Each diversity level is a MAX-CUT-over-cycles family whose sizes span
+    // 8..=36 logical spins: D distinct topologies with genuinely different
+    // re-embed costs (∝ LPS³), which is where cost-aware eviction and LRU
+    // part ways.
+    let diversities = [4usize, 8];
+    // FIFO routes without looking at caches, so every device sees every
+    // topology and the per-device capacity is compared directly against the
+    // full diversity; an explicit --policy overrides it.
+    let policy: PolicyKind = if args.policy == "all" {
+        PolicyKind::Fifo
+    } else {
+        args.policy.parse().unwrap_or_else(|e: String| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    };
+
+    println!(
+        "# cluster_sim cache-cliff: {} jobs per run, {} {} QPUs, policy {}, rate {} Hz, seed {}",
+        args.jobs, args.qpus, args.fleet, policy, args.rate_hz, args.seed
+    );
+
+    let mut ok = true;
+    for diversity in diversities {
+        let sizes: Vec<usize> = (0..diversity)
+            .map(|i| 8 + (36 - 8) * i / (diversity - 1))
+            .collect();
+        let spec = WorkloadSpec {
+            jobs: args.jobs,
+            seed: args.seed,
+            arrivals: ArrivalProcess::Poisson {
+                rate_hz: args.rate_hz,
+            },
+            mix: vec![(1.0, FamilySpec::MaxCutCycle { sizes })],
+        };
+        let workload = match spec.try_generate() {
+            Ok(workload) => workload,
+            Err(err) => {
+                eprintln!("invalid workload spec: {err}");
+                std::process::exit(2);
+            }
+        };
+        let mut series = CacheCliffSeries {
+            distinct_topologies: workload.distinct_topologies(),
+            ..CacheCliffSeries::default()
+        };
+
+        let mut capacities: Vec<usize> = vec![
+            1,
+            diversity / 4,
+            diversity / 2,
+            3 * diversity / 4,
+            diversity,
+            diversity + 2,
+        ];
+        capacities.retain(|&c| c >= 1);
+        capacities.sort_unstable();
+        capacities.dedup();
+
+        for eviction in EvictionPolicyKind::all() {
+            for &capacity in &capacities {
+                let fleet = Fleet::new(
+                    args.fleet_config().with_cache(capacity, eviction),
+                    SplitExecConfig::with_seed(args.seed),
+                );
+                let mut scheduler = policy.build();
+                let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default());
+                series
+                    .points
+                    .push(CachePoint::from_report(capacity, eviction.name(), &report));
+            }
+        }
+
+        println!("\n## diversity {diversity} (sizes span 8..=36)");
+        println!("{series}");
+
+        // The cliff itself: hit rate must fall monotonically (small
+        // tolerance for scheduling feedback) as capacity drops, and the
+        // drop from full capacity to capacity 1 must be real.
+        for eviction in EvictionPolicyKind::all() {
+            let name = eviction.name();
+            if !series.hit_rate_monotone(name, 0.02) {
+                println!(
+                    "FAIL: {name} hit rate is not monotone in capacity at diversity {diversity}"
+                );
+                ok = false;
+            }
+            let points = series.policy_points(name);
+            let (lo, hi) = (points.first().unwrap(), points.last().unwrap());
+            if hi.hit_rate - lo.hit_rate < 0.1 {
+                println!(
+                    "FAIL: {name} shows no hit-rate cliff at diversity {diversity} \
+                     ({:.3} at capacity {} vs {:.3} at capacity {})",
+                    lo.hit_rate, lo.capacity, hi.hit_rate, hi.capacity
+                );
+                ok = false;
+            }
+        }
+
+        // At the cliff (capacity below diversity), cost-aware eviction must
+        // match or beat LRU on mean latency: it protects the embeds that
+        // are expensive to recompute.
+        let cliff_mean = |name: &str| {
+            let points: Vec<f64> = series
+                .policy_points(name)
+                .iter()
+                .filter(|p| p.capacity < diversity)
+                .map(|p| p.mean_latency_seconds)
+                .collect();
+            points.iter().sum::<f64>() / points.len().max(1) as f64
+        };
+        let lru = cliff_mean("lru");
+        let cost_aware = cliff_mean("cost-aware");
+        println!(
+            "cliff (capacity < {diversity}): mean latency lru {lru:.3}s vs cost-aware {cost_aware:.3}s"
+        );
+        if cost_aware > lru * 1.001 {
+            println!("FAIL: cost-aware eviction lost to LRU at the cliff (diversity {diversity})");
+            ok = false;
+        }
+    }
+    ok
 }
 
 /// Execute one real job through the pipeline and compare its stage shape

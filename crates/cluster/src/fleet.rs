@@ -7,11 +7,16 @@
 //! qubits).  Each [`QpuDevice`] therefore carries:
 //!
 //! * a [`SplitMachine`] whose hardware graph has a per-device
-//!   [`chimera_graph::FaultModel`] applied,
+//!   [`chimera_graph::FaultModel`] applied — and, in a *heterogeneous*
+//!   fleet, a per-device QPU generation ([`QpuModel::Vesuvius`] vs
+//!   [`QpuModel::Dw2x`]), so capacity and stage costs genuinely differ
+//!   across the rack,
 //! * a per-device [`CostModel`] serving the paper's analytic stage costs,
 //! * a per-device *warm set* — the interaction topologies whose embeddings
-//!   this device has already computed (the simulator's stand-in for
-//!   [`split_exec::EmbeddingCache`], keyed the same way),
+//!   this device has already computed, held in a **bounded**
+//!   [`WarmCache`](crate::cache::WarmCache) with pluggable eviction
+//!   ([`crate::cache::EvictionPolicy`]); finite embedding-table capacity is
+//!   what produces the hit-rate cliff the `cache_cliff` sweep measures,
 //! * a capacity bound and a fault-difficulty factor derived from the yield.
 //!
 //! The capacity bound uses the clique-minor fact that pristine
@@ -24,17 +29,26 @@
 use serde::{Deserialize, Serialize};
 use split_exec::cost::{CostModel, StageCosts};
 use split_exec::{PipelineError, QpuModel, SplitExecConfig, SplitMachine};
-use std::collections::HashSet;
 
+use crate::cache::{EvictionPolicyKind, WarmCache};
 use chimera_graph::FaultModel;
 
 /// Configuration of a simulated fleet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
     /// Number of QPUs in the fleet.
     pub qpus: usize,
-    /// Installed QPU generation (shared across the fleet).
+    /// Default QPU generation for devices not covered by [`Self::models`].
     pub qpu_model: QpuModel,
+    /// Per-device QPU generations: device `i` installs `models[i % len]`.
+    /// Empty means a uniform fleet of [`Self::qpu_model`].
+    pub models: Vec<QpuModel>,
+    /// Embedding-table capacity per device — how many distinct topologies a
+    /// device can keep warm at once.  `None` reproduces the unbounded
+    /// caches of earlier revisions.
+    pub cache_capacity: Option<usize>,
+    /// Eviction policy used when a device's warm cache is full.
+    pub eviction: EvictionPolicyKind,
     /// Per-qubit fault probability for each device's fault draw.
     pub qubit_fault_rate: f64,
     /// Per-coupler fault probability.
@@ -48,6 +62,9 @@ impl Default for FleetConfig {
         Self {
             qpus: 4,
             qpu_model: QpuModel::Dw2x,
+            models: Vec::new(),
+            cache_capacity: None,
+            eviction: EvictionPolicyKind::Lru,
             qubit_fault_rate: 0.02,
             coupler_fault_rate: 0.01,
             seed: 0,
@@ -55,14 +72,51 @@ impl Default for FleetConfig {
     }
 }
 
-/// One simulated QPU: hardware model, cost oracle, warm-embedding set and
+impl FleetConfig {
+    /// A mixed-generation rack: devices alternate DW2X- and Vesuvius-class
+    /// hardware, so capacity and per-stage timing differ across the fleet.
+    pub fn heterogeneous(qpus: usize, seed: u64) -> Self {
+        Self {
+            qpus,
+            models: vec![QpuModel::Dw2x, QpuModel::Vesuvius],
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Bound every device's warm cache at `capacity` topologies under the
+    /// given eviction policy.
+    pub fn with_cache(mut self, capacity: usize, eviction: EvictionPolicyKind) -> Self {
+        self.cache_capacity = Some(capacity);
+        self.eviction = eviction;
+        self
+    }
+
+    /// The QPU generation installed in device `id`.
+    pub fn device_model(&self, id: usize) -> QpuModel {
+        if self.models.is_empty() {
+            self.qpu_model
+        } else {
+            self.models[id % self.models.len()]
+        }
+    }
+
+    /// Whether the fleet mixes QPU generations.
+    pub fn is_heterogeneous(&self) -> bool {
+        (0..self.qpus)
+            .map(|id| self.device_model(id))
+            .any(|m| m != self.device_model(0))
+    }
+}
+
+/// One simulated QPU: hardware model, cost oracle, warm-embedding cache and
 /// runtime occupancy.
 #[derive(Debug)]
 pub struct QpuDevice {
     /// Fleet-wide device index.
     pub id: usize,
     /// The device's machine model (hardware graph carries this device's
-    /// faults).
+    /// faults; `machine.qpu` is this device's generation).
     pub machine: SplitMachine,
     /// Analytic per-stage cost oracle for this device.
     pub cost: CostModel,
@@ -71,8 +125,8 @@ pub struct QpuDevice {
     /// Multiplier on the embedding cost reflecting fault-induced difficulty
     /// (1.0 for a pristine device).
     pub fault_difficulty: f64,
-    /// Topology keys whose embeddings this device has computed.
-    warm: HashSet<u64>,
+    /// Bounded warm set: topologies whose embeddings this device holds.
+    warm: WarmCache,
     /// When the device becomes idle (virtual seconds); `<= now` means idle.
     pub busy_until: f64,
     /// Total busy seconds accumulated.
@@ -88,7 +142,8 @@ pub struct QpuDevice {
 impl QpuDevice {
     /// Build device `id` from the fleet configuration.
     fn new(id: usize, config: &FleetConfig, app: &SplitExecConfig) -> Self {
-        let (m, n, l) = config.qpu_model.lattice();
+        let model = config.device_model(id);
+        let (m, n, l) = model.lattice();
         let pristine = chimera_graph::Chimera::new(m, n, l);
         let faults = FaultModel::random(
             pristine.graph(),
@@ -96,7 +151,7 @@ impl QpuDevice {
             config.coupler_fault_rate,
             config.seed.wrapping_add(id as u64),
         );
-        let machine = SplitMachine::with_faults(config.qpu_model, faults);
+        let machine = SplitMachine::with_faults(model, faults);
         let yield_fraction = machine.usable_qubits() as f64 / machine.chimera.qubit_count() as f64;
         let pristine_clique = 4 * m.min(n) + 1;
         let capacity_lps = ((pristine_clique as f64) * yield_fraction).floor() as usize;
@@ -108,7 +163,7 @@ impl QpuDevice {
             cost,
             capacity_lps,
             fault_difficulty,
-            warm: HashSet::new(),
+            warm: WarmCache::new(config.cache_capacity, config.eviction),
             busy_until: 0.0,
             busy_seconds: 0.0,
             jobs_served: 0,
@@ -117,24 +172,50 @@ impl QpuDevice {
         }
     }
 
+    /// The QPU generation installed in this device.
+    pub fn model(&self) -> QpuModel {
+        self.machine.qpu
+    }
+
     /// Whether a logical problem of `lps` spins fits this device.
     pub fn can_run(&self, lps: usize) -> bool {
         lps <= self.capacity_lps
     }
 
-    /// Whether this device already holds an embedding for `topology_key`.
+    /// Whether this device currently holds an embedding for `topology_key`.
     pub fn is_warm(&self, topology_key: u64) -> bool {
-        self.warm.contains(&topology_key)
+        self.warm.contains(topology_key)
     }
 
-    /// Number of distinct topologies this device has embedded.
+    /// Number of distinct topologies currently resident in this device's
+    /// warm cache.
     pub fn warm_topologies(&self) -> usize {
         self.warm.len()
+    }
+
+    /// Embeddings this device has evicted to stay within its capacity.
+    pub fn evictions(&self) -> usize {
+        self.warm.evictions()
+    }
+
+    /// The device's warm-cache capacity (`None` = unbounded).
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.warm.capacity()
     }
 
     /// Whether the device is idle at virtual time `now`.
     pub fn is_idle(&self, now: f64) -> bool {
         self.busy_until <= now
+    }
+
+    /// Predicted seconds to (re-)embed a topology of `lps` spins on this
+    /// device: the amortizable stage-1 share scaled by fault difficulty.
+    /// This is the value the cost-aware eviction policy protects.
+    pub fn reembed_seconds(&self, lps: usize) -> f64 {
+        self.cost
+            .embed_seconds(lps)
+            .map(|embed| embed * self.fault_difficulty)
+            .unwrap_or(0.0)
     }
 
     /// Per-stage service seconds this device would charge a job of `lps`
@@ -166,10 +247,18 @@ impl QpuDevice {
         Ok(s1 + s2 + s3)
     }
 
+    /// Record a warm hit: refresh the topology's recency so LRU ordering
+    /// reflects use, not just insertion.
+    pub(crate) fn touch_warm(&mut self, topology_key: u64) {
+        self.warm.touch(topology_key);
+    }
+
     /// Record that this device computed (and cached) an embedding for
-    /// `topology_key`.
-    pub(crate) fn mark_warm(&mut self, topology_key: u64) {
-        self.warm.insert(topology_key);
+    /// `topology_key` of `lps` spins, evicting a resident topology if the
+    /// cache is at capacity.  Returns the evicted key, if any.
+    pub(crate) fn mark_warm(&mut self, topology_key: u64, lps: usize) -> Option<u64> {
+        let reembed = self.reembed_seconds(lps);
+        self.warm.insert(topology_key, lps, reembed)
     }
 }
 
@@ -290,7 +379,7 @@ mod tests {
         let mut f = fleet(1, 0.01, 5);
         let key = 0xDEADBEEF;
         let cold = f.devices[0].predicted_service_seconds(40, key).unwrap();
-        f.devices[0].mark_warm(key);
+        f.devices[0].mark_warm(key, 40);
         assert!(f.devices[0].is_warm(key));
         let warm = f.devices[0].predicted_service_seconds(40, key).unwrap();
         assert!(
@@ -298,6 +387,76 @@ mod tests {
             "warm {warm} should be far below cold {cold}"
         );
         assert_eq!(f.devices[0].warm_topologies(), 1);
+    }
+
+    #[test]
+    fn bounded_device_cache_evicts_at_capacity() {
+        let mut f = Fleet::new(
+            FleetConfig {
+                qpus: 1,
+                qubit_fault_rate: 0.0,
+                coupler_fault_rate: 0.0,
+                seed: 1,
+                ..FleetConfig::default()
+            }
+            .with_cache(2, EvictionPolicyKind::Lru),
+            SplitExecConfig::with_seed(1),
+        );
+        let d = &mut f.devices[0];
+        assert_eq!(d.cache_capacity(), Some(2));
+        assert_eq!(d.mark_warm(1, 30), None);
+        assert_eq!(d.mark_warm(2, 36), None);
+        d.touch_warm(1);
+        assert_eq!(d.mark_warm(3, 40), Some(2));
+        assert_eq!(d.warm_topologies(), 2);
+        assert_eq!(d.evictions(), 1);
+        assert!(!d.is_warm(2));
+        // An evicted topology predicts cold again.
+        let re_cold = d.predicted_service_seconds(36, 2).unwrap();
+        let warm = d.predicted_service_seconds(40, 3).unwrap();
+        assert!(re_cold > 10.0 * warm);
+    }
+
+    #[test]
+    fn cost_aware_device_cache_protects_large_topologies() {
+        let mut f = Fleet::new(
+            FleetConfig {
+                qpus: 1,
+                qubit_fault_rate: 0.0,
+                coupler_fault_rate: 0.0,
+                seed: 1,
+                ..FleetConfig::default()
+            }
+            .with_cache(2, EvictionPolicyKind::CostAware),
+            SplitExecConfig::with_seed(1),
+        );
+        let d = &mut f.devices[0];
+        // Re-embed cost grows with lps, so the small topology is evicted
+        // even though the large one is older.
+        assert!(d.reembed_seconds(36) > d.reembed_seconds(8));
+        d.mark_warm(1, 36);
+        d.mark_warm(2, 8);
+        assert_eq!(d.mark_warm(3, 20), Some(2));
+        assert!(d.is_warm(1));
+    }
+
+    #[test]
+    fn heterogeneous_fleet_mixes_generations() {
+        let config = FleetConfig::heterogeneous(4, 9);
+        assert!(config.is_heterogeneous());
+        assert_eq!(config.device_model(0), QpuModel::Dw2x);
+        assert_eq!(config.device_model(1), QpuModel::Vesuvius);
+        let f = Fleet::new(config, SplitExecConfig::with_seed(9));
+        assert_eq!(f.devices[0].model(), QpuModel::Dw2x);
+        assert_eq!(f.devices[1].model(), QpuModel::Vesuvius);
+        // The Vesuvius device is smaller: lower embedding capacity...
+        assert!(f.devices[1].capacity_lps < f.devices[0].capacity_lps);
+        // ...and different stage-1 cost for the same job.
+        let (s1_dw2x, _, _) = f.devices[0].service_breakdown(20, false).unwrap();
+        let (s1_ves, _, _) = f.devices[1].service_breakdown(20, false).unwrap();
+        assert_ne!(s1_dw2x, s1_ves);
+        // A uniform fleet reports homogeneous.
+        assert!(!FleetConfig::default().is_heterogeneous());
     }
 
     #[test]

@@ -12,18 +12,32 @@
 //! * [`fleet`] — each simulated QPU carries its own
 //!   [`chimera_graph::FaultModel`] (fault maps differ per device, so
 //!   capacity and stage-1 cost differ per device) plus a per-device warm
-//!   embedding set mirroring [`split_exec::EmbeddingCache`].
+//!   embedding set mirroring [`split_exec::EmbeddingCache`].  Fleets may be
+//!   *heterogeneous* ([`FleetConfig::heterogeneous`]): DW2X- and
+//!   Vesuvius-class devices differ in lattice size, and therefore in both
+//!   embedding capacity and per-stage timing.
+//! * [`cache`] — finite embedding-table capacity: each device's warm set is
+//!   a bounded [`WarmCache`] behind the [`EvictionPolicy`] trait, with
+//!   [`Lru`] and [`CostAware`] (evict the topology cheapest to re-embed,
+//!   priced by [`split_exec::CostModel`]) shipping.  Warm hits refresh
+//!   recency; capacity below the workload's topology diversity produces the
+//!   hit-rate cliff the `cache_cliff` bench sweep maps.
 //! * [`workload`] — seeded open workloads (Poisson, bursty) over real
 //!   problem families from [`qubo_ising::problems`]; topology keys come
-//!   from the actual QUBO → Ising reduction.
+//!   from the actual QUBO → Ising reduction.  Specs are validated up front
+//!   ([`WorkloadSpec::validate`]) so degenerate parameters surface as
+//!   [`WorkloadError`]s instead of NaN arrival times or panics.
 //! * [`scheduler`] — pluggable policies behind the [`Scheduler`] trait:
 //!   FIFO, shortest-predicted-job-first (the paper's analytic model as the
-//!   cost oracle, via [`split_exec::CostModel`]) and
-//!   embedding-cache-affinity routing.
+//!   cost oracle, via [`split_exec::CostModel`], with arrival-time aging so
+//!   sustained short-job streams cannot starve large jobs) and
+//!   embedding-cache-affinity routing that weighs device speed against
+//!   warmth on heterogeneous fleets.
 //! * [`sim`] — the engine; [`metrics`] — latency percentiles
 //!   (via [`quantum_anneal::stats::percentile`]), per-stage breakdown,
-//!   per-QPU utilization, queue-depth series, and export to the shared
-//!   [`split_exec::BatchSummary`] report format.
+//!   per-QPU utilization and cache behavior (hit rate, evictions),
+//!   queue-depth and hit-rate-vs-capacity series ([`CacheCliffSeries`]),
+//!   and export to the shared [`split_exec::BatchSummary`] report format.
 //!
 //! Service times are the paper's own stage models ([`split_exec::cost`]),
 //! so the simulator is the paper's performance model instantiated at fleet
@@ -46,6 +60,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod event;
 pub mod fleet;
 pub mod job;
@@ -54,25 +69,27 @@ pub mod scheduler;
 pub mod sim;
 pub mod workload;
 
+pub use cache::{CostAware, EvictionPolicy, EvictionPolicyKind, Lru, WarmCache};
 pub use event::{Event, EventKind, EventQueue};
 pub use fleet::{Fleet, FleetConfig, QpuDevice};
 pub use job::{Job, JobRecord};
-pub use metrics::{LatencyStats, QpuStats, SimReport};
+pub use metrics::{CacheCliffSeries, CachePoint, LatencyStats, QpuStats, SimReport};
 pub use scheduler::{CacheAffinity, Fifo, PolicyKind, Scheduler, ShortestPredictedFirst};
 pub use sim::{simulate, SimConfig, TraceRecord, WorkloadMode};
-pub use workload::{ArrivalProcess, FamilySpec, Workload, WorkloadSpec};
+pub use workload::{ArrivalProcess, FamilySpec, Workload, WorkloadError, WorkloadSpec};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::cache::{CostAware, EvictionPolicy, EvictionPolicyKind, Lru, WarmCache};
     pub use crate::event::{Event, EventKind, EventQueue};
     pub use crate::fleet::{Fleet, FleetConfig, QpuDevice};
     pub use crate::job::{Job, JobRecord};
-    pub use crate::metrics::{LatencyStats, QpuStats, SimReport};
+    pub use crate::metrics::{CacheCliffSeries, CachePoint, LatencyStats, QpuStats, SimReport};
     pub use crate::scheduler::{
         CacheAffinity, Fifo, PolicyKind, Scheduler, ShortestPredictedFirst,
     };
     pub use crate::sim::{simulate, SimConfig, TraceRecord, WorkloadMode};
-    pub use crate::workload::{ArrivalProcess, FamilySpec, Workload, WorkloadSpec};
+    pub use crate::workload::{ArrivalProcess, FamilySpec, Workload, WorkloadError, WorkloadSpec};
 }
 
 #[cfg(test)]
@@ -121,6 +138,37 @@ mod determinism_tests {
         let a = run(PolicyKind::Fifo, 1);
         let b = run(PolicyKind::Fifo, 2);
         assert_ne!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn bounded_caches_keep_runs_bit_identical() {
+        // Eviction is part of the deterministic state machine: with finite
+        // capacity under either policy, same seed ⇒ same trace.
+        for eviction in EvictionPolicyKind::all() {
+            let run = |seed: u64| {
+                let workload = WorkloadSpec::repeated_topologies(35, 1.0, seed).generate();
+                let fleet = Fleet::new(
+                    FleetConfig {
+                        qpus: 3,
+                        seed,
+                        ..FleetConfig::default()
+                    }
+                    .with_cache(1, eviction),
+                    SplitExecConfig::with_seed(seed),
+                );
+                // FIFO routes by queue position alone, so every device sees
+                // every topology: at capacity 1 the bound must bind.
+                let mut scheduler = PolicyKind::Fifo.build();
+                simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default())
+            };
+            let a = run(29);
+            let b = run(29);
+            assert_eq!(a, b, "{eviction} eviction broke determinism");
+            assert!(a.evictions() > 0, "{eviction}: no evictions at capacity 1");
+            for qpu in &a.per_qpu {
+                assert!(qpu.warm_topologies <= 1);
+            }
+        }
     }
 
     #[test]
@@ -188,6 +236,40 @@ mod proptests {
                     );
                     // Start order also respects submission ids.
                     prop_assert!(pair[0].job < pair[1].job);
+                }
+            }
+        }
+
+        /// The tentpole's safety bound, end to end: under any seed, policy
+        /// and capacity, no device's warm set ever exceeds its capacity,
+        /// and bounded runs stay conserved.
+        #[test]
+        fn warm_sets_respect_capacity_under_any_dispatch_sequence(
+            seed in 0u64..300,
+            capacity in 0usize..4,
+            cost_aware in 0u8..2,
+        ) {
+            let eviction = if cost_aware == 1 {
+                EvictionPolicyKind::CostAware
+            } else {
+                EvictionPolicyKind::Lru
+            };
+            for policy in PolicyKind::all() {
+                let workload = WorkloadSpec::repeated_topologies(20, 1.0, seed).generate();
+                let fleet = Fleet::new(
+                    FleetConfig { qpus: 2, seed, ..FleetConfig::default() }
+                        .with_cache(capacity, eviction),
+                    SplitExecConfig::with_seed(seed),
+                );
+                let mut scheduler = policy.build();
+                let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default());
+                prop_assert_eq!(report.completed + report.rejected, report.jobs);
+                for qpu in &report.per_qpu {
+                    prop_assert!(
+                        qpu.warm_topologies <= capacity,
+                        "device {} holds {} topologies with capacity {}",
+                        qpu.qpu, qpu.warm_topologies, capacity
+                    );
                 }
             }
         }

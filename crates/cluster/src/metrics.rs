@@ -65,6 +65,22 @@ pub struct QpuStats {
     pub cold_misses: usize,
     /// Distinct topologies in this device's cache at the end of the run.
     pub warm_topologies: usize,
+    /// Embeddings evicted from this device's bounded cache during the run.
+    pub evictions: usize,
+    /// The device's warm-cache capacity (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+}
+
+impl QpuStats {
+    /// Warm-hit fraction of the jobs this device served (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.warm_hits + self.cold_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The full outcome of one simulated run.
@@ -126,6 +142,21 @@ impl SimReport {
     /// Total cold embeds across the fleet.
     pub fn cold_misses(&self) -> usize {
         self.per_qpu.iter().map(|q| q.cold_misses).sum()
+    }
+
+    /// Total cache evictions across the fleet.
+    pub fn evictions(&self) -> usize {
+        self.per_qpu.iter().map(|q| q.evictions).sum()
+    }
+
+    /// Fleet-wide warm-hit rate: warm hits over all dispatches.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.warm_hits() + self.cold_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits() as f64 / total as f64
+        }
     }
 
     /// Mean device utilization over the makespan.
@@ -197,11 +228,104 @@ impl fmt::Display for SimReport {
         )?;
         write!(
             f,
-            "fleet: {:.0}% mean utilization, {} warm hits / {} cold embeds, max queue depth {}",
+            "fleet: {:.0}% mean utilization, {} warm hits / {} cold embeds ({} evictions), max queue depth {}",
             100.0 * self.mean_utilization(),
             self.warm_hits(),
             self.cold_misses(),
+            self.evictions(),
             self.max_queue_depth()
+        )
+    }
+}
+
+/// One point of a cache-capacity sweep: the fleet-wide hit rate and mean
+/// latency observed at a given per-device capacity under one eviction
+/// policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachePoint {
+    /// Per-device warm-cache capacity the run used.
+    pub capacity: usize,
+    /// Eviction policy name (`lru`, `cost-aware`).
+    pub eviction: String,
+    /// Fleet-wide warm-hit rate of the run.
+    pub hit_rate: f64,
+    /// Mean end-to-end latency (seconds).
+    pub mean_latency_seconds: f64,
+    /// Total evictions across the fleet.
+    pub evictions: usize,
+    /// Total cold embeds across the fleet.
+    pub cold_misses: usize,
+}
+
+impl CachePoint {
+    /// Extract the point from a finished run.
+    pub fn from_report(capacity: usize, eviction: &str, report: &SimReport) -> Self {
+        Self {
+            capacity,
+            eviction: eviction.to_string(),
+            hit_rate: report.hit_rate(),
+            mean_latency_seconds: report.latency.mean,
+            evictions: report.evictions(),
+            cold_misses: report.cold_misses(),
+        }
+    }
+}
+
+/// A hit-rate-vs-capacity series: the outcome of sweeping warm-cache
+/// capacity across the topology diversity of one workload — the measurement
+/// that exposes the hit-rate cliff.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CacheCliffSeries {
+    /// Distinct topologies in the swept workload (where the cliff sits).
+    pub distinct_topologies: usize,
+    /// Sweep points, in the order they were run.
+    pub points: Vec<CachePoint>,
+}
+
+impl CacheCliffSeries {
+    /// The points of one eviction policy, sorted by capacity ascending.
+    pub fn policy_points(&self, eviction: &str) -> Vec<&CachePoint> {
+        let mut points: Vec<&CachePoint> = self
+            .points
+            .iter()
+            .filter(|p| p.eviction == eviction)
+            .collect();
+        points.sort_by_key(|p| p.capacity);
+        points
+    }
+
+    /// Whether the hit rate is monotone non-decreasing in capacity for the
+    /// given policy (within `tolerance` to absorb scheduling feedback).
+    pub fn hit_rate_monotone(&self, eviction: &str, tolerance: f64) -> bool {
+        self.policy_points(eviction)
+            .windows(2)
+            .all(|pair| pair[1].hit_rate >= pair[0].hit_rate - tolerance)
+    }
+}
+
+impl fmt::Display for CacheCliffSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>9} {:>11} {:>7} {:>10} {:>10} {:>6}",
+            "capacity", "eviction", "hit%", "mean [s]", "evictions", "cold"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>9} {:>11} {:>7.1} {:>10.3} {:>10} {:>6}",
+                p.capacity,
+                p.eviction,
+                100.0 * p.hit_rate,
+                p.mean_latency_seconds,
+                p.evictions,
+                p.cold_misses
+            )?;
+        }
+        write!(
+            f,
+            "(workload holds {} distinct topologies)",
+            self.distinct_topologies
         )
     }
 }
@@ -244,6 +368,8 @@ mod tests {
                 warm_hits: 1,
                 cold_misses: 1,
                 warm_topologies: 1,
+                evictions: 2,
+                cache_capacity: Some(1),
             }],
             queue_depth: vec![(0.0, 1), (2.0, 2), (5.0, 0)],
             records,
@@ -268,8 +394,43 @@ mod tests {
         assert!((r.stage1_fraction() - 4.0 / 4.004).abs() < 1e-12);
         assert_eq!(r.warm_hits(), 1);
         assert_eq!(r.cold_misses(), 1);
+        assert_eq!(r.evictions(), 2);
+        assert!((r.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((r.per_qpu[0].hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(r.max_queue_depth(), 2);
         assert!((r.mean_utilization() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_cliff_series_orders_and_checks_monotonicity() {
+        let mut series = CacheCliffSeries {
+            distinct_topologies: 4,
+            ..CacheCliffSeries::default()
+        };
+        for (cap, hit) in [(4usize, 0.9), (1, 0.1), (2, 0.5)] {
+            series.points.push(CachePoint {
+                capacity: cap,
+                eviction: "lru".into(),
+                hit_rate: hit,
+                mean_latency_seconds: 1.0,
+                evictions: 0,
+                cold_misses: 0,
+            });
+        }
+        let ordered: Vec<usize> = series
+            .policy_points("lru")
+            .iter()
+            .map(|p| p.capacity)
+            .collect();
+        assert_eq!(ordered, vec![1, 2, 4]);
+        assert!(series.hit_rate_monotone("lru", 1e-9));
+        assert!(series.policy_points("cost-aware").is_empty());
+        // A regression (higher capacity, lower hit rate) trips the check.
+        series.points[0].hit_rate = 0.0;
+        assert!(!series.hit_rate_monotone("lru", 1e-9));
+        let text = format!("{series}");
+        assert!(text.contains("capacity"));
+        assert!(text.contains("4 distinct topologies"));
     }
 
     #[test]

@@ -14,12 +14,17 @@
 //! * [`ShortestPredictedFirst`] — the classic SJF heuristic with the
 //!   paper's analytic model as the oracle: among queued jobs and idle
 //!   devices, dispatch the pair with the smallest predicted service time
-//!   (cache-aware, so a warm topology counts as short).
+//!   (cache-aware, so a warm topology counts as short; speed-aware, so a
+//!   fast device counts too), minus an arrival-time aging credit
+//!   ([`DEFAULT_AGING_WEIGHT`]) so a sustained stream of short jobs cannot
+//!   starve a large one.
 //! * [`CacheAffinity`] — route jobs to the device whose embedding cache
-//!   already holds their topology; cold jobs are spread to the idle device
-//!   with the fewest warm topologies (building specialized caches), and a
-//!   job whose warm device is busy waits for it only when waiting is
-//!   predicted cheaper than re-embedding cold elsewhere.
+//!   already holds their topology (taking a faster device when its cold
+//!   prediction still wins); cold jobs go to the fastest idle device,
+//!   spread within a speed band ([`COLD_SPEED_BAND`]) to the one with the
+//!   fewest warm topologies (building specialized caches); a job whose
+//!   warm device is busy waits for it only when waiting is predicted
+//!   cheaper than re-embedding cold elsewhere.
 
 use crate::fleet::Fleet;
 use crate::job::Job;
@@ -64,9 +69,43 @@ impl Scheduler for Fifo {
     }
 }
 
-/// Shortest-predicted-job-first over the analytic cost oracle.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct ShortestPredictedFirst;
+/// Priority credit (in seconds of predicted service) a queued job earns per
+/// second of waiting under [`ShortestPredictedFirst`] — the aging term that
+/// keeps pure SJF from starving large jobs forever.
+pub const DEFAULT_AGING_WEIGHT: f64 = 0.1;
+
+/// Shortest-predicted-job-first over the analytic cost oracle, with
+/// arrival-time aging.
+///
+/// Pure SJF starves: under a sustained stream of short jobs, a large job's
+/// predicted service never wins and it waits forever.  The effective
+/// priority here is `predicted − aging_weight · (now − arrival)`, so every
+/// second in the queue buys a job `aging_weight` seconds of predicted
+/// service, and any job eventually outranks fresh short work.  Because the
+/// per-device predicted service is the ordering key, the policy also weighs
+/// device speed in a heterogeneous fleet: a job may prefer a fast cold
+/// device over a slow warm one.
+#[derive(Debug, Clone, Copy)]
+pub struct ShortestPredictedFirst {
+    /// Seconds of priority credit per second waited (0 = pure SJF).
+    pub aging_weight: f64,
+}
+
+impl Default for ShortestPredictedFirst {
+    fn default() -> Self {
+        Self {
+            aging_weight: DEFAULT_AGING_WEIGHT,
+        }
+    }
+}
+
+impl ShortestPredictedFirst {
+    /// The policy with the given aging weight; `0.0` restores the pure
+    /// (starvation-prone) SJF ordering.
+    pub fn with_aging(aging_weight: f64) -> Self {
+        Self { aging_weight }
+    }
+}
 
 impl Scheduler for ShortestPredictedFirst {
     fn name(&self) -> &'static str {
@@ -82,6 +121,7 @@ impl Scheduler for ShortestPredictedFirst {
         let idle = fleet.idle_devices(now);
         let mut best: Option<(f64, usize, usize)> = None;
         for (qi, job) in queue.iter().enumerate() {
+            let age = (now - job.arrival).max(0.0);
             for &d in &idle {
                 let device = &fleet.devices[d];
                 if !device.can_run(job.lps) {
@@ -91,16 +131,25 @@ impl Scheduler for ShortestPredictedFirst {
                 else {
                     continue;
                 };
+                let score = predicted - self.aging_weight * age;
                 // Strict `<` keeps the earliest (queue-order, id-order)
                 // candidate on ties, so the policy is deterministic.
-                if best.map(|(t, _, _)| predicted < t).unwrap_or(true) {
-                    best = Some((predicted, qi, d));
+                if best.map(|(t, _, _)| score < t).unwrap_or(true) {
+                    best = Some((score, qi, d));
                 }
             }
         }
         best.map(|(_, qi, d)| (qi, d))
     }
 }
+
+/// Devices whose predicted cold service is within this factor of the
+/// fastest idle candidate count as equally fast for [`CacheAffinity`]'s
+/// cold placement; within the band, the least-specialized cache wins.  The
+/// band absorbs fault-map cost noise (a few percent between same-generation
+/// devices) while keeping genuinely slower generations (3–5× on embeds)
+/// out.
+pub const COLD_SPEED_BAND: f64 = 1.25;
 
 /// Embedding-cache-affinity routing.
 #[derive(Debug, Default, Clone, Copy)]
@@ -123,17 +172,40 @@ impl Scheduler for CacheAffinity {
         }
 
         // Pass 1: oldest job whose topology is warm on an idle device.
+        // Among the idle candidates the job takes the device with the
+        // smallest *predicted* service, not blindly the warm one — in a
+        // heterogeneous fleet a fast cold device can beat a slow warm one,
+        // and the prediction already prices both warmth and device speed.
         for (qi, job) in queue.iter().enumerate() {
-            if let Some(&d) = idle.iter().find(|&&d| {
+            let warm_idle = idle.iter().any(|&d| {
                 fleet.devices[d].can_run(job.lps) && fleet.devices[d].is_warm(job.topology_key)
-            }) {
+            });
+            if !warm_idle {
+                continue;
+            }
+            let fastest = idle
+                .iter()
+                .filter(|&&d| fleet.devices[d].can_run(job.lps))
+                .filter_map(|&d| {
+                    let predicted = fleet.devices[d]
+                        .predicted_service_seconds(job.lps, job.topology_key)
+                        .ok()?;
+                    Some((predicted, d))
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            if let Some((_, d)) = fastest {
                 return Some((qi, d));
             }
         }
 
-        // Pass 2: place a job that must embed cold anyway.  Spread cold
-        // embeds to the least-specialized idle device so caches partition
-        // the topology space instead of all devices learning everything.
+        // Pass 2: place a job that must embed cold anyway.  Prefer the
+        // device predicted fastest for it (speed matters when generations
+        // differ), but treat devices within a relative band of the fastest
+        // as equivalent — fault-map noise makes exact f64 costs unique, and
+        // a strict minimum would funnel every cold job to the single
+        // lowest-fault device.  Within the band, prefer the
+        // least-specialized cache so caches partition the topology space
+        // instead of all devices learning everything.
         for (qi, job) in queue.iter().enumerate() {
             let warm_somewhere = fleet
                 .devices
@@ -168,11 +240,25 @@ impl Scheduler for CacheAffinity {
                     continue; // hold this job for its warm device
                 }
             }
-            let placement = idle
+            let candidates: Vec<(f64, usize, usize)> = idle
                 .iter()
                 .filter(|&&d| fleet.devices[d].can_run(job.lps))
-                .min_by_key(|&&d| (fleet.devices[d].warm_topologies(), d));
-            if let Some(&d) = placement {
+                .filter_map(|&d| {
+                    let predicted = fleet.devices[d]
+                        .predicted_service_seconds(job.lps, job.topology_key)
+                        .ok()?;
+                    Some((predicted, fleet.devices[d].warm_topologies(), d))
+                })
+                .collect();
+            let fastest = candidates
+                .iter()
+                .map(|&(predicted, _, _)| predicted)
+                .fold(f64::INFINITY, f64::min);
+            let placement = candidates
+                .iter()
+                .filter(|&&(predicted, _, _)| predicted <= fastest * COLD_SPEED_BAND)
+                .min_by(|a, b| a.1.cmp(&b.1).then(a.2.cmp(&b.2)));
+            if let Some(&(_, _, d)) = placement {
                 return Some((qi, d));
             }
         }
@@ -205,7 +291,7 @@ impl PolicyKind {
     pub fn build(&self) -> Box<dyn Scheduler> {
         match self {
             PolicyKind::Fifo => Box::new(Fifo),
-            PolicyKind::ShortestPredictedFirst => Box::new(ShortestPredictedFirst),
+            PolicyKind::ShortestPredictedFirst => Box::new(ShortestPredictedFirst::default()),
             PolicyKind::CacheAffinity => Box::new(CacheAffinity),
         }
     }
@@ -291,11 +377,11 @@ mod tests {
     #[test]
     fn spjf_prefers_the_warm_short_job() {
         let mut fleet = fleet(1);
-        fleet.devices[0].mark_warm(42);
+        fleet.devices[0].mark_warm(42, 10);
         let queue = vec![job(0, 10, 1), job(1, 10, 42)];
         // Same size, but job 1 is warm on device 0 ⇒ far shorter predicted.
         assert_eq!(
-            ShortestPredictedFirst.next_assignment(&queue, &fleet, 0.0),
+            ShortestPredictedFirst::default().next_assignment(&queue, &fleet, 0.0),
             Some((1, 0))
         );
     }
@@ -305,7 +391,159 @@ mod tests {
         let fleet = fleet(1);
         let queue = vec![job(0, 10, 1), job(1, 10, 2)];
         assert_eq!(
-            ShortestPredictedFirst.next_assignment(&queue, &fleet, 0.0),
+            ShortestPredictedFirst::default().next_assignment(&queue, &fleet, 0.0),
+            Some((0, 0))
+        );
+    }
+
+    #[test]
+    fn spjf_aging_eventually_promotes_a_starved_large_job() {
+        // Regression for the starvation bug: pure SJF (aging 0) picks the
+        // fresh short job no matter how long the large one has waited.
+        let mut fleet = fleet(1);
+        fleet.devices[0].mark_warm(2, 8); // the short topology is warm
+        let p_large = fleet.devices[0].predicted_service_seconds(40, 1).unwrap();
+        let p_short = fleet.devices[0].predicted_service_seconds(8, 2).unwrap();
+        assert!(p_large > p_short);
+        // The large job has waited long enough for its aging credit to
+        // close the predicted-service gap; the short job just arrived.
+        let now = (p_large - p_short) / DEFAULT_AGING_WEIGHT + 1.0;
+        let mut large = job(0, 40, 1);
+        large.arrival = 0.0;
+        let mut short = job(1, 8, 2);
+        short.arrival = now;
+        let queue = vec![large, short];
+        assert_eq!(
+            ShortestPredictedFirst::with_aging(0.0).next_assignment(&queue, &fleet, now),
+            Some((1, 0)),
+            "pure SJF must still pick the short job (the bug being fixed)"
+        );
+        assert_eq!(
+            ShortestPredictedFirst::default().next_assignment(&queue, &fleet, now),
+            Some((0, 0)),
+            "aged SJF must promote the long-waiting large job"
+        );
+    }
+
+    #[test]
+    fn spjf_large_job_dispatches_under_a_continuous_short_stream() {
+        use crate::sim::{simulate, SimConfig};
+        use crate::workload::Workload;
+
+        // One large job arrives early into a single-QPU system flooded with
+        // short jobs of one warm topology.  Pure SJF serves every short job
+        // first; aged SJF starts the large job while shorts still arrive.
+        let build_fleet = || {
+            crate::Fleet::new(
+                crate::FleetConfig {
+                    qpus: 1,
+                    qubit_fault_rate: 0.0,
+                    coupler_fault_rate: 0.0,
+                    seed: 1,
+                    ..crate::FleetConfig::default()
+                },
+                split_exec::SplitExecConfig::with_seed(1),
+            )
+        };
+        // Size the stream from the model's own numbers so the scenario
+        // stays valid if the cost constants move: shorts arrive faster
+        // than they are served (sustained pressure), and the stream lasts
+        // comfortably past the large job's aging-promotion point.
+        let mut probe = build_fleet();
+        probe.devices[0].mark_warm(2, 8);
+        let p_short = probe.devices[0].predicted_service_seconds(8, 2).unwrap();
+        let p_large = probe.devices[0].predicted_service_seconds(40, 1).unwrap();
+        let gap = 0.8 * p_short;
+        let promotion_age = (p_large - p_short) / DEFAULT_AGING_WEIGHT;
+        // Promotion happens once the shorts that arrived inside the aging
+        // window are drained (~p_short per short, hence the /0.8); run the
+        // stream 1.35x past that.
+        let shorts = (1.35 * promotion_age / 0.8 / gap).ceil() as usize;
+        let mut jobs = vec![Job {
+            id: 0,
+            family: "large".into(),
+            lps: 40,
+            topology_key: 1,
+            arrival: 0.5 * gap,
+        }];
+        for i in 0..shorts {
+            jobs.push(Job {
+                id: i + 1,
+                family: "short".into(),
+                lps: 8,
+                topology_key: 2,
+                arrival: gap * i as f64,
+            });
+        }
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
+        for (i, job) in jobs.iter_mut().enumerate() {
+            job.id = i;
+        }
+        let large_id = jobs.iter().position(|j| j.family == "large").unwrap();
+        let workload = Workload { jobs };
+        let start_of = |scheduler: &mut dyn Scheduler| {
+            let report = simulate(build_fleet(), &workload, scheduler, SimConfig::default());
+            report
+                .records
+                .iter()
+                .find(|r| r.job == large_id)
+                .map(|r| r.start)
+                .expect("large job never completed")
+        };
+        let aged_start = start_of(&mut ShortestPredictedFirst::default());
+        let pure_start = start_of(&mut ShortestPredictedFirst::with_aging(0.0));
+        let last_short_arrival = gap * (shorts - 1) as f64;
+        assert!(
+            aged_start < pure_start,
+            "aging must start the large job earlier ({aged_start} !< {pure_start})"
+        );
+        assert!(
+            aged_start < last_short_arrival,
+            "aged SJF must dispatch the large job while shorts still arrive \
+             ({aged_start} !< {last_short_arrival})"
+        );
+        assert!(
+            pure_start >= last_short_arrival,
+            "pure SJF should have starved the large job until the stream dried up \
+             ({pure_start} !>= {last_short_arrival})"
+        );
+    }
+
+    #[test]
+    fn cold_jobs_prefer_the_faster_device_in_a_heterogeneous_fleet() {
+        use split_exec::SplitExecConfig;
+        // Device 0 is DW2X-class, device 1 Vesuvius-class; the smaller
+        // lattice embeds the same topology several times cheaper.
+        let mut fleet = Fleet::new(
+            crate::FleetConfig {
+                qubit_fault_rate: 0.0,
+                coupler_fault_rate: 0.0,
+                ..crate::FleetConfig::heterogeneous(2, 1)
+            },
+            SplitExecConfig::with_seed(1),
+        );
+        let cold_dw2x = fleet.devices[0].predicted_service_seconds(20, 9).unwrap();
+        let cold_ves = fleet.devices[1].predicted_service_seconds(20, 9).unwrap();
+        assert!(cold_ves < cold_dw2x);
+        let queue = vec![job(0, 20, 9)];
+        // Both policies weigh device speed for a cold job.
+        assert_eq!(
+            CacheAffinity.next_assignment(&queue, &fleet, 0.0),
+            Some((0, 1))
+        );
+        assert_eq!(
+            ShortestPredictedFirst::default().next_assignment(&queue, &fleet, 0.0),
+            Some((0, 1))
+        );
+        // Warmth on the slower device outweighs the faster cold one: a warm
+        // hit skips the embed entirely.
+        fleet.devices[0].mark_warm(9, 20);
+        assert_eq!(
+            CacheAffinity.next_assignment(&queue, &fleet, 0.0),
+            Some((0, 0))
+        );
+        assert_eq!(
+            ShortestPredictedFirst::default().next_assignment(&queue, &fleet, 0.0),
             Some((0, 0))
         );
     }
@@ -313,7 +551,7 @@ mod tests {
     #[test]
     fn affinity_routes_warm_jobs_to_their_device() {
         let mut fleet = fleet(3);
-        fleet.devices[2].mark_warm(7);
+        fleet.devices[2].mark_warm(7, 10);
         let queue = vec![job(0, 10, 7)];
         assert_eq!(
             CacheAffinity.next_assignment(&queue, &fleet, 0.0),
@@ -324,9 +562,9 @@ mod tests {
     #[test]
     fn affinity_spreads_cold_jobs_to_least_specialized_device() {
         let mut fleet = fleet(3);
-        fleet.devices[0].mark_warm(100);
-        fleet.devices[0].mark_warm(101);
-        fleet.devices[1].mark_warm(102);
+        fleet.devices[0].mark_warm(100, 10);
+        fleet.devices[0].mark_warm(101, 10);
+        fleet.devices[1].mark_warm(102, 10);
         let queue = vec![job(0, 10, 7)];
         // Device 2 has the emptiest cache.
         assert_eq!(
@@ -336,9 +574,49 @@ mod tests {
     }
 
     #[test]
+    fn affinity_spreads_cold_jobs_despite_fault_cost_noise() {
+        use split_exec::SplitExecConfig;
+        // Default fault rates: every device's cold cost is slightly
+        // different, so an exact-minimum placement would always pick one
+        // device.  The speed band must still spread cold jobs by cache
+        // occupancy.
+        let mut fleet = Fleet::new(
+            crate::FleetConfig {
+                qpus: 3,
+                seed: 5,
+                ..crate::FleetConfig::default()
+            },
+            SplitExecConfig::with_seed(5),
+        );
+        let costs: Vec<f64> = fleet
+            .devices
+            .iter()
+            .map(|d| d.predicted_service_seconds(10, 7).unwrap())
+            .collect();
+        let fastest = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        // Precondition for this seed: all devices are same-generation and
+        // inside the band; distinct costs mean a strict min would be
+        // decided by cost alone.
+        assert!(costs.iter().all(|&c| c <= fastest * 1.25));
+        assert!(costs.windows(2).any(|p| p[0] != p[1]));
+        let fastest_id = (0..3)
+            .min_by(|&a, &b| costs[a].total_cmp(&costs[b]))
+            .unwrap();
+        // Specialize the fastest device; the cold job must go elsewhere.
+        fleet.devices[fastest_id].mark_warm(100, 10);
+        fleet.devices[fastest_id].mark_warm(101, 10);
+        let queue = vec![job(0, 10, 7)];
+        let (_, placed) = CacheAffinity.next_assignment(&queue, &fleet, 0.0).unwrap();
+        assert_ne!(
+            placed, fastest_id,
+            "cold job funneled to the specialized fastest device"
+        );
+    }
+
+    #[test]
     fn affinity_holds_a_job_for_its_warm_device_when_the_wait_is_short() {
         let mut fleet = fleet(2);
-        fleet.devices[0].mark_warm(7);
+        fleet.devices[0].mark_warm(7, 30);
         fleet.devices[0].busy_until = 1.0; // frees up in 1 virtual second
         let queue = vec![job(0, 30, 7)];
         // Cold embedding of lps 30 costs far more than a 1-second wait, so

@@ -196,9 +196,12 @@ pub fn simulate(
             device.jobs_served += 1;
             if warm {
                 device.warm_hits += 1;
+                // A hit must refresh recency, or LRU degenerates to FIFO
+                // eviction and hot topologies get evicted under churn.
+                device.touch_warm(job.topology_key);
             } else {
                 device.cold_misses += 1;
-                device.mark_warm(job.topology_key);
+                device.mark_warm(job.topology_key, job.lps);
             }
             in_flight[job.id] = Some(JobRecord {
                 job: job.id,
@@ -252,6 +255,8 @@ pub fn simulate(
             warm_hits: d.warm_hits,
             cold_misses: d.cold_misses,
             warm_topologies: d.warm_topologies(),
+            evictions: d.evictions(),
+            cache_capacity: d.cache_capacity(),
         })
         .collect();
 

@@ -26,6 +26,70 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use split_exec::offline_cache::graph_key;
 
+/// Why a [`WorkloadSpec`] is invalid.
+///
+/// Degenerate specs used to surface as panics deep inside generation
+/// (`rng.gen_range(0..0)` for an empty family, NaN/∞ arrival times from a
+/// zero-rate or zero-burst process); [`WorkloadSpec::validate`] rejects
+/// them up front with a description of the offending field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// The arrival rate is zero, negative or non-finite.
+    InvalidRate {
+        /// The offending rate.
+        rate_hz: f64,
+    },
+    /// A bursty process with zero jobs per burst.
+    ZeroBurst,
+    /// The family mix is empty.
+    EmptyMix,
+    /// A mix weight is negative or non-finite.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// All mix weights are zero.
+    NoPositiveWeight,
+    /// A family spec cannot produce instances.
+    DegenerateFamily {
+        /// The family's debug label.
+        family: String,
+        /// What is wrong with it.
+        problem: &'static str,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::InvalidRate { rate_hz } => {
+                write!(f, "arrival rate must be positive and finite, got {rate_hz}")
+            }
+            WorkloadError::ZeroBurst => {
+                write!(f, "bursty arrivals need at least one job per burst")
+            }
+            WorkloadError::EmptyMix => write!(f, "workload mix must contain at least one family"),
+            WorkloadError::InvalidWeight { weight } => {
+                write!(
+                    f,
+                    "mix weights must be non-negative and finite, got {weight}"
+                )
+            }
+            WorkloadError::NoPositiveWeight => {
+                write!(
+                    f,
+                    "workload mix must contain at least one positively weighted family"
+                )
+            }
+            WorkloadError::DegenerateFamily { family, problem } => {
+                write!(f, "family {family} is degenerate: {problem}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// How jobs arrive in an open workload.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ArrivalProcess {
@@ -82,6 +146,49 @@ pub enum FamilySpec {
 }
 
 impl FamilySpec {
+    /// Reject fields that would make [`Self::instantiate`] panic or emit
+    /// size-zero problems.
+    fn validate(&self) -> Result<(), WorkloadError> {
+        let degenerate = |problem| {
+            Err(WorkloadError::DegenerateFamily {
+                family: format!("{self:?}"),
+                problem,
+            })
+        };
+        match self {
+            FamilySpec::MaxCutCycle { sizes } => {
+                if sizes.is_empty() {
+                    return degenerate("no cycle sizes to draw from");
+                }
+                if sizes.iter().any(|&n| n < 3) {
+                    return degenerate("a cycle needs at least 3 vertices");
+                }
+            }
+            FamilySpec::MaxCutGnp { n, p, variants } => {
+                if *n < 2 {
+                    return degenerate("a Gnp graph needs at least 2 vertices");
+                }
+                if !(0.0..=1.0).contains(p) {
+                    return degenerate("edge probability must lie in [0, 1]");
+                }
+                if *variants == 0 {
+                    return degenerate("no graph variants to draw from");
+                }
+            }
+            FamilySpec::Partition { n } => {
+                if *n < 2 {
+                    return degenerate("partitioning needs at least 2 numbers");
+                }
+            }
+            FamilySpec::VertexCoverGrid { rows, cols } => {
+                if *rows == 0 || *cols == 0 {
+                    return degenerate("a grid needs at least one row and column");
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Generate one concrete instance: a label and the QUBO.
     fn instantiate(&self, rng: &mut ChaCha8Rng, base_seed: u64) -> (String, Qubo) {
         match self {
@@ -98,7 +205,7 @@ impl FamilySpec {
                 )
             }
             FamilySpec::MaxCutGnp { n, p, variants } => {
-                let variant = rng.gen_range(0..(*variants).max(1));
+                let variant = rng.gen_range(0..*variants);
                 // The graph seed depends only on the workload seed and the
                 // variant index, so variant k is the same topology in every
                 // job that draws it.
@@ -199,14 +306,58 @@ impl WorkloadSpec {
         }
     }
 
+    /// Check the spec for fields that would produce NaN/∞ arrival times or
+    /// panic during generation: non-positive rates, zero-job bursts, empty
+    /// mixes, and degenerate family parameters.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let rate_hz = match self.arrivals {
+            ArrivalProcess::Poisson { rate_hz } => rate_hz,
+            ArrivalProcess::Bursty { rate_hz, burst } => {
+                if burst == 0 {
+                    return Err(WorkloadError::ZeroBurst);
+                }
+                rate_hz
+            }
+        };
+        if !(rate_hz.is_finite() && rate_hz > 0.0) {
+            return Err(WorkloadError::InvalidRate { rate_hz });
+        }
+        if self.mix.is_empty() {
+            return Err(WorkloadError::EmptyMix);
+        }
+        for (weight, family) in &self.mix {
+            if !(weight.is_finite() && *weight >= 0.0) {
+                return Err(WorkloadError::InvalidWeight { weight: *weight });
+            }
+            family.validate()?;
+        }
+        if self.mix.iter().map(|(w, _)| w).sum::<f64>() <= 0.0 {
+            return Err(WorkloadError::NoPositiveWeight);
+        }
+        Ok(())
+    }
+
+    /// Generate the job stream, rejecting invalid specs with a
+    /// [`WorkloadError`] instead of panicking mid-generation.
+    pub fn try_generate(&self) -> Result<Workload, WorkloadError> {
+        self.validate()?;
+        Ok(self.generate_unchecked())
+    }
+
     /// Generate the job stream.
+    ///
+    /// # Panics
+    /// Panics on an invalid spec; use [`Self::try_generate`] to get the
+    /// validation error instead.
     pub fn generate(&self) -> Workload {
+        self.try_generate()
+            .unwrap_or_else(|err| panic!("invalid workload spec: {err}"))
+    }
+
+    /// The generation pass proper; assumes [`Self::validate`] succeeded.
+    fn generate_unchecked(&self) -> Workload {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let total_weight: f64 = self.mix.iter().map(|(w, _)| w.max(0.0)).sum();
-        assert!(
-            total_weight > 0.0 && !self.mix.is_empty(),
-            "workload mix must contain at least one positively weighted family"
-        );
 
         let mut jobs = Vec::with_capacity(self.jobs);
         let mut clock = 0.0_f64;
@@ -219,7 +370,6 @@ impl WorkloadSpec {
                 }
                 ArrivalProcess::Bursty { rate_hz, burst } => {
                     if burst_remaining == 0 {
-                        let burst = burst.max(1);
                         clock += exponential(&mut rng, rate_hz / burst as f64);
                         burst_remaining = burst;
                     }
@@ -370,15 +520,140 @@ mod tests {
         assert!(zero_gaps >= 30, "only {zero_gaps} back-to-back arrivals");
     }
 
-    #[test]
-    #[should_panic(expected = "positively weighted")]
-    fn empty_mix_is_rejected() {
+    fn spec_with(arrivals: ArrivalProcess, mix: Vec<(f64, FamilySpec)>) -> WorkloadSpec {
         WorkloadSpec {
-            jobs: 1,
+            jobs: 4,
             seed: 0,
-            arrivals: ArrivalProcess::Poisson { rate_hz: 1.0 },
-            mix: vec![],
+            arrivals,
+            mix,
         }
-        .generate();
+    }
+
+    fn default_mix() -> Vec<(f64, FamilySpec)> {
+        vec![(1.0, FamilySpec::Partition { n: 8 })]
+    }
+
+    #[test]
+    fn empty_mix_is_rejected() {
+        let spec = spec_with(ArrivalProcess::Poisson { rate_hz: 1.0 }, vec![]);
+        assert_eq!(spec.try_generate().unwrap_err(), WorkloadError::EmptyMix);
+    }
+
+    #[test]
+    fn zero_weight_mix_is_rejected() {
+        let spec = spec_with(
+            ArrivalProcess::Poisson { rate_hz: 1.0 },
+            vec![(0.0, FamilySpec::Partition { n: 8 })],
+        );
+        assert_eq!(
+            spec.try_generate().unwrap_err(),
+            WorkloadError::NoPositiveWeight
+        );
+        let spec = spec_with(
+            ArrivalProcess::Poisson { rate_hz: 1.0 },
+            vec![(-1.0, FamilySpec::Partition { n: 8 })],
+        );
+        assert_eq!(
+            spec.validate().unwrap_err(),
+            WorkloadError::InvalidWeight { weight: -1.0 }
+        );
+    }
+
+    #[test]
+    fn zero_burst_is_rejected_not_nan() {
+        // Regression: `Bursty { burst: 0 }` used to reach the arrival-time
+        // division as `rate_hz / 0`, yielding NaN/∞ timestamps.
+        let spec = spec_with(
+            ArrivalProcess::Bursty {
+                rate_hz: 1.0,
+                burst: 0,
+            },
+            default_mix(),
+        );
+        assert_eq!(spec.try_generate().unwrap_err(), WorkloadError::ZeroBurst);
+    }
+
+    #[test]
+    fn non_positive_rates_are_rejected() {
+        for rate_hz in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let spec = spec_with(ArrivalProcess::Poisson { rate_hz }, default_mix());
+            assert!(
+                matches!(
+                    spec.validate().unwrap_err(),
+                    WorkloadError::InvalidRate { .. }
+                ),
+                "rate {rate_hz} should be rejected"
+            );
+        }
+        let spec = spec_with(
+            ArrivalProcess::Bursty {
+                rate_hz: 0.0,
+                burst: 4,
+            },
+            default_mix(),
+        );
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            WorkloadError::InvalidRate { .. }
+        ));
+    }
+
+    #[test]
+    fn degenerate_families_are_rejected() {
+        // Regression: empty `sizes` used to panic in `rng.gen_range(0..0)`.
+        let cases = [
+            FamilySpec::MaxCutCycle { sizes: vec![] },
+            FamilySpec::MaxCutCycle { sizes: vec![2] },
+            FamilySpec::MaxCutGnp {
+                n: 1,
+                p: 0.5,
+                variants: 3,
+            },
+            FamilySpec::MaxCutGnp {
+                n: 10,
+                p: 1.5,
+                variants: 3,
+            },
+            FamilySpec::MaxCutGnp {
+                n: 10,
+                p: 0.5,
+                variants: 0,
+            },
+            FamilySpec::Partition { n: 1 },
+            FamilySpec::VertexCoverGrid { rows: 0, cols: 4 },
+            FamilySpec::VertexCoverGrid { rows: 4, cols: 0 },
+        ];
+        for family in cases {
+            let spec = spec_with(
+                ArrivalProcess::Poisson { rate_hz: 1.0 },
+                vec![(1.0, family.clone())],
+            );
+            let err = spec.try_generate().unwrap_err();
+            assert!(
+                matches!(err, WorkloadError::DegenerateFamily { .. }),
+                "{family:?} should be degenerate, got {err:?}"
+            );
+            // The error names the offending family and renders as text.
+            assert!(format!("{err}").contains("degenerate"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload spec")]
+    fn generate_panics_with_the_validation_message() {
+        spec_with(ArrivalProcess::Poisson { rate_hz: 1.0 }, vec![]).generate();
+    }
+
+    #[test]
+    fn valid_specs_pass_validation() {
+        assert_eq!(
+            WorkloadSpec::repeated_topologies(10, 0.5, 1).validate(),
+            Ok(())
+        );
+        assert_eq!(WorkloadSpec::mixed(10, 0.5, 1).validate(), Ok(()));
+        assert_eq!(WorkloadSpec::bursty(10, 0.5, 4, 1).validate(), Ok(()));
+        // try_generate agrees with generate on a valid spec.
+        let spec = WorkloadSpec::repeated_topologies(10, 0.5, 1);
+        assert_eq!(spec.try_generate().unwrap(), spec.generate());
     }
 }

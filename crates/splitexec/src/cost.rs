@@ -129,6 +129,13 @@ impl CostModel {
         Ok(costs)
     }
 
+    /// Predicted seconds of the amortizable embedding share alone — what a
+    /// bounded embedding cache saves by keeping a topology of `lps` spins
+    /// warm, and what a cost-aware eviction policy weighs entries by.
+    pub fn embed_seconds(&self, lps: usize) -> Result<f64, PipelineError> {
+        Ok(self.costs(lps)?.stage1_embed_seconds)
+    }
+
     /// Number of distinct problem sizes memoized so far.
     pub fn memoized_sizes(&self) -> usize {
         self.memo.lock().len()
@@ -187,5 +194,17 @@ mod tests {
         let large = m.costs(50).unwrap();
         assert!(large.stage1_embed_seconds > small.stage1_embed_seconds);
         assert!(large.total_cold_seconds() > small.total_cold_seconds());
+    }
+
+    #[test]
+    fn embed_seconds_is_the_amortizable_share() {
+        let m = model();
+        assert_eq!(
+            m.embed_seconds(30).unwrap(),
+            m.costs(30).unwrap().stage1_embed_seconds
+        );
+        // Larger topologies are dearer to re-embed — the ordering cost-aware
+        // eviction relies on.
+        assert!(m.embed_seconds(40).unwrap() > m.embed_seconds(10).unwrap());
     }
 }

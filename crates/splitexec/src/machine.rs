@@ -67,6 +67,11 @@ pub enum QpuModel {
 }
 
 impl QpuModel {
+    /// All modeled generations, oldest first.
+    pub fn all() -> [QpuModel; 2] {
+        [QpuModel::Vesuvius, QpuModel::Dw2x]
+    }
+
     /// Chimera lattice dimensions `(M, N, L)`.
     pub fn lattice(&self) -> (usize, usize, usize) {
         match self {
@@ -79,6 +84,34 @@ impl QpuModel {
     pub fn qubits(&self) -> usize {
         let (m, n, l) = self.lattice();
         2 * l * m * n
+    }
+
+    /// Stable lowercase name used in reports and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QpuModel::Vesuvius => "vesuvius",
+            QpuModel::Dw2x => "dw2x",
+        }
+    }
+}
+
+impl std::str::FromStr for QpuModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "vesuvius" | "dw2" | "dwave2" => Ok(QpuModel::Vesuvius),
+            "dw2x" | "2x" | "dwave2x" => Ok(QpuModel::Dw2x),
+            other => Err(format!(
+                "unknown QPU model '{other}' (expected vesuvius or dw2x)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for QpuModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -169,6 +202,17 @@ mod tests {
         assert_eq!(QpuModel::Vesuvius.qubits(), 512);
         assert_eq!(QpuModel::Dw2x.qubits(), 1152);
         assert_eq!(QpuModel::Dw2x.lattice(), (12, 12, 4));
+    }
+
+    #[test]
+    fn qpu_models_parse_and_display() {
+        assert_eq!("vesuvius".parse::<QpuModel>().unwrap(), QpuModel::Vesuvius);
+        assert_eq!("DW2X".parse::<QpuModel>().unwrap(), QpuModel::Dw2x);
+        assert!("dw3000".parse::<QpuModel>().is_err());
+        for model in QpuModel::all() {
+            assert_eq!(model.to_string(), model.name());
+            assert_eq!(model.name().parse::<QpuModel>().unwrap(), model);
+        }
     }
 
     #[test]

@@ -138,6 +138,138 @@ fn oversized_jobs_are_rejected_cleanly() {
     assert_eq!(report.records[0].job, 1);
 }
 
+/// The cache-cliff acceptance claim, exercised through the public API: as
+/// per-device capacity falls below the workload's topology diversity, the
+/// hit rate drops monotonically — and cost-aware eviction matches or beats
+/// LRU on mean latency at the cliff.
+#[test]
+fn bounded_caches_exhibit_the_hit_rate_cliff() {
+    let spec = WorkloadSpec {
+        jobs: 90,
+        seed: 11,
+        arrivals: ArrivalProcess::Poisson { rate_hz: 1.0 },
+        mix: vec![(
+            1.0,
+            FamilySpec::MaxCutCycle {
+                sizes: vec![8, 17, 26, 36],
+            },
+        )],
+    };
+    let workload = spec.try_generate().expect("valid spec");
+    let diversity = workload.distinct_topologies();
+    assert_eq!(diversity, 4);
+
+    let mut series = CacheCliffSeries {
+        distinct_topologies: diversity,
+        ..CacheCliffSeries::default()
+    };
+    for eviction in EvictionPolicyKind::all() {
+        for capacity in [1usize, 2, 4] {
+            let fleet = Fleet::new(
+                FleetConfig {
+                    qpus: 3,
+                    seed: 11,
+                    ..FleetConfig::default()
+                }
+                .with_cache(capacity, eviction),
+                SplitExecConfig::with_seed(11),
+            );
+            let mut scheduler = PolicyKind::Fifo.build();
+            let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default());
+            series
+                .points
+                .push(CachePoint::from_report(capacity, eviction.name(), &report));
+        }
+    }
+
+    for eviction in EvictionPolicyKind::all() {
+        let name = eviction.name();
+        assert!(
+            series.hit_rate_monotone(name, 0.02),
+            "{name} hit rate not monotone in capacity: {series}"
+        );
+        let points = series.policy_points(name);
+        assert!(
+            points.last().unwrap().hit_rate > points.first().unwrap().hit_rate + 0.1,
+            "{name} shows no cliff: {series}"
+        );
+        // Below diversity, the bound binds: evictions happen.
+        assert!(points.first().unwrap().evictions > 0);
+        // At full diversity nothing needs evicting.
+        assert_eq!(points.last().unwrap().evictions, 0);
+    }
+
+    let mean_at = |name: &str, cap: usize| {
+        series
+            .policy_points(name)
+            .iter()
+            .find(|p| p.capacity == cap)
+            .unwrap()
+            .mean_latency_seconds
+    };
+    // Cost-aware must not lose to LRU at the cliff.
+    assert!(
+        mean_at("cost-aware", 2) <= mean_at("lru", 2) * 1.001,
+        "cost-aware lost to LRU at the cliff: {series}"
+    );
+}
+
+/// A heterogeneous fleet (DW2X + Vesuvius) serves the stream: the policies
+/// weigh device speed against warmth, every job is accounted for, and runs
+/// stay deterministic.
+#[test]
+fn heterogeneous_fleet_completes_and_replays_deterministically() {
+    let workload = WorkloadSpec::repeated_topologies(40, 1.0, 13).generate();
+    for policy in PolicyKind::all() {
+        let run = || {
+            let fleet = Fleet::new(
+                FleetConfig::heterogeneous(4, 13),
+                SplitExecConfig::with_seed(13),
+            );
+            let mut scheduler = policy.build();
+            simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default())
+        };
+        let report = run();
+        assert_eq!(report.completed + report.rejected, 40);
+        assert!(report.completed > 0);
+        // Work spreads beyond a single device (affinity may legitimately
+        // concentrate a few topologies on a few devices, but not on one).
+        let active = report.per_qpu.iter().filter(|q| q.jobs > 0).count();
+        assert!(active >= 2, "{policy}: only {active} device(s) served work");
+        assert_eq!(report, run(), "policy {policy} diverged on a hetero fleet");
+    }
+}
+
+/// Invalid workload specs surface as typed errors through the public API
+/// instead of panicking mid-generation.
+#[test]
+fn invalid_workload_specs_are_rejected_with_errors() {
+    let bad_burst = WorkloadSpec {
+        jobs: 5,
+        seed: 0,
+        arrivals: ArrivalProcess::Bursty {
+            rate_hz: 1.0,
+            burst: 0,
+        },
+        mix: vec![(1.0, FamilySpec::Partition { n: 8 })],
+    };
+    assert_eq!(
+        bad_burst.try_generate().unwrap_err(),
+        WorkloadError::ZeroBurst
+    );
+
+    let bad_family = WorkloadSpec {
+        jobs: 5,
+        seed: 0,
+        arrivals: ArrivalProcess::Poisson { rate_hz: 1.0 },
+        mix: vec![(1.0, FamilySpec::MaxCutCycle { sizes: vec![] })],
+    };
+    assert!(matches!(
+        bad_family.try_generate().unwrap_err(),
+        WorkloadError::DegenerateFamily { .. }
+    ));
+}
+
 /// Closed-loop mode sustains a fixed population and completes the stream.
 #[test]
 fn closed_loop_completes_the_stream() {
