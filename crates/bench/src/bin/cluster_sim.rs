@@ -1,6 +1,7 @@
-//! Datacenter simulation: scheduling policies and cache-eviction sweeps.
+//! Datacenter simulation: scheduling policies, cache sweeps and
+//! multi-tenant fairness.
 //!
-//! Two modes:
+//! Five modes:
 //!
 //! * `--mode compare` (default) — replays a stream of QUBO jobs against a
 //!   fleet of simulated QPUs (each with its own fault map) under each
@@ -18,18 +19,37 @@
 //!   expensive to re-embed) must match or beat LRU on mean latency at the
 //!   cliff; the run exits non-zero if it does not, so CI catches
 //!   eviction-policy regressions.
+//! * `--mode fairness` — the multi-tenant acceptance sweep: tenant weight
+//!   skew × arrival-rate asymmetry × policy on an aggressor/victim
+//!   composition.  FAILs unless weighted fair queueing keeps the victim
+//!   tenant's p99 within a constant factor of its isolated-run p99 while
+//!   FIFO lets it blow up with load, and unless token-bucket admission
+//!   bounds the aggressor's queue depth without shedding the victim.
+//! * `--mode aging-sweep` — maps `ShortestPredictedFirst`'s aging weight
+//!   against p99 latency and starvation incidence on a short-job flood with
+//!   rare large jobs; FAILs if the shipped `DEFAULT_AGING_WEIGHT` is not
+//!   near the sweep's optimum or reintroduces starvation.
+//! * `--mode admission` — compares cache-admission policies (always vs
+//!   second-chance doorkeeper) on a low-repetition mix with a bounded
+//!   cache; FAILs if the doorkeeper loses on churn or latency.
 //!
 //! ```text
 //! cargo run --release -p sx-bench --bin cluster_sim -- \
-//!     [--mode compare|cache-cliff] [--jobs N] [--qpus N] [--seed S] [--rate R] \
+//!     [--mode compare|cache-cliff|fairness|aging-sweep|admission] \
+//!     [--jobs N] [--qpus N] [--seed S] [--rate R] \
 //!     [--closed CLIENTS] [--workload repeated|mixed|bursty] \
-//!     [--policy fifo|spjf|affinity|all] [--fleet uniform|hetero] \
-//!     [--capacity N] [--eviction lru|cost-aware] [--virtual]
+//!     [--policy fifo|spjf|affinity|wfq|all] [--fleet uniform|hetero] \
+//!     [--capacity N] [--eviction lru|cost-aware] \
+//!     [--cache-admission always|second-chance] [--json PATH] [--virtual]
 //! ```
+//!
+//! `--json PATH` writes the mode's results as a machine-readable JSON
+//! document (via `sx_cluster::json` — the workspace's serde is an offline
+//! no-op stub) for bench-trajectory tracking.
 //!
 //! `--virtual` skips the (slow) calibration step that executes a real job
 //! through `split_exec::Pipeline` to sanity-check the analytic service
-//! model; CI runs both modes with `--virtual` as smoke tests.
+//! model; CI runs the modes with `--virtual` as smoke tests.
 
 use split_exec::SplitExecConfig;
 use sx_cluster::prelude::*;
@@ -47,6 +67,8 @@ struct Args {
     fleet: String,
     capacity: Option<usize>,
     eviction: Option<EvictionPolicyKind>,
+    cache_admission: Option<AdmissionPolicy>,
+    json: Option<String>,
     virtual_only: bool,
 }
 
@@ -64,6 +86,8 @@ impl Args {
             fleet: "uniform".into(),
             capacity: None,
             eviction: None,
+            cache_admission: None,
+            json: None,
             virtual_only: false,
         };
         let mut it = std::env::args().skip(1);
@@ -90,6 +114,13 @@ impl Args {
                 "--eviction" => {
                     args.eviction = Some(parse_or_die(&value("--eviction"), "--eviction"))
                 }
+                "--cache-admission" => {
+                    args.cache_admission = Some(parse_or_die(
+                        &value("--cache-admission"),
+                        "--cache-admission",
+                    ))
+                }
+                "--json" => args.json = Some(value("--json")),
                 "--virtual" => args.virtual_only = true,
                 other => {
                     eprintln!("unknown flag {other}");
@@ -117,8 +148,12 @@ impl Args {
                 std::process::exit(2);
             }
         };
-        match self.capacity {
+        let base = match self.capacity {
             Some(cap) => base.with_cache(cap, self.eviction.unwrap_or_default()),
+            None => base,
+        };
+        match self.cache_admission {
+            Some(admission) => base.with_cache_admission(admission),
             None => base,
         }
     }
@@ -138,22 +173,45 @@ fn main() {
         calibrate(args.seed);
     }
 
-    let ok = match args.mode.as_str() {
+    let (ok, results) = match args.mode.as_str() {
         "compare" => compare(&args),
         "cache-cliff" | "cache_cliff" | "cliff" => cache_cliff(&args),
+        "fairness" | "fair" => fairness(&args),
+        "aging-sweep" | "aging_sweep" | "aging" => aging_sweep(&args),
+        "admission" | "cache-admission" => admission_compare(&args),
         other => {
-            eprintln!("unknown mode '{other}' (expected compare or cache-cliff)");
+            eprintln!(
+                "unknown mode '{other}' (expected compare, cache-cliff, fairness, \
+                 aging-sweep or admission)"
+            );
             std::process::exit(2);
         }
     };
+    if let Some(path) = &args.json {
+        let doc = JsonValue::object([
+            ("mode", JsonValue::from(args.mode.as_str())),
+            // As a string: a u64 seed above 2^53 would be silently rounded
+            // through JsonValue::Num's f64, breaking seeded replay.
+            ("seed", JsonValue::from(args.seed.to_string())),
+            ("jobs", JsonValue::from(args.jobs)),
+            ("qpus", JsonValue::from(args.qpus)),
+            ("passed", JsonValue::from(ok)),
+            ("results", results),
+        ]);
+        if let Err(err) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("cannot write --json {path}: {err}");
+            std::process::exit(2);
+        }
+        println!("\nwrote {path}");
+    }
     if !ok {
         std::process::exit(1);
     }
 }
 
 /// The policy-comparison mode (the original `cluster_sim` behavior, now
-/// heterogeneity- and bounded-cache-aware).
-fn compare(args: &Args) -> bool {
+/// heterogeneity-, bounded-cache- and tenancy-aware).
+fn compare(args: &Args) -> (bool, JsonValue) {
     let spec = match args.workload.as_str() {
         "repeated" => WorkloadSpec::repeated_topologies(args.jobs, args.rate_hz, args.seed),
         "mixed" => WorkloadSpec::mixed(args.jobs, args.rate_hz, args.seed),
@@ -273,12 +331,13 @@ fn compare(args: &Args) -> bool {
             ok = false;
         }
     }
-    ok
+    let json = JsonValue::array(by_policy.iter().map(|(_, report)| report.to_json()));
+    (ok, json)
 }
 
 /// `--mode cache-cliff`: hit rate and mean latency over capacity ×
 /// topology diversity × eviction policy.
-fn cache_cliff(args: &Args) -> bool {
+fn cache_cliff(args: &Args) -> (bool, JsonValue) {
     // The sweep owns the capacity/eviction grid; a pinned value would be
     // silently overridden, so refuse it instead.
     if args.capacity.is_some() || args.eviction.is_some() {
@@ -308,6 +367,7 @@ fn cache_cliff(args: &Args) -> bool {
     );
 
     let mut ok = true;
+    let mut json_series: Vec<JsonValue> = Vec::new();
     for diversity in diversities {
         let sizes: Vec<usize> = (0..diversity)
             .map(|i| 8 + (36 - 8) * i / (diversity - 1))
@@ -405,8 +465,486 @@ fn cache_cliff(args: &Args) -> bool {
             println!("FAIL: cost-aware eviction lost to LRU at the cliff (diversity {diversity})");
             ok = false;
         }
+
+        json_series.push(JsonValue::object([
+            ("diversity", JsonValue::from(diversity)),
+            (
+                "points",
+                JsonValue::array(series.points.iter().map(|p| {
+                    JsonValue::object([
+                        ("capacity", JsonValue::from(p.capacity)),
+                        ("eviction", JsonValue::from(p.eviction.as_str())),
+                        ("hit_rate", JsonValue::from(p.hit_rate)),
+                        (
+                            "mean_latency_seconds",
+                            JsonValue::from(p.mean_latency_seconds),
+                        ),
+                        ("evictions", JsonValue::from(p.evictions)),
+                        ("cold_misses", JsonValue::from(p.cold_misses)),
+                    ])
+                })),
+            ),
+        ]));
     }
-    ok
+    (ok, JsonValue::Array(json_series))
+}
+
+/// How far above its isolated-run p99 the victim tenant may drift under
+/// WFQ while an aggressor floods the fleet — the "constant factor" of the
+/// fairness acceptance claim.
+const FAIR_BOUND: f64 = 8.0;
+
+/// `--mode fairness`: tenant weight skew × arrival-rate asymmetry ×
+/// policy on the aggressor/victim composition, with enforced acceptance
+/// checks (see module docs).
+fn fairness(args: &Args) -> (bool, JsonValue) {
+    let victim_jobs = (args.jobs / 11).max(8);
+    let victim_rate = 0.45 * args.rate_hz;
+    let asymmetries = [2.0, 10.0];
+    let skews = [1.0, 4.0];
+
+    println!(
+        "# cluster_sim fairness: victim {} jobs at {:.2} Hz, aggressor x asymmetry, {} {} QPUs, seed {}",
+        victim_jobs, victim_rate, args.qpus, args.fleet, args.seed
+    );
+    println!(
+        "\n{:>5} {:>5} {:>7} {:>13} {:>13} {:>12} {:>7} {:>8}",
+        "asym", "skew", "policy", "victim p99", "aggr p99", "isolated p99", "Jain", "max-min"
+    );
+
+    let mut ok = true;
+    let mut json_points: Vec<JsonValue> = Vec::new();
+    // FIFO victim p99 per (skew at index 0) across asymmetries, to check
+    // that FIFO degrades with load while WFQ stays put.
+    let mut fifo_victim_by_asym: Vec<f64> = Vec::new();
+    let mut wfq_victim_by_asym: Vec<f64> = Vec::new();
+    // The grid's (asym 10, skew 1, WFQ) report doubles as the un-gated
+    // baseline of the admission check below — same spec, fleet and
+    // scheduler, so re-simulating it would be pure waste.
+    let mut wfq_at_full_load: Option<SimReport> = None;
+
+    // The victim alone on the same fleet: its no-contention baseline.
+    // Tenant 0's stream is independent of asymmetry and weight skew (only
+    // the aggressor's side of the composition varies), so one isolated run
+    // serves the whole grid.
+    let isolated_workload = {
+        let spec = MultiTenantSpec::aggressor_victim(victim_jobs, victim_rate, 2.0, 1.0, args.seed);
+        MultiTenantSpec {
+            tenants: vec![spec.tenants[0].clone()],
+            ..spec
+        }
+        .generate()
+    };
+    let isolated_p99 = {
+        let mut policy = PolicyKind::Fifo.build();
+        simulate(
+            Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed)),
+            &isolated_workload,
+            policy.as_mut(),
+            SimConfig::default(),
+        )
+        .latency
+        .p99
+    };
+
+    for &asymmetry in &asymmetries {
+        for &skew in &skews {
+            let spec = MultiTenantSpec::aggressor_victim(
+                victim_jobs,
+                victim_rate,
+                asymmetry,
+                skew,
+                args.seed,
+            );
+            let workload = spec.generate();
+
+            for policy in [PolicyKind::Fifo, PolicyKind::WeightedFair] {
+                let fleet = Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed));
+                let mut scheduler: Box<dyn Scheduler> = match policy {
+                    PolicyKind::WeightedFair => {
+                        Box::new(WeightedFairQueue::for_workload(&workload))
+                    }
+                    other => other.build(),
+                };
+                let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default());
+                let victim = report.tenant_named("victim").expect("victim stats");
+                let aggressor = report.tenant_named("aggressor").expect("aggressor stats");
+                println!(
+                    "{:>5} {:>5} {:>7} {:>12.2}s {:>12.2}s {:>11.2}s {:>7.3} {:>8.3}",
+                    asymmetry,
+                    skew,
+                    report.policy,
+                    victim.latency.p99,
+                    aggressor.latency.p99,
+                    isolated_p99,
+                    report.jains_fairness_index(),
+                    report.max_min_share(),
+                );
+
+                if policy == PolicyKind::WeightedFair {
+                    // A starved victim reports p99 = 0.0 and would pass the
+                    // bound vacuously — completion is part of the claim.
+                    if victim.completed < victim.submitted {
+                        println!(
+                            "FAIL: WFQ completed only {}/{} victim jobs (asym {asymmetry}, skew {skew})",
+                            victim.completed, victim.submitted
+                        );
+                        ok = false;
+                    }
+                    if victim.latency.p99 > FAIR_BOUND * isolated_p99 {
+                        println!(
+                            "FAIL: WFQ victim p99 {:.2}s exceeds {FAIR_BOUND}x its isolated {:.2}s \
+                             (asym {asymmetry}, skew {skew})",
+                            victim.latency.p99, isolated_p99
+                        );
+                        ok = false;
+                    }
+                    if skew == 1.0 {
+                        wfq_victim_by_asym.push(victim.latency.p99);
+                    }
+                } else if skew == 1.0 {
+                    fifo_victim_by_asym.push(victim.latency.p99);
+                }
+
+                json_points.push(JsonValue::object([
+                    ("asymmetry", JsonValue::from(asymmetry)),
+                    ("weight_skew", JsonValue::from(skew)),
+                    ("policy", JsonValue::from(report.policy.as_str())),
+                    ("victim_p99_seconds", JsonValue::from(victim.latency.p99)),
+                    (
+                        "aggressor_p99_seconds",
+                        JsonValue::from(aggressor.latency.p99),
+                    ),
+                    ("victim_isolated_p99_seconds", JsonValue::from(isolated_p99)),
+                    (
+                        "jains_fairness_index",
+                        JsonValue::from(report.jains_fairness_index()),
+                    ),
+                    ("max_min_share", JsonValue::from(report.max_min_share())),
+                ]));
+                if policy == PolicyKind::WeightedFair && asymmetry == 10.0 && skew == 1.0 {
+                    wfq_at_full_load = Some(report);
+                }
+            }
+        }
+    }
+
+    // FIFO must degrade the victim as load grows; WFQ must not.  A shape
+    // mismatch here means the sweep grid changed without this check being
+    // updated — fail loudly rather than skip the acceptance claim.
+    if let (&[fifo_lo, fifo_hi], &[_, wfq_hi]) = (&fifo_victim_by_asym[..], &wfq_victim_by_asym[..])
+    {
+        println!(
+            "\nvictim p99 as the aggressor grows 2x -> 10x: \
+             fifo {fifo_lo:.2}s -> {fifo_hi:.2}s, wfq stays {wfq_hi:.2}s"
+        );
+        if fifo_hi < 1.5 * fifo_lo {
+            println!("FAIL: FIFO victim p99 did not degrade with aggressor load");
+            ok = false;
+        }
+        if fifo_hi < 1.3 * wfq_hi {
+            println!("FAIL: FIFO victim p99 is not clearly worse than WFQ at 10:1 load");
+            ok = false;
+        }
+    } else {
+        println!(
+            "FAIL: degradation check expected 2 asymmetry points per policy, got fifo {} / wfq {}",
+            fifo_victim_by_asym.len(),
+            wfq_victim_by_asym.len()
+        );
+        ok = false;
+    }
+
+    // Admission shedding bounds queue depth: budget the aggressor's lane.
+    // The un-gated baseline is the grid's own (asym 10, skew 1, WFQ) run.
+    let spec = MultiTenantSpec::aggressor_victim(victim_jobs, victim_rate, 10.0, 1.0, args.seed);
+    let workload = spec.generate();
+    let depth_limit = 6;
+    let open = wfq_at_full_load.expect("grid covered asym 10 / skew 1 under WFQ");
+    let gated = {
+        let generous = TokenBucketConfig {
+            rate_hz: 1e3,
+            burst: 1e3,
+            max_queue_depth: usize::MAX,
+            max_defer_seconds: 1e9,
+        };
+        let mut gate = TokenBucket::new(generous).with_tenant_budget(
+            TenantId(1),
+            TokenBucketConfig {
+                max_queue_depth: depth_limit,
+                ..generous
+            },
+        );
+        let mut policy = WeightedFairQueue::for_workload(&workload);
+        simulate_with_admission(
+            Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed)),
+            &workload,
+            &mut policy,
+            &mut gate,
+            SimConfig::default(),
+        )
+    };
+    let aggressor = gated.tenant_named("aggressor").expect("aggressor stats");
+    let victim = gated.tenant_named("victim").expect("victim stats");
+    println!(
+        "admission (aggressor depth limit {depth_limit}): max queue depth {} -> {}, \
+         shed {} aggressor / {} victim jobs",
+        open.max_queue_depth(),
+        gated.max_queue_depth(),
+        aggressor.shed,
+        victim.shed
+    );
+    if aggressor.max_queue_depth > depth_limit {
+        println!("FAIL: admission did not bound the aggressor's queue depth");
+        ok = false;
+    }
+    if aggressor.shed == 0 || open.max_queue_depth() <= gated.max_queue_depth() {
+        println!("FAIL: admission shedding did not reduce the queue backlog");
+        ok = false;
+    }
+    if victim.shed > 0 {
+        println!("FAIL: admission shed the victim's jobs");
+        ok = false;
+    }
+    json_points.push(JsonValue::object([
+        ("check", JsonValue::from("admission")),
+        ("depth_limit", JsonValue::from(depth_limit)),
+        (
+            "open_max_queue_depth",
+            JsonValue::from(open.max_queue_depth()),
+        ),
+        (
+            "gated_max_queue_depth",
+            JsonValue::from(gated.max_queue_depth()),
+        ),
+        ("aggressor_shed", JsonValue::from(aggressor.shed)),
+        ("victim_shed", JsonValue::from(victim.shed)),
+    ]));
+
+    (ok, JsonValue::Array(json_points))
+}
+
+/// `--mode aging-sweep`: map `ShortestPredictedFirst`'s aging weight
+/// against p99 latency and starvation incidence, validating the shipped
+/// `DEFAULT_AGING_WEIGHT`.
+fn aging_sweep(args: &Args) -> (bool, JsonValue) {
+    use sx_cluster::scheduler::DEFAULT_AGING_WEIGHT;
+
+    // A short-job flood with rare large jobs — the starvation-prone shape:
+    // pure SJF always prefers the fresh shorts, so the large jobs' waits
+    // stretch toward the whole makespan.  The flood must actually exceed
+    // the fleet's service capacity or queues never form and every weight
+    // looks identical, so the arrival rate is derived from the cost
+    // model itself: ~125% of what the fleet can serve warm.
+    let probe = Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed));
+    let (s1, s2, s3) = probe.devices[0]
+        .service_breakdown(10, true)
+        .expect("warm service model for lps 10");
+    let warm_short_seconds = s1 + s2 + s3;
+    let rate_hz = args.rate_hz * 1.25 * args.qpus as f64 / warm_short_seconds;
+    let spec = WorkloadSpec {
+        jobs: args.jobs,
+        seed: args.seed,
+        arrivals: ArrivalProcess::Poisson { rate_hz },
+        mix: vec![
+            (12.0, FamilySpec::MaxCutCycle { sizes: vec![8, 10] }),
+            (1.0, FamilySpec::Partition { n: 40 }),
+        ],
+    };
+    let workload = match spec.try_generate() {
+        Ok(workload) => workload,
+        Err(err) => {
+            eprintln!("invalid workload spec: {err}");
+            std::process::exit(2);
+        }
+    };
+
+    let weights = [0.0, 0.01, 0.03, DEFAULT_AGING_WEIGHT, 0.3, 1.0];
+    println!(
+        "# cluster_sim aging-sweep: {} jobs ({} distinct topologies), {} QPUs, seed {} \
+         (default weight {DEFAULT_AGING_WEIGHT})",
+        workload.len(),
+        workload.distinct_topologies(),
+        args.qpus,
+        args.seed
+    );
+    println!(
+        "\n{:>8} {:>9} {:>9} {:>11} {:>11} {:>10}",
+        "aging", "p99 [s]", "mean [s]", "max wait", "starved", "makespan"
+    );
+
+    let mut ok = true;
+    let mut points: Vec<(f64, f64, f64)> = Vec::new(); // (weight, p99, starvation)
+    let mut json_points: Vec<JsonValue> = Vec::new();
+    for &weight in &weights {
+        let fleet = Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed));
+        let mut scheduler = ShortestPredictedFirst::with_aging(weight);
+        let report = simulate(fleet, &workload, &mut scheduler, SimConfig::default());
+        // Starvation incidence: fraction of completed jobs that spent more
+        // than a quarter of the whole makespan just waiting — jobs the
+        // scheduler effectively parked until the stream dried up.
+        let threshold = 0.25 * report.makespan_seconds;
+        let starved = report
+            .records
+            .iter()
+            .filter(|r| r.wait_seconds() > threshold)
+            .count();
+        let starvation = starved as f64 / report.completed.max(1) as f64;
+        println!(
+            "{:>8} {:>9.2} {:>9.2} {:>10.2}s {:>10.1}% {:>9.1}s",
+            weight,
+            report.latency.p99,
+            report.latency.mean,
+            report.wait.max,
+            100.0 * starvation,
+            report.makespan_seconds
+        );
+        points.push((weight, report.latency.p99, starvation));
+        json_points.push(JsonValue::object([
+            ("aging_weight", JsonValue::from(weight)),
+            ("p99_seconds", JsonValue::from(report.latency.p99)),
+            ("mean_seconds", JsonValue::from(report.latency.mean)),
+            ("max_wait_seconds", JsonValue::from(report.wait.max)),
+            ("starvation_incidence", JsonValue::from(starvation)),
+        ]));
+    }
+
+    let best_p99 = points
+        .iter()
+        .map(|&(_, p99, _)| p99)
+        .fold(f64::INFINITY, f64::min);
+    let default_point = points
+        .iter()
+        .find(|&&(w, _, _)| w == DEFAULT_AGING_WEIGHT)
+        .copied()
+        .expect("default weight is in the sweep");
+    let pure_sjf = points[0];
+    println!(
+        "\ndefault weight {DEFAULT_AGING_WEIGHT}: p99 {:.2}s (sweep best {best_p99:.2}s), \
+         starvation {:.1}% (pure SJF {:.1}%)",
+        default_point.1,
+        100.0 * default_point.2,
+        100.0 * pure_sjf.2
+    );
+    // The principled default: near the p99 optimum of the sweep, and it
+    // must not starve more than pure SJF does.
+    if default_point.1 > 1.5 * best_p99 {
+        println!("FAIL: DEFAULT_AGING_WEIGHT p99 is >1.5x the sweep optimum");
+        ok = false;
+    }
+    if default_point.2 > pure_sjf.2 {
+        println!("FAIL: DEFAULT_AGING_WEIGHT starves more than pure SJF");
+        ok = false;
+    }
+
+    (ok, JsonValue::Array(json_points))
+}
+
+/// `--mode admission`: cache-admission comparison (always vs the
+/// second-chance doorkeeper) on a low-repetition mix with a bounded cache.
+fn admission_compare(args: &Args) -> (bool, JsonValue) {
+    // A hot set of two recurring topologies drowned in one-shot variants —
+    // the mix where unconditional caching churns the bounded cache.
+    let spec = WorkloadSpec {
+        jobs: args.jobs,
+        seed: args.seed,
+        arrivals: ArrivalProcess::Poisson {
+            rate_hz: args.rate_hz,
+        },
+        mix: vec![
+            (
+                1.0,
+                FamilySpec::MaxCutCycle {
+                    sizes: vec![24, 30],
+                },
+            ),
+            (
+                2.0,
+                FamilySpec::MaxCutGnp {
+                    n: 18,
+                    p: 0.3,
+                    variants: 40,
+                },
+            ),
+        ],
+    };
+    let workload = match spec.try_generate() {
+        Ok(workload) => workload,
+        Err(err) => {
+            eprintln!("invalid workload spec: {err}");
+            std::process::exit(2);
+        }
+    };
+    let capacity = args.capacity.unwrap_or(3);
+    println!(
+        "# cluster_sim admission: {} jobs over {} distinct topologies, {} QPUs, \
+         capacity {capacity}, seed {}",
+        workload.len(),
+        workload.distinct_topologies(),
+        args.qpus,
+        args.seed
+    );
+    println!(
+        "\n{:>14} {:>7} {:>10} {:>10} {:>10} {:>6}",
+        "admission", "hit%", "mean [s]", "evictions", "bypassed", "cold"
+    );
+
+    let mut results: Vec<(AdmissionPolicy, SimReport)> = Vec::new();
+    let mut json_points: Vec<JsonValue> = Vec::new();
+    for admission in AdmissionPolicy::all() {
+        let fleet = Fleet::new(
+            args.fleet_config()
+                .with_cache(capacity, args.eviction.unwrap_or_default())
+                .with_cache_admission(admission),
+            SplitExecConfig::with_seed(args.seed),
+        );
+        let mut scheduler = PolicyKind::Fifo.build();
+        let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default());
+        println!(
+            "{:>14} {:>7.1} {:>10.3} {:>10} {:>10} {:>6}",
+            admission.name(),
+            100.0 * report.hit_rate(),
+            report.latency.mean,
+            report.evictions(),
+            report.cache_bypassed(),
+            report.cold_misses()
+        );
+        json_points.push(JsonValue::object([
+            ("admission", JsonValue::from(admission.name())),
+            ("hit_rate", JsonValue::from(report.hit_rate())),
+            ("mean_latency_seconds", JsonValue::from(report.latency.mean)),
+            ("evictions", JsonValue::from(report.evictions())),
+            ("bypassed", JsonValue::from(report.cache_bypassed())),
+            ("cold_misses", JsonValue::from(report.cold_misses())),
+        ]));
+        results.push((admission, report));
+    }
+
+    let always = &results[0].1;
+    let second = &results[1].1;
+    let mut ok = true;
+    if second.evictions() >= always.evictions() {
+        println!(
+            "FAIL: second-chance did not reduce cache churn ({} vs {})",
+            second.evictions(),
+            always.evictions()
+        );
+        ok = false;
+    }
+    if second.latency.mean > always.latency.mean * 1.02 {
+        println!(
+            "FAIL: second-chance lost on mean latency ({:.3}s vs {:.3}s)",
+            second.latency.mean, always.latency.mean
+        );
+        ok = false;
+    }
+    println!(
+        "\nsecond-chance vs always: {:.2}x evictions, {:.2}x mean latency",
+        second.evictions() as f64 / always.evictions().max(1) as f64,
+        second.latency.mean / always.latency.mean
+    );
+
+    (ok, JsonValue::Array(json_points))
 }
 
 /// Execute one real job through the pipeline and compare its stage shape

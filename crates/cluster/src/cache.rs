@@ -147,6 +147,58 @@ impl std::fmt::Display for EvictionPolicyKind {
     }
 }
 
+/// Cache *admission*: whether a freshly computed embedding is worth caching
+/// at all.  Eviction decides who leaves a full cache; admission decides who
+/// enters — on low-repetition mixes, unconditionally caching every one-shot
+/// topology churns the cache and evicts the hot entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Cache every cold embedding (the pre-admission behavior).
+    #[default]
+    Always,
+    /// TinyLFU-style doorkeeper: a topology is only admitted to the cache
+    /// on its *second* cold occurrence on this device.  One-shot topologies
+    /// never enter, so they cannot evict recurring ones.
+    SecondChance,
+}
+
+impl AdmissionPolicy {
+    /// All admission policies, in comparison-table order.
+    pub fn all() -> [AdmissionPolicy; 2] {
+        [AdmissionPolicy::Always, AdmissionPolicy::SecondChance]
+    }
+
+    /// The policy's stable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::Always => "always",
+            AdmissionPolicy::SecondChance => "second-chance",
+        }
+    }
+}
+
+impl std::str::FromStr for AdmissionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "always" => Ok(AdmissionPolicy::Always),
+            "second-chance" | "secondchance" | "second" | "doorkeeper" => {
+                Ok(AdmissionPolicy::SecondChance)
+            }
+            other => Err(format!(
+                "unknown cache admission policy '{other}' (expected always or second-chance)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A bounded set of warm topologies with pluggable eviction.
 ///
 /// `capacity = None` reproduces PR 2's unbounded behavior; `Some(0)`
@@ -156,26 +208,43 @@ impl std::fmt::Display for EvictionPolicyKind {
 pub struct WarmCache {
     capacity: Option<usize>,
     policy: Box<dyn EvictionPolicy>,
+    admission: AdmissionPolicy,
     entries: Vec<CacheEntry>,
     /// Mirror of the resident keys: `contains` is on the schedulers' hot
     /// path (every queue × idle-device pairing queries warmth), so
     /// membership must not scan `entries`.
     resident: std::collections::HashSet<u64>,
+    /// The doorkeeper: keys seen cold exactly once under
+    /// [`AdmissionPolicy::SecondChance`].  Unbounded — a key is 8 bytes and
+    /// a simulated run sees a bounded topology universe; a production cache
+    /// would use a Bloom filter with periodic reset here.
+    doorkeeper: std::collections::HashSet<u64>,
     clock: u64,
     evictions: usize,
+    bypassed: usize,
 }
 
 impl WarmCache {
-    /// A cache holding at most `capacity` topologies (`None` = unbounded).
+    /// A cache holding at most `capacity` topologies (`None` = unbounded),
+    /// admitting every cold embedding ([`AdmissionPolicy::Always`]).
     pub fn new(capacity: Option<usize>, policy: EvictionPolicyKind) -> Self {
         Self {
             capacity,
             policy: policy.build(),
+            admission: AdmissionPolicy::default(),
             entries: Vec::new(),
             resident: std::collections::HashSet::new(),
+            doorkeeper: std::collections::HashSet::new(),
             clock: 0,
             evictions: 0,
+            bypassed: 0,
         }
+    }
+
+    /// Gate insertions behind the given admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
     }
 
     /// An unbounded cache (PR 2 semantics).
@@ -206,6 +275,17 @@ impl WarmCache {
     /// Evictions performed so far.
     pub fn evictions(&self) -> usize {
         self.evictions
+    }
+
+    /// Insertions the admission gate bypassed (first occurrences under
+    /// [`AdmissionPolicy::SecondChance`]).
+    pub fn bypassed(&self) -> usize {
+        self.bypassed
+    }
+
+    /// The active admission policy.
+    pub fn admission(&self) -> AdmissionPolicy {
+        self.admission
     }
 
     /// The active eviction policy's name.
@@ -251,6 +331,12 @@ impl WarmCache {
             return None;
         }
         if self.capacity == Some(0) {
+            return None;
+        }
+        // The doorkeeper: a first cold occurrence is remembered but not
+        // cached; only a repeat offender earns a cache slot.
+        if self.admission == AdmissionPolicy::SecondChance && self.doorkeeper.insert(key) {
+            self.bypassed += 1;
             return None;
         }
         let mut evicted = None;
@@ -354,6 +440,65 @@ mod tests {
     }
 
     #[test]
+    fn second_chance_admits_only_on_the_second_occurrence() {
+        let mut c = lru(4).with_admission(AdmissionPolicy::SecondChance);
+        assert_eq!(c.insert(1, 10, 1.0), None);
+        assert!(!c.contains(1), "first occurrence must be bypassed");
+        assert_eq!(c.bypassed(), 1);
+        assert_eq!(c.insert(1, 10, 1.0), None);
+        assert!(c.contains(1), "second occurrence must be admitted");
+        assert_eq!(c.bypassed(), 1);
+        // A resident key's re-insert refreshes, not bypasses.
+        assert_eq!(c.insert(1, 10, 2.0), None);
+        assert!(c.contains(1));
+        assert_eq!(c.admission(), AdmissionPolicy::SecondChance);
+    }
+
+    #[test]
+    fn second_chance_keeps_one_shot_keys_from_evicting_hot_ones() {
+        // Capacity 2, two hot keys resident; a stream of one-shot keys must
+        // not displace them under second-chance, while it churns everything
+        // under always-admit.
+        let run = |admission: AdmissionPolicy| {
+            let mut c = lru(2).with_admission(admission);
+            c.insert(100, 10, 1.0);
+            c.insert(100, 10, 1.0);
+            c.insert(101, 10, 1.0);
+            c.insert(101, 10, 1.0);
+            for key in 0..20 {
+                c.insert(key, 10, 1.0);
+            }
+            (c.contains(100) && c.contains(101), c.evictions())
+        };
+        let (hot_survive, evictions) = run(AdmissionPolicy::SecondChance);
+        assert!(hot_survive, "second-chance must protect the hot keys");
+        assert_eq!(evictions, 0);
+        let (hot_survive, evictions) = run(AdmissionPolicy::Always);
+        assert!(!hot_survive, "always-admit churns the hot keys out");
+        assert!(evictions > 0);
+    }
+
+    #[test]
+    fn admission_policy_parses_and_displays() {
+        assert_eq!(
+            "always".parse::<AdmissionPolicy>().unwrap(),
+            AdmissionPolicy::Always
+        );
+        assert_eq!(
+            "Second-Chance".parse::<AdmissionPolicy>().unwrap(),
+            AdmissionPolicy::SecondChance
+        );
+        assert_eq!(
+            "doorkeeper".parse::<AdmissionPolicy>().unwrap(),
+            AdmissionPolicy::SecondChance
+        );
+        assert!("never".parse::<AdmissionPolicy>().is_err());
+        for kind in AdmissionPolicy::all() {
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+
+    #[test]
     fn policy_kind_parses_and_displays() {
         assert_eq!(
             "lru".parse::<EvictionPolicyKind>().unwrap(),
@@ -387,13 +532,19 @@ mod proptests {
             cap in 0usize..6,
             keys in vec(0u64..12, 1..80),
             cost_aware in 0u8..2,
+            second_chance in 0u8..2,
         ) {
             let kind = if cost_aware == 1 {
                 EvictionPolicyKind::CostAware
             } else {
                 EvictionPolicyKind::Lru
             };
-            let mut cache = WarmCache::new(Some(cap), kind);
+            let admission = if second_chance == 1 {
+                AdmissionPolicy::SecondChance
+            } else {
+                AdmissionPolicy::Always
+            };
+            let mut cache = WarmCache::new(Some(cap), kind).with_admission(admission);
             for (i, &key) in keys.iter().enumerate() {
                 // Alternate hits and inserts the way the simulator does.
                 if cache.contains(key) {

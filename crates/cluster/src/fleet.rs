@@ -30,7 +30,7 @@ use serde::{Deserialize, Serialize};
 use split_exec::cost::{CostModel, StageCosts};
 use split_exec::{PipelineError, QpuModel, SplitExecConfig, SplitMachine};
 
-use crate::cache::{EvictionPolicyKind, WarmCache};
+use crate::cache::{AdmissionPolicy, EvictionPolicyKind, WarmCache};
 use chimera_graph::FaultModel;
 
 /// Configuration of a simulated fleet.
@@ -49,6 +49,10 @@ pub struct FleetConfig {
     pub cache_capacity: Option<usize>,
     /// Eviction policy used when a device's warm cache is full.
     pub eviction: EvictionPolicyKind,
+    /// Cache admission policy: whether a cold embedding is cached on its
+    /// first occurrence or only on its second
+    /// ([`AdmissionPolicy::SecondChance`] doorkeeper).
+    pub cache_admission: AdmissionPolicy,
     /// Per-qubit fault probability for each device's fault draw.
     pub qubit_fault_rate: f64,
     /// Per-coupler fault probability.
@@ -65,6 +69,7 @@ impl Default for FleetConfig {
             models: Vec::new(),
             cache_capacity: None,
             eviction: EvictionPolicyKind::Lru,
+            cache_admission: AdmissionPolicy::Always,
             qubit_fault_rate: 0.02,
             coupler_fault_rate: 0.01,
             seed: 0,
@@ -89,6 +94,12 @@ impl FleetConfig {
     pub fn with_cache(mut self, capacity: usize, eviction: EvictionPolicyKind) -> Self {
         self.cache_capacity = Some(capacity);
         self.eviction = eviction;
+        self
+    }
+
+    /// Gate every device's cache insertions behind `admission`.
+    pub fn with_cache_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.cache_admission = admission;
         self
     }
 
@@ -163,7 +174,8 @@ impl QpuDevice {
             cost,
             capacity_lps,
             fault_difficulty,
-            warm: WarmCache::new(config.cache_capacity, config.eviction),
+            warm: WarmCache::new(config.cache_capacity, config.eviction)
+                .with_admission(config.cache_admission),
             busy_until: 0.0,
             busy_seconds: 0.0,
             jobs_served: 0,
@@ -196,6 +208,11 @@ impl QpuDevice {
     /// Embeddings this device has evicted to stay within its capacity.
     pub fn evictions(&self) -> usize {
         self.warm.evictions()
+    }
+
+    /// Cold embeddings the cache-admission doorkeeper declined to cache.
+    pub fn cache_bypassed(&self) -> usize {
+        self.warm.bypassed()
     }
 
     /// The device's warm-cache capacity (`None` = unbounded).
@@ -438,6 +455,28 @@ mod tests {
         d.mark_warm(2, 8);
         assert_eq!(d.mark_warm(3, 20), Some(2));
         assert!(d.is_warm(1));
+    }
+
+    #[test]
+    fn cache_admission_gate_wires_through_the_fleet_config() {
+        let mut f = Fleet::new(
+            FleetConfig {
+                qpus: 1,
+                qubit_fault_rate: 0.0,
+                coupler_fault_rate: 0.0,
+                seed: 1,
+                ..FleetConfig::default()
+            }
+            .with_cache(4, EvictionPolicyKind::Lru)
+            .with_cache_admission(AdmissionPolicy::SecondChance),
+            SplitExecConfig::with_seed(1),
+        );
+        let d = &mut f.devices[0];
+        d.mark_warm(7, 20);
+        assert!(!d.is_warm(7), "doorkeeper must bypass the first occurrence");
+        assert_eq!(d.cache_bypassed(), 1);
+        d.mark_warm(7, 20);
+        assert!(d.is_warm(7), "second occurrence must be cached");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! the offline embedding cache exploits), so the workload generator reduces
 //! each generated problem instance to this record.
 
+use crate::tenant::TenantId;
 use serde::{Deserialize, Serialize};
 
 /// One QUBO job in flight through the simulated cluster.
@@ -16,6 +17,9 @@ use serde::{Deserialize, Serialize};
 pub struct Job {
     /// Workload-wide index, also the submission order.
     pub id: usize,
+    /// The tenant that submitted this job ([`TenantId::DEFAULT`] in
+    /// single-tenant workloads).
+    pub tenant: TenantId,
     /// Human-readable problem-family label (e.g. `maxcut-cycle-12`).
     pub family: String,
     /// Logical problem size (number of logical spins) — the `LPS` parameter
@@ -34,6 +38,8 @@ pub struct Job {
 pub struct JobRecord {
     /// The job's workload index.
     pub job: usize,
+    /// The tenant that submitted the job.
+    pub tenant: TenantId,
     /// Device that served it.
     pub qpu: usize,
     /// Arrival time (virtual seconds).
@@ -77,6 +83,7 @@ mod tests {
     fn record_derived_times_are_consistent() {
         let r = JobRecord {
             job: 0,
+            tenant: TenantId::DEFAULT,
             qpu: 1,
             arrival: 2.0,
             start: 5.0,

@@ -1,0 +1,313 @@
+//! Minimal JSON emission for machine-readable reports.
+//!
+//! The workspace's `serde` is an offline no-op stand-in (see
+//! `crates/compat/serde`), so actual serialization cannot come from derive
+//! macros.  This module is the crate's own seam: a tiny ordered
+//! [`JsonValue`] tree with RFC 8259-conformant string escaping and
+//! `Display`-based rendering, plus `to_json` conversions for the report
+//! types the `cluster_sim` sweeps export (`--json <path>`).  Keys render in
+//! insertion order, so the output is deterministic byte-for-byte.
+//!
+//! Non-finite numbers have no JSON representation; they render as `null`
+//! rather than producing an unparseable document.
+
+use crate::metrics::{LatencyStats, QpuStats, SimReport, TenantStats};
+use std::fmt;
+
+/// One JSON value; objects keep insertion order for deterministic output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (non-finite values render as `null`).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An ordered `key: value` map.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Build an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Build an array from values.
+    pub fn array(values: impl IntoIterator<Item = JsonValue>) -> JsonValue {
+        JsonValue::Array(values.into_iter().collect())
+    }
+
+    /// Append a field to an object.
+    ///
+    /// # Panics
+    /// Panics when `self` is not an object.
+    pub fn push(&mut self, key: impl Into<String>, value: JsonValue) {
+        match self {
+            JsonValue::Object(pairs) => pairs.push((key.into(), value)),
+            other => panic!("push on non-object JSON value {other:?}"),
+        }
+    }
+
+    /// The value of a field, when `self` is an object that has it (for
+    /// tests and light inspection, not a full query language).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Num(v as f64)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Num(n) if n.is_finite() => write!(f, "{n}"),
+            JsonValue::Num(_) => f.write_str("null"),
+            JsonValue::Str(s) => escape(s, f),
+            JsonValue::Array(values) => {
+                f.write_str("[")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl LatencyStats {
+    /// The summary as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("mean", JsonValue::from(self.mean)),
+            ("min", JsonValue::from(self.min)),
+            ("p50", JsonValue::from(self.p50)),
+            ("p95", JsonValue::from(self.p95)),
+            ("p99", JsonValue::from(self.p99)),
+            ("max", JsonValue::from(self.max)),
+        ])
+    }
+}
+
+impl TenantStats {
+    /// The tenant's statistics as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("tenant", JsonValue::from(self.tenant.index())),
+            ("name", JsonValue::from(self.name.as_str())),
+            ("weight", JsonValue::from(self.weight)),
+            ("submitted", JsonValue::from(self.submitted)),
+            ("completed", JsonValue::from(self.completed)),
+            ("shed", JsonValue::from(self.shed)),
+            ("deferrals", JsonValue::from(self.deferrals)),
+            ("rejected", JsonValue::from(self.rejected)),
+            ("max_queue_depth", JsonValue::from(self.max_queue_depth)),
+            ("latency_seconds", self.latency.to_json()),
+            ("wait_seconds", self.wait.to_json()),
+            ("service_seconds", JsonValue::from(self.service_seconds)),
+            ("normalized_share", JsonValue::from(self.normalized_share())),
+        ])
+    }
+}
+
+impl QpuStats {
+    /// The device's statistics as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("qpu", JsonValue::from(self.qpu)),
+            ("jobs", JsonValue::from(self.jobs)),
+            ("utilization", JsonValue::from(self.utilization)),
+            ("warm_hits", JsonValue::from(self.warm_hits)),
+            ("cold_misses", JsonValue::from(self.cold_misses)),
+            ("warm_topologies", JsonValue::from(self.warm_topologies)),
+            ("evictions", JsonValue::from(self.evictions)),
+            ("cache_bypassed", JsonValue::from(self.cache_bypassed)),
+            (
+                "cache_capacity",
+                match self.cache_capacity {
+                    Some(cap) => JsonValue::from(cap),
+                    None => JsonValue::Null,
+                },
+            ),
+        ])
+    }
+}
+
+impl SimReport {
+    /// The run's aggregate outcome as a JSON object: headline counts,
+    /// latency/wait summaries, per-stage breakdown, per-device and
+    /// per-tenant statistics and the fairness indices.  Per-job records,
+    /// the event trace and the queue-depth series are deliberately omitted
+    /// (they dominate the size and sweeps don't consume them).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("policy", JsonValue::from(self.policy.as_str())),
+            ("admission", JsonValue::from(self.admission.as_str())),
+            ("jobs", JsonValue::from(self.jobs)),
+            ("completed", JsonValue::from(self.completed)),
+            ("shed", JsonValue::from(self.shed)),
+            ("deferrals", JsonValue::from(self.deferrals)),
+            ("rejected", JsonValue::from(self.rejected)),
+            ("makespan_seconds", JsonValue::from(self.makespan_seconds)),
+            ("latency_seconds", self.latency.to_json()),
+            ("wait_seconds", self.wait.to_json()),
+            ("stage1_seconds", JsonValue::from(self.stage1_seconds)),
+            ("stage2_seconds", JsonValue::from(self.stage2_seconds)),
+            ("stage3_seconds", JsonValue::from(self.stage3_seconds)),
+            ("stage1_fraction", JsonValue::from(self.stage1_fraction())),
+            ("warm_hits", JsonValue::from(self.warm_hits())),
+            ("cold_misses", JsonValue::from(self.cold_misses())),
+            ("evictions", JsonValue::from(self.evictions())),
+            ("hit_rate", JsonValue::from(self.hit_rate())),
+            ("max_queue_depth", JsonValue::from(self.max_queue_depth())),
+            (
+                "jains_fairness_index",
+                JsonValue::from(self.jains_fairness_index()),
+            ),
+            ("max_min_share", JsonValue::from(self.max_min_share())),
+            (
+                "per_qpu",
+                JsonValue::array(self.per_qpu.iter().map(|q| q.to_json())),
+            ),
+            (
+                "per_tenant",
+                JsonValue::array(self.per_tenant.iter().map(|t| t.to_json())),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.to_string(), "null");
+        assert_eq!(JsonValue::from(true).to_string(), "true");
+        assert_eq!(JsonValue::from(1.5).to_string(), "1.5");
+        assert_eq!(JsonValue::from(3usize).to_string(), "3");
+        assert_eq!(JsonValue::Num(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = JsonValue::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(s.to_string(), r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let mut obj = JsonValue::object([("zebra", JsonValue::from(1.0))]);
+        obj.push("alpha", JsonValue::array([JsonValue::from(2.0)]));
+        assert_eq!(obj.to_string(), r#"{"zebra":1,"alpha":[2]}"#);
+        assert_eq!(obj.get("alpha"), Some(&JsonValue::array([2.0.into()])));
+        assert_eq!(obj.get("missing"), None);
+    }
+
+    #[test]
+    fn report_exports_headline_and_tenants() {
+        use crate::prelude::*;
+        use split_exec::SplitExecConfig;
+
+        let workload =
+            crate::tenant::MultiTenantSpec::aggressor_victim(5, 0.5, 2.0, 1.0, 3).generate();
+        let fleet = Fleet::new(
+            FleetConfig {
+                qpus: 2,
+                seed: 3,
+                ..FleetConfig::default()
+            },
+            SplitExecConfig::with_seed(3),
+        );
+        let mut policy = PolicyKind::WeightedFair.build();
+        let report = simulate(fleet, &workload, policy.as_mut(), SimConfig::default());
+        let json = report.to_json();
+        assert_eq!(json.get("policy"), Some(&JsonValue::from("wfq")));
+        assert_eq!(json.get("jobs"), Some(&JsonValue::from(report.jobs)));
+        match json.get("per_tenant") {
+            Some(JsonValue::Array(tenants)) => {
+                assert_eq!(tenants.len(), 2);
+                assert_eq!(tenants[0].get("name"), Some(&JsonValue::from("victim")));
+            }
+            other => panic!("per_tenant should be an array, got {other:?}"),
+        }
+        // The rendered text is balanced and mentions the fairness index.
+        let text = json.to_string();
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert!(text.contains("\"jains_fairness_index\""));
+    }
+}

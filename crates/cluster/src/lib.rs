@@ -27,17 +27,33 @@
 //!   from the actual QUBO → Ising reduction.  Specs are validated up front
 //!   ([`WorkloadSpec::validate`]) so degenerate parameters surface as
 //!   [`WorkloadError`]s instead of NaN arrival times or panics.
+//! * [`tenant`] — multi-tenancy: every job carries a [`TenantId`], and
+//!   [`MultiTenantSpec`] composes N tenants (each with its own arrival
+//!   process, topology mix and fair-share weight) into one deterministic
+//!   stream.
+//! * [`admission`] — the gate between arrival and the scheduler: an
+//!   [`AdmissionController`] accepts, sheds or defers each arriving job
+//!   against per-tenant budgets; [`TokenBucket`] ships (rate budget, burst
+//!   cap, queue-depth limit, bounded deferral).
 //! * [`scheduler`] — pluggable policies behind the [`Scheduler`] trait:
 //!   FIFO, shortest-predicted-job-first (the paper's analytic model as the
 //!   cost oracle, via [`split_exec::CostModel`], with arrival-time aging so
-//!   sustained short-job streams cannot starve large jobs) and
+//!   sustained short-job streams cannot starve large jobs),
 //!   embedding-cache-affinity routing that weighs device speed against
-//!   warmth on heterogeneous fleets.
+//!   warmth on heterogeneous fleets, and [`WeightedFairQueue`] —
+//!   virtual-time weighted fair queueing over per-tenant FIFO lanes, so a
+//!   tenant within its fair share keeps its latency no matter how hard
+//!   another tenant floods the fleet.
 //! * [`sim`] — the engine; [`metrics`] — latency percentiles
 //!   (via [`quantum_anneal::stats::percentile`]), per-stage breakdown,
 //!   per-QPU utilization and cache behavior (hit rate, evictions),
 //!   queue-depth and hit-rate-vs-capacity series ([`CacheCliffSeries`]),
-//!   and export to the shared [`split_exec::BatchSummary`] report format.
+//!   per-tenant percentiles/shed/deferral counts ([`TenantStats`]) with
+//!   Jain's fairness index and max-min share, and export to the shared
+//!   [`split_exec::BatchSummary`] report format.
+//! * [`json`] — deterministic hand-rolled JSON emission ([`JsonValue`],
+//!   `SimReport::to_json`) so sweeps are machine-readable without a
+//!   registry serde.
 //!
 //! Service times are the paper's own stage models ([`split_exec::cost`]),
 //! so the simulator is the paper's performance model instantiated at fleet
@@ -60,35 +76,56 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod cache;
 pub mod event;
 pub mod fleet;
 pub mod job;
+pub mod json;
 pub mod metrics;
 pub mod scheduler;
 pub mod sim;
+pub mod tenant;
 pub mod workload;
 
-pub use cache::{CostAware, EvictionPolicy, EvictionPolicyKind, Lru, WarmCache};
+pub use admission::{
+    AdmissionController, AdmissionDecision, AdmitAll, TokenBucket, TokenBucketConfig,
+};
+pub use cache::{AdmissionPolicy, CostAware, EvictionPolicy, EvictionPolicyKind, Lru, WarmCache};
 pub use event::{Event, EventKind, EventQueue};
 pub use fleet::{Fleet, FleetConfig, QpuDevice};
 pub use job::{Job, JobRecord};
-pub use metrics::{CacheCliffSeries, CachePoint, LatencyStats, QpuStats, SimReport};
-pub use scheduler::{CacheAffinity, Fifo, PolicyKind, Scheduler, ShortestPredictedFirst};
-pub use sim::{simulate, SimConfig, TraceRecord, WorkloadMode};
+pub use json::JsonValue;
+pub use metrics::{
+    jains_index, CacheCliffSeries, CachePoint, LatencyStats, QpuStats, SimReport, TenantStats,
+};
+pub use scheduler::{
+    CacheAffinity, Fifo, PolicyKind, Scheduler, ShortestPredictedFirst, WeightedFairQueue,
+};
+pub use sim::{simulate, simulate_with_admission, SimConfig, TraceRecord, WorkloadMode};
+pub use tenant::{MultiTenantSpec, TenantId, TenantMeta, TenantSpec};
 pub use workload::{ArrivalProcess, FamilySpec, Workload, WorkloadError, WorkloadSpec};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::cache::{CostAware, EvictionPolicy, EvictionPolicyKind, Lru, WarmCache};
+    pub use crate::admission::{
+        AdmissionController, AdmissionDecision, AdmitAll, TokenBucket, TokenBucketConfig,
+    };
+    pub use crate::cache::{
+        AdmissionPolicy, CostAware, EvictionPolicy, EvictionPolicyKind, Lru, WarmCache,
+    };
     pub use crate::event::{Event, EventKind, EventQueue};
     pub use crate::fleet::{Fleet, FleetConfig, QpuDevice};
     pub use crate::job::{Job, JobRecord};
-    pub use crate::metrics::{CacheCliffSeries, CachePoint, LatencyStats, QpuStats, SimReport};
-    pub use crate::scheduler::{
-        CacheAffinity, Fifo, PolicyKind, Scheduler, ShortestPredictedFirst,
+    pub use crate::json::JsonValue;
+    pub use crate::metrics::{
+        jains_index, CacheCliffSeries, CachePoint, LatencyStats, QpuStats, SimReport, TenantStats,
     };
-    pub use crate::sim::{simulate, SimConfig, TraceRecord, WorkloadMode};
+    pub use crate::scheduler::{
+        CacheAffinity, Fifo, PolicyKind, Scheduler, ShortestPredictedFirst, WeightedFairQueue,
+    };
+    pub use crate::sim::{simulate, simulate_with_admission, SimConfig, TraceRecord, WorkloadMode};
+    pub use crate::tenant::{MultiTenantSpec, TenantId, TenantMeta, TenantSpec};
     pub use crate::workload::{ArrivalProcess, FamilySpec, Workload, WorkloadError, WorkloadSpec};
 }
 
@@ -169,6 +206,45 @@ mod determinism_tests {
                 assert!(qpu.warm_topologies <= 1);
             }
         }
+    }
+
+    #[test]
+    fn multi_tenant_runs_replay_bit_identically() {
+        // The tentpole's determinism claim: tenancy, WFQ virtual time and
+        // token-bucket admission are all part of the deterministic state
+        // machine — same seed ⇒ bit-identical report, trace included.
+        let run = |seed: u64| {
+            let workload = MultiTenantSpec::aggressor_victim(10, 0.6, 5.0, 2.0, seed).generate();
+            let fleet = Fleet::new(
+                FleetConfig {
+                    qpus: 3,
+                    seed,
+                    ..FleetConfig::default()
+                },
+                SplitExecConfig::with_seed(seed),
+            );
+            let mut scheduler = WeightedFairQueue::for_workload(&workload);
+            let mut admission = TokenBucket::new(TokenBucketConfig {
+                rate_hz: 2.0,
+                burst: 3.0,
+                max_queue_depth: 8,
+                max_defer_seconds: 50.0,
+            });
+            simulate_with_admission(
+                fleet,
+                &workload,
+                &mut scheduler,
+                &mut admission,
+                SimConfig::default(),
+            )
+        };
+        let a = run(31);
+        let b = run(31);
+        assert_eq!(a, b, "multi-tenant run diverged across identical seeds");
+        assert_ne!(a.trace, run(32).trace);
+        // The scenario actually exercises the new machinery.
+        assert_eq!(a.per_tenant.len(), 2);
+        assert_eq!(a.admission, "token-bucket");
     }
 
     #[test]
@@ -288,6 +364,79 @@ mod proptests {
                 let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default());
                 prop_assert_eq!(report.completed + report.rejected, report.jobs);
                 prop_assert_eq!(report.records.len(), report.completed);
+            }
+        }
+
+        /// The WFQ liveness guarantee: under any seed, arrival asymmetry
+        /// and weight skew, every admitted job of every positive-weight
+        /// tenant eventually dispatches — the aggressor cannot starve the
+        /// victim's lane out of existence.
+        #[test]
+        fn wfq_never_starves_a_positive_weight_tenant(
+            seed in 0u64..100,
+            asymmetry in 2u8..12,
+            victim_weight_tenths in 1u32..40,
+        ) {
+            let workload = MultiTenantSpec::aggressor_victim(
+                6,
+                0.8,
+                asymmetry as f64,
+                victim_weight_tenths as f64 / 10.0,
+                seed,
+            )
+            .generate();
+            let fleet = Fleet::new(
+                FleetConfig { qpus: 2, seed, ..FleetConfig::default() },
+                SplitExecConfig::with_seed(seed),
+            );
+            let mut scheduler = WeightedFairQueue::for_workload(&workload);
+            let report = simulate(fleet, &workload, &mut scheduler, SimConfig::default());
+            // No admission gate and feasible sizes: everything completes.
+            prop_assert_eq!(report.rejected, 0);
+            prop_assert_eq!(report.completed, report.jobs);
+            for tenant in &report.per_tenant {
+                prop_assert_eq!(
+                    tenant.completed, tenant.submitted,
+                    "tenant {} finished {}/{} jobs (weight {})",
+                    tenant.name, tenant.completed, tenant.submitted, tenant.weight
+                );
+            }
+        }
+
+        /// Per-tenant percentile invariants: on every simulated run, each
+        /// tenant's latency and wait summaries satisfy
+        /// `min ≤ p50 ≤ p95 ≤ p99 ≤ max`.
+        #[test]
+        fn per_tenant_percentiles_are_ordered(seed in 0u64..150, asymmetry in 1u8..8) {
+            let workload = MultiTenantSpec::aggressor_victim(
+                5,
+                0.7,
+                asymmetry as f64,
+                1.0,
+                seed,
+            )
+            .generate();
+            for policy in [PolicyKind::Fifo, PolicyKind::WeightedFair] {
+                let fleet = Fleet::new(
+                    FleetConfig { qpus: 2, seed, ..FleetConfig::default() },
+                    SplitExecConfig::with_seed(seed),
+                );
+                let mut scheduler = policy.build();
+                let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default());
+                prop_assert!(report.latency.percentiles_ordered());
+                prop_assert!(report.wait.percentiles_ordered());
+                for tenant in &report.per_tenant {
+                    prop_assert!(
+                        tenant.latency.percentiles_ordered(),
+                        "tenant {} latency percentiles disordered: {:?}",
+                        tenant.name, tenant.latency
+                    );
+                    prop_assert!(
+                        tenant.wait.percentiles_ordered(),
+                        "tenant {} wait percentiles disordered: {:?}",
+                        tenant.name, tenant.wait
+                    );
+                }
             }
         }
     }

@@ -9,6 +9,7 @@
 
 use crate::job::JobRecord;
 use crate::sim::TraceRecord;
+use crate::tenant::TenantId;
 use quantum_anneal::stats::{percentile_sorted, Histogram};
 use serde::{Deserialize, Serialize};
 use split_exec::offline_cache::CacheStats;
@@ -20,6 +21,8 @@ use std::fmt;
 pub struct LatencyStats {
     /// Mean.
     pub mean: f64,
+    /// Minimum.
+    pub min: f64,
     /// Median.
     pub p50: f64,
     /// 95th percentile.
@@ -42,11 +45,18 @@ impl LatencyStats {
             } else {
                 sorted.iter().sum::<f64>() / sorted.len() as f64
             },
+            min: sorted.first().copied().unwrap_or(0.0),
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
             max: sorted.last().copied().unwrap_or(0.0),
         }
+    }
+
+    /// The order-statistics invariant every summary must satisfy:
+    /// `min ≤ p50 ≤ p95 ≤ p99 ≤ max` (proptested on simulated runs).
+    pub fn percentiles_ordered(&self) -> bool {
+        self.min <= self.p50 && self.p50 <= self.p95 && self.p95 <= self.p99 && self.p99 <= self.max
     }
 }
 
@@ -67,6 +77,8 @@ pub struct QpuStats {
     pub warm_topologies: usize,
     /// Embeddings evicted from this device's bounded cache during the run.
     pub evictions: usize,
+    /// Cold embeddings the cache-admission doorkeeper declined to cache.
+    pub cache_bypassed: usize,
     /// The device's warm-cache capacity (`None` = unbounded).
     pub cache_capacity: Option<usize>,
 }
@@ -83,15 +95,79 @@ impl QpuStats {
     }
 }
 
+/// Everything the metrics layer records about one tenant over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Human-readable label from the workload's tenant metadata.
+    pub name: String,
+    /// Fair-share weight from the metadata (1.0 when absent).
+    pub weight: f64,
+    /// Jobs the tenant submitted.
+    pub submitted: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs the admission controller shed.
+    pub shed: usize,
+    /// Defer events (one job deferred twice counts twice).
+    pub deferrals: usize,
+    /// Jobs rejected as infeasible on every device.
+    pub rejected: usize,
+    /// Largest number of this tenant's jobs queued at once.
+    pub max_queue_depth: usize,
+    /// End-to-end latency distribution of the tenant's completed jobs.
+    pub latency: LatencyStats,
+    /// Queueing-delay distribution.
+    pub wait: LatencyStats,
+    /// Summed service seconds the tenant consumed.
+    pub service_seconds: f64,
+}
+
+impl TenantStats {
+    /// Service seconds per unit weight — the normalized share fairness
+    /// indices compare across tenants.
+    pub fn normalized_share(&self) -> f64 {
+        if self.weight > 0.0 {
+            self.service_seconds / self.weight
+        } else {
+            self.service_seconds
+        }
+    }
+}
+
+/// Jain's fairness index over a set of non-negative allocations:
+/// `(Σx)² / (n · Σx²)`, 1.0 when all allocations are equal, approaching
+/// `1/n` when one allocation monopolizes.  Empty or all-zero input is
+/// vacuously fair (1.0).
+pub fn jains_index(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq)
+}
+
 /// The full outcome of one simulated run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// The policy that produced the run.
     pub policy: String,
+    /// The admission controller that gated arrivals.
+    pub admission: String,
     /// Jobs submitted.
     pub jobs: usize,
     /// Jobs completed.
     pub completed: usize,
+    /// Jobs the admission controller shed.
+    pub shed: usize,
+    /// Defer events across the run (one job deferred twice counts twice).
+    pub deferrals: usize,
     /// Jobs rejected at arrival (infeasible on every device).
     pub rejected: usize,
     /// Virtual time at which the last event fired.
@@ -108,6 +184,8 @@ pub struct SimReport {
     pub stage3_seconds: f64,
     /// Per-device statistics.
     pub per_qpu: Vec<QpuStats>,
+    /// Per-tenant statistics, in tenant-id order.
+    pub per_tenant: Vec<TenantStats>,
     /// Queue depth sampled after every event: `(virtual time, depth)`.
     pub queue_depth: Vec<(f64, usize)>,
     /// Per-job records in completion order.
@@ -173,6 +251,58 @@ impl SimReport {
         self.queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0)
     }
 
+    /// The statistics of one tenant, if it appears in the report.
+    pub fn tenant(&self, tenant: TenantId) -> Option<&TenantStats> {
+        self.per_tenant.iter().find(|t| t.tenant == tenant)
+    }
+
+    /// The statistics of the tenant with the given metadata name.
+    pub fn tenant_named(&self, name: &str) -> Option<&TenantStats> {
+        self.per_tenant.iter().find(|t| t.name == name)
+    }
+
+    /// Jain's fairness index over the tenants' weight-normalized service
+    /// shares: 1.0 means every active tenant received service exactly
+    /// proportional to its weight.  Tenants that *submitted* jobs are
+    /// included even when they completed none — a totally starved tenant
+    /// contributes a zero share and drags the index down, it must not
+    /// silently vanish from the measurement.
+    pub fn jains_fairness_index(&self) -> f64 {
+        let shares: Vec<f64> = self
+            .per_tenant
+            .iter()
+            .filter(|t| t.submitted > 0)
+            .map(|t| t.normalized_share())
+            .collect();
+        jains_index(&shares)
+    }
+
+    /// Max-min share ratio: the smallest weight-normalized service share
+    /// over the largest, across tenants that submitted jobs (a starved
+    /// tenant counts as share 0, driving the ratio to 0).  1.0 is
+    /// perfectly weighted-fair; near 0.0 one tenant is starved.
+    pub fn max_min_share(&self) -> f64 {
+        let shares: Vec<f64> = self
+            .per_tenant
+            .iter()
+            .filter(|t| t.submitted > 0)
+            .map(|t| t.normalized_share())
+            .collect();
+        let max = shares.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = shares.iter().copied().fold(f64::INFINITY, f64::min);
+        if shares.len() <= 1 || max <= 0.0 {
+            1.0
+        } else {
+            min / max
+        }
+    }
+
+    /// Cold embeddings across the fleet that the cache-admission
+    /// doorkeeper declined to cache.
+    pub fn cache_bypassed(&self) -> usize {
+        self.per_qpu.iter().map(|q| q.cache_bypassed).sum()
+    }
+
     /// Histogram of end-to-end latencies with `bins` uniform bins.
     pub fn latency_histogram(&self, bins: usize) -> Histogram {
         let latencies: Vec<f64> = self.records.iter().map(|r| r.latency_seconds()).collect();
@@ -206,8 +336,15 @@ impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "policy {}: {}/{} jobs completed ({} rejected) in {:.1} virtual seconds",
-            self.policy, self.completed, self.jobs, self.rejected, self.makespan_seconds
+            "policy {}: {}/{} jobs completed ({} rejected, {} shed, {} deferrals) \
+             in {:.1} virtual seconds",
+            self.policy,
+            self.completed,
+            self.jobs,
+            self.rejected,
+            self.shed,
+            self.deferrals,
+            self.makespan_seconds
         )?;
         writeln!(
             f,
@@ -234,7 +371,32 @@ impl fmt::Display for SimReport {
             self.cold_misses(),
             self.evictions(),
             self.max_queue_depth()
-        )
+        )?;
+        if self.per_tenant.len() > 1 {
+            for t in &self.per_tenant {
+                write!(
+                    f,
+                    "\n  tenant {} ({}, weight {}): {}/{} done ({} shed), \
+                     p50 {:.2}s p99 {:.2}s, share {:.1}s",
+                    t.tenant,
+                    t.name,
+                    t.weight,
+                    t.completed,
+                    t.submitted,
+                    t.shed,
+                    t.latency.p50,
+                    t.latency.p99,
+                    t.service_seconds
+                )?;
+            }
+            write!(
+                f,
+                "\n  fairness: Jain {:.3}, max-min share {:.3}",
+                self.jains_fairness_index(),
+                self.max_min_share()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -337,6 +499,7 @@ mod tests {
     fn record(job: usize, arrival: f64, start: f64, finish: f64) -> JobRecord {
         JobRecord {
             job,
+            tenant: TenantId::DEFAULT,
             qpu: 0,
             arrival,
             start,
@@ -348,12 +511,32 @@ mod tests {
         }
     }
 
+    fn tenant_stats(id: usize, weight: f64, service: f64) -> TenantStats {
+        TenantStats {
+            tenant: TenantId(id),
+            name: format!("tenant-{id}"),
+            weight,
+            submitted: 2,
+            completed: 1,
+            shed: 1,
+            deferrals: 0,
+            rejected: 0,
+            max_queue_depth: 1,
+            latency: LatencyStats::from_values(&[2.0]),
+            wait: LatencyStats::from_values(&[0.5]),
+            service_seconds: service,
+        }
+    }
+
     fn report() -> SimReport {
         let records = vec![record(0, 0.0, 0.0, 2.0), record(1, 1.0, 2.0, 5.0)];
         SimReport {
             policy: "fifo".into(),
+            admission: "admit-all".into(),
             jobs: 3,
             completed: 2,
+            shed: 0,
+            deferrals: 0,
             rejected: 1,
             makespan_seconds: 5.0,
             latency: LatencyStats::from_values(&[2.0, 4.0]),
@@ -369,8 +552,10 @@ mod tests {
                 cold_misses: 1,
                 warm_topologies: 1,
                 evictions: 2,
+                cache_bypassed: 0,
                 cache_capacity: Some(1),
             }],
+            per_tenant: vec![tenant_stats(0, 1.0, 4.0)],
             queue_depth: vec![(0.0, 1), (2.0, 2), (5.0, 0)],
             records,
             trace: Vec::new(),
@@ -381,11 +566,78 @@ mod tests {
     fn latency_stats_from_values() {
         let s = LatencyStats::from_values(&[4.0, 1.0, 3.0, 2.0]);
         assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
         assert_eq!(s.p50, 2.5);
         assert_eq!(s.max, 4.0);
+        assert!(s.percentiles_ordered());
         let empty = LatencyStats::from_values(&[]);
         assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.min, 0.0);
         assert_eq!(empty.p99, 0.0);
+        assert!(empty.percentiles_ordered());
+    }
+
+    #[test]
+    fn jains_index_spans_fair_to_monopoly() {
+        assert_eq!(jains_index(&[]), 1.0);
+        assert_eq!(jains_index(&[0.0, 0.0]), 1.0);
+        assert!((jains_index(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        // One tenant monopolizes: index collapses toward 1/n.
+        let skewed = jains_index(&[100.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12);
+        assert!(jains_index(&[2.0, 1.0]) < 1.0);
+    }
+
+    #[test]
+    fn fairness_indices_read_normalized_shares() {
+        let mut r = report();
+        // Two tenants, weights 2:1, service 4:2 — perfectly weighted-fair.
+        r.per_tenant = vec![tenant_stats(0, 2.0, 4.0), tenant_stats(1, 1.0, 2.0)];
+        assert!((r.jains_fairness_index() - 1.0).abs() < 1e-12);
+        assert!((r.max_min_share() - 1.0).abs() < 1e-12);
+        // Starve tenant 1: both indices degrade.
+        r.per_tenant[1].service_seconds = 0.2;
+        assert!(r.jains_fairness_index() < 0.95);
+        assert!(r.max_min_share() < 0.15);
+        // Lookup by id and name.
+        assert_eq!(r.tenant(TenantId(1)).unwrap().name, "tenant-1");
+        assert!(r.tenant(TenantId(9)).is_none());
+        assert_eq!(
+            r.tenant_named("tenant-0").unwrap().tenant,
+            TenantId::DEFAULT
+        );
+    }
+
+    #[test]
+    fn single_tenant_reports_are_vacuously_fair() {
+        let r = report();
+        assert_eq!(r.jains_fairness_index(), 1.0);
+        assert_eq!(r.max_min_share(), 1.0);
+    }
+
+    #[test]
+    fn a_totally_starved_tenant_reads_as_maximally_unfair() {
+        // Regression: tenants with zero completions used to be filtered
+        // out of the fairness indices, so total starvation reported as
+        // perfect fairness.
+        let mut r = report();
+        let mut starved = tenant_stats(1, 1.0, 0.0);
+        starved.completed = 0;
+        starved.service_seconds = 0.0;
+        r.per_tenant = vec![tenant_stats(0, 1.0, 4.0), starved];
+        assert!((r.jains_fairness_index() - 0.5).abs() < 1e-12);
+        assert_eq!(r.max_min_share(), 0.0);
+    }
+
+    #[test]
+    fn multi_tenant_display_lists_tenants_and_fairness() {
+        let mut r = report();
+        r.per_tenant = vec![tenant_stats(0, 2.0, 4.0), tenant_stats(1, 1.0, 2.0)];
+        let text = format!("{r}");
+        assert!(text.contains("tenant t0"));
+        assert!(text.contains("tenant t1"));
+        assert!(text.contains("Jain"));
+        assert!(text.contains("max-min share"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! time.  All policies must be deterministic — ties are broken by job
 //! arrival order and device id — so a seeded simulation replays exactly.
 //!
-//! Three policies ship:
+//! Four policies ship:
 //!
 //! * [`Fifo`] — strict arrival order with head-of-line blocking: the head
 //!   job waits for a feasible idle device and nothing overtakes it.  The
@@ -25,9 +25,14 @@
 //!   fewest warm topologies (building specialized caches); a job whose
 //!   warm device is busy waits for it only when waiting is predicted
 //!   cheaper than re-embedding cold elsewhere.
+//! * [`WeightedFairQueue`] — virtual-time weighted fair queueing over
+//!   per-tenant FIFO lanes: a tenant within its fair share keeps its
+//!   latency no matter how hard another tenant floods the fleet, while the
+//!   cost oracle still picks warm/fast placements within each lane.
 
 use crate::fleet::Fleet;
 use crate::job::Job;
+use crate::workload::Workload;
 
 /// A scheduling policy.
 ///
@@ -43,6 +48,23 @@ pub trait Scheduler {
     /// Choose the next `(queue index, device id)` assignment, or `None`.
     fn next_assignment(&mut self, queue: &[Job], fleet: &Fleet, now: f64)
         -> Option<(usize, usize)>;
+}
+
+/// The idle device predicted fastest for `job` — smallest
+/// [`crate::fleet::QpuDevice::predicted_service_seconds`], ties broken by
+/// device id — together with that prediction.  The shared deterministic
+/// placement primitive of the cache-affinity and weighted-fair policies:
+/// warmth and device speed are both priced into the prediction.
+fn fastest_idle_device(fleet: &Fleet, idle: &[usize], job: &Job) -> Option<(f64, usize)> {
+    idle.iter()
+        .filter(|&&d| fleet.devices[d].can_run(job.lps))
+        .filter_map(|&d| {
+            let predicted = fleet.devices[d]
+                .predicted_service_seconds(job.lps, job.topology_key)
+                .ok()?;
+            Some((predicted, d))
+        })
+        .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
 }
 
 /// First-in-first-out with head-of-line blocking.
@@ -183,17 +205,7 @@ impl Scheduler for CacheAffinity {
             if !warm_idle {
                 continue;
             }
-            let fastest = idle
-                .iter()
-                .filter(|&&d| fleet.devices[d].can_run(job.lps))
-                .filter_map(|&d| {
-                    let predicted = fleet.devices[d]
-                        .predicted_service_seconds(job.lps, job.topology_key)
-                        .ok()?;
-                    Some((predicted, d))
-                })
-                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-            if let Some((_, d)) = fastest {
+            if let Some((_, d)) = fastest_idle_device(fleet, &idle, job) {
                 return Some((qi, d));
             }
         }
@@ -266,6 +278,134 @@ impl Scheduler for CacheAffinity {
     }
 }
 
+/// Weighted fair queueing across tenants (start-time fair queueing over
+/// per-tenant FIFO lanes).
+///
+/// Each tenant's queued jobs form a FIFO *lane*.  The scheduler keeps a
+/// virtual clock: dispatching a job of predicted service `S` from a tenant
+/// of weight `w` advances that tenant's finish tag by `S / w`, and the lane
+/// whose head has the smallest start tag (`max(finish_tag, virtual_time)`)
+/// is served next.  A tenant that stays within its fair share therefore
+/// sees latency as if it had `w / Σw` of the fleet to itself, no matter how
+/// hard another tenant floods its own lane — the fairness guarantee the
+/// `cluster_sim --mode fairness` sweep enforces against FIFO.
+///
+/// The policy composes with the cost oracle on two axes: the *charge* is
+/// the predicted service on the chosen device (so a tenant re-using warm
+/// topologies genuinely consumes less of its share), and the *placement*
+/// picks the idle device with the smallest prediction (so warm caches and
+/// fast devices are still exploited within a lane).  A lane head with no
+/// feasible idle device blocks only its own lane, never the other tenants.
+///
+/// Determinism: lane order ties break by tenant id, device ties by id, and
+/// all state lives on the virtual clock.
+#[derive(Debug, Clone)]
+pub struct WeightedFairQueue {
+    /// Fair-share weight per tenant id; tenants beyond the vector get 1.0.
+    weights: Vec<f64>,
+    /// Virtual finish tag per tenant id (grown on demand).
+    finish_tags: Vec<f64>,
+    /// The virtual clock: the start tag of the last dispatched job.
+    virtual_time: f64,
+}
+
+impl Default for WeightedFairQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WeightedFairQueue {
+    /// Uniform weights: every tenant gets an equal share.
+    pub fn new() -> Self {
+        Self::with_weights(Vec::new())
+    }
+
+    /// Explicit per-tenant weights, indexed by tenant id; tenants beyond
+    /// the vector (and non-positive entries) fall back to weight 1.0.
+    pub fn with_weights(weights: Vec<f64>) -> Self {
+        Self {
+            weights,
+            finish_tags: Vec::new(),
+            virtual_time: 0.0,
+        }
+    }
+
+    /// Weights taken from the workload's tenant metadata — the usual way to
+    /// build the policy for a [`crate::tenant::MultiTenantSpec`] stream.
+    pub fn for_workload(workload: &Workload) -> Self {
+        Self::with_weights(workload.weights())
+    }
+
+    fn weight(&self, tenant: usize) -> f64 {
+        let w = self.weights.get(tenant).copied().unwrap_or(1.0);
+        if w.is_finite() && w > 0.0 {
+            w
+        } else {
+            1.0
+        }
+    }
+
+    fn finish_tag(&self, tenant: usize) -> f64 {
+        self.finish_tags.get(tenant).copied().unwrap_or(0.0)
+    }
+
+    fn set_finish_tag(&mut self, tenant: usize, tag: f64) {
+        if self.finish_tags.len() <= tenant {
+            self.finish_tags.resize(tenant + 1, 0.0);
+        }
+        self.finish_tags[tenant] = tag;
+    }
+}
+
+impl Scheduler for WeightedFairQueue {
+    fn name(&self) -> &'static str {
+        "wfq"
+    }
+
+    fn next_assignment(
+        &mut self,
+        queue: &[Job],
+        fleet: &Fleet,
+        now: f64,
+    ) -> Option<(usize, usize)> {
+        let idle = fleet.idle_devices(now);
+        if idle.is_empty() {
+            return None;
+        }
+
+        // Lane heads: the first queued job of each tenant, in queue order.
+        let mut heads: Vec<(usize, usize)> = Vec::new(); // (tenant, queue idx)
+        for (qi, job) in queue.iter().enumerate() {
+            let tenant = job.tenant.index();
+            if !heads.iter().any(|&(t, _)| t == tenant) {
+                heads.push((tenant, qi));
+            }
+        }
+        // Serve lanes in start-tag order; ties by tenant id keep the order
+        // total and deterministic.
+        heads.sort_by(|&(ta, _), &(tb, _)| {
+            let sa = self.finish_tag(ta).max(self.virtual_time);
+            let sb = self.finish_tag(tb).max(self.virtual_time);
+            sa.total_cmp(&sb).then(ta.cmp(&tb))
+        });
+
+        for (tenant, qi) in heads {
+            let job = &queue[qi];
+            // Within the lane, the cost oracle picks the placement: the
+            // idle device with the smallest prediction (warm beats cold,
+            // fast beats slow).
+            if let Some((cost, device)) = fastest_idle_device(fleet, &idle, job) {
+                let start = self.finish_tag(tenant).max(self.virtual_time);
+                self.set_finish_tag(tenant, start + cost / self.weight(tenant));
+                self.virtual_time = start;
+                return Some((qi, device));
+            }
+        }
+        None
+    }
+}
+
 /// Policy selection by name, for CLI surfaces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyKind {
@@ -275,15 +415,20 @@ pub enum PolicyKind {
     ShortestPredictedFirst,
     /// [`CacheAffinity`].
     CacheAffinity,
+    /// [`WeightedFairQueue`] with uniform weights; use
+    /// [`WeightedFairQueue::with_weights`] / [`WeightedFairQueue::for_workload`]
+    /// directly for weighted shares.
+    WeightedFair,
 }
 
 impl PolicyKind {
     /// All policies, in comparison-table order.
-    pub fn all() -> [PolicyKind; 3] {
+    pub fn all() -> [PolicyKind; 4] {
         [
             PolicyKind::Fifo,
             PolicyKind::ShortestPredictedFirst,
             PolicyKind::CacheAffinity,
+            PolicyKind::WeightedFair,
         ]
     }
 
@@ -293,6 +438,7 @@ impl PolicyKind {
             PolicyKind::Fifo => Box::new(Fifo),
             PolicyKind::ShortestPredictedFirst => Box::new(ShortestPredictedFirst::default()),
             PolicyKind::CacheAffinity => Box::new(CacheAffinity),
+            PolicyKind::WeightedFair => Box::new(WeightedFairQueue::new()),
         }
     }
 
@@ -302,6 +448,7 @@ impl PolicyKind {
             PolicyKind::Fifo => "fifo",
             PolicyKind::ShortestPredictedFirst => "spjf",
             PolicyKind::CacheAffinity => "affinity",
+            PolicyKind::WeightedFair => "wfq",
         }
     }
 }
@@ -314,8 +461,9 @@ impl std::str::FromStr for PolicyKind {
             "fifo" => Ok(PolicyKind::Fifo),
             "spjf" | "sjf" | "shortest" => Ok(PolicyKind::ShortestPredictedFirst),
             "affinity" | "cache" | "cache-affinity" => Ok(PolicyKind::CacheAffinity),
+            "wfq" | "fair" | "weighted-fair" => Ok(PolicyKind::WeightedFair),
             other => Err(format!(
-                "unknown scheduling policy '{other}' (expected fifo, spjf or affinity)"
+                "unknown scheduling policy '{other}' (expected fifo, spjf, affinity or wfq)"
             )),
         }
     }
@@ -349,10 +497,18 @@ mod tests {
     fn job(id: usize, lps: usize, key: u64) -> Job {
         Job {
             id,
+            tenant: crate::tenant::TenantId::DEFAULT,
             family: format!("test-{lps}"),
             lps,
             topology_key: key,
             arrival: id as f64,
+        }
+    }
+
+    fn tenant_job(id: usize, tenant: usize, lps: usize, key: u64) -> Job {
+        Job {
+            tenant: crate::tenant::TenantId(tenant),
+            ..job(id, lps, key)
         }
     }
 
@@ -461,6 +617,7 @@ mod tests {
         let shorts = (1.35 * promotion_age / 0.8 / gap).ceil() as usize;
         let mut jobs = vec![Job {
             id: 0,
+            tenant: crate::tenant::TenantId::DEFAULT,
             family: "large".into(),
             lps: 40,
             topology_key: 1,
@@ -469,6 +626,7 @@ mod tests {
         for i in 0..shorts {
             jobs.push(Job {
                 id: i + 1,
+                tenant: crate::tenant::TenantId::DEFAULT,
                 family: "short".into(),
                 lps: 8,
                 topology_key: 2,
@@ -480,7 +638,7 @@ mod tests {
             job.id = i;
         }
         let large_id = jobs.iter().position(|j| j.family == "large").unwrap();
-        let workload = Workload { jobs };
+        let workload = Workload::single_tenant(jobs);
         let start_of = |scheduler: &mut dyn Scheduler| {
             let report = simulate(build_fleet(), &workload, scheduler, SimConfig::default());
             report
@@ -630,6 +788,131 @@ mod tests {
     }
 
     #[test]
+    fn wfq_alternates_lanes_under_equal_weights() {
+        // Tenant 1 has flooded the queue; tenant 0 has one job waiting.
+        // Equal weights: the starved lane's start tag is the virtual time,
+        // the flooder's finish tag has advanced, so tenant 0 goes first.
+        let fleet = fleet(1);
+        let mut wfq = WeightedFairQueue::new();
+        let queue = vec![
+            tenant_job(0, 1, 10, 1),
+            tenant_job(1, 1, 10, 1),
+            tenant_job(2, 0, 10, 2),
+            tenant_job(3, 1, 10, 1),
+        ];
+        // First dispatch: both lanes at tag 0; tie breaks to tenant 0.
+        assert_eq!(wfq.next_assignment(&queue, &fleet, 0.0), Some((2, 0)));
+        // Tenant 0's lane is now charged; tenant 1 is up next.
+        let queue = vec![
+            tenant_job(0, 1, 10, 1),
+            tenant_job(1, 1, 10, 1),
+            tenant_job(3, 1, 10, 1),
+            tenant_job(4, 0, 10, 2),
+        ];
+        assert_eq!(wfq.next_assignment(&queue, &fleet, 0.0), Some((0, 0)));
+        // And having served one job each, it alternates back to tenant 0.
+        let queue = vec![
+            tenant_job(1, 1, 10, 1),
+            tenant_job(3, 1, 10, 1),
+            tenant_job(4, 0, 10, 2),
+        ];
+        assert_eq!(wfq.next_assignment(&queue, &fleet, 0.0), Some((2, 0)));
+    }
+
+    #[test]
+    fn wfq_weights_bias_the_share() {
+        // Tenant 0 carries weight 3: it should win ~3 dispatches for every
+        // 1 of tenant 1 when both lanes stay backlogged.
+        let fleet = fleet(1);
+        let mut wfq = WeightedFairQueue::with_weights(vec![3.0, 1.0]);
+        let mut wins = [0usize; 2];
+        let mut queue: Vec<Job> = (0..40)
+            .map(|i| tenant_job(i, i % 2, 10, (i % 2) as u64 + 1))
+            .collect();
+        for _ in 0..24 {
+            let (qi, _) = wfq.next_assignment(&queue, &fleet, 0.0).unwrap();
+            wins[queue[qi].tenant.index()] += 1;
+            queue.remove(qi);
+        }
+        // 3:1 long-run split, with a one-dispatch tolerance for f64 tag
+        // accumulation at exact ties.
+        assert_eq!(wins[0] + wins[1], 24);
+        assert!(
+            (17..=19).contains(&wins[0]),
+            "weight-3 tenant took {} of 24 dispatches, expected ~18",
+            wins[0]
+        );
+    }
+
+    #[test]
+    fn wfq_picks_the_warm_device_within_a_lane() {
+        let mut fleet = fleet(3);
+        fleet.devices[2].mark_warm(7, 10);
+        let queue = vec![tenant_job(0, 0, 10, 7)];
+        assert_eq!(
+            WeightedFairQueue::new().next_assignment(&queue, &fleet, 0.0),
+            Some((0, 2)),
+            "the lane's placement must exploit the warm cache"
+        );
+    }
+
+    #[test]
+    fn wfq_blocked_lane_does_not_block_other_tenants() {
+        let mut fleet = fleet(2);
+        // Tenant 0's head only fits device 1, which is busy; tenant 1's job
+        // fits device 0 and must not wait behind the blocked lane.
+        fleet.devices[0].capacity_lps = 5;
+        fleet.devices[1].busy_until = 100.0;
+        let queue = vec![tenant_job(0, 0, 10, 1), tenant_job(1, 1, 4, 2)];
+        assert_eq!(
+            WeightedFairQueue::new().next_assignment(&queue, &fleet, 0.0),
+            Some((1, 0))
+        );
+    }
+
+    #[test]
+    fn wfq_charges_warm_jobs_less_virtual_time() {
+        // Tenant 0's topology is warm: its per-job charge is tiny, so it
+        // keeps winning the lane race over the cold tenant many times in a
+        // row — warm re-use genuinely consumes less of the share.  The
+        // sizes are large enough that the modeled embed cost (∝ LPS³)
+        // dwarfs the fixed overhead, so warm and cold charges differ by an
+        // order of magnitude.
+        let mut fleet = fleet(1);
+        fleet.devices[0].mark_warm(7, 30);
+        let mut wfq = WeightedFairQueue::new();
+        let mut queue: Vec<Job> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    tenant_job(i, 0, 30, 7) // warm lane
+                } else {
+                    tenant_job(i, 1, 30, 8) // cold lane
+                }
+            })
+            .collect();
+        // First two dispatches: one from each lane (tags start equal).
+        for _ in 0..2 {
+            let (qi, _) = wfq.next_assignment(&queue, &fleet, 0.0).unwrap();
+            queue.remove(qi);
+        }
+        // From here the cold lane's finish tag towers over the warm lane's:
+        // several consecutive dispatches come from tenant 0.
+        let mut consecutive_warm = 0;
+        while let Some((qi, _)) = wfq.next_assignment(&queue, &fleet, 0.0) {
+            if queue[qi].tenant.index() != 0 {
+                break;
+            }
+            consecutive_warm += 1;
+            queue.remove(qi);
+        }
+        assert!(
+            consecutive_warm >= 3,
+            "warm lane should be charged far less virtual time \
+             (got {consecutive_warm} consecutive warm dispatches)"
+        );
+    }
+
+    #[test]
     fn policy_kind_parses_and_displays() {
         assert_eq!("fifo".parse::<PolicyKind>().unwrap(), PolicyKind::Fifo);
         assert_eq!(
@@ -639,6 +922,10 @@ mod tests {
         assert_eq!(
             "cache-affinity".parse::<PolicyKind>().unwrap(),
             PolicyKind::CacheAffinity
+        );
+        assert_eq!(
+            "weighted-fair".parse::<PolicyKind>().unwrap(),
+            PolicyKind::WeightedFair
         );
         assert!("nope".parse::<PolicyKind>().is_err());
         for kind in PolicyKind::all() {

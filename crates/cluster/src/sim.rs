@@ -4,7 +4,14 @@
 //! state, let the scheduler dispatch, repeat until the future-event list is
 //! empty.  Everything runs on the virtual clock of [`crate::event`] — no
 //! wall time, no global RNG — so the outcome (trace included) is a pure
-//! function of `(fleet seed, workload, policy, mode)`.
+//! function of `(fleet seed, workload, policy, admission, mode)`.
+//!
+//! [`simulate_with_admission`] interposes an
+//! [`AdmissionController`](crate::admission::AdmissionController) between
+//! arrival and the scheduler: accepted jobs queue as usual, shed jobs are
+//! dropped and counted per tenant, deferred jobs re-arrive at the
+//! controller's chosen virtual time (with their original arrival stamp in
+//! open mode, so deferral shows up in the queueing delay).
 //!
 //! Two workload modes:
 //!
@@ -14,11 +21,13 @@
 //!   releases the next job from the stream immediately, the classic
 //!   fixed-population throughput experiment.
 
+use crate::admission::{AdmissionController, AdmissionDecision, AdmitAll};
 use crate::event::{Event, EventKind, EventQueue};
 use crate::fleet::Fleet;
 use crate::job::{Job, JobRecord};
-use crate::metrics::{LatencyStats, QpuStats, SimReport};
+use crate::metrics::{LatencyStats, QpuStats, SimReport, TenantStats};
 use crate::scheduler::Scheduler;
+use crate::tenant::{TenantId, TenantMeta};
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -76,17 +85,50 @@ pub enum TraceRecord {
         /// The job.
         job: usize,
     },
+    /// The admission controller shed a job.
+    Shed {
+        /// Virtual time of the shed.
+        time: f64,
+        /// The job.
+        job: usize,
+        /// The tenant that submitted it.
+        tenant: TenantId,
+    },
+    /// The admission controller deferred a job to a later arrival.
+    Deferred {
+        /// Virtual time of the deferral.
+        time: f64,
+        /// The job.
+        job: usize,
+        /// When the job re-arrives.
+        until: f64,
+    },
 }
 
-/// Run `workload` against `fleet` under `scheduler`.
+/// Run `workload` against `fleet` under `scheduler`, admitting every
+/// arrival ([`AdmitAll`]).
 ///
 /// The fleet is consumed: its warm sets and occupancy are part of the run's
 /// state, so policy comparisons must rebuild the fleet (same
 /// [`crate::fleet::FleetConfig`], hence identical fault maps) per run.
 pub fn simulate(
+    fleet: Fleet,
+    workload: &Workload,
+    scheduler: &mut dyn Scheduler,
+    config: SimConfig,
+) -> SimReport {
+    simulate_with_admission(fleet, workload, scheduler, &mut AdmitAll, config)
+}
+
+/// [`simulate`], with an [`AdmissionController`] gating every arrival
+/// before it reaches the scheduler: accepted jobs queue, shed jobs are
+/// dropped (counted per tenant), deferred jobs re-arrive at the
+/// controller's chosen virtual time.
+pub fn simulate_with_admission(
     mut fleet: Fleet,
     workload: &Workload,
     scheduler: &mut dyn Scheduler,
+    admission: &mut dyn AdmissionController,
     config: SimConfig,
 ) -> SimReport {
     let mut events = EventQueue::new();
@@ -95,8 +137,22 @@ pub fn simulate(
     let mut queue_depth: Vec<(f64, usize)> = Vec::new();
     let mut records: Vec<JobRecord> = Vec::with_capacity(workload.len());
     let mut in_flight: Vec<Option<JobRecord>> = vec![None; workload.len()];
+    // When each job first entered the system (closed mode re-stamps
+    // arrivals with the release clock, but a deferred re-arrival must keep
+    // its original stamp or `now - arrival` — the controller's total-defer
+    // measure — is always zero and `max_defer_seconds` can never bind).
+    let mut released_at: Vec<Option<f64>> = vec![None; workload.len()];
     let mut rejected = 0usize;
     let mut clock = 0.0_f64;
+    // Per-tenant accounting, indexed by tenant id.
+    let lanes = workload.lane_count();
+    let mut tenant_depth = vec![0usize; lanes];
+    let mut tenant_depth_max = vec![0usize; lanes];
+    let mut tenant_shed = vec![0usize; lanes];
+    let mut tenant_deferrals = vec![0usize; lanes];
+    let mut tenant_rejected = vec![0usize; lanes];
+    let mut shed = 0usize;
+    let mut deferrals = 0usize;
 
     // Release the initial population.
     let mut next_release = match config.mode {
@@ -123,17 +179,53 @@ pub fn simulate(
         match event.kind {
             EventKind::JobArrival { job } => {
                 let mut job = workload.jobs[job].clone();
-                // In closed mode the release time is the true arrival.
-                job.arrival = clock;
-                if fleet.devices.iter().any(|d| d.can_run(job.lps)) {
-                    queue.push(job);
-                } else {
+                // In closed mode the *first* release time is the true
+                // arrival; open mode keeps the generated stamp.  Either
+                // way a deferred re-arrival keeps the original stamp, so
+                // its queueing delay includes the defer time and the
+                // admission controller can see how long it has deferred.
+                if matches!(config.mode, WorkloadMode::Closed { .. }) {
+                    job.arrival = *released_at[job.id].get_or_insert(clock);
+                }
+                let lane = job.tenant.index();
+                if !fleet.devices.iter().any(|d| d.can_run(job.lps)) {
                     rejected += 1;
+                    tenant_rejected[lane] += 1;
                     trace.push(TraceRecord::Rejected {
                         time: clock,
                         job: job.id,
                     });
                     release_next = true;
+                } else {
+                    match admission.admit(&job, tenant_depth[lane], clock) {
+                        AdmissionDecision::Defer { until } if until > clock => {
+                            deferrals += 1;
+                            tenant_deferrals[lane] += 1;
+                            trace.push(TraceRecord::Deferred {
+                                time: clock,
+                                job: job.id,
+                                until,
+                            });
+                            events.schedule(until, EventKind::JobArrival { job: job.id });
+                        }
+                        AdmissionDecision::Accept => {
+                            tenant_depth[lane] += 1;
+                            tenant_depth_max[lane] = tenant_depth_max[lane].max(tenant_depth[lane]);
+                            queue.push(job);
+                        }
+                        // A defer that does not advance the clock would loop
+                        // forever; shedding is the only safe fallback.
+                        AdmissionDecision::Shed | AdmissionDecision::Defer { .. } => {
+                            shed += 1;
+                            tenant_shed[lane] += 1;
+                            trace.push(TraceRecord::Shed {
+                                time: clock,
+                                job: job.id,
+                                tenant: job.tenant,
+                            });
+                            release_next = true;
+                        }
+                    }
                 }
             }
             EventKind::JobCompletion { qpu: _, job } => {
@@ -163,6 +255,7 @@ pub fn simulate(
         // Let the policy fill every idle device it wants to.
         while let Some((qi, d)) = scheduler.next_assignment(&queue, &fleet, clock) {
             let job = queue.remove(qi);
+            tenant_depth[job.tenant.index()] -= 1;
             let device = &mut fleet.devices[d];
             debug_assert!(device.is_idle(clock) && device.can_run(job.lps));
             let warm = device.is_warm(job.topology_key);
@@ -170,6 +263,7 @@ pub fn simulate(
                 // An analytic-model failure is unreachable for feasible
                 // sizes; account it as a rejection rather than crashing.
                 rejected += 1;
+                tenant_rejected[job.tenant.index()] += 1;
                 trace.push(TraceRecord::Rejected {
                     time: clock,
                     job: job.id,
@@ -205,6 +299,7 @@ pub fn simulate(
             }
             in_flight[job.id] = Some(JobRecord {
                 job: job.id,
+                tenant: job.tenant,
                 qpu: d,
                 arrival: job.arrival,
                 start: clock,
@@ -256,14 +351,52 @@ pub fn simulate(
             cold_misses: d.cold_misses,
             warm_topologies: d.warm_topologies(),
             evictions: d.evictions(),
+            cache_bypassed: d.cache_bypassed(),
             cache_capacity: d.cache_capacity(),
+        })
+        .collect();
+
+    let per_tenant: Vec<TenantStats> = (0..lanes)
+        .map(|lane| {
+            let id = TenantId(lane);
+            let meta = workload
+                .tenants
+                .iter()
+                .find(|t| t.id == id)
+                .cloned()
+                .unwrap_or(TenantMeta {
+                    id,
+                    name: format!("{id}"),
+                    weight: 1.0,
+                });
+            let tenant_records: Vec<&JobRecord> =
+                records.iter().filter(|r| r.tenant == id).collect();
+            let lat: Vec<f64> = tenant_records.iter().map(|r| r.latency_seconds()).collect();
+            let wai: Vec<f64> = tenant_records.iter().map(|r| r.wait_seconds()).collect();
+            TenantStats {
+                tenant: id,
+                name: meta.name,
+                weight: meta.weight,
+                submitted: workload.jobs.iter().filter(|j| j.tenant == id).count(),
+                completed: tenant_records.len(),
+                shed: tenant_shed[lane],
+                deferrals: tenant_deferrals[lane],
+                rejected: tenant_rejected[lane],
+                max_queue_depth: tenant_depth_max[lane],
+                latency: LatencyStats::from_values(&lat),
+                wait: LatencyStats::from_values(&wai),
+                service_seconds: tenant_records.iter().map(|r| r.service_seconds()).sum(),
+            }
         })
         .collect();
 
     SimReport {
         policy: scheduler.name().to_string(),
+        admission: admission.name().to_string(),
         jobs: workload.len(),
         completed: records.len(),
+        shed,
+        deferrals,
         rejected,
         makespan_seconds: makespan,
         latency: LatencyStats::from_values(&latencies),
@@ -272,6 +405,7 @@ pub fn simulate(
         stage2_seconds: records.iter().map(|r| r.stage2_seconds).sum(),
         stage3_seconds: records.iter().map(|r| r.stage3_seconds).sum(),
         per_qpu,
+        per_tenant,
         queue_depth,
         records,
         trace,
@@ -387,8 +521,137 @@ mod tests {
     }
 
     #[test]
+    fn admission_sheds_over_the_depth_limit_and_bounds_the_queue() {
+        use crate::admission::{TokenBucket, TokenBucketConfig};
+
+        // One slow device, a flood of arrivals: without admission the queue
+        // grows with the flood; with a depth limit it cannot.
+        let workload = WorkloadSpec::repeated_topologies(60, 50.0, 3).generate();
+        let open = simulate(
+            fleet(3),
+            &workload,
+            PolicyKind::Fifo.build().as_mut(),
+            SimConfig::default(),
+        );
+        let depth_limit = 4;
+        let mut gate = TokenBucket::new(TokenBucketConfig {
+            rate_hz: 100.0, // tokens never bind; only the depth limit does
+            burst: 100.0,
+            max_queue_depth: depth_limit,
+            max_defer_seconds: 1e6,
+        });
+        let gated = simulate_with_admission(
+            fleet(3),
+            &workload,
+            PolicyKind::Fifo.build().as_mut(),
+            &mut gate,
+            SimConfig::default(),
+        );
+        assert!(open.max_queue_depth() > depth_limit);
+        assert!(gated.max_queue_depth() <= depth_limit);
+        assert!(gated.shed > 0);
+        assert_eq!(gated.completed + gated.rejected + gated.shed, gated.jobs);
+        assert_eq!(gated.admission, "token-bucket");
+        assert_eq!(gated.per_tenant[0].shed, gated.shed);
+        assert_eq!(gated.per_tenant[0].max_queue_depth, depth_limit);
+    }
+
+    #[test]
+    fn deferred_jobs_complete_and_pay_the_defer_in_waiting_time() {
+        use crate::admission::{TokenBucket, TokenBucketConfig};
+
+        // A tight rate budget with room to defer: jobs trickle in at the
+        // bucket's pace but all complete, and the defer time lands in the
+        // queueing delay because the original arrival stamp is preserved.
+        let workload = WorkloadSpec::repeated_topologies(12, 100.0, 5).generate();
+        let mut gate = TokenBucket::new(TokenBucketConfig {
+            rate_hz: 0.5,
+            burst: 1.0,
+            max_queue_depth: 100,
+            max_defer_seconds: 1e6,
+        });
+        let report = simulate_with_admission(
+            fleet(3),
+            &workload,
+            PolicyKind::Fifo.build().as_mut(),
+            &mut gate,
+            SimConfig::default(),
+        );
+        assert_eq!(report.completed, 12, "nothing sheds under a pure defer");
+        assert!(report.deferrals > 0);
+        assert_eq!(report.per_tenant[0].deferrals, report.deferrals);
+        // 12 jobs at 0.5 Hz: the last admission is ~22s after arrival, and
+        // that shows up as queueing delay.
+        assert!(report.wait.max > 10.0);
+    }
+
+    #[test]
+    fn closed_mode_defer_bound_sheds_instead_of_spinning() {
+        use crate::admission::{TokenBucket, TokenBucketConfig};
+
+        // Regression: closed mode used to re-stamp every arrival event —
+        // including deferred re-arrivals — with the current clock, so the
+        // controller's `now - arrival` defer measure was always zero and
+        // `max_defer_seconds` could never bind.  With a glacial refill the
+        // out-of-tokens jobs must shed at their bounded re-arrival, not
+        // keep deferring on a fresh stamp.
+        let workload = WorkloadSpec::repeated_topologies(6, 1.0, 3).generate();
+        let mut gate = TokenBucket::new(TokenBucketConfig {
+            rate_hz: 0.001,
+            burst: 1.0,
+            max_queue_depth: 100,
+            max_defer_seconds: 10.0,
+        });
+        let report = simulate_with_admission(
+            fleet(3),
+            &workload,
+            PolicyKind::Fifo.build().as_mut(),
+            &mut gate,
+            SimConfig {
+                mode: WorkloadMode::Closed { clients: 2 },
+            },
+        );
+        assert!(report.shed > 0, "defer bound never bound in closed mode");
+        assert_eq!(
+            report.completed + report.rejected + report.shed,
+            report.jobs
+        );
+        // Whatever was deferred was deferred at most once before shedding.
+        assert!(report.deferrals <= report.shed + report.completed);
+    }
+
+    #[test]
+    fn multi_tenant_runs_report_per_tenant_stats() {
+        use crate::tenant::MultiTenantSpec;
+
+        let workload = MultiTenantSpec::aggressor_victim(8, 0.5, 3.0, 1.0, 11).generate();
+        let report = simulate(
+            fleet(9),
+            &workload,
+            PolicyKind::WeightedFair.build().as_mut(),
+            SimConfig::default(),
+        );
+        assert_eq!(report.per_tenant.len(), 2);
+        let victim = report.tenant_named("victim").unwrap();
+        let aggressor = report.tenant_named("aggressor").unwrap();
+        assert_eq!(victim.submitted, 8);
+        assert_eq!(aggressor.submitted, 24);
+        assert_eq!(
+            victim.completed + aggressor.completed + report.rejected,
+            report.jobs
+        );
+        assert!(victim.latency.percentiles_ordered());
+        assert!(aggressor.latency.percentiles_ordered());
+        // Per-tenant service sums to the fleet total.
+        let total: f64 = report.per_tenant.iter().map(|t| t.service_seconds).sum();
+        let expected = report.total_service_seconds();
+        assert!((total - expected).abs() < 1e-6 * expected.max(1.0));
+        assert!(report.jains_fairness_index() > 0.0);
+    }
+
+    #[test]
     fn empty_workload_produces_an_empty_report() {
-        let workload = Workload { jobs: vec![] };
+        let workload = Workload::single_tenant(vec![]);
         let mut scheduler = PolicyKind::Fifo.build();
         let report = simulate(
             fleet(1),

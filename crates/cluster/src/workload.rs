@@ -15,6 +15,7 @@
 //! topologies degenerate to every job being cold.
 
 use crate::job::Job;
+use crate::tenant::{TenantId, TenantMeta};
 use chimera_graph::generators;
 use qubo_ising::problems::maxcut::MaxCut;
 use qubo_ising::problems::partition::NumberPartition;
@@ -57,6 +58,15 @@ pub enum WorkloadError {
         /// What is wrong with it.
         problem: &'static str,
     },
+    /// A multi-tenant composition with no tenants.
+    NoTenants,
+    /// A tenant's fair-share weight is non-positive or non-finite.
+    InvalidTenantWeight {
+        /// The tenant's name.
+        tenant: String,
+        /// The offending weight.
+        weight: f64,
+    },
 }
 
 impl std::fmt::Display for WorkloadError {
@@ -83,6 +93,15 @@ impl std::fmt::Display for WorkloadError {
             }
             WorkloadError::DegenerateFamily { family, problem } => {
                 write!(f, "family {family} is degenerate: {problem}")
+            }
+            WorkloadError::NoTenants => {
+                write!(f, "a multi-tenant composition needs at least one tenant")
+            }
+            WorkloadError::InvalidTenantWeight { tenant, weight } => {
+                write!(
+                    f,
+                    "tenant {tenant} weight must be positive and finite, got {weight}"
+                )
             }
         }
     }
@@ -356,6 +375,14 @@ impl WorkloadSpec {
 
     /// The generation pass proper; assumes [`Self::validate`] succeeded.
     fn generate_unchecked(&self) -> Workload {
+        Workload::single_tenant(self.generate_unchecked_jobs())
+    }
+
+    /// Generate the raw job stream (default tenant) without wrapping it in
+    /// a [`Workload`]; the multi-tenant composition
+    /// ([`crate::tenant::MultiTenantSpec`]) re-stamps tenant ids and merges
+    /// several of these streams.  Assumes [`Self::validate`] succeeded.
+    pub(crate) fn generate_unchecked_jobs(&self) -> Vec<Job> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let total_weight: f64 = self.mix.iter().map(|(w, _)| w.max(0.0)).sum();
 
@@ -393,13 +420,14 @@ impl WorkloadSpec {
             let interaction = qubo_to_ising(&qubo).ising.interaction_graph();
             jobs.push(Job {
                 id,
+                tenant: TenantId::DEFAULT,
                 family,
                 lps: qubo.num_variables(),
                 topology_key: graph_key(&interaction),
                 arrival: clock,
             });
         }
-        Workload { jobs }
+        jobs
     }
 }
 
@@ -416,9 +444,21 @@ fn exponential(rng: &mut ChaCha8Rng, rate_hz: f64) -> f64 {
 pub struct Workload {
     /// Jobs in arrival order.
     pub jobs: Vec<Job>,
+    /// The tenants the jobs belong to, in id order.  Single-tenant
+    /// workloads carry the one default tenant.
+    pub tenants: Vec<TenantMeta>,
 }
 
 impl Workload {
+    /// Wrap a raw job stream as a single-tenant workload (every job is
+    /// expected to carry [`TenantId::DEFAULT`]).
+    pub fn single_tenant(jobs: Vec<Job>) -> Self {
+        Self {
+            jobs,
+            tenants: vec![TenantMeta::single()],
+        }
+    }
+
     /// Number of jobs.
     pub fn len(&self) -> usize {
         self.jobs.len()
@@ -439,6 +479,37 @@ impl Workload {
         let keys: std::collections::HashSet<u64> =
             self.jobs.iter().map(|j| j.topology_key).collect();
         keys.len()
+    }
+
+    /// The fair-share weight of `tenant` (1.0 for tenants without
+    /// metadata, so hand-built workloads behave uniformly).
+    pub fn tenant_weight(&self, tenant: TenantId) -> f64 {
+        self.tenants
+            .iter()
+            .find(|t| t.id == tenant)
+            .map(|t| t.weight)
+            .unwrap_or(1.0)
+    }
+
+    /// Number of tenant lanes the workload spans: one past the highest
+    /// tenant id appearing in either the jobs or the tenant metadata.
+    /// Both the per-tenant accounting arrays in the engine and the
+    /// weighted-fair scheduler's weight vector are sized by this.
+    pub fn lane_count(&self) -> usize {
+        self.jobs
+            .iter()
+            .map(|j| j.tenant.index() + 1)
+            .chain(self.tenants.iter().map(|t| t.id.index() + 1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The per-tenant fair-share weights indexed by tenant id — the vector
+    /// [`crate::scheduler::WeightedFairQueue::with_weights`] consumes.
+    pub fn weights(&self) -> Vec<f64> {
+        (0..self.lane_count())
+            .map(|id| self.tenant_weight(TenantId(id)))
+            .collect()
     }
 }
 

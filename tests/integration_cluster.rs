@@ -114,24 +114,24 @@ fn cluster_and_batch_reports_share_one_summary_format() {
 /// Jobs too large for every device in the fleet are rejected, not lost.
 #[test]
 fn oversized_jobs_are_rejected_cleanly() {
-    let workload = Workload {
-        jobs: vec![
-            Job {
-                id: 0,
-                family: "too-big".into(),
-                lps: 500,
-                topology_key: 1,
-                arrival: 0.0,
-            },
-            Job {
-                id: 1,
-                family: "fits".into(),
-                lps: 20,
-                topology_key: 2,
-                arrival: 1.0,
-            },
-        ],
-    };
+    let workload = Workload::single_tenant(vec![
+        Job {
+            id: 0,
+            tenant: TenantId::DEFAULT,
+            family: "too-big".into(),
+            lps: 500,
+            topology_key: 1,
+            arrival: 0.0,
+        },
+        Job {
+            id: 1,
+            tenant: TenantId::DEFAULT,
+            family: "fits".into(),
+            lps: 20,
+            topology_key: 2,
+            arrival: 1.0,
+        },
+    ]);
     let report = run(PolicyKind::Fifo, &workload, 2, 1);
     assert_eq!(report.rejected, 1);
     assert_eq!(report.completed, 1);
@@ -268,6 +268,206 @@ fn invalid_workload_specs_are_rejected_with_errors() {
         bad_family.try_generate().unwrap_err(),
         WorkloadError::DegenerateFamily { .. }
     ));
+}
+
+/// The multi-tenant fairness acceptance claim in miniature: under a 10:1
+/// aggressor/victim arrival skew, weighted fair queueing keeps the victim's
+/// p99 within a constant factor of its isolated-run p99, while FIFO lets
+/// the aggressor's backlog inflate it far further.
+#[test]
+fn wfq_bounds_the_victim_p99_under_an_aggressor() {
+    let seed = 7;
+    let spec = MultiTenantSpec::aggressor_victim(15, 0.4, 10.0, 1.0, seed);
+    let workload = spec.generate();
+
+    // The victim alone on the same fleet: its no-contention baseline.
+    let isolated_spec = MultiTenantSpec {
+        tenants: vec![spec.tenants[0].clone()],
+        ..spec.clone()
+    };
+    let isolated_workload = isolated_spec.generate();
+    let isolated = run(PolicyKind::Fifo, &isolated_workload, 3, seed);
+    let isolated_p99 = isolated.latency.p99;
+    assert!(isolated_p99 > 0.0);
+
+    let fifo = run(PolicyKind::Fifo, &workload, 3, seed);
+    let mut wfq_policy = WeightedFairQueue::for_workload(&workload);
+    let wfq = simulate(
+        fleet(3, seed),
+        &workload,
+        &mut wfq_policy,
+        SimConfig::default(),
+    );
+
+    let fifo_victim = fifo.tenant_named("victim").unwrap().latency.p99;
+    let wfq_victim = wfq.tenant_named("victim").unwrap().latency.p99;
+    assert!(
+        wfq_victim <= 8.0 * isolated_p99,
+        "WFQ victim p99 {wfq_victim:.2}s blew past the isolated baseline {isolated_p99:.2}s"
+    );
+    assert!(
+        fifo_victim > 2.0 * wfq_victim,
+        "FIFO victim p99 {fifo_victim:.2}s should be far above WFQ's {wfq_victim:.2}s"
+    );
+}
+
+/// Token-bucket admission bounds the queue depth an aggressor can build,
+/// sheds only the aggressor's excess, and leaves the victim untouched.
+#[test]
+fn token_bucket_sheds_the_aggressor_not_the_victim() {
+    let seed = 3;
+    let workload = MultiTenantSpec::aggressor_victim(12, 0.4, 10.0, 1.0, seed).generate();
+
+    let open = {
+        let mut policy = WeightedFairQueue::for_workload(&workload);
+        simulate(fleet(3, seed), &workload, &mut policy, SimConfig::default())
+    };
+
+    let depth_limit = 5;
+    let mut gate = TokenBucket::new(TokenBucketConfig {
+        rate_hz: 100.0,
+        burst: 100.0,
+        max_queue_depth: usize::MAX,
+        max_defer_seconds: 1e6,
+    })
+    .with_tenant_budget(
+        TenantId(1),
+        TokenBucketConfig {
+            rate_hz: 100.0,
+            burst: 100.0,
+            max_queue_depth: depth_limit,
+            max_defer_seconds: 1e6,
+        },
+    );
+    let mut policy = WeightedFairQueue::for_workload(&workload);
+    let gated = simulate_with_admission(
+        fleet(3, seed),
+        &workload,
+        &mut policy,
+        &mut gate,
+        SimConfig::default(),
+    );
+
+    let aggressor = gated.tenant_named("aggressor").unwrap();
+    let victim = gated.tenant_named("victim").unwrap();
+    assert!(open.max_queue_depth() > depth_limit + victim.max_queue_depth);
+    assert!(aggressor.max_queue_depth <= depth_limit);
+    assert!(aggressor.shed > 0, "the flood must shed");
+    assert_eq!(victim.shed, 0, "the victim must not shed");
+    assert_eq!(
+        gated.completed + gated.rejected + gated.shed,
+        gated.jobs,
+        "every job is accounted for under admission control"
+    );
+}
+
+/// Multi-tenant runs with WFQ and token-bucket admission replay
+/// bit-identically per seed, across the workspace boundary.
+#[test]
+fn multi_tenant_simulation_is_deterministic_end_to_end() {
+    let run = |seed: u64| {
+        let workload = MultiTenantSpec::aggressor_victim(10, 0.5, 6.0, 2.0, seed).generate();
+        let mut policy = WeightedFairQueue::for_workload(&workload);
+        let mut gate = TokenBucket::new(TokenBucketConfig {
+            rate_hz: 1.5,
+            burst: 4.0,
+            max_queue_depth: 10,
+            max_defer_seconds: 100.0,
+        });
+        simulate_with_admission(
+            fleet(3, seed),
+            &workload,
+            &mut policy,
+            &mut gate,
+            SimConfig::default(),
+        )
+    };
+    assert_eq!(run(21), run(21));
+    assert_ne!(run(21).trace, run(22).trace);
+}
+
+/// The machine-readable export: a multi-tenant report renders to JSON with
+/// the per-tenant and fairness fields sweeps consume.
+#[test]
+fn sim_reports_export_to_json() {
+    let workload = MultiTenantSpec::aggressor_victim(6, 0.5, 3.0, 1.0, 5).generate();
+    let mut policy = WeightedFairQueue::for_workload(&workload);
+    let report = simulate(fleet(2, 5), &workload, &mut policy, SimConfig::default());
+    let json = report.to_json();
+    assert_eq!(json.get("policy"), Some(&JsonValue::from("wfq")));
+    assert!(json.get("jains_fairness_index").is_some());
+    let text = json.to_string();
+    assert!(text.starts_with('{') && text.ends_with('}'));
+    assert!(text.contains("\"per_tenant\""));
+    assert!(text.contains("\"victim\""));
+    assert_eq!(text.matches('{').count(), text.matches('}').count());
+}
+
+/// The cache-admission satellite: on a low-repetition mix (a stream
+/// dominated by one-shot topologies plus a recurring hot set), the
+/// second-chance doorkeeper keeps one-shot embeds from churning the bounded
+/// cache, and must not lose to always-admit on mean latency.
+#[test]
+fn second_chance_cache_admission_helps_on_low_repetition_mixes() {
+    let spec = WorkloadSpec {
+        jobs: 90,
+        seed: 13,
+        arrivals: ArrivalProcess::Poisson { rate_hz: 1.0 },
+        mix: vec![
+            // The hot set: two recurring cycle topologies.
+            (
+                1.0,
+                FamilySpec::MaxCutCycle {
+                    sizes: vec![24, 30],
+                },
+            ),
+            // The one-shot flood: many Gnp variants, rarely repeated.
+            (
+                2.0,
+                FamilySpec::MaxCutGnp {
+                    n: 18,
+                    p: 0.3,
+                    variants: 40,
+                },
+            ),
+        ],
+    };
+    let workload = spec.try_generate().expect("valid spec");
+    assert!(
+        workload.distinct_topologies() > 20,
+        "mix must be low-repetition"
+    );
+
+    let run = |admission: sx_cluster::AdmissionPolicy| {
+        let fleet = Fleet::new(
+            FleetConfig {
+                qpus: 2,
+                seed: 13,
+                ..FleetConfig::default()
+            }
+            .with_cache(3, EvictionPolicyKind::Lru)
+            .with_cache_admission(admission),
+            SplitExecConfig::with_seed(13),
+        );
+        let mut scheduler = PolicyKind::Fifo.build();
+        simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default())
+    };
+    let always = run(sx_cluster::AdmissionPolicy::Always);
+    let second = run(sx_cluster::AdmissionPolicy::SecondChance);
+    assert_eq!(always.cache_bypassed(), 0);
+    assert!(second.cache_bypassed() > 0, "the doorkeeper must gate");
+    assert!(
+        second.evictions() < always.evictions(),
+        "gating one-shot topologies must reduce churn ({} !< {})",
+        second.evictions(),
+        always.evictions()
+    );
+    assert!(
+        second.latency.mean <= always.latency.mean * 1.02,
+        "second-chance lost on mean latency: {:.3}s vs {:.3}s",
+        second.latency.mean,
+        always.latency.mean
+    );
 }
 
 /// Closed-loop mode sustains a fixed population and completes the stream.
