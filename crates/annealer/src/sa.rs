@@ -10,7 +10,7 @@
 //!
 //! The inner loop works on a flattened CSR neighbor structure so that a
 //! sweep touches memory contiguously; this is the same layout used by the
-//! hardware-graph crate's [`chimera_graph::Csr`].
+//! hardware-graph crate's `chimera_graph::Csr`.
 
 use crate::schedule::AnnealSchedule;
 use qubo_ising::{Ising, Spin};

@@ -1,7 +1,8 @@
-//! Datacenter simulation: scheduling policies, cache sweeps and
-//! multi-tenant fairness.
+//! Datacenter simulation: scheduling policies, cache sweeps, multi-tenant
+//! fairness and deadline SLOs.
 //!
-//! Five modes:
+//! Six modes (see `docs/cluster_sim.md` for the full flag and JSON-schema
+//! reference):
 //!
 //! * `--mode compare` (default) — replays a stream of QUBO jobs against a
 //!   fleet of simulated QPUs (each with its own fault map) under each
@@ -32,10 +33,18 @@
 //! * `--mode admission` — compares cache-admission policies (always vs
 //!   second-chance doorkeeper) on a low-repetition mix with a bounded
 //!   cache; FAILs if the doorkeeper loses on churn or latency.
+//! * `--mode slo` — the deadline acceptance sweep: load × slack factor ×
+//!   policy (FIFO, plain FIFO-lane WFQ, EDF-in-lane WFQ, global EDF) on a
+//!   two-tenant proportional-deadline composition.  FAILs unless
+//!   EDF-in-lane WFQ achieves a strictly lower SLO miss-rate than both
+//!   FIFO and plain WFQ at the high-load/tight-slack point while keeping
+//!   Jain's index within 5% of plain WFQ, and unless token-bucket
+//!   deadline-infeasibility shedding sheds doomed aggressor jobs without
+//!   ever claiming a feasible victim job.
 //!
 //! ```text
 //! cargo run --release -p sx-bench --bin cluster_sim -- \
-//!     [--mode compare|cache-cliff|fairness|aging-sweep|admission] \
+//!     [--mode compare|cache-cliff|fairness|aging-sweep|admission|slo] \
 //!     [--jobs N] [--qpus N] [--seed S] [--rate R] \
 //!     [--closed CLIENTS] [--workload repeated|mixed|bursty] \
 //!     [--policy fifo|spjf|affinity|wfq|all] [--fleet uniform|hetero] \
@@ -179,10 +188,11 @@ fn main() {
         "fairness" | "fair" => fairness(&args),
         "aging-sweep" | "aging_sweep" | "aging" => aging_sweep(&args),
         "admission" | "cache-admission" => admission_compare(&args),
+        "slo" | "deadline" | "deadlines" => slo(&args),
         other => {
             eprintln!(
                 "unknown mode '{other}' (expected compare, cache-cliff, fairness, \
-                 aging-sweep or admission)"
+                 aging-sweep, admission or slo)"
             );
             std::process::exit(2);
         }
@@ -379,6 +389,7 @@ fn cache_cliff(args: &Args) -> (bool, JsonValue) {
                 rate_hz: args.rate_hz,
             },
             mix: vec![(1.0, FamilySpec::MaxCutCycle { sizes })],
+            deadlines: DeadlinePolicy::None,
         };
         let workload = match spec.try_generate() {
             Ok(workload) => workload,
@@ -667,6 +678,7 @@ fn fairness(args: &Args) -> (bool, JsonValue) {
             burst: 1e3,
             max_queue_depth: usize::MAX,
             max_defer_seconds: 1e9,
+            ..TokenBucketConfig::default()
         };
         let mut gate = TokenBucket::new(generous).with_tenant_budget(
             TenantId(1),
@@ -750,6 +762,7 @@ fn aging_sweep(args: &Args) -> (bool, JsonValue) {
             (12.0, FamilySpec::MaxCutCycle { sizes: vec![8, 10] }),
             (1.0, FamilySpec::Partition { n: 40 }),
         ],
+        deadlines: DeadlinePolicy::None,
     };
     let workload = match spec.try_generate() {
         Ok(workload) => workload,
@@ -867,6 +880,7 @@ fn admission_compare(args: &Args) -> (bool, JsonValue) {
                 },
             ),
         ],
+        deadlines: DeadlinePolicy::None,
     };
     let workload = match spec.try_generate() {
         Ok(workload) => workload,
@@ -943,6 +957,333 @@ fn admission_compare(args: &Args) -> (bool, JsonValue) {
         second.evictions() as f64 / always.evictions().max(1) as f64,
         second.latency.mean / always.latency.mean
     );
+
+    (ok, JsonValue::Array(json_points))
+}
+
+/// Jain's-index guardrail of `--mode slo`: EDF-ordered lanes must keep the
+/// index within this relative tolerance of plain (FIFO-lane) WFQ at the
+/// high-load point — SLO attainment must not be bought with unfairness.
+const SLO_JAIN_TOLERANCE: f64 = 0.05;
+
+/// The deadline composition of `--mode slo`: two tenants re-solving
+/// mixed-size cycle families (cold embed cost ∝ LPS³, so proportional
+/// deadlines span a wide tightness range within each lane — the
+/// heterogeneity EDF ordering exploits), with per-tenant proportional
+/// slack.
+fn slo_spec(
+    victim_jobs: usize,
+    victim_rate_hz: f64,
+    victim_factor: f64,
+    aggressor_factor: f64,
+    asymmetry: f64,
+    seed: u64,
+) -> MultiTenantSpec {
+    MultiTenantSpec {
+        seed,
+        tenants: vec![
+            TenantSpec {
+                name: "victim".to_string(),
+                weight: 1.0,
+                jobs: victim_jobs,
+                arrivals: ArrivalProcess::Poisson {
+                    rate_hz: victim_rate_hz,
+                },
+                // Disjoint size sets per tenant: each tenant pays its own
+                // cold embeds, so the (large) one-off embed costs cannot
+                // flip between tenants across policies and destabilize the
+                // fairness comparison.
+                mix: vec![(
+                    1.0,
+                    FamilySpec::MaxCutCycle {
+                        sizes: vec![12, 20, 28, 36],
+                    },
+                )],
+                deadlines: DeadlinePolicy::ProportionalSlack {
+                    factor: victim_factor,
+                },
+            },
+            TenantSpec {
+                name: "aggressor".to_string(),
+                weight: 1.0,
+                jobs: ((victim_jobs as f64) * asymmetry).round() as usize,
+                arrivals: ArrivalProcess::Poisson {
+                    rate_hz: victim_rate_hz * asymmetry,
+                },
+                mix: vec![(
+                    1.0,
+                    FamilySpec::MaxCutCycle {
+                        sizes: vec![14, 22, 30, 34],
+                    },
+                )],
+                deadlines: DeadlinePolicy::ProportionalSlack {
+                    factor: aggressor_factor,
+                },
+            },
+        ],
+    }
+}
+
+/// `--mode slo`: sweep load × deadline slack × policy on a two-tenant
+/// deadline composition, enforcing the deadline acceptance claims: at the
+/// high-load/tight-slack point, EDF-in-lane WFQ beats both FIFO and plain
+/// (FIFO-lane) WFQ on SLO miss-rate without degrading Jain's index, and
+/// token-bucket deadline-infeasibility shedding sheds doomed aggressor
+/// jobs while never touching the feasible victim.
+fn slo(args: &Args) -> (bool, JsonValue) {
+    // Capacity-derived arrival rates, as in the aging sweep: `load` is the
+    // ratio of offered warm work to what the fleet can serve.  The mix
+    // spans lps 12..=36 and warm service grows with size, so capacity is
+    // calibrated against the *mean* warm service over the grid's sizes —
+    // calibrating on one mid size would make nominal load 1.0 quietly
+    // super-critical and saturate long runs into all-miss ties.
+    let probe = Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed));
+    let grid_sizes = [12usize, 14, 20, 22, 28, 30, 34, 36];
+    let warm_mean_seconds = grid_sizes
+        .iter()
+        .map(|&lps| {
+            let (s1, s2, s3) = probe.devices[0]
+                .service_breakdown(lps, true)
+                .expect("warm service model for grid sizes");
+            s1 + s2 + s3
+        })
+        .sum::<f64>()
+        / grid_sizes.len() as f64;
+    let rate_at = |load: f64| args.rate_hz * load * args.qpus as f64 / warm_mean_seconds;
+    let loads = [0.6, 1.1];
+    let factors = [6.0, 12.0]; // tight vs loose proportional slack
+    let victim_jobs = (args.jobs / 2).max(10);
+
+    println!(
+        "# cluster_sim slo: 2 tenants x {victim_jobs} jobs, {} {} QPUs, seed {}, \
+         loads {loads:?} x slack factors {factors:?}",
+        args.qpus, args.fleet, args.seed
+    );
+    println!(
+        "\n{:>5} {:>6} {:>9} {:>6} {:>7} {:>8} {:>11} {:>11} {:>7}",
+        "load", "slack", "policy", "done", "miss%", "misses", "p99 late", "p99 lat", "Jain"
+    );
+
+    let mut ok = true;
+    let mut json_points: Vec<JsonValue> = Vec::new();
+    // (policy name -> (miss_rate, jain)) at the enforced grid point.
+    let mut at_high_load: Vec<(String, f64, f64)> = Vec::new();
+
+    for &load in &loads {
+        for &factor in &factors {
+            let spec = slo_spec(
+                victim_jobs,
+                rate_at(load) / 2.0,
+                factor,
+                factor,
+                1.0,
+                args.seed,
+            );
+            let workload = spec.generate();
+            let schedulers: Vec<Box<dyn Scheduler>> = vec![
+                Box::new(Fifo),
+                Box::new(
+                    WeightedFairQueue::for_workload(&workload).with_lane_order(LaneOrder::Fifo),
+                ),
+                Box::new(WeightedFairQueue::for_workload(&workload)),
+                Box::new(EarliestDeadlineFirst),
+            ];
+            for mut scheduler in schedulers {
+                let fleet = Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed));
+                let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default());
+                println!(
+                    "{:>5} {:>6} {:>9} {:>6} {:>7.1} {:>8} {:>10.2}s {:>10.2}s {:>7.3}",
+                    load,
+                    factor,
+                    report.policy,
+                    report.completed,
+                    100.0 * report.slo_miss_rate(),
+                    report.slo_misses(),
+                    report.lateness.p99,
+                    report.latency.p99,
+                    report.jains_fairness_index(),
+                );
+                json_points.push(JsonValue::object([
+                    ("load", JsonValue::from(load)),
+                    ("slack_factor", JsonValue::from(factor)),
+                    ("policy", JsonValue::from(report.policy.as_str())),
+                    ("slo_jobs", JsonValue::from(report.slo_jobs())),
+                    ("slo_misses", JsonValue::from(report.slo_misses())),
+                    ("slo_miss_rate", JsonValue::from(report.slo_miss_rate())),
+                    ("p99_lateness_seconds", JsonValue::from(report.lateness.p99)),
+                    (
+                        "jains_fairness_index",
+                        JsonValue::from(report.jains_fairness_index()),
+                    ),
+                ]));
+                if load == loads[1] && factor == factors[0] {
+                    at_high_load.push((
+                        report.policy.clone(),
+                        report.slo_miss_rate(),
+                        report.jains_fairness_index(),
+                    ));
+                }
+            }
+        }
+    }
+
+    // The enforced point: high load, tight slack.
+    let find = |name: &str| {
+        at_high_load
+            .iter()
+            .find(|(p, _, _)| p == name)
+            .unwrap_or_else(|| panic!("policy {name} missing from the grid"))
+    };
+    let (_, fifo_miss, _) = find("fifo");
+    let (_, plain_miss, plain_jain) = find("wfq-fifo");
+    let (_, edf_lane_miss, edf_lane_jain) = find("wfq");
+    println!(
+        "\nhigh load, tight slack: miss-rate fifo {:.1}% | wfq-fifo {:.1}% | wfq (EDF lanes) {:.1}%",
+        100.0 * fifo_miss,
+        100.0 * plain_miss,
+        100.0 * edf_lane_miss
+    );
+    if *fifo_miss <= 0.0 {
+        println!("FAIL: the high-load point produced no FIFO misses — the grid is too easy");
+        ok = false;
+    }
+    if edf_lane_miss >= fifo_miss {
+        println!(
+            "FAIL: EDF-in-lane WFQ miss-rate {:.3} is not strictly below FIFO's {:.3}",
+            edf_lane_miss, fifo_miss
+        );
+        ok = false;
+    }
+    if edf_lane_miss >= plain_miss {
+        println!(
+            "FAIL: EDF-in-lane WFQ miss-rate {:.3} is not strictly below plain WFQ's {:.3}",
+            edf_lane_miss, plain_miss
+        );
+        ok = false;
+    }
+    if (edf_lane_jain - plain_jain).abs() > SLO_JAIN_TOLERANCE * plain_jain {
+        println!(
+            "FAIL: EDF lanes moved Jain's index to {:.3}, more than {:.0}% away from plain WFQ's {:.3}",
+            edf_lane_jain,
+            100.0 * SLO_JAIN_TOLERANCE,
+            plain_jain
+        );
+        ok = false;
+    }
+
+    // Deadline-infeasibility shedding: a loose-slack victim (every job
+    // feasible at admission) shares the fleet with a tight-slack
+    // cache-busting flood.  The aggressor's diverse Gnp jobs embed cold and
+    // pin devices for long stretches; an aggressor arrival with only a few
+    // seconds of slack while every device is mid-embed is provably doomed
+    // (even the best case — warm service the instant a device frees —
+    // lands past its deadline) and must shed.  The victim's slack clears
+    // the worst possible pin (the costliest cold service in the mix, with
+    // headroom), so the admission-time bound can never claim a victim job.
+    let worst_pin = probe.worst_cold_service_seconds(36);
+    let spec = MultiTenantSpec {
+        seed: args.seed,
+        tenants: vec![
+            TenantSpec {
+                name: "victim".to_string(),
+                weight: 1.0,
+                jobs: victim_jobs,
+                arrivals: ArrivalProcess::Poisson {
+                    rate_hz: rate_at(loads[1]) / 4.0,
+                },
+                mix: vec![(
+                    1.0,
+                    FamilySpec::MaxCutCycle {
+                        sizes: vec![20, 28],
+                    },
+                )],
+                deadlines: DeadlinePolicy::FixedSlack {
+                    slack_seconds: 4.0 * worst_pin,
+                },
+            },
+            TenantSpec {
+                name: "aggressor".to_string(),
+                weight: 1.0,
+                jobs: victim_jobs * 3,
+                arrivals: ArrivalProcess::Poisson {
+                    rate_hz: 3.0 * rate_at(loads[1]) / 4.0,
+                },
+                mix: vec![(
+                    1.0,
+                    FamilySpec::MaxCutGnp {
+                        n: 30,
+                        p: 0.3,
+                        variants: 40,
+                    },
+                )],
+                deadlines: DeadlinePolicy::FixedSlack {
+                    slack_seconds: 0.05 * worst_pin,
+                },
+            },
+        ],
+    };
+    let workload = spec.generate();
+    let run_gated = |shed_infeasible: bool| {
+        let mut gate = TokenBucket::new(TokenBucketConfig {
+            rate_hz: 1e3, // only the feasibility check binds
+            burst: 1e3,
+            max_queue_depth: usize::MAX,
+            max_defer_seconds: 1e9,
+            shed_infeasible,
+        });
+        let mut policy = WeightedFairQueue::for_workload(&workload);
+        simulate_with_admission(
+            Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed)),
+            &workload,
+            &mut policy,
+            &mut gate,
+            SimConfig::default(),
+        )
+    };
+    let open = run_gated(false);
+    let gated = run_gated(true);
+    let victim = gated.tenant_named("victim").expect("victim stats");
+    let aggressor = gated.tenant_named("aggressor").expect("aggressor stats");
+    println!(
+        "infeasibility shedding: {} aggressor / {} victim jobs shed as doomed; \
+         completed-miss-rate {:.1}% -> {:.1}%",
+        aggressor.shed_infeasible,
+        victim.shed_infeasible,
+        100.0 * open.slo_miss_rate(),
+        100.0 * gated.slo_miss_rate()
+    );
+    if victim.shed_infeasible > 0 {
+        println!("FAIL: infeasibility shedding claimed a feasible victim job");
+        ok = false;
+    }
+    if victim.completed < victim.submitted {
+        println!(
+            "FAIL: victim completed only {}/{} jobs under the gate",
+            victim.completed, victim.submitted
+        );
+        ok = false;
+    }
+    if aggressor.shed_infeasible == 0 {
+        println!("FAIL: the doomed flood never tripped infeasibility shedding");
+        ok = false;
+    }
+    if gated.slo_miss_rate() > open.slo_miss_rate() {
+        println!("FAIL: shedding doomed work worsened the completed-jobs miss rate");
+        ok = false;
+    }
+    json_points.push(JsonValue::object([
+        ("check", JsonValue::from("infeasible-shedding")),
+        (
+            "aggressor_shed_infeasible",
+            JsonValue::from(aggressor.shed_infeasible),
+        ),
+        (
+            "victim_shed_infeasible",
+            JsonValue::from(victim.shed_infeasible),
+        ),
+        ("open_miss_rate", JsonValue::from(open.slo_miss_rate())),
+        ("gated_miss_rate", JsonValue::from(gated.slo_miss_rate())),
+    ]));
 
     (ok, JsonValue::Array(json_points))
 }

@@ -20,6 +20,12 @@
 //! defer exactly until the next token accrues (deterministic — the defer
 //! time is a pure function of the bucket state); jobs that have been
 //! deferred past `max_defer_seconds` shed instead of spinning forever.
+//! With [`TokenBucketConfig::shed_infeasible`] enabled, a job whose
+//! deadline is already unreachable under the engine's *best-case*
+//! completion estimate ([`AdmissionContext::predicted_completion`]) is shed
+//! at admission time instead of queueing doomed work — and because the
+//! estimate is a lower bound, a job that could still make its deadline is
+//! never shed on deadline grounds.
 
 use crate::job::Job;
 use crate::tenant::TenantId;
@@ -33,6 +39,10 @@ pub enum AdmissionDecision {
     Accept,
     /// Drop the job (counted as shed, never served).
     Shed,
+    /// Drop the job because its deadline is already infeasible — counted
+    /// separately from [`AdmissionDecision::Shed`] so SLO dashboards can
+    /// distinguish "over budget" from "doomed anyway".
+    ShedInfeasible,
     /// Re-submit the job at virtual time `until` (must be after the current
     /// time; the engine sheds instead if it is not, to guarantee progress).
     Defer {
@@ -41,17 +51,45 @@ pub enum AdmissionDecision {
     },
 }
 
+/// What the engine knows about the system at the moment a job arrives —
+/// the controller's only window onto fleet state, so admission decisions
+/// stay deterministic and replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionContext {
+    /// How many of the arriving job's tenant's jobs are already queued
+    /// (not yet dispatched).
+    pub tenant_queue_depth: usize,
+    /// The engine's *optimistic* estimate of the job's completion time
+    /// (absolute virtual seconds): the earliest any feasible device could
+    /// finish it, assuming a warm embedding and no queue ahead of it.
+    /// `None` when no device can run the job at all.  Actual completion
+    /// can only be later, so `predicted_completion > deadline` proves the
+    /// deadline unreachable.
+    pub predicted_completion: Option<f64>,
+}
+
+impl AdmissionContext {
+    /// A context carrying only the queue depth (no completion estimate) —
+    /// what direct callers outside the engine typically have.
+    pub fn with_depth(tenant_queue_depth: usize) -> Self {
+        Self {
+            tenant_queue_depth,
+            predicted_completion: None,
+        }
+    }
+}
+
 /// Gates job arrival before the scheduler ever sees the job.
 ///
 /// Implementations must be deterministic: the decision may depend only on
-/// the job, the tenant's current queue depth and the virtual clock.
+/// the job, the [`AdmissionContext`] and the virtual clock.
 pub trait AdmissionController {
     /// Stable controller name used in reports.
     fn name(&self) -> &'static str;
 
-    /// Decide the fate of `job` arriving at virtual time `now`, given how
-    /// many of its tenant's jobs are already queued (not yet dispatched).
-    fn admit(&mut self, job: &Job, tenant_queue_depth: usize, now: f64) -> AdmissionDecision;
+    /// Decide the fate of `job` arriving at virtual time `now`, given the
+    /// engine's snapshot of queue depth and best-case completion.
+    fn admit(&mut self, job: &Job, ctx: &AdmissionContext, now: f64) -> AdmissionDecision;
 }
 
 /// The open-door controller: every job is accepted.  This is the implicit
@@ -65,7 +103,7 @@ impl AdmissionController for AdmitAll {
         "admit-all"
     }
 
-    fn admit(&mut self, _job: &Job, _tenant_queue_depth: usize, _now: f64) -> AdmissionDecision {
+    fn admit(&mut self, _job: &Job, _ctx: &AdmissionContext, _now: f64) -> AdmissionDecision {
         AdmissionDecision::Accept
     }
 }
@@ -83,6 +121,11 @@ pub struct TokenBucketConfig {
     /// Arrivals that have already been deferred for longer than this shed
     /// instead of deferring again.
     pub max_defer_seconds: f64,
+    /// Shed jobs whose deadline is provably unreachable at admission time
+    /// (best-case predicted completion past the deadline) instead of
+    /// queueing doomed work.  Deadline-free jobs are never affected; off by
+    /// default.
+    pub shed_infeasible: bool,
 }
 
 impl Default for TokenBucketConfig {
@@ -92,6 +135,7 @@ impl Default for TokenBucketConfig {
             burst: 4.0,
             max_queue_depth: 64,
             max_defer_seconds: 120.0,
+            shed_infeasible: false,
         }
     }
 }
@@ -123,11 +167,40 @@ struct BucketState {
     last_refill: f64,
 }
 
-/// Token-bucket admission: per-tenant rate budgets and queue-depth limits.
+/// Token-bucket admission: per-tenant rate budgets, queue-depth limits and
+/// (optionally) deadline-infeasibility shedding.
 ///
 /// Tenants without an explicit budget use the default configuration.  All
 /// state lives on the virtual clock, so a seeded simulation with admission
 /// control replays bit-identically.
+///
+/// ```
+/// use sx_cluster::prelude::*;
+///
+/// let mut gate = TokenBucket::new(TokenBucketConfig {
+///     rate_hz: 1.0,            // one job per virtual second, sustained
+///     burst: 2.0,              // up to two back-to-back
+///     ..TokenBucketConfig::default()
+/// });
+/// let job = |id| Job {
+///     id,
+///     tenant: TenantId::DEFAULT,
+///     family: "demo".into(),
+///     lps: 10,
+///     topology_key: 1,
+///     arrival: 0.0,
+///     deadline: None,
+/// };
+/// let ctx = AdmissionContext::with_depth(0);
+///
+/// // The burst is admitted, then arrivals defer until the next token.
+/// assert_eq!(gate.admit(&job(0), &ctx, 0.0), AdmissionDecision::Accept);
+/// assert_eq!(gate.admit(&job(1), &ctx, 0.0), AdmissionDecision::Accept);
+/// match gate.admit(&job(2), &ctx, 0.0) {
+///     AdmissionDecision::Defer { until } => assert!((until - 1.0).abs() < 1e-12),
+///     other => panic!("expected a defer, got {other:?}"),
+/// }
+/// ```
 #[derive(Debug)]
 pub struct TokenBucket {
     default_config: TokenBucketConfig,
@@ -179,8 +252,18 @@ impl AdmissionController for TokenBucket {
         "token-bucket"
     }
 
-    fn admit(&mut self, job: &Job, tenant_queue_depth: usize, now: f64) -> AdmissionDecision {
+    fn admit(&mut self, job: &Job, ctx: &AdmissionContext, now: f64) -> AdmissionDecision {
         let config = self.budget(job.tenant);
+        // Doomed work is shed before it can spend tokens or queue slots:
+        // the engine's estimate is a best case, so `completion > deadline`
+        // proves the miss — a feasible job can never trip this.
+        if config.shed_infeasible {
+            if let (Some(deadline), Some(completion)) = (job.deadline, ctx.predicted_completion) {
+                if completion > deadline {
+                    return AdmissionDecision::ShedInfeasible;
+                }
+            }
+        }
         let state = self.state.entry(job.tenant.index()).or_insert(BucketState {
             tokens: config.burst,
             last_refill: now,
@@ -190,7 +273,7 @@ impl AdmissionController for TokenBucket {
             (state.tokens + (now - state.last_refill).max(0.0) * config.rate_hz).min(config.burst);
         state.last_refill = now;
 
-        if tenant_queue_depth >= config.max_queue_depth {
+        if ctx.tenant_queue_depth >= config.max_queue_depth {
             return AdmissionDecision::Shed;
         }
         if state.tokens >= 1.0 {
@@ -221,6 +304,14 @@ mod tests {
             lps: 10,
             topology_key: 1,
             arrival,
+            deadline: None,
+        }
+    }
+
+    fn deadline_job(id: usize, tenant: usize, arrival: f64, deadline: f64) -> Job {
+        Job {
+            deadline: Some(deadline),
+            ..job(id, tenant, arrival)
         }
     }
 
@@ -229,7 +320,11 @@ mod tests {
         let mut c = AdmitAll;
         assert_eq!(c.name(), "admit-all");
         assert_eq!(
-            c.admit(&job(0, 0, 0.0), usize::MAX - 1, 1e9),
+            c.admit(
+                &job(0, 0, 0.0),
+                &AdmissionContext::with_depth(usize::MAX - 1),
+                1e9
+            ),
             AdmissionDecision::Accept
         );
     }
@@ -241,16 +336,26 @@ mod tests {
             burst: 2.0,
             max_queue_depth: 100,
             max_defer_seconds: 100.0,
+            ..TokenBucketConfig::default()
         });
-        assert_eq!(c.admit(&job(0, 0, 0.0), 0, 0.0), AdmissionDecision::Accept);
-        assert_eq!(c.admit(&job(1, 0, 0.0), 0, 0.0), AdmissionDecision::Accept);
+        assert_eq!(
+            c.admit(&job(0, 0, 0.0), &AdmissionContext::with_depth(0), 0.0),
+            AdmissionDecision::Accept
+        );
+        assert_eq!(
+            c.admit(&job(1, 0, 0.0), &AdmissionContext::with_depth(0), 0.0),
+            AdmissionDecision::Accept
+        );
         // Bucket empty: the defer lands exactly when one token accrues.
-        match c.admit(&job(2, 0, 0.0), 0, 0.0) {
+        match c.admit(&job(2, 0, 0.0), &AdmissionContext::with_depth(0), 0.0) {
             AdmissionDecision::Defer { until } => assert!((until - 1.0).abs() < 1e-12),
             other => panic!("expected defer, got {other:?}"),
         }
         // After the refill interval the same job is accepted.
-        assert_eq!(c.admit(&job(2, 0, 0.0), 0, 1.0), AdmissionDecision::Accept);
+        assert_eq!(
+            c.admit(&job(2, 0, 0.0), &AdmissionContext::with_depth(0), 1.0),
+            AdmissionDecision::Accept
+        );
     }
 
     #[test]
@@ -259,8 +364,14 @@ mod tests {
             max_queue_depth: 3,
             ..TokenBucketConfig::default()
         });
-        assert_eq!(c.admit(&job(0, 0, 0.0), 2, 0.0), AdmissionDecision::Accept);
-        assert_eq!(c.admit(&job(1, 0, 0.0), 3, 0.0), AdmissionDecision::Shed);
+        assert_eq!(
+            c.admit(&job(0, 0, 0.0), &AdmissionContext::with_depth(2), 0.0),
+            AdmissionDecision::Accept
+        );
+        assert_eq!(
+            c.admit(&job(1, 0, 0.0), &AdmissionContext::with_depth(3), 0.0),
+            AdmissionDecision::Shed
+        );
     }
 
     #[test]
@@ -270,15 +381,22 @@ mod tests {
             burst: 1.0,
             max_queue_depth: 100,
             max_defer_seconds: 10.0,
+            ..TokenBucketConfig::default()
         });
-        assert_eq!(c.admit(&job(0, 0, 0.0), 0, 0.0), AdmissionDecision::Accept);
+        assert_eq!(
+            c.admit(&job(0, 0, 0.0), &AdmissionContext::with_depth(0), 0.0),
+            AdmissionDecision::Accept
+        );
         // A job that originally arrived at t=0 re-arrives at t=11, past the
         // defer budget: shed, not deferred again.
         assert!(matches!(
-            c.admit(&job(1, 0, 0.0), 0, 5.0),
+            c.admit(&job(1, 0, 0.0), &AdmissionContext::with_depth(0), 5.0),
             AdmissionDecision::Defer { .. }
         ));
-        assert_eq!(c.admit(&job(1, 0, 0.0), 0, 11.0), AdmissionDecision::Shed);
+        assert_eq!(
+            c.admit(&job(1, 0, 0.0), &AdmissionContext::with_depth(0), 11.0),
+            AdmissionDecision::Shed
+        );
     }
 
     #[test]
@@ -297,20 +415,89 @@ mod tests {
             },
         );
         // Tenant 0 exhausts its single token; tenant 1's budget is its own.
-        assert_eq!(c.admit(&job(0, 0, 0.0), 0, 0.0), AdmissionDecision::Accept);
+        assert_eq!(
+            c.admit(&job(0, 0, 0.0), &AdmissionContext::with_depth(0), 0.0),
+            AdmissionDecision::Accept
+        );
         assert!(matches!(
-            c.admit(&job(1, 0, 0.0), 0, 0.0),
+            c.admit(&job(1, 0, 0.0), &AdmissionContext::with_depth(0), 0.0),
             AdmissionDecision::Defer { .. }
         ));
         for id in 0..50 {
             assert_eq!(
-                c.admit(&job(10 + id, 1, 0.0), 0, 0.0),
+                c.admit(&job(10 + id, 1, 0.0), &AdmissionContext::with_depth(0), 0.0),
                 AdmissionDecision::Accept,
                 "tenant 1 job {id} should fit its generous budget"
             );
         }
         assert_eq!(c.budget(TenantId(1)).burst, 100.0);
         assert!((c.tokens_at(TenantId(0), 2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_deadlines_shed_only_when_enabled_and_proven() {
+        let enabled = TokenBucketConfig {
+            shed_infeasible: true,
+            ..TokenBucketConfig::default()
+        };
+        let mut c = TokenBucket::new(enabled);
+        let doomed_ctx = AdmissionContext {
+            tenant_queue_depth: 0,
+            predicted_completion: Some(20.0),
+        };
+        // Deadline before the best-case completion: provably doomed.
+        assert_eq!(
+            c.admit(&deadline_job(0, 0, 0.0, 15.0), &doomed_ctx, 0.0),
+            AdmissionDecision::ShedInfeasible
+        );
+        // Deadline at/after the best case: still feasible, accepted.
+        assert_eq!(
+            c.admit(&deadline_job(1, 0, 0.0, 20.0), &doomed_ctx, 0.0),
+            AdmissionDecision::Accept
+        );
+        // Deadline-free jobs and missing estimates are untouched.
+        assert_eq!(
+            c.admit(&job(2, 0, 0.0), &doomed_ctx, 0.0),
+            AdmissionDecision::Accept
+        );
+        assert_eq!(
+            c.admit(
+                &deadline_job(3, 0, 0.0, 1.0),
+                &AdmissionContext::with_depth(0),
+                0.0
+            ),
+            AdmissionDecision::Accept
+        );
+        // With the flag off (default), even a doomed job queues.
+        let mut off = TokenBucket::new(TokenBucketConfig::default());
+        assert_eq!(
+            off.admit(&deadline_job(4, 0, 0.0, 15.0), &doomed_ctx, 0.0),
+            AdmissionDecision::Accept
+        );
+    }
+
+    #[test]
+    fn infeasible_shedding_burns_no_tokens() {
+        let mut c = TokenBucket::new(TokenBucketConfig {
+            burst: 1.0,
+            shed_infeasible: true,
+            ..TokenBucketConfig::default()
+        });
+        let doomed_ctx = AdmissionContext {
+            tenant_queue_depth: 0,
+            predicted_completion: Some(100.0),
+        };
+        for id in 0..5 {
+            assert_eq!(
+                c.admit(&deadline_job(id, 0, 0.0, 1.0), &doomed_ctx, 0.0),
+                AdmissionDecision::ShedInfeasible
+            );
+        }
+        // The full burst is still available to the feasible arrival.
+        assert_eq!(
+            c.admit(&job(9, 0, 0.0), &AdmissionContext::with_depth(0), 0.0),
+            AdmissionDecision::Accept
+        );
     }
 
     #[test]

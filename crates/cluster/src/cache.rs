@@ -204,6 +204,21 @@ impl std::fmt::Display for AdmissionPolicy {
 /// `capacity = None` reproduces PR 2's unbounded behavior; `Some(0)`
 /// disables caching entirely (every job embeds cold, nothing is ever
 /// resident).
+///
+/// ```
+/// use sx_cluster::prelude::*;
+///
+/// // Two slots, LRU eviction.
+/// let mut cache = WarmCache::new(Some(2), EvictionPolicyKind::Lru);
+/// cache.insert(101, 24, 5.0); // (topology key, lps, re-embed seconds)
+/// cache.insert(102, 30, 9.0);
+///
+/// // A warm hit refreshes recency, so key 102 is now the LRU victim.
+/// assert!(cache.touch(101));
+/// assert_eq!(cache.insert(103, 36, 14.0), Some(102));
+/// assert!(cache.contains(101) && cache.contains(103) && !cache.contains(102));
+/// assert_eq!(cache.evictions(), 1);
+/// ```
 #[derive(Debug)]
 pub struct WarmCache {
     capacity: Option<usize>,

@@ -14,7 +14,7 @@
 //! * a per-device [`CostModel`] serving the paper's analytic stage costs,
 //! * a per-device *warm set* — the interaction topologies whose embeddings
 //!   this device has already computed, held in a **bounded**
-//!   [`WarmCache`](crate::cache::WarmCache) with pluggable eviction
+//!   [`WarmCache`] with pluggable eviction
 //!   ([`crate::cache::EvictionPolicy`]); finite embedding-table capacity is
 //!   what produces the hit-rate cliff the `cache_cliff` sweep measures,
 //! * a capacity bound and a fault-difficulty factor derived from the yield.
@@ -328,6 +328,26 @@ impl Fleet {
             .map(|d| d.capacity_lps)
             .max()
             .unwrap_or(0)
+    }
+
+    /// The costliest *cold* service any device would charge a job of
+    /// `lps` spins — the longest a single job of that size can pin a
+    /// device (devices that cannot run or price the size contribute
+    /// nothing; 0.0 when none can).
+    ///
+    /// This is the "worst pin" bound the deadline scenarios build on: a
+    /// tenant whose slack comfortably exceeds the worst pin of the
+    /// largest job in circulation is always feasible at admission time,
+    /// so deadline-infeasibility shedding can never touch it.
+    pub fn worst_cold_service_seconds(&self, lps: usize) -> f64 {
+        self.devices
+            .iter()
+            .filter(|d| d.can_run(lps))
+            .filter_map(|d| {
+                let (s1, s2, s3) = d.service_breakdown(lps, false).ok()?;
+                Some(s1 + s2 + s3)
+            })
+            .fold(0.0, f64::max)
     }
 }
 

@@ -31,6 +31,12 @@ pub struct Job {
     pub topology_key: u64,
     /// Arrival time in virtual seconds (ignored in closed-loop mode).
     pub arrival: f64,
+    /// Completion deadline in absolute virtual seconds (`None` = the job
+    /// carries no SLO).  Deadlines are stamped by the workload generator's
+    /// [`DeadlinePolicy`](crate::workload::DeadlinePolicy) and consumed by
+    /// the EDF-flavored schedulers, deadline-aware admission control and the
+    /// SLO metrics.
+    pub deadline: Option<f64>,
 }
 
 /// Everything the metrics layer records about one finished job.
@@ -56,6 +62,9 @@ pub struct JobRecord {
     pub stage3_seconds: f64,
     /// Whether the device's embedding cache was warm for this topology.
     pub warm_hit: bool,
+    /// The job's completion deadline (absolute virtual seconds), if it
+    /// carried one.
+    pub deadline: Option<f64>,
 }
 
 impl JobRecord {
@@ -72,6 +81,17 @@ impl JobRecord {
     /// End-to-end latency: seconds between arrival and finish.
     pub fn latency_seconds(&self) -> f64 {
         self.finish - self.arrival
+    }
+
+    /// Whether the job missed its deadline (`None` for deadline-free jobs).
+    pub fn slo_miss(&self) -> Option<bool> {
+        self.deadline.map(|d| self.finish > d)
+    }
+
+    /// How late the job finished relative to its deadline, clamped at zero
+    /// for on-time completions (`None` for deadline-free jobs).
+    pub fn lateness_seconds(&self) -> Option<f64> {
+        self.deadline.map(|d| (self.finish - d).max(0.0))
     }
 }
 
@@ -92,10 +112,38 @@ mod tests {
             stage2_seconds: 0.5,
             stage3_seconds: 0.5,
             warm_hit: false,
+            deadline: None,
         };
         assert_eq!(r.wait_seconds(), 3.0);
         assert_eq!(r.service_seconds(), 4.0);
         assert_eq!(r.latency_seconds(), 7.0);
         assert_eq!(r.wait_seconds() + r.service_seconds(), r.latency_seconds());
+        assert_eq!(r.slo_miss(), None);
+        assert_eq!(r.lateness_seconds(), None);
+    }
+
+    #[test]
+    fn deadline_derived_fields_classify_misses() {
+        let base = JobRecord {
+            job: 0,
+            tenant: TenantId::DEFAULT,
+            qpu: 0,
+            arrival: 0.0,
+            start: 1.0,
+            finish: 10.0,
+            stage1_seconds: 8.0,
+            stage2_seconds: 0.5,
+            stage3_seconds: 0.5,
+            warm_hit: false,
+            deadline: Some(12.0),
+        };
+        assert_eq!(base.slo_miss(), Some(false));
+        assert_eq!(base.lateness_seconds(), Some(0.0));
+        let late = JobRecord {
+            deadline: Some(7.5),
+            ..base
+        };
+        assert_eq!(late.slo_miss(), Some(true));
+        assert_eq!(late.lateness_seconds(), Some(2.5));
     }
 }

@@ -167,11 +167,16 @@ impl TenantStats {
             ("submitted", JsonValue::from(self.submitted)),
             ("completed", JsonValue::from(self.completed)),
             ("shed", JsonValue::from(self.shed)),
+            ("shed_infeasible", JsonValue::from(self.shed_infeasible)),
             ("deferrals", JsonValue::from(self.deferrals)),
             ("rejected", JsonValue::from(self.rejected)),
             ("max_queue_depth", JsonValue::from(self.max_queue_depth)),
             ("latency_seconds", self.latency.to_json()),
             ("wait_seconds", self.wait.to_json()),
+            ("slo_jobs", JsonValue::from(self.slo_jobs)),
+            ("slo_misses", JsonValue::from(self.slo_misses)),
+            ("slo_miss_rate", JsonValue::from(self.slo_miss_rate())),
+            ("lateness_seconds", self.lateness.to_json()),
             ("service_seconds", JsonValue::from(self.service_seconds)),
             ("normalized_share", JsonValue::from(self.normalized_share())),
         ])
@@ -214,11 +219,16 @@ impl SimReport {
             ("jobs", JsonValue::from(self.jobs)),
             ("completed", JsonValue::from(self.completed)),
             ("shed", JsonValue::from(self.shed)),
+            ("shed_infeasible", JsonValue::from(self.shed_infeasible)),
             ("deferrals", JsonValue::from(self.deferrals)),
             ("rejected", JsonValue::from(self.rejected)),
             ("makespan_seconds", JsonValue::from(self.makespan_seconds)),
             ("latency_seconds", self.latency.to_json()),
             ("wait_seconds", self.wait.to_json()),
+            ("slo_jobs", JsonValue::from(self.slo_jobs())),
+            ("slo_misses", JsonValue::from(self.slo_misses())),
+            ("slo_miss_rate", JsonValue::from(self.slo_miss_rate())),
+            ("lateness_seconds", self.lateness.to_json()),
             ("stage1_seconds", JsonValue::from(self.stage1_seconds)),
             ("stage2_seconds", JsonValue::from(self.stage2_seconds)),
             ("stage3_seconds", JsonValue::from(self.stage3_seconds)),

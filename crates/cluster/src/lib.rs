@@ -24,33 +24,41 @@
 //!   hit-rate cliff the `cache_cliff` bench sweep maps.
 //! * [`workload`] — seeded open workloads (Poisson, bursty) over real
 //!   problem families from [`qubo_ising::problems`]; topology keys come
-//!   from the actual QUBO → Ising reduction.  Specs are validated up front
-//!   ([`WorkloadSpec::validate`]) so degenerate parameters surface as
-//!   [`WorkloadError`]s instead of NaN arrival times or panics.
+//!   from the actual QUBO → Ising reduction.  Jobs can carry completion
+//!   *deadlines*, stamped by a per-spec [`DeadlinePolicy`] (fixed slack,
+//!   or slack proportional to predicted service).  Specs are validated up
+//!   front ([`WorkloadSpec::validate`]) so degenerate parameters surface
+//!   as [`WorkloadError`]s instead of NaN arrival times or panics.
 //! * [`tenant`] — multi-tenancy: every job carries a [`TenantId`], and
 //!   [`MultiTenantSpec`] composes N tenants (each with its own arrival
-//!   process, topology mix and fair-share weight) into one deterministic
-//!   stream.
+//!   process, topology mix, fair-share weight and deadline policy) into
+//!   one deterministic stream.
 //! * [`admission`] — the gate between arrival and the scheduler: an
 //!   [`AdmissionController`] accepts, sheds or defers each arriving job
 //!   against per-tenant budgets; [`TokenBucket`] ships (rate budget, burst
-//!   cap, queue-depth limit, bounded deferral).
+//!   cap, queue-depth limit, bounded deferral, and optional
+//!   deadline-infeasibility shedding: a job whose deadline is already
+//!   unreachable under the engine's best-case completion estimate is shed
+//!   instead of queueing doomed work).
 //! * [`scheduler`] — pluggable policies behind the [`Scheduler`] trait:
 //!   FIFO, shortest-predicted-job-first (the paper's analytic model as the
 //!   cost oracle, via [`split_exec::CostModel`], with arrival-time aging so
 //!   sustained short-job streams cannot starve large jobs),
 //!   embedding-cache-affinity routing that weighs device speed against
-//!   warmth on heterogeneous fleets, and [`WeightedFairQueue`] —
-//!   virtual-time weighted fair queueing over per-tenant FIFO lanes, so a
-//!   tenant within its fair share keeps its latency no matter how hard
-//!   another tenant floods the fleet.
+//!   warmth on heterogeneous fleets, [`EarliestDeadlineFirst`] (global
+//!   EDF, the deadline yardstick), and [`WeightedFairQueue`] —
+//!   virtual-time weighted fair queueing over per-tenant lanes (EDF order
+//!   inside each lane by default, [`LaneOrder`]), so a tenant within its
+//!   fair share keeps its latency no matter how hard another tenant floods
+//!   the fleet, while tight-deadline jobs still jump their own lane.
 //! * [`sim`] — the engine; [`metrics`] — latency percentiles
 //!   (via [`quantum_anneal::stats::percentile`]), per-stage breakdown,
 //!   per-QPU utilization and cache behavior (hit rate, evictions),
 //!   queue-depth and hit-rate-vs-capacity series ([`CacheCliffSeries`]),
 //!   per-tenant percentiles/shed/deferral counts ([`TenantStats`]) with
-//!   Jain's fairness index and max-min share, and export to the shared
-//!   [`split_exec::BatchSummary`] report format.
+//!   Jain's fairness index and max-min share, per-tenant and global
+//!   SLO-miss counts, miss-rates and lateness percentiles, and export to
+//!   the shared [`split_exec::BatchSummary`] report format.
 //! * [`json`] — deterministic hand-rolled JSON emission ([`JsonValue`],
 //!   `SimReport::to_json`) so sweeps are machine-readable without a
 //!   registry serde.
@@ -89,7 +97,8 @@ pub mod tenant;
 pub mod workload;
 
 pub use admission::{
-    AdmissionController, AdmissionDecision, AdmitAll, TokenBucket, TokenBucketConfig,
+    AdmissionContext, AdmissionController, AdmissionDecision, AdmitAll, TokenBucket,
+    TokenBucketConfig,
 };
 pub use cache::{AdmissionPolicy, CostAware, EvictionPolicy, EvictionPolicyKind, Lru, WarmCache};
 pub use event::{Event, EventKind, EventQueue};
@@ -100,16 +109,20 @@ pub use metrics::{
     jains_index, CacheCliffSeries, CachePoint, LatencyStats, QpuStats, SimReport, TenantStats,
 };
 pub use scheduler::{
-    CacheAffinity, Fifo, PolicyKind, Scheduler, ShortestPredictedFirst, WeightedFairQueue,
+    CacheAffinity, EarliestDeadlineFirst, Fifo, LaneOrder, PolicyKind, Scheduler,
+    ShortestPredictedFirst, WeightedFairQueue,
 };
 pub use sim::{simulate, simulate_with_admission, SimConfig, TraceRecord, WorkloadMode};
 pub use tenant::{MultiTenantSpec, TenantId, TenantMeta, TenantSpec};
-pub use workload::{ArrivalProcess, FamilySpec, Workload, WorkloadError, WorkloadSpec};
+pub use workload::{
+    ArrivalProcess, DeadlinePolicy, FamilySpec, Workload, WorkloadError, WorkloadSpec,
+};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::admission::{
-        AdmissionController, AdmissionDecision, AdmitAll, TokenBucket, TokenBucketConfig,
+        AdmissionContext, AdmissionController, AdmissionDecision, AdmitAll, TokenBucket,
+        TokenBucketConfig,
     };
     pub use crate::cache::{
         AdmissionPolicy, CostAware, EvictionPolicy, EvictionPolicyKind, Lru, WarmCache,
@@ -122,11 +135,14 @@ pub mod prelude {
         jains_index, CacheCliffSeries, CachePoint, LatencyStats, QpuStats, SimReport, TenantStats,
     };
     pub use crate::scheduler::{
-        CacheAffinity, Fifo, PolicyKind, Scheduler, ShortestPredictedFirst, WeightedFairQueue,
+        CacheAffinity, EarliestDeadlineFirst, Fifo, LaneOrder, PolicyKind, Scheduler,
+        ShortestPredictedFirst, WeightedFairQueue,
     };
     pub use crate::sim::{simulate, simulate_with_admission, SimConfig, TraceRecord, WorkloadMode};
     pub use crate::tenant::{MultiTenantSpec, TenantId, TenantMeta, TenantSpec};
-    pub use crate::workload::{ArrivalProcess, FamilySpec, Workload, WorkloadError, WorkloadSpec};
+    pub use crate::workload::{
+        ArrivalProcess, DeadlinePolicy, FamilySpec, Workload, WorkloadError, WorkloadSpec,
+    };
 }
 
 #[cfg(test)]
@@ -229,6 +245,7 @@ mod determinism_tests {
                 burst: 3.0,
                 max_queue_depth: 8,
                 max_defer_seconds: 50.0,
+                ..TokenBucketConfig::default()
             });
             simulate_with_admission(
                 fleet,
@@ -245,6 +262,45 @@ mod determinism_tests {
         // The scenario actually exercises the new machinery.
         assert_eq!(a.per_tenant.len(), 2);
         assert_eq!(a.admission, "token-bucket");
+    }
+
+    #[test]
+    fn deadline_streams_replay_bit_identically() {
+        // The PR 5 determinism claim: deadline stamping, EDF lane order,
+        // the engine's best-case completion estimate and infeasibility
+        // shedding are all part of the deterministic state machine.
+        let run = |seed: u64| {
+            let workload = MultiTenantSpec::aggressor_victim(12, 0.8, 4.0, 1.0, seed)
+                .with_uniform_deadlines(DeadlinePolicy::ProportionalSlack { factor: 3.0 })
+                .generate();
+            let fleet = Fleet::new(
+                FleetConfig {
+                    qpus: 3,
+                    seed,
+                    ..FleetConfig::default()
+                },
+                SplitExecConfig::with_seed(seed),
+            );
+            let mut scheduler = WeightedFairQueue::for_workload(&workload);
+            let mut admission = TokenBucket::new(TokenBucketConfig {
+                shed_infeasible: true,
+                ..TokenBucketConfig::default()
+            });
+            simulate_with_admission(
+                fleet,
+                &workload,
+                &mut scheduler,
+                &mut admission,
+                SimConfig::default(),
+            )
+        };
+        let a = run(41);
+        assert_eq!(a, run(41), "deadline run diverged across identical seeds");
+        assert_ne!(a.trace, run(42).trace);
+        // The run exercises the new machinery: every completed job carries
+        // a deadline and the lateness summary is populated.
+        assert_eq!(a.slo_jobs(), a.completed);
+        assert!(a.lateness.percentiles_ordered());
     }
 
     #[test]

@@ -108,8 +108,12 @@ pub struct TenantStats {
     pub submitted: usize,
     /// Jobs completed.
     pub completed: usize,
-    /// Jobs the admission controller shed.
+    /// Jobs the admission controller shed (all causes, including
+    /// deadline-infeasibility).
     pub shed: usize,
+    /// Of the shed jobs, how many were shed because their deadline was
+    /// already provably unreachable at admission time.
+    pub shed_infeasible: usize,
     /// Defer events (one job deferred twice counts twice).
     pub deferrals: usize,
     /// Jobs rejected as infeasible on every device.
@@ -120,6 +124,16 @@ pub struct TenantStats {
     pub latency: LatencyStats,
     /// Queueing-delay distribution.
     pub wait: LatencyStats,
+    /// Completed jobs that carried a deadline (the tenant's SLO
+    /// population; zero for a deadline-free tenant).
+    pub slo_jobs: usize,
+    /// Of [`Self::slo_jobs`], how many finished after their deadline.
+    pub slo_misses: usize,
+    /// Lateness distribution over the tenant's deadline-carrying completed
+    /// jobs: `max(0, finish − deadline)`, so on-time jobs contribute zeros
+    /// and the percentiles read "how late are the misses".  All-zero for a
+    /// deadline-free tenant.
+    pub lateness: LatencyStats,
     /// Summed service seconds the tenant consumed.
     pub service_seconds: f64,
 }
@@ -132,6 +146,16 @@ impl TenantStats {
             self.service_seconds / self.weight
         } else {
             self.service_seconds
+        }
+    }
+
+    /// Fraction of the tenant's completed deadline-carrying jobs that
+    /// missed their deadline (0 when the tenant has no SLO population).
+    pub fn slo_miss_rate(&self) -> f64 {
+        if self.slo_jobs == 0 {
+            0.0
+        } else {
+            self.slo_misses as f64 / self.slo_jobs as f64
         }
     }
 }
@@ -164,8 +188,10 @@ pub struct SimReport {
     pub jobs: usize,
     /// Jobs completed.
     pub completed: usize,
-    /// Jobs the admission controller shed.
+    /// Jobs the admission controller shed (all causes).
     pub shed: usize,
+    /// Of the shed jobs, how many were deadline-infeasibility sheds.
+    pub shed_infeasible: usize,
     /// Defer events across the run (one job deferred twice counts twice).
     pub deferrals: usize,
     /// Jobs rejected at arrival (infeasible on every device).
@@ -176,6 +202,9 @@ pub struct SimReport {
     pub latency: LatencyStats,
     /// Queueing-delay distribution.
     pub wait: LatencyStats,
+    /// Lateness distribution over all completed deadline-carrying jobs
+    /// (`max(0, finish − deadline)`; all-zero when no job has a deadline).
+    pub lateness: LatencyStats,
     /// Summed stage-1 service seconds over completed jobs.
     pub stage1_seconds: f64,
     /// Summed stage-2 service seconds.
@@ -303,6 +332,30 @@ impl SimReport {
         self.per_qpu.iter().map(|q| q.cache_bypassed).sum()
     }
 
+    /// Completed jobs that carried a deadline — the run's SLO population.
+    pub fn slo_jobs(&self) -> usize {
+        self.records.iter().filter(|r| r.deadline.is_some()).count()
+    }
+
+    /// Completed jobs that finished after their deadline.
+    pub fn slo_misses(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.slo_miss() == Some(true))
+            .count()
+    }
+
+    /// Fraction of the completed deadline-carrying jobs that missed their
+    /// deadline (0 when nothing carried a deadline).
+    pub fn slo_miss_rate(&self) -> f64 {
+        let jobs = self.slo_jobs();
+        if jobs == 0 {
+            0.0
+        } else {
+            self.slo_misses() as f64 / jobs as f64
+        }
+    }
+
     /// Histogram of end-to-end latencies with `bins` uniform bins.
     pub fn latency_histogram(&self, bins: usize) -> Histogram {
         let latencies: Vec<f64> = self.records.iter().map(|r| r.latency_seconds()).collect();
@@ -372,6 +425,18 @@ impl fmt::Display for SimReport {
             self.evictions(),
             self.max_queue_depth()
         )?;
+        if self.slo_jobs() > 0 || self.shed_infeasible > 0 {
+            write!(
+                f,
+                "\nSLO: {}/{} deadline jobs missed ({:.1}% miss rate, \
+                 p99 lateness {:.2}s, {} infeasible shed)",
+                self.slo_misses(),
+                self.slo_jobs(),
+                100.0 * self.slo_miss_rate(),
+                self.lateness.p99,
+                self.shed_infeasible
+            )?;
+        }
         if self.per_tenant.len() > 1 {
             for t in &self.per_tenant {
                 write!(
@@ -388,6 +453,15 @@ impl fmt::Display for SimReport {
                     t.latency.p99,
                     t.service_seconds
                 )?;
+                if t.slo_jobs > 0 {
+                    write!(
+                        f,
+                        ", SLO {}/{} missed ({:.1}%)",
+                        t.slo_misses,
+                        t.slo_jobs,
+                        100.0 * t.slo_miss_rate()
+                    )?;
+                }
             }
             write!(
                 f,
@@ -508,6 +582,7 @@ mod tests {
             stage2_seconds: 0.001,
             stage3_seconds: 0.001,
             warm_hit: false,
+            deadline: None,
         }
     }
 
@@ -519,11 +594,15 @@ mod tests {
             submitted: 2,
             completed: 1,
             shed: 1,
+            shed_infeasible: 0,
             deferrals: 0,
             rejected: 0,
             max_queue_depth: 1,
             latency: LatencyStats::from_values(&[2.0]),
             wait: LatencyStats::from_values(&[0.5]),
+            slo_jobs: 0,
+            slo_misses: 0,
+            lateness: LatencyStats::from_values(&[]),
             service_seconds: service,
         }
     }
@@ -536,11 +615,13 @@ mod tests {
             jobs: 3,
             completed: 2,
             shed: 0,
+            shed_infeasible: 0,
             deferrals: 0,
             rejected: 1,
             makespan_seconds: 5.0,
             latency: LatencyStats::from_values(&[2.0, 4.0]),
             wait: LatencyStats::from_values(&[0.0, 1.0]),
+            lateness: LatencyStats::from_values(&[]),
             stage1_seconds: 4.0,
             stage2_seconds: 0.002,
             stage3_seconds: 0.002,
@@ -638,6 +719,34 @@ mod tests {
         assert!(text.contains("tenant t1"));
         assert!(text.contains("Jain"));
         assert!(text.contains("max-min share"));
+    }
+
+    #[test]
+    fn slo_aggregates_classify_misses_from_records() {
+        let mut r = report();
+        // record 0 finishes at 2.0, record 1 at 5.0.
+        r.records[0].deadline = Some(3.0); // on time
+        r.records[1].deadline = Some(4.0); // late by 1s
+        r.lateness = LatencyStats::from_values(&[0.0, 1.0]);
+        assert_eq!(r.slo_jobs(), 2);
+        assert_eq!(r.slo_misses(), 1);
+        assert!((r.slo_miss_rate() - 0.5).abs() < 1e-12);
+        let text = format!("{r}");
+        assert!(text.contains("SLO: 1/2 deadline jobs missed"));
+        // A deadline-free report renders no SLO line and rates zero.
+        let free = report();
+        assert_eq!(free.slo_jobs(), 0);
+        assert_eq!(free.slo_miss_rate(), 0.0);
+        assert!(!format!("{free}").contains("SLO:"));
+    }
+
+    #[test]
+    fn tenant_slo_miss_rate_handles_empty_populations() {
+        let mut t = tenant_stats(0, 1.0, 4.0);
+        assert_eq!(t.slo_miss_rate(), 0.0);
+        t.slo_jobs = 8;
+        t.slo_misses = 2;
+        assert!((t.slo_miss_rate() - 0.25).abs() < 1e-12);
     }
 
     #[test]

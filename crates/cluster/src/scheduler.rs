@@ -6,7 +6,7 @@
 //! time.  All policies must be deterministic — ties are broken by job
 //! arrival order and device id — so a seeded simulation replays exactly.
 //!
-//! Four policies ship:
+//! Five policies ship:
 //!
 //! * [`Fifo`] — strict arrival order with head-of-line blocking: the head
 //!   job waits for a feasible idle device and nothing overtakes it.  The
@@ -25,14 +25,25 @@
 //!   fewest warm topologies (building specialized caches); a job whose
 //!   warm device is busy waits for it only when waiting is predicted
 //!   cheaper than re-embedding cold elsewhere.
+//! * [`EarliestDeadlineFirst`] — classic EDF over the whole queue: the
+//!   queued job with the earliest deadline dispatches first (deadline-free
+//!   jobs rank behind every deadline and keep FIFO order among
+//!   themselves).  Deadline-optimal on a single machine, but
+//!   tenant-oblivious: one tenant submitting tight deadlines starves the
+//!   rest.
 //! * [`WeightedFairQueue`] — virtual-time weighted fair queueing over
-//!   per-tenant FIFO lanes: a tenant within its fair share keeps its
-//!   latency no matter how hard another tenant floods the fleet, while the
-//!   cost oracle still picks warm/fast placements within each lane.
+//!   per-tenant lanes: a tenant within its fair share keeps its latency no
+//!   matter how hard another tenant floods the fleet, while the cost
+//!   oracle still picks warm/fast placements within each lane.  *Within*
+//!   a lane the order is EDF-flavored by default ([`LaneOrder`]):
+//!   deadline-carrying jobs dispatch earliest-deadline-first and
+//!   deadline-free jobs keep FIFO order — cross-tenant isolation from the
+//!   virtual clock, per-tenant SLO attainment from EDF, composed.
 
 use crate::fleet::Fleet;
 use crate::job::Job;
 use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
 
 /// A scheduling policy.
 ///
@@ -65,6 +76,14 @@ fn fastest_idle_device(fleet: &Fleet, idle: &[usize], job: &Job) -> Option<(f64,
             Some((predicted, d))
         })
         .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+}
+
+/// The EDF sort key of a job: its deadline, with deadline-free jobs ranked
+/// behind every deadline (so they fall back to FIFO order among
+/// themselves — `f64::INFINITY` compares equal to itself under `total_cmp`
+/// and ties break by queue position).
+fn deadline_key(job: &Job) -> f64 {
+    job.deadline.unwrap_or(f64::INFINITY)
 }
 
 /// First-in-first-out with head-of-line blocking.
@@ -278,10 +297,73 @@ impl Scheduler for CacheAffinity {
     }
 }
 
-/// Weighted fair queueing across tenants (start-time fair queueing over
-/// per-tenant FIFO lanes).
+/// Earliest-deadline-first over the whole queue.
 ///
-/// Each tenant's queued jobs form a FIFO *lane*.  The scheduler keeps a
+/// The queued job with the smallest deadline dispatches first, placed on
+/// the idle device predicted fastest for it; jobs without deadlines rank
+/// behind every deadline-carrying job and keep FIFO order among
+/// themselves.  A job with no feasible idle device is skipped (no
+/// head-of-line blocking), so a fleet-infeasible head cannot stall the
+/// queue.
+///
+/// EDF is the deadline-optimal single-machine discipline, which makes it
+/// the natural yardstick for the `cluster_sim --mode slo` sweep — but it
+/// is tenant-oblivious: any tenant can grab the whole fleet by submitting
+/// tight deadlines.  [`WeightedFairQueue`] composes the same in-lane order
+/// with cross-tenant fairness.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EarliestDeadlineFirst;
+
+impl Scheduler for EarliestDeadlineFirst {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn next_assignment(
+        &mut self,
+        queue: &[Job],
+        fleet: &Fleet,
+        now: f64,
+    ) -> Option<(usize, usize)> {
+        let idle = fleet.idle_devices(now);
+        if idle.is_empty() {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..queue.len()).collect();
+        // Stable sort: equal deadlines (and all deadline-free jobs) keep
+        // queue order, so ties — and the no-deadline degenerate case —
+        // reduce to FIFO.
+        order.sort_by(|&a, &b| deadline_key(&queue[a]).total_cmp(&deadline_key(&queue[b])));
+        for qi in order {
+            if let Some((_, d)) = fastest_idle_device(fleet, &idle, &queue[qi]) {
+                return Some((qi, d));
+            }
+        }
+        None
+    }
+}
+
+/// How [`WeightedFairQueue`] orders jobs *within* one tenant's lane.
+///
+/// Cross-lane scheduling (which tenant is served next) is always the
+/// virtual-time start-tag race; the lane order only decides which of the
+/// chosen tenant's queued jobs goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LaneOrder {
+    /// Strict submission order — the PR 4 behavior, kept for comparison
+    /// (`wfq-fifo` in reports and sweeps).
+    Fifo,
+    /// Earliest deadline first, falling back to FIFO for deadline-free
+    /// jobs (the default).  On a deadline-free workload this is identical
+    /// to [`LaneOrder::Fifo`].
+    #[default]
+    EarliestDeadline,
+}
+
+/// Weighted fair queueing across tenants (start-time fair queueing over
+/// per-tenant lanes, EDF-ordered within a lane by default).
+///
+/// Each tenant's queued jobs form a *lane*.  The scheduler keeps a
 /// virtual clock: dispatching a job of predicted service `S` from a tenant
 /// of weight `w` advances that tenant's finish tag by `S / w`, and the lane
 /// whose head has the smallest start tag (`max(finish_tag, virtual_time)`)
@@ -290,6 +372,17 @@ impl Scheduler for CacheAffinity {
 /// hard another tenant floods its own lane — the fairness guarantee the
 /// `cluster_sim --mode fairness` sweep enforces against FIFO.
 ///
+/// *Within* the chosen lane, the head is picked by [`LaneOrder`]: by
+/// default the tenant's queued job with the earliest deadline
+/// (deadline-free jobs fall back to submission order).  Reordering inside
+/// a lane leaves the *long-run* share intact — every job's charge is
+/// eventually paid by its own tenant either way — though the per-dispatch
+/// charge follows the chosen job, so transient cross-lane interleaving
+/// can differ from FIFO lanes (the `--mode slo` sweep guards Jain's index
+/// within 5% of plain WFQ for exactly this reason).
+/// [`WeightedFairQueue::with_lane_order`] restores strict FIFO lanes
+/// (`wfq-fifo`) for comparison.
+///
 /// The policy composes with the cost oracle on two axes: the *charge* is
 /// the predicted service on the chosen device (so a tenant re-using warm
 /// topologies genuinely consumes less of its share), and the *placement*
@@ -297,8 +390,28 @@ impl Scheduler for CacheAffinity {
 /// fast devices are still exploited within a lane).  A lane head with no
 /// feasible idle device blocks only its own lane, never the other tenants.
 ///
-/// Determinism: lane order ties break by tenant id, device ties by id, and
-/// all state lives on the virtual clock.
+/// Determinism: lane order ties break by tenant id, deadline ties by queue
+/// position, device ties by id, and all state lives on the virtual clock.
+///
+/// ```
+/// use sx_cluster::prelude::*;
+/// use split_exec::SplitExecConfig;
+///
+/// // Two tenants, the aggressor arriving 6x faster than the victim.
+/// let workload = MultiTenantSpec::aggressor_victim(8, 0.5, 6.0, 1.0, 7).generate();
+/// let fleet = Fleet::new(FleetConfig::default(), SplitExecConfig::with_seed(7));
+///
+/// // Weights come from the workload's tenant metadata.
+/// let mut wfq = WeightedFairQueue::for_workload(&workload);
+/// let report = simulate(fleet, &workload, &mut wfq, SimConfig::default());
+///
+/// // Fair queueing completes every tenant's jobs — the flood cannot
+/// // starve the victim's lane.
+/// for tenant in &report.per_tenant {
+///     assert_eq!(tenant.completed, tenant.submitted);
+/// }
+/// assert!(report.jains_fairness_index() > 0.0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct WeightedFairQueue {
     /// Fair-share weight per tenant id; tenants beyond the vector get 1.0.
@@ -307,6 +420,8 @@ pub struct WeightedFairQueue {
     finish_tags: Vec<f64>,
     /// The virtual clock: the start tag of the last dispatched job.
     virtual_time: f64,
+    /// In-lane ordering (EDF by default).
+    lane_order: LaneOrder,
 }
 
 impl Default for WeightedFairQueue {
@@ -328,6 +443,7 @@ impl WeightedFairQueue {
             weights,
             finish_tags: Vec::new(),
             virtual_time: 0.0,
+            lane_order: LaneOrder::default(),
         }
     }
 
@@ -335,6 +451,19 @@ impl WeightedFairQueue {
     /// build the policy for a [`crate::tenant::MultiTenantSpec`] stream.
     pub fn for_workload(workload: &Workload) -> Self {
         Self::with_weights(workload.weights())
+    }
+
+    /// Override the in-lane ordering ([`LaneOrder::EarliestDeadline`] is
+    /// the default; [`LaneOrder::Fifo`] restores the PR 4 behavior and
+    /// reports as `wfq-fifo`).
+    pub fn with_lane_order(mut self, lane_order: LaneOrder) -> Self {
+        self.lane_order = lane_order;
+        self
+    }
+
+    /// The active in-lane ordering.
+    pub fn lane_order(&self) -> LaneOrder {
+        self.lane_order
     }
 
     fn weight(&self, tenant: usize) -> f64 {
@@ -360,7 +489,10 @@ impl WeightedFairQueue {
 
 impl Scheduler for WeightedFairQueue {
     fn name(&self) -> &'static str {
-        "wfq"
+        match self.lane_order {
+            LaneOrder::EarliestDeadline => "wfq",
+            LaneOrder::Fifo => "wfq-fifo",
+        }
     }
 
     fn next_assignment(
@@ -374,12 +506,22 @@ impl Scheduler for WeightedFairQueue {
             return None;
         }
 
-        // Lane heads: the first queued job of each tenant, in queue order.
+        // Lane heads, per tenant in queue order.  Under FIFO lanes the head
+        // is the tenant's first queued job; under EDF lanes it is the
+        // tenant's earliest-deadline job (strictly-smaller comparison, so
+        // deadline ties and deadline-free jobs keep submission order).
         let mut heads: Vec<(usize, usize)> = Vec::new(); // (tenant, queue idx)
         for (qi, job) in queue.iter().enumerate() {
             let tenant = job.tenant.index();
-            if !heads.iter().any(|&(t, _)| t == tenant) {
-                heads.push((tenant, qi));
+            match heads.iter_mut().find(|(t, _)| *t == tenant) {
+                None => heads.push((tenant, qi)),
+                Some((_, head)) => {
+                    if self.lane_order == LaneOrder::EarliestDeadline
+                        && deadline_key(job) < deadline_key(&queue[*head])
+                    {
+                        *head = qi;
+                    }
+                }
             }
         }
         // Serve lanes in start-tag order; ties by tenant id keep the order
@@ -415,19 +557,22 @@ pub enum PolicyKind {
     ShortestPredictedFirst,
     /// [`CacheAffinity`].
     CacheAffinity,
-    /// [`WeightedFairQueue`] with uniform weights; use
+    /// [`EarliestDeadlineFirst`].
+    EarliestDeadline,
+    /// [`WeightedFairQueue`] with uniform weights and EDF lanes; use
     /// [`WeightedFairQueue::with_weights`] / [`WeightedFairQueue::for_workload`]
-    /// directly for weighted shares.
+    /// directly for weighted shares or FIFO lanes.
     WeightedFair,
 }
 
 impl PolicyKind {
     /// All policies, in comparison-table order.
-    pub fn all() -> [PolicyKind; 4] {
+    pub fn all() -> [PolicyKind; 5] {
         [
             PolicyKind::Fifo,
             PolicyKind::ShortestPredictedFirst,
             PolicyKind::CacheAffinity,
+            PolicyKind::EarliestDeadline,
             PolicyKind::WeightedFair,
         ]
     }
@@ -438,6 +583,7 @@ impl PolicyKind {
             PolicyKind::Fifo => Box::new(Fifo),
             PolicyKind::ShortestPredictedFirst => Box::new(ShortestPredictedFirst::default()),
             PolicyKind::CacheAffinity => Box::new(CacheAffinity),
+            PolicyKind::EarliestDeadline => Box::new(EarliestDeadlineFirst),
             PolicyKind::WeightedFair => Box::new(WeightedFairQueue::new()),
         }
     }
@@ -448,6 +594,7 @@ impl PolicyKind {
             PolicyKind::Fifo => "fifo",
             PolicyKind::ShortestPredictedFirst => "spjf",
             PolicyKind::CacheAffinity => "affinity",
+            PolicyKind::EarliestDeadline => "edf",
             PolicyKind::WeightedFair => "wfq",
         }
     }
@@ -461,9 +608,10 @@ impl std::str::FromStr for PolicyKind {
             "fifo" => Ok(PolicyKind::Fifo),
             "spjf" | "sjf" | "shortest" => Ok(PolicyKind::ShortestPredictedFirst),
             "affinity" | "cache" | "cache-affinity" => Ok(PolicyKind::CacheAffinity),
+            "edf" | "deadline" | "earliest-deadline" => Ok(PolicyKind::EarliestDeadline),
             "wfq" | "fair" | "weighted-fair" => Ok(PolicyKind::WeightedFair),
             other => Err(format!(
-                "unknown scheduling policy '{other}' (expected fifo, spjf, affinity or wfq)"
+                "unknown scheduling policy '{other}' (expected fifo, spjf, affinity, edf or wfq)"
             )),
         }
     }
@@ -502,6 +650,14 @@ mod tests {
             lps,
             topology_key: key,
             arrival: id as f64,
+            deadline: None,
+        }
+    }
+
+    fn deadline_job(id: usize, lps: usize, key: u64, deadline: f64) -> Job {
+        Job {
+            deadline: Some(deadline),
+            ..job(id, lps, key)
         }
     }
 
@@ -622,6 +778,7 @@ mod tests {
             lps: 40,
             topology_key: 1,
             arrival: 0.5 * gap,
+            deadline: None,
         }];
         for i in 0..shorts {
             jobs.push(Job {
@@ -631,6 +788,7 @@ mod tests {
                 lps: 8,
                 topology_key: 2,
                 arrival: gap * i as f64,
+                deadline: None,
             });
         }
         jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
@@ -913,8 +1071,140 @@ mod tests {
     }
 
     #[test]
+    fn edf_dispatches_the_earliest_deadline_first() {
+        let fleet = fleet(1);
+        let queue = vec![
+            deadline_job(0, 10, 1, 50.0),
+            deadline_job(1, 10, 2, 20.0),
+            deadline_job(2, 10, 3, 35.0),
+        ];
+        assert_eq!(
+            EarliestDeadlineFirst.next_assignment(&queue, &fleet, 0.0),
+            Some((1, 0))
+        );
+    }
+
+    #[test]
+    fn edf_ranks_deadline_free_jobs_behind_and_fifo_among_themselves() {
+        let fleet = fleet(1);
+        // Deadline-free jobs queued first must still lose to a later job
+        // with a deadline...
+        let queue = vec![job(0, 10, 1), job(1, 10, 2), deadline_job(2, 10, 3, 99.0)];
+        assert_eq!(
+            EarliestDeadlineFirst.next_assignment(&queue, &fleet, 0.0),
+            Some((2, 0))
+        );
+        // ...and an all-deadline-free queue degrades to FIFO.
+        let queue = vec![job(0, 10, 1), job(1, 10, 2)];
+        assert_eq!(
+            EarliestDeadlineFirst.next_assignment(&queue, &fleet, 0.0),
+            Some((0, 0))
+        );
+    }
+
+    #[test]
+    fn edf_skips_an_infeasible_head_instead_of_blocking() {
+        let mut fleet = fleet(1);
+        fleet.devices[0].capacity_lps = 12;
+        // The tightest-deadline job does not fit the only device; the next
+        // deadline must dispatch instead of the queue stalling.
+        let queue = vec![deadline_job(0, 40, 1, 10.0), deadline_job(1, 10, 2, 20.0)];
+        assert_eq!(
+            EarliestDeadlineFirst.next_assignment(&queue, &fleet, 0.0),
+            Some((1, 0))
+        );
+    }
+
+    #[test]
+    fn wfq_edf_lane_reorders_within_a_tenant_only() {
+        let fleet = fleet(1);
+        // One tenant, three jobs, deadlines out of submission order: the
+        // EDF lane serves the tightest first.
+        let queue = vec![
+            Job {
+                deadline: Some(60.0),
+                ..tenant_job(0, 0, 10, 1)
+            },
+            Job {
+                deadline: Some(15.0),
+                ..tenant_job(1, 0, 10, 2)
+            },
+            Job {
+                deadline: Some(30.0),
+                ..tenant_job(2, 0, 10, 3)
+            },
+        ];
+        assert_eq!(
+            WeightedFairQueue::new().next_assignment(&queue, &fleet, 0.0),
+            Some((1, 0)),
+            "EDF lane must promote the tightest deadline"
+        );
+        // FIFO lanes keep submission order on the identical queue.
+        assert_eq!(
+            WeightedFairQueue::new()
+                .with_lane_order(LaneOrder::Fifo)
+                .next_assignment(&queue, &fleet, 0.0),
+            Some((0, 0)),
+            "FIFO lane must keep submission order"
+        );
+    }
+
+    #[test]
+    fn wfq_edf_lane_preserves_cross_tenant_alternation() {
+        // Two tenants with equal weights: even though tenant 1's deadlines
+        // are far tighter, the lane race still alternates — in-lane EDF
+        // must not leak into cross-lane priority.
+        let fleet = fleet(1);
+        let mut wfq = WeightedFairQueue::new();
+        let mut queue = vec![
+            Job {
+                deadline: Some(1.0),
+                ..tenant_job(0, 1, 10, 1)
+            },
+            Job {
+                deadline: Some(2.0),
+                ..tenant_job(1, 1, 10, 1)
+            },
+            Job {
+                deadline: Some(900.0),
+                ..tenant_job(2, 0, 10, 2)
+            },
+            Job {
+                deadline: Some(901.0),
+                ..tenant_job(3, 0, 10, 2)
+            },
+        ];
+        let mut order = Vec::new();
+        for _ in 0..4 {
+            let (qi, _) = wfq.next_assignment(&queue, &fleet, 0.0).unwrap();
+            order.push(queue[qi].tenant.index());
+            queue.remove(qi);
+        }
+        assert_eq!(order, vec![0, 1, 0, 1], "lanes must still alternate");
+    }
+
+    #[test]
+    fn wfq_edf_lane_matches_fifo_lane_on_deadline_free_queues() {
+        let fleet = fleet(2);
+        let queue: Vec<Job> = (0..6).map(|i| tenant_job(i, i % 2, 10, 1)).collect();
+        let mut edf_lane = WeightedFairQueue::new();
+        let mut fifo_lane = WeightedFairQueue::new().with_lane_order(LaneOrder::Fifo);
+        assert_eq!(
+            edf_lane.next_assignment(&queue, &fleet, 0.0),
+            fifo_lane.next_assignment(&queue, &fleet, 0.0),
+            "without deadlines the lane orders must agree"
+        );
+        assert_eq!(edf_lane.name(), "wfq");
+        assert_eq!(fifo_lane.name(), "wfq-fifo");
+    }
+
+    #[test]
     fn policy_kind_parses_and_displays() {
         assert_eq!("fifo".parse::<PolicyKind>().unwrap(), PolicyKind::Fifo);
+        assert_eq!(
+            "edf".parse::<PolicyKind>().unwrap(),
+            PolicyKind::EarliestDeadline
+        );
         assert_eq!(
             "SPJF".parse::<PolicyKind>().unwrap(),
             PolicyKind::ShortestPredictedFirst

@@ -7,7 +7,7 @@
 //! function of `(fleet seed, workload, policy, admission, mode)`.
 //!
 //! [`simulate_with_admission`] interposes an
-//! [`AdmissionController`](crate::admission::AdmissionController) between
+//! [`AdmissionController`] between
 //! arrival and the scheduler: accepted jobs queue as usual, shed jobs are
 //! dropped and counted per tenant, deferred jobs re-arrive at the
 //! controller's chosen virtual time (with their original arrival stamp in
@@ -21,7 +21,7 @@
 //!   releases the next job from the stream immediately, the classic
 //!   fixed-population throughput experiment.
 
-use crate::admission::{AdmissionController, AdmissionDecision, AdmitAll};
+use crate::admission::{AdmissionContext, AdmissionController, AdmissionDecision, AdmitAll};
 use crate::event::{Event, EventKind, EventQueue};
 use crate::fleet::Fleet;
 use crate::job::{Job, JobRecord};
@@ -93,6 +93,10 @@ pub enum TraceRecord {
         job: usize,
         /// The tenant that submitted it.
         tenant: TenantId,
+        /// Whether the shed was a deadline-infeasibility shed
+        /// ([`crate::admission::AdmissionDecision::ShedInfeasible`]) rather
+        /// than a budget/backlog shed.
+        infeasible: bool,
     },
     /// The admission controller deferred a job to a later arrival.
     Deferred {
@@ -149,9 +153,11 @@ pub fn simulate_with_admission(
     let mut tenant_depth = vec![0usize; lanes];
     let mut tenant_depth_max = vec![0usize; lanes];
     let mut tenant_shed = vec![0usize; lanes];
+    let mut tenant_shed_infeasible = vec![0usize; lanes];
     let mut tenant_deferrals = vec![0usize; lanes];
     let mut tenant_rejected = vec![0usize; lanes];
     let mut shed = 0usize;
+    let mut shed_infeasible = 0usize;
     let mut deferrals = 0usize;
 
     // Release the initial population.
@@ -184,8 +190,17 @@ pub fn simulate_with_admission(
                 // way a deferred re-arrival keeps the original stamp, so
                 // its queueing delay includes the defer time and the
                 // admission controller can see how long it has deferred.
+                // Deadlines are slack relative to arrival, so a re-stamped
+                // arrival re-anchors the deadline by the same shift —
+                // otherwise closed-mode deadlines would stay pinned to the
+                // generated open-mode clock and every late release would
+                // read as an SLO miss regardless of service quality.
                 if matches!(config.mode, WorkloadMode::Closed { .. }) {
-                    job.arrival = *released_at[job.id].get_or_insert(clock);
+                    let released = *released_at[job.id].get_or_insert(clock);
+                    if let Some(deadline) = job.deadline {
+                        job.deadline = Some(released + (deadline - job.arrival));
+                    }
+                    job.arrival = released;
                 }
                 let lane = job.tenant.index();
                 if !fleet.devices.iter().any(|d| d.can_run(job.lps)) {
@@ -197,7 +212,33 @@ pub fn simulate_with_admission(
                     });
                     release_next = true;
                 } else {
-                    match admission.admit(&job, tenant_depth[lane], clock) {
+                    // The controller's best-case completion estimate: the
+                    // earliest any feasible device could finish this job,
+                    // priced *warm* (service can only be slower) and with no
+                    // queueing ahead of it (waiting only adds delay).  A
+                    // true lower bound, so `estimate > deadline` proves a
+                    // miss and deadline-infeasibility shedding can never
+                    // claim a feasible job.  Only deadline-carrying jobs
+                    // pay for the estimate — it exists solely to be
+                    // compared against a deadline.
+                    let best_case = job.deadline.map(|_| {
+                        fleet
+                            .devices
+                            .iter()
+                            .filter(|d| d.can_run(job.lps))
+                            .filter_map(|d| {
+                                let (s1, s2, s3) = d.service_breakdown(job.lps, true).ok()?;
+                                Some((d.busy_until - clock).max(0.0) + s1 + s2 + s3)
+                            })
+                            .fold(f64::INFINITY, f64::min)
+                    });
+                    let ctx = AdmissionContext {
+                        tenant_queue_depth: tenant_depth[lane],
+                        predicted_completion: best_case
+                            .filter(|b| b.is_finite())
+                            .map(|b| clock + b),
+                    };
+                    match admission.admit(&job, &ctx, clock) {
                         AdmissionDecision::Defer { until } if until > clock => {
                             deferrals += 1;
                             tenant_deferrals[lane] += 1;
@@ -215,13 +256,21 @@ pub fn simulate_with_admission(
                         }
                         // A defer that does not advance the clock would loop
                         // forever; shedding is the only safe fallback.
-                        AdmissionDecision::Shed | AdmissionDecision::Defer { .. } => {
+                        decision @ (AdmissionDecision::Shed
+                        | AdmissionDecision::ShedInfeasible
+                        | AdmissionDecision::Defer { .. }) => {
+                            let infeasible = decision == AdmissionDecision::ShedInfeasible;
                             shed += 1;
                             tenant_shed[lane] += 1;
+                            if infeasible {
+                                shed_infeasible += 1;
+                                tenant_shed_infeasible[lane] += 1;
+                            }
                             trace.push(TraceRecord::Shed {
                                 time: clock,
                                 job: job.id,
                                 tenant: job.tenant,
+                                infeasible,
                             });
                             release_next = true;
                         }
@@ -308,6 +357,7 @@ pub fn simulate_with_admission(
                 stage2_seconds: s2,
                 stage3_seconds: s3,
                 warm_hit: warm,
+                deadline: job.deadline,
             });
             events.schedule(
                 finish,
@@ -373,6 +423,10 @@ pub fn simulate_with_admission(
                 records.iter().filter(|r| r.tenant == id).collect();
             let lat: Vec<f64> = tenant_records.iter().map(|r| r.latency_seconds()).collect();
             let wai: Vec<f64> = tenant_records.iter().map(|r| r.wait_seconds()).collect();
+            let late: Vec<f64> = tenant_records
+                .iter()
+                .filter_map(|r| r.lateness_seconds())
+                .collect();
             TenantStats {
                 tenant: id,
                 name: meta.name,
@@ -380,14 +434,26 @@ pub fn simulate_with_admission(
                 submitted: workload.jobs.iter().filter(|j| j.tenant == id).count(),
                 completed: tenant_records.len(),
                 shed: tenant_shed[lane],
+                shed_infeasible: tenant_shed_infeasible[lane],
                 deferrals: tenant_deferrals[lane],
                 rejected: tenant_rejected[lane],
                 max_queue_depth: tenant_depth_max[lane],
                 latency: LatencyStats::from_values(&lat),
                 wait: LatencyStats::from_values(&wai),
+                slo_jobs: late.len(),
+                slo_misses: tenant_records
+                    .iter()
+                    .filter(|r| r.slo_miss() == Some(true))
+                    .count(),
+                lateness: LatencyStats::from_values(&late),
                 service_seconds: tenant_records.iter().map(|r| r.service_seconds()).sum(),
             }
         })
+        .collect();
+
+    let lateness: Vec<f64> = records
+        .iter()
+        .filter_map(|r| r.lateness_seconds())
         .collect();
 
     SimReport {
@@ -396,11 +462,13 @@ pub fn simulate_with_admission(
         jobs: workload.len(),
         completed: records.len(),
         shed,
+        shed_infeasible,
         deferrals,
         rejected,
         makespan_seconds: makespan,
         latency: LatencyStats::from_values(&latencies),
         wait: LatencyStats::from_values(&waits),
+        lateness: LatencyStats::from_values(&lateness),
         stage1_seconds: records.iter().map(|r| r.stage1_seconds).sum(),
         stage2_seconds: records.iter().map(|r| r.stage2_seconds).sum(),
         stage3_seconds: records.iter().map(|r| r.stage3_seconds).sum(),
@@ -539,6 +607,7 @@ mod tests {
             burst: 100.0,
             max_queue_depth: depth_limit,
             max_defer_seconds: 1e6,
+            ..TokenBucketConfig::default()
         });
         let gated = simulate_with_admission(
             fleet(3),
@@ -569,6 +638,7 @@ mod tests {
             burst: 1.0,
             max_queue_depth: 100,
             max_defer_seconds: 1e6,
+            ..TokenBucketConfig::default()
         });
         let report = simulate_with_admission(
             fleet(3),
@@ -601,6 +671,7 @@ mod tests {
             burst: 1.0,
             max_queue_depth: 100,
             max_defer_seconds: 10.0,
+            ..TokenBucketConfig::default()
         });
         let report = simulate_with_admission(
             fleet(3),
@@ -618,6 +689,51 @@ mod tests {
         );
         // Whatever was deferred was deferred at most once before shedding.
         assert!(report.deferrals <= report.shed + report.completed);
+    }
+
+    #[test]
+    fn closed_mode_reanchors_deadlines_to_the_release_clock() {
+        use crate::workload::DeadlinePolicy;
+
+        // Regression: closed mode re-stamps arrivals with the release
+        // clock, but deadlines used to stay pinned to the generated
+        // open-mode arrivals — so late releases read as SLO misses no
+        // matter how fast they were served.  The slack must be preserved
+        // relative to the *release* time.
+        let slack = 10.0;
+        let workload = WorkloadSpec::repeated_topologies(30, 5.0, 7)
+            .with_deadlines(DeadlinePolicy::FixedSlack {
+                slack_seconds: slack,
+            })
+            .generate();
+        let report = simulate(
+            fleet(7),
+            &workload,
+            PolicyKind::Fifo.build().as_mut(),
+            SimConfig {
+                mode: WorkloadMode::Closed { clients: 2 },
+            },
+        );
+        assert_eq!(report.completed, 30);
+        for r in &report.records {
+            let deadline = r.deadline.expect("every job is deadline-stamped");
+            assert!(
+                (deadline - r.arrival - slack).abs() < 1e-9,
+                "job {}: deadline {deadline} is not arrival {} + slack {slack}",
+                r.job,
+                r.arrival
+            );
+        }
+        // With a 2-client closed loop and ~seconds-long services, a
+        // 10-second slack is comfortably met — under the stale anchoring
+        // this run reported ~100% misses.
+        assert_eq!(report.slo_misses(), 0);
+        // Releases genuinely happened after the generated arrivals, so
+        // the re-anchoring was exercised.
+        assert!(report
+            .records
+            .iter()
+            .any(|r| r.arrival > workload.jobs[r.job].arrival));
     }
 
     #[test]

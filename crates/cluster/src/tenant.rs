@@ -6,7 +6,7 @@
 //! bursty tenant can monopolize the fleet and every other tenant's p99
 //! collapses.  This module makes tenancy first-class:
 //!
-//! * [`TenantId`] — every [`Job`](crate::job::Job) carries one; plain
+//! * [`TenantId`] — every [`Job`] carries one; plain
 //!   single-tenant workloads use [`TenantId::DEFAULT`].
 //! * [`TenantMeta`] — the per-tenant identity a [`Workload`] carries along:
 //!   name and fair-share weight, consumed by the metrics layer and the
@@ -21,7 +21,9 @@
 //! fairness` sweep, the integration tests and the proptests.
 
 use crate::job::Job;
-use crate::workload::{ArrivalProcess, FamilySpec, Workload, WorkloadError, WorkloadSpec};
+use crate::workload::{
+    ArrivalProcess, DeadlinePolicy, FamilySpec, Workload, WorkloadError, WorkloadSpec,
+};
 use serde::{Deserialize, Serialize};
 
 /// Identity of the tenant that submitted a job.
@@ -84,6 +86,11 @@ pub struct TenantSpec {
     pub arrivals: ArrivalProcess,
     /// The tenant's own `(weight, family)` topology mix.
     pub mix: Vec<(f64, FamilySpec)>,
+    /// How this tenant's jobs are stamped with completion deadlines
+    /// ([`DeadlinePolicy::None`] = the tenant has no SLO).  Policies are
+    /// per-tenant: a latency-sensitive tenant can run tight proportional
+    /// slack while a batch tenant runs deadline-free in the same stream.
+    pub deadlines: DeadlinePolicy,
 }
 
 /// A multi-tenant workload composition: N tenants, each generating its own
@@ -112,6 +119,21 @@ impl MultiTenantSpec {
     /// jobs mostly embed cold, so at high asymmetry it genuinely saturates
     /// the fleet's stage-1 capacity — the regime where FIFO lets the
     /// victim's p99 blow up and weighted fair queueing must not.
+    ///
+    /// ```
+    /// use sx_cluster::prelude::*;
+    ///
+    /// // 10 victim jobs at 0.5 Hz; the aggressor submits 4x as many, 4x
+    /// // as fast; the victim carries fair-share weight 2.0.
+    /// let spec = MultiTenantSpec::aggressor_victim(10, 0.5, 4.0, 2.0, 7);
+    /// let workload = spec.generate();
+    ///
+    /// assert_eq!(workload.jobs.len(), 50); // 10 victim + 40 aggressor
+    /// assert_eq!(workload.weights(), vec![2.0, 1.0]);
+    /// assert_eq!(workload.tenants[0].name, "victim");
+    /// // Generation is a pure function of the spec.
+    /// assert_eq!(workload, spec.generate());
+    /// ```
     pub fn aggressor_victim(
         victim_jobs: usize,
         victim_rate_hz: f64,
@@ -135,6 +157,7 @@ impl MultiTenantSpec {
                             sizes: vec![16, 20],
                         },
                     )],
+                    deadlines: DeadlinePolicy::None,
                 },
                 TenantSpec {
                     name: "aggressor".to_string(),
@@ -151,9 +174,20 @@ impl MultiTenantSpec {
                             variants: 24,
                         },
                     )],
+                    deadlines: DeadlinePolicy::None,
                 },
             ],
         }
+    }
+
+    /// The same composition with every tenant's jobs stamped by `deadlines`
+    /// — the one-liner for turning a fairness scenario into an SLO scenario.
+    /// Set [`TenantSpec::deadlines`] directly for per-tenant policies.
+    pub fn with_uniform_deadlines(mut self, deadlines: DeadlinePolicy) -> Self {
+        for tenant in &mut self.tenants {
+            tenant.deadlines = deadlines;
+        }
+        self
     }
 
     /// The per-tenant fair-share weights, indexed by tenant id.
@@ -239,6 +273,7 @@ impl MultiTenantSpec {
                 .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1)),
             arrivals: tenant.arrivals,
             mix: tenant.mix.clone(),
+            deadlines: tenant.deadlines,
         }
     }
 }
@@ -305,6 +340,7 @@ mod tests {
             jobs: 8,
             arrivals: ArrivalProcess::Poisson { rate_hz: 1.0 },
             mix: vec![(1.0, FamilySpec::Partition { n: 12 })],
+            deadlines: DeadlinePolicy::None,
         };
         let spec = MultiTenantSpec {
             seed: 5,
@@ -358,6 +394,44 @@ mod tests {
             tenants: vec![],
         }
         .generate();
+    }
+
+    #[test]
+    fn per_tenant_deadline_policies_stamp_independently() {
+        // Tenant 0 runs a tight fixed slack, tenant 1 stays deadline-free.
+        let mut spec = two_tenants(5);
+        spec.tenants[0].deadlines = DeadlinePolicy::FixedSlack { slack_seconds: 4.0 };
+        let w = spec.generate();
+        for job in &w.jobs {
+            match job.tenant {
+                TenantId(0) => {
+                    let d = job.deadline.expect("victim jobs carry deadlines");
+                    assert!((d - job.arrival - 4.0).abs() < 1e-12);
+                }
+                _ => assert!(job.deadline.is_none(), "aggressor must stay deadline-free"),
+            }
+        }
+        // The uniform helper covers every tenant.
+        let uniform = two_tenants(5)
+            .with_uniform_deadlines(DeadlinePolicy::ProportionalSlack { factor: 3.0 })
+            .generate();
+        assert_eq!(uniform.deadline_jobs(), uniform.jobs.len());
+        // Deadline stamping does not perturb the arrival stream.
+        let free = two_tenants(5).generate();
+        let arrivals = |w: &Workload| w.jobs.iter().map(|j| j.arrival).collect::<Vec<f64>>();
+        assert_eq!(arrivals(&free), arrivals(&uniform));
+    }
+
+    #[test]
+    fn invalid_deadline_policies_are_rejected_per_tenant() {
+        let mut spec = two_tenants(2);
+        spec.tenants[1].deadlines = DeadlinePolicy::FixedSlack {
+            slack_seconds: -3.0,
+        };
+        assert!(matches!(
+            spec.try_generate().unwrap_err(),
+            WorkloadError::InvalidDeadlinePolicy { .. }
+        ));
     }
 
     #[test]

@@ -25,7 +25,9 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use split_exec::cost::CostModel;
 use split_exec::offline_cache::graph_key;
+use split_exec::{SplitExecConfig, SplitMachine};
 
 /// Why a [`WorkloadSpec`] is invalid.
 ///
@@ -57,6 +59,11 @@ pub enum WorkloadError {
         family: String,
         /// What is wrong with it.
         problem: &'static str,
+    },
+    /// A deadline policy with a non-positive or non-finite parameter.
+    InvalidDeadlinePolicy {
+        /// The offending parameter value (slack seconds or slack factor).
+        value: f64,
     },
     /// A multi-tenant composition with no tenants.
     NoTenants,
@@ -94,6 +101,9 @@ impl std::fmt::Display for WorkloadError {
             WorkloadError::DegenerateFamily { family, problem } => {
                 write!(f, "family {family} is degenerate: {problem}")
             }
+            WorkloadError::InvalidDeadlinePolicy { value } => {
+                write!(f, "deadline slack must be positive and finite, got {value}")
+            }
             WorkloadError::NoTenants => {
                 write!(f, "a multi-tenant composition needs at least one tenant")
             }
@@ -127,6 +137,80 @@ pub enum ArrivalProcess {
         /// Jobs per burst.
         burst: usize,
     },
+}
+
+/// How a generated job's completion deadline is derived from its arrival.
+///
+/// A deadline is an *absolute* virtual time: the latest finish the
+/// submitting tenant considers acceptable.  The generator stamps it as
+/// `arrival + slack`, where the slack comes from the policy:
+///
+/// * [`DeadlinePolicy::None`] — jobs carry no deadline (the pre-SLO
+///   behavior, and the default); EDF ordering degrades to FIFO and the SLO
+///   metrics stay empty.
+/// * [`DeadlinePolicy::FixedSlack`] — every job gets the same slack,
+///   regardless of size.  Small jobs are loose, big jobs are tight: the
+///   shape of a customer-facing latency promise.
+/// * [`DeadlinePolicy::ProportionalSlack`] — the slack is `factor` times
+///   the job's predicted *cold* service time on the paper's reference
+///   machine ([`split_exec::CostModel`] over `SplitMachine::paper_default`).
+///   A factor of 1.0 is only feasible on an idle fleet with a cold cache;
+///   production SLOs live around 2–10.  The prediction is analytic and
+///   memoized, so stamping stays deterministic and cheap.
+///
+/// Like everything else about a workload, deadlines are a pure function of
+/// the spec — two generations of the same spec stamp bit-identical
+/// deadlines.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum DeadlinePolicy {
+    /// No deadlines (the default).
+    #[default]
+    None,
+    /// `deadline = arrival + slack_seconds` for every job.
+    FixedSlack {
+        /// The uniform slack in virtual seconds (must be positive, finite).
+        slack_seconds: f64,
+    },
+    /// `deadline = arrival + factor × predicted cold service` on the
+    /// reference machine.
+    ProportionalSlack {
+        /// Multiplier on the predicted cold service time (must be positive,
+        /// finite).
+        factor: f64,
+    },
+}
+
+impl DeadlinePolicy {
+    /// Reject non-positive or non-finite slack parameters.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let value = match self {
+            DeadlinePolicy::None => return Ok(()),
+            DeadlinePolicy::FixedSlack { slack_seconds } => *slack_seconds,
+            DeadlinePolicy::ProportionalSlack { factor } => *factor,
+        };
+        if value.is_finite() && value > 0.0 {
+            Ok(())
+        } else {
+            Err(WorkloadError::InvalidDeadlinePolicy { value })
+        }
+    }
+
+    /// The deadline of a job arriving at `arrival` with logical problem
+    /// size `lps`, consulting `reference` for predicted service when the
+    /// slack is proportional.
+    fn deadline_for(&self, arrival: f64, lps: usize, reference: &CostModel) -> Option<f64> {
+        match self {
+            DeadlinePolicy::None => None,
+            DeadlinePolicy::FixedSlack { slack_seconds } => Some(arrival + slack_seconds),
+            DeadlinePolicy::ProportionalSlack { factor } => {
+                // An analytic-model failure cannot happen for sizes the
+                // generator produces; fall back to deadline-free rather
+                // than poisoning the stream with NaN.
+                let predicted = reference.costs(lps).ok()?.total_cold_seconds();
+                Some(arrival + factor * predicted)
+            }
+        }
+    }
 }
 
 /// One problem family in a workload mix.
@@ -265,6 +349,9 @@ pub struct WorkloadSpec {
     pub arrivals: ArrivalProcess,
     /// `(weight, family)` pairs; weights need not be normalized.
     pub mix: Vec<(f64, FamilySpec)>,
+    /// How each job's completion deadline is stamped
+    /// ([`DeadlinePolicy::None`] = no deadlines).
+    pub deadlines: DeadlinePolicy,
 }
 
 impl WorkloadSpec {
@@ -288,6 +375,7 @@ impl WorkloadSpec {
                 ),
                 (1.0, FamilySpec::Partition { n: 28 }),
             ],
+            deadlines: DeadlinePolicy::None,
         }
     }
 
@@ -314,6 +402,7 @@ impl WorkloadSpec {
                 ),
                 (1.0, FamilySpec::VertexCoverGrid { rows: 4, cols: 4 }),
             ],
+            deadlines: DeadlinePolicy::None,
         }
     }
 
@@ -323,6 +412,12 @@ impl WorkloadSpec {
             arrivals: ArrivalProcess::Bursty { rate_hz, burst },
             ..Self::repeated_topologies(jobs, rate_hz, seed)
         }
+    }
+
+    /// The same spec with every job's deadline stamped by `deadlines`.
+    pub fn with_deadlines(mut self, deadlines: DeadlinePolicy) -> Self {
+        self.deadlines = deadlines;
+        self
     }
 
     /// Check the spec for fields that would produce NaN/∞ arrival times or
@@ -353,7 +448,7 @@ impl WorkloadSpec {
         if self.mix.iter().map(|(w, _)| w).sum::<f64>() <= 0.0 {
             return Err(WorkloadError::NoPositiveWeight);
         }
-        Ok(())
+        self.deadlines.validate()
     }
 
     /// Generate the job stream, rejecting invalid specs with a
@@ -385,6 +480,11 @@ impl WorkloadSpec {
     pub(crate) fn generate_unchecked_jobs(&self) -> Vec<Job> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let total_weight: f64 = self.mix.iter().map(|(w, _)| w.max(0.0)).sum();
+        // Reference oracle for proportional deadline slack: the paper's
+        // default machine with the default application config — a fixed,
+        // fleet-independent yardstick, so the same spec stamps the same
+        // deadlines no matter which fleet later serves it.
+        let reference = CostModel::new(SplitMachine::paper_default(), SplitExecConfig::default());
 
         let mut jobs = Vec::with_capacity(self.jobs);
         let mut clock = 0.0_f64;
@@ -418,13 +518,15 @@ impl WorkloadSpec {
 
             let (family, qubo) = chosen.instantiate(&mut rng, self.seed);
             let interaction = qubo_to_ising(&qubo).ising.interaction_graph();
+            let lps = qubo.num_variables();
             jobs.push(Job {
                 id,
                 tenant: TenantId::DEFAULT,
                 family,
-                lps: qubo.num_variables(),
+                lps,
                 topology_key: graph_key(&interaction),
                 arrival: clock,
+                deadline: self.deadlines.deadline_for(clock, lps, &reference),
             });
         }
         jobs
@@ -472,6 +574,11 @@ impl Workload {
     /// The largest logical problem size in the stream.
     pub fn max_lps(&self) -> usize {
         self.jobs.iter().map(|j| j.lps).max().unwrap_or(0)
+    }
+
+    /// Number of jobs in the stream carrying a completion deadline.
+    pub fn deadline_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.deadline.is_some()).count()
     }
 
     /// Number of distinct interaction topologies in the stream.
@@ -553,6 +660,7 @@ mod tests {
             seed: 5,
             arrivals: ArrivalProcess::Poisson { rate_hz: 1.0 },
             mix: vec![(1.0, FamilySpec::MaxCutCycle { sizes: vec![12] })],
+            deadlines: DeadlinePolicy::None,
         };
         let w = spec.generate();
         assert_eq!(w.distinct_topologies(), 1);
@@ -573,6 +681,7 @@ mod tests {
                     variants: 5,
                 },
             )],
+            deadlines: DeadlinePolicy::None,
         };
         let w = spec.generate();
         assert!(w.distinct_topologies() > 1);
@@ -597,6 +706,7 @@ mod tests {
             seed: 0,
             arrivals,
             mix,
+            deadlines: DeadlinePolicy::None,
         }
     }
 
@@ -713,6 +823,81 @@ mod tests {
     #[should_panic(expected = "invalid workload spec")]
     fn generate_panics_with_the_validation_message() {
         spec_with(ArrivalProcess::Poisson { rate_hz: 1.0 }, vec![]).generate();
+    }
+
+    #[test]
+    fn deadline_free_specs_stamp_no_deadlines() {
+        let w = WorkloadSpec::repeated_topologies(10, 1.0, 3).generate();
+        assert!(w.jobs.iter().all(|j| j.deadline.is_none()));
+        assert_eq!(w.deadline_jobs(), 0);
+    }
+
+    #[test]
+    fn fixed_slack_deadlines_sit_exactly_slack_past_arrival() {
+        let spec = WorkloadSpec::repeated_topologies(12, 1.0, 5)
+            .with_deadlines(DeadlinePolicy::FixedSlack { slack_seconds: 9.5 });
+        let w = spec.generate();
+        assert_eq!(w.deadline_jobs(), 12);
+        for job in &w.jobs {
+            let deadline = job.deadline.expect("fixed slack stamps every job");
+            assert!((deadline - job.arrival - 9.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn proportional_slack_scales_with_predicted_service() {
+        let spec = WorkloadSpec::repeated_topologies(30, 1.0, 7)
+            .with_deadlines(DeadlinePolicy::ProportionalSlack { factor: 2.0 });
+        let w = spec.generate();
+        assert_eq!(w.deadline_jobs(), 30);
+        // Bigger problems get more slack: group by lps and compare.
+        let slack = |job: &Job| job.deadline.unwrap() - job.arrival;
+        for a in &w.jobs {
+            for b in &w.jobs {
+                if a.lps < b.lps {
+                    assert!(
+                        slack(a) < slack(b),
+                        "lps {} slack {} !< lps {} slack {}",
+                        a.lps,
+                        slack(a),
+                        b.lps,
+                        slack(b)
+                    );
+                }
+                if a.lps == b.lps {
+                    assert!((slack(a) - slack(b)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_stamping_is_deterministic() {
+        let spec = WorkloadSpec::mixed(25, 0.8, 11)
+            .with_deadlines(DeadlinePolicy::ProportionalSlack { factor: 3.0 });
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn degenerate_deadline_policies_are_rejected() {
+        for value in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            for policy in [
+                DeadlinePolicy::FixedSlack {
+                    slack_seconds: value,
+                },
+                DeadlinePolicy::ProportionalSlack { factor: value },
+            ] {
+                let spec = WorkloadSpec::repeated_topologies(5, 1.0, 1).with_deadlines(policy);
+                assert!(
+                    matches!(
+                        spec.validate().unwrap_err(),
+                        WorkloadError::InvalidDeadlinePolicy { .. }
+                    ),
+                    "{policy:?} should be rejected"
+                );
+            }
+        }
+        assert_eq!(DeadlinePolicy::None.validate(), Ok(()));
     }
 
     #[test]

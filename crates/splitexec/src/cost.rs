@@ -1,6 +1,6 @@
 //! A reusable analytic cost oracle over the paper's three stage models.
 //!
-//! The stage predictions ([`predict_stage1`](crate::stage1::predict_stage1)
+//! The stage predictions ([`predict_stage1`]
 //! etc.) walk an ASPEN listing each call, which is cheap but not free, and
 //! every consumer that wants "what would this job cost?" has so far
 //! re-assembled the three calls by hand.  [`CostModel`] packages them behind

@@ -82,6 +82,7 @@ fn main() {
         burst: 1e3,
         max_queue_depth: usize::MAX,
         max_defer_seconds: 1e9,
+        ..TokenBucketConfig::default()
     };
     let mut gate = TokenBucket::new(generous).with_tenant_budget(
         TenantId(1),

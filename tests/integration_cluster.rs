@@ -122,6 +122,7 @@ fn oversized_jobs_are_rejected_cleanly() {
             lps: 500,
             topology_key: 1,
             arrival: 0.0,
+            deadline: None,
         },
         Job {
             id: 1,
@@ -130,6 +131,7 @@ fn oversized_jobs_are_rejected_cleanly() {
             lps: 20,
             topology_key: 2,
             arrival: 1.0,
+            deadline: None,
         },
     ]);
     let report = run(PolicyKind::Fifo, &workload, 2, 1);
@@ -154,6 +156,7 @@ fn bounded_caches_exhibit_the_hit_rate_cliff() {
                 sizes: vec![8, 17, 26, 36],
             },
         )],
+        deadlines: DeadlinePolicy::None,
     };
     let workload = spec.try_generate().expect("valid spec");
     let diversity = workload.distinct_topologies();
@@ -252,6 +255,7 @@ fn invalid_workload_specs_are_rejected_with_errors() {
             burst: 0,
         },
         mix: vec![(1.0, FamilySpec::Partition { n: 8 })],
+        deadlines: DeadlinePolicy::None,
     };
     assert_eq!(
         bad_burst.try_generate().unwrap_err(),
@@ -263,6 +267,7 @@ fn invalid_workload_specs_are_rejected_with_errors() {
         seed: 0,
         arrivals: ArrivalProcess::Poisson { rate_hz: 1.0 },
         mix: vec![(1.0, FamilySpec::MaxCutCycle { sizes: vec![] })],
+        deadlines: DeadlinePolicy::None,
     };
     assert!(matches!(
         bad_family.try_generate().unwrap_err(),
@@ -329,6 +334,7 @@ fn token_bucket_sheds_the_aggressor_not_the_victim() {
         burst: 100.0,
         max_queue_depth: usize::MAX,
         max_defer_seconds: 1e6,
+        ..TokenBucketConfig::default()
     })
     .with_tenant_budget(
         TenantId(1),
@@ -337,6 +343,7 @@ fn token_bucket_sheds_the_aggressor_not_the_victim() {
             burst: 100.0,
             max_queue_depth: depth_limit,
             max_defer_seconds: 1e6,
+            ..TokenBucketConfig::default()
         },
     );
     let mut policy = WeightedFairQueue::for_workload(&workload);
@@ -373,6 +380,7 @@ fn multi_tenant_simulation_is_deterministic_end_to_end() {
             burst: 4.0,
             max_queue_depth: 10,
             max_defer_seconds: 100.0,
+            ..TokenBucketConfig::default()
         });
         simulate_with_admission(
             fleet(3, seed),
@@ -431,6 +439,7 @@ fn second_chance_cache_admission_helps_on_low_repetition_mixes() {
                 },
             ),
         ],
+        deadlines: DeadlinePolicy::None,
     };
     let workload = spec.try_generate().expect("valid spec");
     assert!(
@@ -468,6 +477,247 @@ fn second_chance_cache_admission_helps_on_low_repetition_mixes() {
         second.latency.mean,
         always.latency.mean
     );
+}
+
+/// The deadline tentpole, end to end: a deadline-stamped two-tenant stream
+/// under EDF-in-lane WFQ misses fewer deadlines than the same stream under
+/// FIFO-lane WFQ and FIFO at saturating load, and the SLO metrics add up.
+#[test]
+fn edf_lanes_cut_the_slo_miss_rate_under_load() {
+    let seed = 7;
+    // Two symmetric tenants with mixed sizes and tight proportional slack,
+    // arriving faster than the fleet can serve: a meaningful fraction of
+    // deadlines must be missed, and the in-lane order decides which.
+    let tenant = |name: &str, sizes: Vec<usize>| TenantSpec {
+        name: name.to_string(),
+        weight: 1.0,
+        jobs: 45,
+        arrivals: ArrivalProcess::Poisson { rate_hz: 1.3 },
+        mix: vec![(1.0, FamilySpec::MaxCutCycle { sizes })],
+        deadlines: DeadlinePolicy::ProportionalSlack { factor: 4.0 },
+    };
+    let workload = MultiTenantSpec {
+        seed,
+        tenants: vec![
+            tenant("alpha", vec![12, 20, 28, 36]),
+            tenant("beta", vec![14, 22, 30, 34]),
+        ],
+    }
+    .generate();
+    assert_eq!(workload.deadline_jobs(), 90);
+
+    let run = |scheduler: &mut dyn Scheduler| {
+        simulate(fleet(3, seed), &workload, scheduler, SimConfig::default())
+    };
+    let fifo = run(&mut Fifo);
+    let mut plain = WeightedFairQueue::for_workload(&workload).with_lane_order(LaneOrder::Fifo);
+    let plain = run(&mut plain);
+    let mut edf_lane = WeightedFairQueue::for_workload(&workload);
+    let edf_lane = run(&mut edf_lane);
+
+    // Everything completes (no admission gate), so miss-rates compare the
+    // same population.
+    for report in [&fifo, &plain, &edf_lane] {
+        assert_eq!(report.completed, 90);
+        assert_eq!(report.slo_jobs(), 90);
+        assert_eq!(
+            report.slo_misses(),
+            report
+                .records
+                .iter()
+                .filter(|r| r.slo_miss() == Some(true))
+                .count()
+        );
+        assert!(report.lateness.percentiles_ordered());
+    }
+    assert!(
+        fifo.slo_misses() > 0,
+        "the load must actually produce misses"
+    );
+    assert!(
+        edf_lane.slo_miss_rate() < fifo.slo_miss_rate(),
+        "EDF lanes {:.3} !< fifo {:.3}",
+        edf_lane.slo_miss_rate(),
+        fifo.slo_miss_rate()
+    );
+    assert!(
+        edf_lane.slo_miss_rate() < plain.slo_miss_rate(),
+        "EDF lanes {:.3} !< plain WFQ lanes {:.3}",
+        edf_lane.slo_miss_rate(),
+        plain.slo_miss_rate()
+    );
+    // Per-tenant SLO accounting sums to the report totals.
+    let tenant_misses: usize = edf_lane.per_tenant.iter().map(|t| t.slo_misses).sum();
+    let tenant_jobs: usize = edf_lane.per_tenant.iter().map(|t| t.slo_jobs).sum();
+    assert_eq!(tenant_misses, edf_lane.slo_misses());
+    assert_eq!(tenant_jobs, edf_lane.slo_jobs());
+}
+
+/// Deadline-infeasibility shedding, end to end: doomed tight-slack jobs
+/// shed at admission, a loose-slack (always feasible) tenant is never
+/// touched, and every shed is accounted.
+#[test]
+fn infeasible_shedding_never_claims_a_feasible_job() {
+    let seed = 5;
+    // The worst single-job pin on this fleet: the costliest cold service.
+    let worst_pin = fleet(2, seed).worst_cold_service_seconds(36);
+    let workload = MultiTenantSpec {
+        seed,
+        tenants: vec![
+            TenantSpec {
+                name: "feasible".to_string(),
+                weight: 1.0,
+                jobs: 12,
+                arrivals: ArrivalProcess::Poisson { rate_hz: 0.4 },
+                mix: vec![(
+                    1.0,
+                    FamilySpec::MaxCutCycle {
+                        sizes: vec![20, 28],
+                    },
+                )],
+                // Slack clears the worst possible wait + service with 4x
+                // headroom: always feasible at admission time.
+                deadlines: DeadlinePolicy::FixedSlack {
+                    slack_seconds: 4.0 * worst_pin,
+                },
+            },
+            TenantSpec {
+                name: "doomed".to_string(),
+                weight: 1.0,
+                jobs: 36,
+                arrivals: ArrivalProcess::Poisson { rate_hz: 1.2 },
+                // Cache-busting cold embeds pin the devices...
+                mix: vec![(
+                    1.0,
+                    FamilySpec::MaxCutGnp {
+                        n: 30,
+                        p: 0.3,
+                        variants: 40,
+                    },
+                )],
+                // ...so a few seconds of slack are provably unreachable
+                // whenever both devices are mid-embed.
+                deadlines: DeadlinePolicy::FixedSlack {
+                    slack_seconds: 0.05 * worst_pin,
+                },
+            },
+        ],
+    }
+    .generate();
+
+    let mut gate = TokenBucket::new(TokenBucketConfig {
+        rate_hz: 1e3,
+        burst: 1e3,
+        max_queue_depth: usize::MAX,
+        max_defer_seconds: 1e9,
+        shed_infeasible: true,
+    });
+    let mut policy = WeightedFairQueue::for_workload(&workload);
+    let report = simulate_with_admission(
+        fleet(2, seed),
+        &workload,
+        &mut policy,
+        &mut gate,
+        SimConfig::default(),
+    );
+
+    let feasible = report.tenant_named("feasible").unwrap();
+    let doomed = report.tenant_named("doomed").unwrap();
+    assert_eq!(
+        feasible.shed_infeasible, 0,
+        "a feasible job must never shed on deadline grounds"
+    );
+    assert_eq!(feasible.completed, feasible.submitted);
+    assert!(
+        doomed.shed_infeasible > 0,
+        "the doomed flood must trip the gate"
+    );
+    assert_eq!(doomed.shed, doomed.shed_infeasible);
+    assert_eq!(report.shed_infeasible, doomed.shed_infeasible);
+    assert_eq!(
+        report.completed + report.rejected + report.shed,
+        report.jobs,
+        "every job is accounted for under infeasibility shedding"
+    );
+    // The trace labels the infeasibility sheds, and each shed job's
+    // deadline really was tighter than its best-case completion: no
+    // completed sibling of the same size finished within that slack while
+    // the fleet was loaded.
+    let infeasible_sheds = report
+        .trace
+        .iter()
+        .filter(|t| {
+            matches!(
+                t,
+                TraceRecord::Shed {
+                    infeasible: true,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(infeasible_sheds, report.shed_infeasible);
+}
+
+/// Deadline-stamped multi-tenant streams replay bit-identically per seed
+/// across the workspace boundary — the PR 5 determinism acceptance.
+#[test]
+fn deadline_streams_are_deterministic_end_to_end() {
+    let run = |seed: u64| {
+        let workload = MultiTenantSpec::aggressor_victim(10, 0.5, 5.0, 2.0, seed)
+            .with_uniform_deadlines(DeadlinePolicy::ProportionalSlack { factor: 3.0 })
+            .generate();
+        let mut policy = WeightedFairQueue::for_workload(&workload);
+        let mut gate = TokenBucket::new(TokenBucketConfig {
+            rate_hz: 2.0,
+            burst: 4.0,
+            max_queue_depth: 32,
+            max_defer_seconds: 200.0,
+            shed_infeasible: true,
+        });
+        simulate_with_admission(
+            fleet(3, seed),
+            &workload,
+            &mut policy,
+            &mut gate,
+            SimConfig::default(),
+        )
+    };
+    let a = run(33);
+    assert_eq!(a, run(33));
+    assert_ne!(a.trace, run(34).trace);
+    // Deadlines made it through generation, dispatch and records.
+    assert!(a.slo_jobs() > 0);
+    assert!(a.records.iter().all(|r| r.deadline.is_some()));
+}
+
+/// The JSON export carries the SLO fields sweeps consume.
+#[test]
+fn slo_fields_export_to_json() {
+    let workload = MultiTenantSpec::aggressor_victim(6, 0.5, 3.0, 1.0, 5)
+        .with_uniform_deadlines(DeadlinePolicy::FixedSlack {
+            slack_seconds: 30.0,
+        })
+        .generate();
+    let mut policy = WeightedFairQueue::for_workload(&workload);
+    let report = simulate(fleet(2, 5), &workload, &mut policy, SimConfig::default());
+    let json = report.to_json();
+    for field in ["slo_jobs", "slo_misses", "slo_miss_rate", "shed_infeasible"] {
+        assert!(json.get(field).is_some(), "missing report field {field}");
+    }
+    let text = json.to_string();
+    assert!(text.contains("\"lateness_seconds\""));
+    assert!(text.contains("\"slo_miss_rate\""));
+    // Per-tenant objects carry the same fields.
+    match json.get("per_tenant") {
+        Some(JsonValue::Array(tenants)) => {
+            for t in tenants {
+                assert!(t.get("slo_jobs").is_some());
+                assert!(t.get("lateness_seconds").is_some());
+            }
+        }
+        other => panic!("per_tenant should be an array, got {other:?}"),
+    }
 }
 
 /// Closed-loop mode sustains a fixed population and completes the stream.
