@@ -123,6 +123,7 @@ pub trait SamplerBackend: fmt::Debug + Send + Sync {
         ising: &Ising,
         params: &SampleParams,
     ) -> Result<(SampleSet, QpuAccessReport), SamplerError> {
+        // sx-lint: allow(D001) -- times a real sampler execution (host wall clock), not simulated virtual time
         let start = std::time::Instant::now();
         let set = self.sample(ising, params)?;
         let report = QpuAccessReport {
@@ -215,6 +216,7 @@ impl SamplerBackend for ParallelTemperingBackend {
         ising: &Ising,
         params: &SampleParams,
     ) -> Result<(SampleSet, QpuAccessReport), SamplerError> {
+        // sx-lint: allow(D001) -- times a real sampler execution (host wall clock), not simulated virtual time
         let start = std::time::Instant::now();
         let scale = params.energy_scale.max(1.0);
         let mut config = self.config;

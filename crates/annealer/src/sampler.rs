@@ -136,6 +136,7 @@ impl SimulatedQpu {
         num_reads: usize,
         seed: u64,
     ) -> (SampleSet, QpuAccessReport) {
+        // sx-lint: allow(D001) -- times a real annealing run (host wall clock); results stay seed-deterministic
         let start = std::time::Instant::now();
         let compiled = CompiledIsing::new(model);
         let run_read = |i: usize| {

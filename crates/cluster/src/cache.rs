@@ -63,6 +63,7 @@ impl EvictionPolicy for Lru {
             .enumerate()
             .min_by_key(|(_, e)| (e.last_use, e.key))
             .map(|(i, _)| i)
+            // sx-lint: allow(H003) -- EvictionPolicy::victim contract: `entries` is never empty
             .expect("victim() called on an empty cache")
     }
 }
@@ -90,6 +91,7 @@ impl EvictionPolicy for CostAware {
                     .then(a.key.cmp(&b.key))
             })
             .map(|(i, _)| i)
+            // sx-lint: allow(H003) -- EvictionPolicy::victim contract: `entries` is never empty
             .expect("victim() called on an empty cache")
     }
 }

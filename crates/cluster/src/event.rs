@@ -45,6 +45,12 @@ impl Eq for Event {}
 
 // BinaryHeap is a max-heap; invert the ordering so the earliest event pops
 // first.  `total_cmp` keeps the order total even if a NaN ever slipped in.
+//
+// This `(time, seq)` ordering is the workspace's canonical pattern for
+// comparing simulation floats (rule D003 in `docs/LINTING.md` points
+// here): `f64::total_cmp` never panics and ranks NaN greatest, and the
+// integer `seq` tiebreak makes equal-time pops deterministic.  Never use
+// `partial_cmp(..).unwrap()` on sim-side floats.
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         other

@@ -83,6 +83,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code reports through `Display`/`to_json`, never the terminal —
+// stray prints would corrupt the machine-readable sweep output.
+#![warn(clippy::print_stdout)]
 
 pub mod admission;
 pub mod cache;

@@ -280,6 +280,7 @@ pub fn simulate_with_admission(
             EventKind::JobCompletion { qpu: _, job } => {
                 let record = in_flight[job]
                     .take()
+                    // sx-lint: allow(H003) -- engine invariant: a JobCompletion is scheduled exactly once, at dispatch
                     .expect("completion event for a job that was never dispatched");
                 records.push(record);
                 release_next = true;

@@ -14,6 +14,7 @@
 //! `harness = false` in their manifest, exactly as with real criterion.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

@@ -5,6 +5,7 @@
 //! which is all the workspace relies on.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 

@@ -28,6 +28,7 @@
 //!   fast on the heavier embedding properties.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 // The crate-level example necessarily shows `#[test]` inside `proptest!` —
 // that is the macro's required syntax, not a runnable unit test.
 #![allow(clippy::test_attr_in_doctest)]

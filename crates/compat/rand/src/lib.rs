@@ -15,6 +15,7 @@
 //! real `rand` streams is not required and not promised.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// Raw generation of 32- and 64-bit words.
 pub trait RngCore {

@@ -10,6 +10,7 @@
 //! requires seed-determinism.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use rand::RngCore;
 

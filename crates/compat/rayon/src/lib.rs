@@ -13,6 +13,7 @@
 //! already use its API.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::ops::Range;
 

@@ -12,6 +12,7 @@
 //! `serde` (the public names match).
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 /// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
 pub trait Serialize {}

@@ -7,6 +7,9 @@
 //! empty token stream, keeping `#[derive(Serialize, Deserialize)]`
 //! annotations across the workspace compiling unchanged.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use proc_macro::TokenStream;
 
 /// Derive `serde::Serialize`.  Expands to nothing; see the crate docs.

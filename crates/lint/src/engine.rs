@@ -1,0 +1,215 @@
+//! The driver: walk the workspace, scan every Rust source, resolve
+//! suppressions and the allowlist, and assemble a [`LintReport`].
+
+use crate::report::{Finding, LintReport};
+use crate::rules::{check_file, RuleId};
+use crate::source::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One grandfathered site from the allowlist file: suppresses `rule` for
+/// every path starting with `path_prefix`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The rule being grandfathered.
+    pub rule: RuleId,
+    /// Workspace-relative path prefix (`/`-separated).
+    pub path_prefix: String,
+    /// The mandatory written reason.
+    pub reason: String,
+}
+
+/// Errors the driver can hit.
+#[derive(Debug)]
+pub enum LintError {
+    /// Filesystem failure while walking or reading.
+    Io(PathBuf, io::Error),
+    /// A malformed allowlist line (1-based line number and its text).
+    BadAllowlist(usize, String),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(path, err) => write!(f, "{}: {err}", path.display()),
+            LintError::BadAllowlist(line, text) => write!(
+                f,
+                "allowlist line {line}: expected `<rule-id> <path-prefix> -- <reason>`, got `{text}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Parse the allowlist format: one `<rule-id> <path-prefix> -- <reason>`
+/// per line; `#` comments and blank lines ignored.  The reason is as
+/// mandatory here as it is inline.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, LintError> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = || LintError::BadAllowlist(idx + 1, raw.to_string());
+        let (head, reason) = line.split_once("--").ok_or_else(bad)?;
+        let mut parts = head.split_whitespace();
+        let rule = parts.next().and_then(RuleId::from_id).ok_or_else(bad)?;
+        let path_prefix = parts.next().ok_or_else(bad)?.to_string();
+        let reason = reason.trim().to_string();
+        if reason.is_empty() || parts.next().is_some() {
+            return Err(bad());
+        }
+        entries.push(AllowEntry {
+            rule,
+            path_prefix,
+            reason,
+        });
+    }
+    Ok(entries)
+}
+
+/// Lint a single in-memory source as if it lived at `rel_path` — the entry
+/// point the fixture tests use.  Applies inline suppressions but no
+/// allowlist.
+pub fn lint_source(rel_path: &str, text: &str) -> Vec<Finding> {
+    let file = SourceFile::parse(rel_path, text);
+    resolve(&file, &[])
+}
+
+/// Lint every workspace source under `root`, honoring the allowlist.
+pub fn lint_workspace(root: &Path, allowlist: &[AllowEntry]) -> Result<LintReport, LintError> {
+    let mut files = Vec::new();
+    collect_rust_files(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in &files {
+        let abs = root.join(rel);
+        let text = fs::read_to_string(&abs).map_err(|e| LintError::Io(abs.clone(), e))?;
+        let file = SourceFile::parse(rel, &text);
+        findings.extend(resolve(&file, allowlist));
+    }
+    Ok(LintReport {
+        files_scanned: files.len(),
+        findings,
+    })
+}
+
+/// Run the rules over one file and resolve each raw finding against inline
+/// suppressions and the allowlist.
+fn resolve(file: &SourceFile, allowlist: &[AllowEntry]) -> Vec<Finding> {
+    check_file(file)
+        .into_iter()
+        .map(|raw| {
+            let inline = file
+                .suppression_for(raw.line)
+                .filter(|s| s.rule == raw.rule.id() && s.reason.is_some());
+            let grandfathered = allowlist
+                .iter()
+                .find(|a| a.rule == raw.rule && file.rel_path.starts_with(a.path_prefix.as_str()));
+            let (suppressed, reason) = match (inline, grandfathered) {
+                (Some(s), _) => (true, s.reason.clone()),
+                (None, Some(a)) => (true, Some(a.reason.clone())),
+                (None, None) => (false, None),
+            };
+            Finding {
+                rule: raw.rule,
+                file: file.rel_path.clone(),
+                line: raw.line,
+                message: raw.message,
+                suppressed,
+                suppress_reason: reason,
+            }
+        })
+        .collect()
+}
+
+/// Directories never scanned: build output, VCS, and the linter's own
+/// deliberately-bad fixture corpus.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name.starts_with('.') || name == "fixtures"
+}
+
+fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), LintError> {
+    let entries = fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                collect_rust_files(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_parses_and_rejects_malformed_lines() {
+        let ok = parse_allowlist(
+            "# comment\n\nD001 crates/splitexec/src/timing.rs -- real wall-clock measurement\n",
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].rule, RuleId::D001);
+        assert!(parse_allowlist("D001 some/path").is_err());
+        assert!(parse_allowlist("D999 some/path -- reason").is_err());
+        assert!(parse_allowlist("D001 some/path --   ").is_err());
+    }
+
+    #[test]
+    fn inline_suppression_requires_matching_rule_and_reason() {
+        let bad = "fn f() { let t = std::time::Instant::now(); }\n";
+        let path = "crates/cluster/src/x.rs";
+        let findings = lint_source(path, bad);
+        assert!(findings.iter().any(|f| !f.suppressed));
+
+        let suppressed = format!("// sx-lint: allow(D001) -- proving the suppressor\n{bad}");
+        let findings = lint_source(path, &suppressed);
+        assert!(findings.iter().all(|f| f.suppressed));
+
+        // A reasonless allow suppresses nothing and raises S001 itself.
+        let reasonless = format!("// sx-lint: allow(D001)\n{bad}");
+        let findings = lint_source(path, &reasonless);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == RuleId::S001 && !f.suppressed));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == RuleId::D001 && !f.suppressed));
+    }
+
+    #[test]
+    fn allowlist_grandfathers_by_path_prefix() {
+        let file = SourceFile::parse(
+            "crates/cluster/src/x.rs",
+            "fn f() { let t = std::time::Instant::now(); }\n",
+        );
+        let allow = vec![AllowEntry {
+            rule: RuleId::D001,
+            path_prefix: "crates/cluster/".to_string(),
+            reason: "grandfathered for the test".to_string(),
+        }];
+        let findings = resolve(&file, &allow);
+        assert!(findings
+            .iter()
+            .filter(|f| f.rule == RuleId::D001)
+            .all(|f| f.suppressed));
+    }
+}

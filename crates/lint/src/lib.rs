@@ -1,0 +1,61 @@
+//! # sx-lint — the determinism-contract static analyzer
+//!
+//! `docs/ARCHITECTURE.md` promises that every simulation run is a pure
+//! function of its seeds: same seed, bit-identical trace.  Every CI sweep
+//! gate (`--mode slo`, `fairness`, `cache-cliff`, ...) silently depends on
+//! that promise, and nothing in the type system enforces it — a stray
+//! `Instant::now()`, an iteration over a `HashMap`, or a NaN-unsafe
+//! `partial_cmp().unwrap()` comparator is one careless edit away from
+//! nondeterministic traces no unit test will catch.  This crate is the
+//! enforcement: a hand-rolled, dependency-free line/token scanner (the
+//! build environment is offline, so no `syn`) that walks the workspace and
+//! raises findings against the rule catalog in [`rules::RuleId`].
+//!
+//! The catalog, the suppression syntax (an inline allow comment naming the
+//! rule id plus a mandatory `--`-separated reason, see
+//! [`source::Suppression`]) and the allowlist format are documented for
+//! humans in `docs/LINTING.md`.  The CLI lives in `crates/bench/src/bin/sx_lint.rs`
+//! and exits nonzero on any unsuppressed finding; CI runs it on every
+//! build.
+//!
+//! ```
+//! use sx_lint::{lint_source, RuleId};
+//!
+//! let findings = lint_source(
+//!     "crates/cluster/src/demo.rs",
+//!     "fn f() { let t = std::time::Instant::now(); }",
+//! );
+//! assert_eq!(findings[0].rule, RuleId::D001);
+//! assert!(!findings[0].suppressed);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// The library renders reports to strings; only the CLI prints.
+#![warn(clippy::print_stdout)]
+
+pub mod engine;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use engine::{lint_source, lint_workspace, parse_allowlist, AllowEntry, LintError};
+pub use report::{Finding, LintReport};
+pub use rules::{RuleId, Severity};
+pub use source::{SourceFile, Suppression};
+
+use std::path::Path;
+
+/// Default name of the allowlist file at the workspace root.
+pub const ALLOWLIST_FILE: &str = "lint.allow";
+
+/// Lint the workspace at `root` using `<root>/lint.allow` if present —
+/// the one-call entry point the CLI and the self-lint test share.
+pub fn lint_workspace_with_default_allowlist(root: &Path) -> Result<LintReport, LintError> {
+    let allow_path = root.join(ALLOWLIST_FILE);
+    let allowlist = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => parse_allowlist(&text)?,
+        Err(_) => Vec::new(),
+    };
+    lint_workspace(root, &allowlist)
+}

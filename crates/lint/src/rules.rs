@@ -1,0 +1,508 @@
+//! The rule catalog: what `sx_lint` enforces, and why.
+//!
+//! Two families, mirroring `docs/LINTING.md`:
+//!
+//! * **D-rules** protect the determinism contract of
+//!   `docs/ARCHITECTURE.md` — a seeded run must replay bit-identically, so
+//!   wall clocks, ambient entropy, hash-order iteration and NaN-unsafe
+//!   comparators are banned from simulator code.
+//! * **H-rules** are workspace hygiene — crate-root attributes, panicking
+//!   shortcuts in library code, and unfiled task markers.
+//! * **S001** polices the suppression mechanism itself: every
+//!   `sx-lint: allow` must name a real rule and carry a written reason.
+//!
+//! Rule ids are stable and pinned by the fixture tests; add new rules at
+//! the end of [`RuleId::ALL`], never renumber.
+
+use crate::source::SourceFile;
+
+/// How bad a finding is.  The CI gate fails on *any* unsuppressed finding
+/// regardless of severity; the distinction exists for human triage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Breaks the determinism contract (or the suppression contract).
+    Error,
+    /// Hygiene debt that will not scramble a trace by itself.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// Stable identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// Wall-clock or ambient-entropy API in simulator code.
+    D001,
+    /// Iteration over a `HashMap`/`HashSet` in simulator code.
+    D002,
+    /// NaN-unsafe `partial_cmp(..).unwrap()` comparator in a sort.
+    D003,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    H001,
+    /// Crate root missing crate docs or `#![warn(missing_docs)]`.
+    H002,
+    /// `unwrap()`/`expect()` in `sx-cluster` library code.
+    H003,
+    /// `TODO`/`FIXME` without an issue reference.
+    H004,
+    /// Malformed `sx-lint: allow` (missing reason or unknown rule).
+    S001,
+}
+
+impl RuleId {
+    /// Every rule, in catalog order.
+    pub const ALL: [RuleId; 8] = [
+        RuleId::D001,
+        RuleId::D002,
+        RuleId::D003,
+        RuleId::H001,
+        RuleId::H002,
+        RuleId::H003,
+        RuleId::H004,
+        RuleId::S001,
+    ];
+
+    /// The stable id string (`"D001"`, ...).
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::D001 => "D001",
+            RuleId::D002 => "D002",
+            RuleId::D003 => "D003",
+            RuleId::H001 => "H001",
+            RuleId::H002 => "H002",
+            RuleId::H003 => "H003",
+            RuleId::H004 => "H004",
+            RuleId::S001 => "S001",
+        }
+    }
+
+    /// Parse an id string.
+    pub fn from_id(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.id() == s)
+    }
+
+    /// The rule's severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::D001 | RuleId::D002 | RuleId::D003 | RuleId::S001 => Severity::Error,
+            RuleId::H001 | RuleId::H002 | RuleId::H003 | RuleId::H004 => Severity::Warning,
+        }
+    }
+
+    /// One-line description used in reports and `docs/LINTING.md`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::D001 => {
+                "wall-clock/entropy API (Instant::now, SystemTime, thread_rng, from_entropy) in simulator code"
+            }
+            RuleId::D002 => {
+                "iteration over a HashMap/HashSet in simulator code (hash order is nondeterministic across runs)"
+            }
+            RuleId::D003 => {
+                "NaN-unsafe partial_cmp().unwrap() comparator in a sort (use f64::total_cmp or the EventKey pattern)"
+            }
+            RuleId::H001 => "crate root missing #![forbid(unsafe_code)]",
+            RuleId::H002 => "crate root missing crate-level docs or #![warn(missing_docs)]",
+            RuleId::H003 => "unwrap()/expect() in sx-cluster library code",
+            RuleId::H004 => "TODO/FIXME without an issue reference",
+            RuleId::S001 => "malformed sx-lint suppression (reason is mandatory; rule id must exist)",
+        }
+    }
+}
+
+/// What kind of file a path is, for rule scoping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// Library source under some crate's `src/`.
+    Lib,
+    /// A binary (`src/bin/` or `src/main.rs`).
+    Bin,
+    /// Tests, benches, examples.
+    Test,
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(rel_path: &str) -> FileRole {
+    let p = rel_path;
+    if p.contains("/tests/")
+        || p.starts_with("tests/")
+        || p.contains("/benches/")
+        || p.contains("/examples/")
+        || p.starts_with("examples/")
+    {
+        FileRole::Test
+    } else if p.contains("/src/bin/") || p.ends_with("/src/main.rs") {
+        FileRole::Bin
+    } else {
+        FileRole::Lib
+    }
+}
+
+/// Whether `rel_path` is the root module of a crate (where the crate-level
+/// attribute rules H001/H002 apply).
+pub fn is_crate_root(rel_path: &str) -> bool {
+    rel_path == "src/lib.rs"
+        || (rel_path.starts_with("crates/") && rel_path.ends_with("/src/lib.rs"))
+}
+
+/// Whether `rel_path` belongs to the simulator-side crates whose traces
+/// must replay bit-identically (the D-rule scope).
+fn in_sim_scope(rel_path: &str) -> bool {
+    ["crates/cluster/", "crates/splitexec/", "crates/annealer/"]
+        .iter()
+        .any(|p| rel_path.starts_with(p))
+}
+
+/// Whether `rel_path` is in the NaN-unsafe-sort scope (sim crates plus the
+/// bench harness, whose sweep reports also feed CI gates).
+fn in_sort_scope(rel_path: &str) -> bool {
+    in_sim_scope(rel_path) || rel_path.starts_with("crates/bench/")
+}
+
+/// One raised finding, before suppression resolution.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// 1-based line.
+    pub line: usize,
+    /// Human message with the offending token.
+    pub message: String,
+}
+
+/// Run every applicable rule over one scrubbed file.
+pub fn check_file(file: &SourceFile) -> Vec<RawFinding> {
+    let mut findings = Vec::new();
+    let role = classify(&file.rel_path);
+    let compat = file.rel_path.starts_with("crates/compat/");
+
+    if role == FileRole::Lib && !compat {
+        if in_sim_scope(&file.rel_path) {
+            check_wall_clock(file, &mut findings);
+            check_hash_iteration(file, &mut findings);
+        }
+        if in_sort_scope(&file.rel_path) {
+            check_partial_cmp_sort(file, &mut findings);
+        }
+        if file.rel_path.starts_with("crates/cluster/") {
+            check_unwrap(file, &mut findings);
+        }
+    }
+    if is_crate_root(&file.rel_path) {
+        check_crate_attrs(file, &mut findings);
+    }
+    check_todo(file, &mut findings);
+    check_suppression_hygiene(file, &mut findings);
+    findings
+}
+
+/// D001: wall clocks and ambient entropy.
+fn check_wall_clock(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    const BANNED: [&str; 4] = ["Instant::now", "SystemTime", "thread_rng", "from_entropy"];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for token in BANNED {
+            if line.code.contains(token) {
+                out.push(RawFinding {
+                    rule: RuleId::D001,
+                    line: idx + 1,
+                    message: format!(
+                        "`{token}` in simulator code: virtual time and seeded RNG only — \
+                         a wall clock or entropy source makes the trace unreplayable"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// D002: iteration over hash containers.
+///
+/// A file-local identifier analysis: collect every identifier declared (or
+/// typed) as `HashMap`/`HashSet`, then flag `.iter()`, `.keys()`,
+/// `.values()`, `.drain()`, `.into_iter()`, `.retain()` or `for .. in`
+/// over those identifiers — unless the statement visibly restores a
+/// deterministic order (`sort`, `BTree`, `min`/`max`, or a fold into an
+/// order-insensitive scalar like `.sum()`/`.count()` is still flagged:
+/// f64 addition is not associative, so even "just a sum" can diverge).
+fn check_hash_iteration(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    let idents = hash_idents(file);
+    const ITER_CALLS: [&str; 6] = [
+        ".iter()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".drain()",
+        ".into_iter()",
+    ];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for ident in &idents {
+            // Bare and `self.`-qualified receivers both count.
+            let receivers = [ident.clone(), format!("self.{ident}")];
+            let hit = receivers.iter().any(|recv| {
+                ITER_CALLS
+                    .iter()
+                    .any(|call| code.contains(&format!("{recv}{call}")))
+                    || code.contains(&format!("in &{recv}"))
+                    || code.contains(&format!("in {recv} "))
+            });
+            if !hit {
+                continue;
+            }
+            // Exemption evidence: a `sort` or a BTree collection within the
+            // next few lines (covers both in-chain `.collect::<BTreeSet>()`
+            // and the collect-into-Vec-then-sort idiom).
+            let window: String = file.lines[idx..(idx + 8).min(file.lines.len())]
+                .iter()
+                .map(|l| l.code.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            if window.contains("sort") || window.contains("BTree") {
+                continue;
+            }
+            out.push(RawFinding {
+                rule: RuleId::D002,
+                line: idx + 1,
+                message: format!(
+                    "iteration over hash container `{ident}`: hash order varies across \
+                     processes — sort the items, use a BTreeMap/BTreeSet, or prove the \
+                     use order-insensitive and `sx-lint: allow(D002)` it with the proof"
+                ),
+            });
+        }
+    }
+}
+
+/// Identifiers declared as hash containers anywhere in the file (fields,
+/// lets, and parameters — matched lexically).
+fn hash_idents(file: &SourceFile) -> Vec<String> {
+    let mut idents = Vec::new();
+    for line in &file.lines {
+        let code = &line.code;
+        // `name: HashMap<..>` / `name: Mutex<HashMap<..>>` (field or param)
+        // and `let [mut] name = HashMap::new()` / `HashSet::with_capacity`.
+        for marker in ["HashMap", "HashSet"] {
+            if !code.contains(marker) {
+                continue;
+            }
+            if let Some(name) = decl_name_before_colon(code, marker) {
+                push_unique(&mut idents, name);
+            }
+            if let Some(name) = let_binding_name(code, marker) {
+                push_unique(&mut idents, name);
+            }
+        }
+    }
+    idents
+}
+
+fn push_unique(idents: &mut Vec<String>, name: String) {
+    if !name.is_empty() && !idents.contains(&name) {
+        idents.push(name);
+    }
+}
+
+/// `foo: [Mutex<][std::collections::]HashMap<..` → `foo`.
+///
+/// Walks backward from the marker over path segments (`std::collections::`),
+/// generic wrappers (`Mutex<`), references and whitespace to the annotation
+/// colon, then takes the identifier before it.  Anything else before the
+/// marker (`=`, `(`) means this is not a typed declaration.
+fn decl_name_before_colon(code: &str, marker: &str) -> Option<String> {
+    let at = code.find(marker)?;
+    let bytes: Vec<char> = code[..at].chars().collect();
+    let mut i = bytes.len();
+    while i > 0 {
+        let c = bytes[i - 1];
+        if c == ':' {
+            if i >= 2 && bytes[i - 2] == ':' {
+                i -= 2; // `::` path separator
+                continue;
+            }
+            // The single annotation colon: the identifier sits before it.
+            let head: String = bytes[..i - 1].iter().collect();
+            let name: String = head
+                .trim_end()
+                .chars()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            return (!name.is_empty()).then_some(name);
+        }
+        if c.is_alphanumeric() || c == '_' || c == '<' || c == '>' || c == ' ' || c == '&' {
+            i -= 1;
+            continue;
+        }
+        return None;
+    }
+    None
+}
+
+/// `let [mut] foo = [path::]HashMap::new()` → `foo`.
+fn let_binding_name(code: &str, marker: &str) -> Option<String> {
+    if !code.contains(&format!("{marker}::new")) && !code.contains(&format!("{marker}::with")) {
+        return None;
+    }
+    let let_at = code.find("let ")?;
+    let rest = code[let_at + 4..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    Some(name)
+}
+
+/// D003: NaN-unsafe comparator sorts.
+fn check_partial_cmp_sort(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    const SORT_FNS: [&str; 7] = [
+        "sort_by",
+        "sort_unstable_by",
+        "min_by",
+        "max_by",
+        "min_by_key",
+        "max_by_key",
+        "binary_search_by",
+    ];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let Some(sort_fn) = SORT_FNS.iter().find(|f| line.code.contains(*f)) else {
+            continue;
+        };
+        let stmt = file.statement(idx + 1, 10);
+        if stmt.contains("partial_cmp") && (stmt.contains(".unwrap(") || stmt.contains(".expect("))
+        {
+            out.push(RawFinding {
+                rule: RuleId::D003,
+                line: idx + 1,
+                message: format!(
+                    "`{sort_fn}` with `partial_cmp(..).unwrap()`: panics on NaN and is not a \
+                     total order — use `f64::total_cmp` (see the EventKey pattern in \
+                     cluster/src/event.rs)"
+                ),
+            });
+        }
+    }
+}
+
+/// H001 + H002: crate-root attributes and crate docs.
+fn check_crate_attrs(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    let head_code: Vec<&str> = file.lines.iter().map(|l| l.code.as_str()).collect();
+    let has = |needle: &str| head_code.iter().any(|c| c.contains(needle));
+    if !has("#![forbid(unsafe_code)]") {
+        out.push(RawFinding {
+            rule: RuleId::H001,
+            line: 1,
+            message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    let has_crate_docs = file
+        .lines
+        .iter()
+        .take(5)
+        .any(|l| l.comment.trim_start().starts_with("//!"));
+    if !has("#![warn(missing_docs)]") || !has_crate_docs {
+        out.push(RawFinding {
+            rule: RuleId::H002,
+            line: 1,
+            message: "crate root lacks crate-level `//!` docs and/or `#![warn(missing_docs)]`"
+                .to_string(),
+        });
+    }
+}
+
+/// H003: panicking shortcuts in `sx-cluster` library code.
+fn check_unwrap(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for token in [".unwrap()", ".expect("] {
+            if line.code.contains(token) {
+                out.push(RawFinding {
+                    rule: RuleId::H003,
+                    line: idx + 1,
+                    message: format!(
+                        "`{token}` in sx-cluster library code: return a typed error, or \
+                         `sx-lint: allow(H003)` with the invariant that makes it unreachable",
+                        token = token.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// H004: unfiled TODOs.  An issue reference is `#<digits>` or the word
+/// `issue` in the same comment.
+fn check_todo(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        let c = &line.comment;
+        let marker = ["TODO", "FIXME", "XXX"].iter().find(|m| c.contains(*m));
+        let Some(marker) = marker else { continue };
+        let has_ref = c.to_ascii_lowercase().contains("issue") || has_hash_number(c);
+        if !has_ref {
+            out.push(RawFinding {
+                rule: RuleId::H004,
+                line: idx + 1,
+                message: format!(
+                    "`{marker}` without an issue reference: file it (`{marker}(#123)`) or drop it"
+                ),
+            });
+        }
+    }
+}
+
+fn has_hash_number(comment: &str) -> bool {
+    comment
+        .char_indices()
+        .filter(|&(_, c)| c == '#')
+        .any(|(i, _)| {
+            comment[i + 1..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit())
+        })
+}
+
+/// S001: suppression hygiene — mandatory reason, known rule id.
+fn check_suppression_hygiene(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    for s in &file.suppressions {
+        if RuleId::from_id(&s.rule).is_none() {
+            out.push(RawFinding {
+                rule: RuleId::S001,
+                line: s.line,
+                message: format!("`sx-lint: allow({})` names an unknown rule id", s.rule),
+            });
+        }
+        if s.reason.is_none() {
+            out.push(RawFinding {
+                rule: RuleId::S001,
+                line: s.line,
+                message: format!(
+                    "`sx-lint: allow({})` without a reason: append `-- <why this is safe>`",
+                    s.rule
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Source model: the per-line view of a Rust file the rules scan.
+//!
+//! The linter is a *line/token* scanner, not a parser (the build environment
+//! is offline, so `syn` is unavailable — and the rules it enforces are
+//! lexical by design).  For every line of a file this module produces:
+//!
+//! * `code` — the line with string literals, character literals and comments
+//!   blanked out, so a rule matching `Instant::now` never fires on a doc
+//!   comment or a log message *about* `Instant::now`;
+//! * `comment` — the comment text of the line (line comments, block
+//!   comments, and doc comments), which is what the task-marker hygiene
+//!   rule and the suppression parser scan;
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` item or a
+//!   `#[test]` function, where the determinism rules do not apply;
+//! * `suppression` — a parsed `sx-lint` allow comment, if the line carries
+//!   one (see [`Suppression`] for the syntax).
+//!
+//! Test-region tracking is a brace-depth machine: a `#[cfg(test)]` or
+//! `#[test]` attribute arms a pending flag, the next `{` opens the test
+//! region, and the matching `}` closes it.  That is exact for the idiomatic
+//! `#[cfg(test)] mod tests { .. }` layout this workspace uses everywhere.
+
+/// A parsed inline suppression.  The concrete syntax is the word
+/// `sx-lint:` followed by `allow`, the rule id in parentheses, and a
+/// mandatory `--`-separated reason — e.g.
+/// `// sx-lint: allow(D001) -- measures real wall clock, not virtual time`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule id named in `allow(..)` (not yet validated against the
+    /// catalog; the engine raises `S001` for unknown ids).
+    pub rule: String,
+    /// The mandatory justification after `--`.  `None` when the author
+    /// omitted it — which is itself an `S001` finding.
+    pub reason: Option<String>,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+}
+
+/// One analyzed line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code text with strings, char literals and comments blanked.
+    pub code: String,
+    /// Comment text (everything the scrubber removed as comments).
+    pub comment: String,
+    /// Whether the line is inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+/// A scrubbed source file ready for rule scanning.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// The analyzed lines, in order (index 0 = line 1).
+    pub lines: Vec<Line>,
+    /// Inline suppressions, in line order.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Lexer state carried across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+impl SourceFile {
+    /// Analyze `text` as the contents of `rel_path`.
+    pub fn parse(rel_path: &str, text: &str) -> Self {
+        let mut lines = Vec::new();
+        let mut suppressions = Vec::new();
+        let mut mode = Mode::Code;
+        // Test-region machine.
+        let mut pending_test_attr = false;
+        let mut depth: i64 = 0;
+        let mut test_region_floor: Option<i64> = None;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let (code, comment, next_mode) = scrub_line(raw, mode);
+            mode = next_mode;
+
+            if let Some(s) = parse_suppression(&comment, idx + 1) {
+                suppressions.push(s);
+            }
+
+            // Arm on test attributes (matched on code text, so a commented
+            // `#[cfg(test)]` does not count).
+            let is_test_attr = code.contains("#[cfg(test)]")
+                || code.contains("#[cfg(all(test")
+                || code.contains("#[test]");
+            let mut in_test = test_region_floor.is_some() || is_test_attr || pending_test_attr;
+            if is_test_attr {
+                pending_test_attr = true;
+            }
+
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        if pending_test_attr && test_region_floor.is_none() {
+                            test_region_floor = Some(depth);
+                            pending_test_attr = false;
+                            in_test = true;
+                        }
+                    }
+                    '}' => {
+                        if let Some(floor) = test_region_floor {
+                            if depth == floor {
+                                test_region_floor = None;
+                            }
+                        }
+                        depth -= 1;
+                    }
+                    _ => {}
+                }
+            }
+
+            lines.push(Line {
+                code,
+                comment,
+                in_test,
+            });
+        }
+
+        Self {
+            rel_path: rel_path.to_string(),
+            lines,
+            suppressions,
+        }
+    }
+
+    /// The code text of 1-based `line`, or `""` past EOF.
+    pub fn code(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map(|l| l.code.as_str())
+            .unwrap_or("")
+    }
+
+    /// Join the code of the statement starting at 1-based `line`: the line
+    /// itself plus following lines until a `;` or an opening-then-closed
+    /// block ends it, capped at `max` lines.  Rules use this so a pattern
+    /// split across a rustfmt-wrapped statement (`sort_by(|a, b| ...)`) is
+    /// still seen whole.
+    pub fn statement(&self, line: usize, max: usize) -> String {
+        let mut joined = String::new();
+        for offset in 0..max {
+            let Some(l) = self.lines.get(line - 1 + offset) else {
+                break;
+            };
+            joined.push_str(&l.code);
+            joined.push(' ');
+            if l.code.contains(';') {
+                break;
+            }
+        }
+        joined
+    }
+
+    /// The suppression covering a finding on 1-based `line`, if any: a
+    /// suppression comment applies to its own line (trailing form) or to
+    /// the line directly below it.
+    pub fn suppression_for(&self, line: usize) -> Option<&Suppression> {
+        self.suppressions
+            .iter()
+            .find(|s| s.line == line || s.line + 1 == line)
+    }
+}
+
+/// Parse a suppression (see [`Suppression`]) out of a line's comment text.
+fn parse_suppression(comment: &str, line: usize) -> Option<Suppression> {
+    let at = comment.find("sx-lint:")?;
+    let rest = comment[at + "sx-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim();
+    let reason = tail
+        .strip_prefix("--")
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .map(str::to_string);
+    Some(Suppression { rule, reason, line })
+}
+
+/// Split one raw line into (code, comment) under the incoming lexer mode,
+/// returning the mode the next line starts in.
+fn scrub_line(raw: &str, mut mode: Mode) -> (String, String, Mode) {
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let bytes: Vec<char> = raw.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match mode {
+            Mode::Code => {
+                if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                    // Line comment: the rest of the line is comment text.
+                    comment.extend(&bytes[i..]);
+                    break;
+                } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(1);
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                } else if c == '"' {
+                    mode = Mode::Str;
+                    code.push('"');
+                } else if c == 'r'
+                    && matches!(bytes.get(i + 1), Some('"') | Some('#'))
+                    && raw_str_hashes(&bytes[i + 1..]).is_some()
+                {
+                    let hashes = raw_str_hashes(&bytes[i + 1..]).unwrap_or(0);
+                    mode = Mode::RawStr(hashes);
+                    code.push('r');
+                    i += 1 + hashes as usize + 1;
+                    code.push('"');
+                    continue;
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a char literal closes with a
+                    // quote within a few characters (`'x'`, `'\n'`, `'\u{..}'`).
+                    if let Some(len) = char_literal_len(&bytes[i..]) {
+                        code.push('\'');
+                        code.push(' ');
+                        code.push('\'');
+                        i += len;
+                        continue;
+                    }
+                    code.push('\'');
+                } else {
+                    code.push(c);
+                }
+            }
+            Mode::BlockComment(n) => {
+                if c == '*' && bytes.get(i + 1) == Some(&'/') {
+                    mode = if n == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(n - 1)
+                    };
+                    i += 2;
+                    continue;
+                } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(n + 1);
+                    i += 2;
+                    continue;
+                }
+                comment.push(c);
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    mode = Mode::Code;
+                    code.push('"');
+                }
+                // String contents are dropped from the code view.
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&bytes[i + 1..], hashes) {
+                    mode = Mode::Code;
+                    code.push('"');
+                    i += 1 + hashes as usize;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    // Unterminated line comment never crosses lines; strings do.
+    if mode == Mode::Str {
+        // A string literal that continues onto the next line.
+    }
+    (code, comment, mode)
+}
+
+/// If `chars` (starting just after `r`) opens a raw string, the number of
+/// `#`s; `None` otherwise.
+fn raw_str_hashes(chars: &[char]) -> Option<u32> {
+    let mut hashes = 0u32;
+    for &c in chars {
+        match c {
+            '#' => hashes += 1,
+            '"' => return Some(hashes),
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Whether the characters after a `"` close a raw string with `hashes` `#`s.
+fn closes_raw(chars: &[char], hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(k) == Some(&'#'))
+}
+
+/// Length of a char literal starting at `'`, or `None` if this is a
+/// lifetime.  A char literal is `'X'` (any single char), `'\X'` (simple
+/// escape) or `'\u{...}'`; anything else — in particular `'a` followed by
+/// a non-quote — is a lifetime.
+fn char_literal_len(chars: &[char]) -> Option<usize> {
+    match chars.get(1)? {
+        '\\' => {
+            // Escape: closing quote within the next 8 chars (`'\u{10FFFF}'`).
+            (3..=11.min(chars.len().saturating_sub(1)))
+                .find(|&len| chars[len] == '\'')
+                .map(|len| len + 1)
+        }
+        _ => (chars.get(2) == Some(&'\'')).then_some(3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked_from_code() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let s = \"Instant::now\"; // Instant::now in a comment\n",
+        );
+        assert!(!f.lines[0].code.contains("Instant::now"));
+        assert!(f.lines[0].comment.contains("Instant::now"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = SourceFile::parse("x.rs", "/* a\nInstant::now\n*/ let x = 1;");
+        assert!(!f.lines[1].code.contains("Instant"));
+        assert!(f.lines[2].code.contains("let x"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_tracked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn suppressions_parse_with_and_without_reason() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// sx-lint: allow(D001) -- measures real wall clock\nlet a = 1;\n// sx-lint: allow(H003)\n",
+        );
+        assert_eq!(f.suppressions.len(), 2);
+        assert_eq!(f.suppressions[0].rule, "D001");
+        assert_eq!(
+            f.suppressions[0].reason.as_deref(),
+            Some("measures real wall clock")
+        );
+        assert_eq!(f.suppressions[1].reason, None);
+        assert!(f.suppression_for(2).is_some());
+        assert!(f.suppression_for(5).is_none());
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = SourceFile::parse("x.rs", "fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(f.lines[0].code.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn statements_join_until_semicolon() {
+        let f = SourceFile::parse("x.rs", "jobs.sort_by(|a, b| {\n  a.cmp(b)\n});\nnext();");
+        let stmt = f.statement(1, 8);
+        assert!(stmt.contains("sort_by") && stmt.contains("cmp"));
+        assert!(!stmt.contains("next"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Pins the rule catalog against a fixture corpus: one known-bad snippet
+//! per rule, one correctly suppressed, one clean.  Exact rule ids and line
+//! numbers are asserted so any drift in the scanner is caught here first.
+
+use sx_lint::{lint_source, Finding, RuleId};
+
+/// Lint `text` as if it lived at `rel_path`, returning
+/// `(rule, line, suppressed)` triples sorted for stable comparison.
+fn triples(rel_path: &str, text: &str) -> Vec<(RuleId, usize, bool)> {
+    let mut out: Vec<(RuleId, usize, bool)> = lint_source(rel_path, text)
+        .iter()
+        .map(|f: &Finding| (f.rule, f.line, f.suppressed))
+        .collect();
+    out.sort_by_key(|(r, l, s)| (r.id(), *l, *s));
+    out
+}
+
+const CLUSTER_PATH: &str = "crates/cluster/src/fixture.rs";
+
+#[test]
+fn d001_wall_clock_exact_lines() {
+    let got = triples(CLUSTER_PATH, include_str!("fixtures/d001_bad.rs"));
+    assert_eq!(
+        got,
+        vec![(RuleId::D001, 5, false), (RuleId::D001, 9, false)],
+        "Instant::now and SystemTime flagged outside cfg(test), nothing inside it"
+    );
+}
+
+#[test]
+fn d002_hash_iteration_exact_lines() {
+    let got = triples(CLUSTER_PATH, include_str!("fixtures/d002_bad.rs"));
+    assert_eq!(
+        got,
+        vec![(RuleId::D002, 12, false), (RuleId::D002, 17, false)],
+        "both the self-qualified .values() and the for-loop over .keys() flagged"
+    );
+}
+
+#[test]
+fn d002_not_raised_outside_sim_scope() {
+    // The same source under crates/bench is out of D002 scope.
+    let got = triples(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/d002_bad.rs"),
+    );
+    assert!(
+        got.is_empty(),
+        "D002 is scoped to simulator crates, got {got:?}"
+    );
+}
+
+#[test]
+fn d003_partial_cmp_sort_exact_lines() {
+    // Scanned under crates/bench: in D003 scope but outside H003 scope, so
+    // the .unwrap()/.expect() inside the comparators raise only D003.
+    let got = triples(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/d003_bad.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            (RuleId::D003, 5, false),
+            (RuleId::D003, 9, false),
+            (RuleId::D003, 18, false),
+        ],
+        "single-line, multi-line-closure, and min_by variants all flagged"
+    );
+}
+
+#[test]
+fn h001_h002_crate_root_attrs() {
+    let got = triples(
+        "crates/fake/src/lib.rs",
+        include_str!("fixtures/h001_h002_bad.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![(RuleId::H001, 1, false), (RuleId::H002, 1, false)],
+        "bare crate root lacks forbid(unsafe_code), crate docs, warn(missing_docs)"
+    );
+}
+
+#[test]
+fn h001_h002_not_raised_off_crate_root() {
+    // The same bare source as a non-root module raises neither.
+    let got = triples(
+        "crates/fake/src/helpers.rs",
+        include_str!("fixtures/h001_h002_bad.rs"),
+    );
+    assert!(
+        got.is_empty(),
+        "H001/H002 apply only to crate roots, got {got:?}"
+    );
+}
+
+#[test]
+fn h003_unwrap_expect_exact_lines() {
+    let got = triples(CLUSTER_PATH, include_str!("fixtures/h003_bad.rs"));
+    assert_eq!(
+        got,
+        vec![(RuleId::H003, 5, false), (RuleId::H003, 9, false)],
+        "unwrap() and expect() flagged; unwrap_or() and test code are not"
+    );
+}
+
+#[test]
+fn h004_unfiled_todo_exact_lines() {
+    let got = triples(CLUSTER_PATH, include_str!("fixtures/h004_bad.rs"));
+    assert_eq!(
+        got,
+        vec![(RuleId::H004, 4, false)],
+        "bare TODO flagged; FIXME(#123) and TODO(issue ...) carry references"
+    );
+}
+
+#[test]
+fn s001_malformed_suppressions() {
+    let got = triples(CLUSTER_PATH, include_str!("fixtures/s001_bad.rs"));
+    assert_eq!(
+        got,
+        vec![
+            (RuleId::H003, 6, false),
+            (RuleId::S001, 4, false),
+            (RuleId::S001, 9, false),
+        ],
+        "a reasonless allow suppresses nothing (H003 stays live) and raises \
+         S001; an unknown rule id raises S001"
+    );
+}
+
+#[test]
+fn suppressed_fixture_is_recorded_but_not_gating() {
+    let findings = lint_source(CLUSTER_PATH, include_str!("fixtures/suppressed.rs"));
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly the suppressed D001: {findings:?}"
+    );
+    let f = &findings[0];
+    assert_eq!((f.rule, f.line, f.suppressed), (RuleId::D001, 6, true));
+    assert_eq!(
+        f.suppress_reason.as_deref(),
+        Some("fixture: demonstrates a well-formed suppression"),
+        "the written reason rides along on the finding"
+    );
+}
+
+#[test]
+fn clean_fixture_has_zero_findings() {
+    let got = triples(CLUSTER_PATH, include_str!("fixtures/clean.rs"));
+    assert!(
+        got.is_empty(),
+        "BTreeMap + total_cmp code is finding-free, got {got:?}"
+    );
+}
+
+#[test]
+fn every_rule_id_appears_in_the_corpus() {
+    // Completeness check on the corpus itself: each catalog rule has at
+    // least one fixture line exercising it above.
+    let corpus = [
+        triples(CLUSTER_PATH, include_str!("fixtures/d001_bad.rs")),
+        triples(CLUSTER_PATH, include_str!("fixtures/d002_bad.rs")),
+        triples(
+            "crates/bench/src/fixture.rs",
+            include_str!("fixtures/d003_bad.rs"),
+        ),
+        triples(
+            "crates/fake/src/lib.rs",
+            include_str!("fixtures/h001_h002_bad.rs"),
+        ),
+        triples(CLUSTER_PATH, include_str!("fixtures/h003_bad.rs")),
+        triples(CLUSTER_PATH, include_str!("fixtures/h004_bad.rs")),
+        triples(CLUSTER_PATH, include_str!("fixtures/s001_bad.rs")),
+    ];
+    for rule in RuleId::ALL {
+        assert!(
+            corpus.iter().flatten().any(|(r, _, _)| *r == rule),
+            "rule {} has no fixture coverage",
+            rule.id()
+        );
+    }
+}

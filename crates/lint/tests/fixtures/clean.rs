@@ -1,0 +1,22 @@
+// Fixture: determinism-respecting simulator code — zero findings.
+// Scanned as `crates/cluster/src/fixture.rs` by the fixture tests.
+
+use std::collections::BTreeMap;
+
+pub struct Registry {
+    devices: BTreeMap<u64, f64>,
+}
+
+impl Registry {
+    pub fn total(&self) -> f64 {
+        self.devices.values().sum() // BTreeMap: deterministic order
+    }
+}
+
+pub fn nan_safe_sort(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp); // the EventKey pattern
+}
+
+pub fn virtual_time(now: f64, service: f64) -> f64 {
+    now + service // the sim clock is an f64, never a wall clock
+}

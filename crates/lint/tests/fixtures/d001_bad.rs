@@ -1,0 +1,19 @@
+// Fixture: D001 — wall clock / entropy in simulator code.
+// Scanned as `crates/cluster/src/fixture.rs` by the fixture tests.
+
+pub fn bad_wall_clock() -> std::time::Instant {
+    std::time::Instant::now() // line 5: D001
+}
+
+pub fn bad_entropy(rng: &mut impl Iterator<Item = u64>) -> u64 {
+    let _ = std::time::SystemTime::UNIX_EPOCH; // line 9: D001
+    rng.next().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_is_fine_in_tests() {
+        let _ = std::time::Instant::now(); // not flagged: test code
+    }
+}

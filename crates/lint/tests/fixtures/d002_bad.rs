@@ -1,0 +1,22 @@
+// Fixture: D002 — iteration over a hash container in simulator code.
+// Scanned as `crates/cluster/src/fixture.rs` by the fixture tests.
+
+use std::collections::HashMap;
+
+pub struct Registry {
+    devices: HashMap<u64, f64>,
+}
+
+impl Registry {
+    pub fn total(&self) -> f64 {
+        self.devices.values().sum() // line 12: D002 (f64 sum is order-sensitive)
+    }
+}
+
+pub fn first_key(devices: &Registry) -> Option<u64> {
+    for key in devices.devices.keys() {
+        // line 17: D002 — hash order decides which key "wins"
+        return Some(*key);
+    }
+    None
+}

@@ -1,0 +1,19 @@
+// Fixture: D003 — NaN-unsafe comparator in a sort.
+// Scanned as `crates/cluster/src/fixture.rs` by the fixture tests.
+
+pub fn bad_sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 5: D003
+}
+
+pub fn bad_multiline_sort(jobs: &mut [(f64, usize)]) {
+    jobs.sort_by(|a, b| {
+        // line 9: D003 — the statement window sees the whole closure
+        a.0.partial_cmp(&b.0)
+            .unwrap()
+            .then(a.1.cmp(&b.1))
+    });
+}
+
+pub fn bad_min(xs: &[f64]) -> Option<&f64> {
+    xs.iter().min_by(|a, b| a.partial_cmp(b).expect("nan")) // line 18: D003
+}

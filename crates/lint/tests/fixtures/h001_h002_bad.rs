@@ -1,0 +1,7 @@
+// Fixture: H001 + H002 — a crate root with no crate docs and neither
+// `#![forbid(unsafe_code)]` nor `#![warn(missing_docs)]`.
+// Scanned as `crates/fake/src/lib.rs` by the fixture tests.
+
+pub fn undocumented() -> usize {
+    42
+}

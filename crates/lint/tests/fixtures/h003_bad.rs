@@ -1,0 +1,22 @@
+// Fixture: H003 — unwrap()/expect() in sx-cluster library code.
+// Scanned as `crates/cluster/src/fixture.rs` by the fixture tests.
+
+pub fn bad_unwrap(x: Option<usize>) -> usize {
+    x.unwrap() // line 5: H003
+}
+
+pub fn bad_expect(x: Option<usize>) -> usize {
+    x.expect("must be set") // line 9: H003
+}
+
+pub fn fine_unwrap_or(x: Option<usize>) -> usize {
+    x.unwrap_or(0) // not flagged: total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

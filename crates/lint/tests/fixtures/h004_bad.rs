@@ -1,0 +1,11 @@
+// Fixture: H004 — task markers without an issue reference.
+// Scanned as `crates/cluster/src/fixture.rs` by the fixture tests.
+
+// TODO make this faster               <- line 4: H004 (no reference)
+pub fn slow() {}
+
+// FIXME(#123) overflow on huge inputs <- not flagged: carries a reference
+pub fn fine() {}
+
+// TODO(issue 45): shard this          <- not flagged: names an issue
+pub fn also_fine() {}

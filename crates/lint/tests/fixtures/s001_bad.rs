@@ -1,0 +1,10 @@
+// Fixture: S001 — malformed suppressions.
+// Scanned as `crates/cluster/src/fixture.rs` by the fixture tests.
+
+// sx-lint: allow(H003)
+pub fn reasonless(x: Option<usize>) -> usize {
+    x.unwrap() // line 6: H003 stays unsuppressed; line 4 raises S001
+}
+
+// sx-lint: allow(Z999) -- such a rule does not exist
+pub fn unknown_rule() {} // line 9 raises S001

@@ -1,0 +1,8 @@
+// Fixture: a correctly suppressed finding — recorded, counted, but not
+// gate-failing.  Scanned as `crates/cluster/src/fixture.rs`.
+
+pub fn measured() -> f64 {
+    // sx-lint: allow(D001) -- fixture: demonstrates a well-formed suppression
+    let start = std::time::Instant::now(); // line 6: D001, suppressed
+    start.elapsed().as_secs_f64()
+}

@@ -165,6 +165,7 @@ impl Pipeline {
 
     /// Execute a batch against a caller-held embedding cache.
     pub fn execute_batch_with_cache(&self, jobs: &[Qubo], cache: &EmbeddingCache) -> BatchReport {
+        // sx-lint: allow(D001) -- measures real batch wall-clock throughput; the pipeline executes actual compute here
         let start = std::time::Instant::now();
         let stats_before = cache.stats();
 

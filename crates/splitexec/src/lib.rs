@@ -64,6 +64,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code reports through `Display` impls and return values, never
+// the terminal.
+#![warn(clippy::print_stdout)]
 
 pub mod batch;
 pub mod config;

@@ -12,6 +12,7 @@
 //! * [`split_exec`] — the three-stage pipeline and batch execution.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use aspen_model;
 pub use chimera_graph;
