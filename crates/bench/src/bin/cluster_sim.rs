@@ -1,7 +1,7 @@
 //! Datacenter simulation: scheduling policies, cache sweeps, multi-tenant
 //! fairness and deadline SLOs.
 //!
-//! Six modes (see `docs/cluster_sim.md` for the full flag and JSON-schema
+//! Seven modes (see `docs/cluster_sim.md` for the full flag and JSON-schema
 //! reference):
 //!
 //! * `--mode compare` (default) — replays a stream of QUBO jobs against a
@@ -41,16 +41,36 @@
 //!   Jain's index within 5% of plain WFQ, and unless token-bucket
 //!   deadline-infeasibility shedding sheds doomed aggressor jobs without
 //!   ever claiming a feasible victim job.
+//! * `--mode bench` — the engine perf baseline: a fixed seeded matrix of
+//!   policy × fleet × offered load, each cell run with a
+//!   [`NullSink`] and a sketch-only metrics
+//!   registry, wall-clock timed host-side.  Emits a schema-stable
+//!   `BENCH_cluster.json` (`sx-cluster-bench/v1`: events/sec, jobs/sec,
+//!   ns/event, latency quantiles per cell), re-reads the file through
+//!   `sx_cluster::json::parse` and validates it against the schema, and
+//!   cross-checks that telemetry was a pure observer (sink-on vs sink-off
+//!   reports bit-identical) — so one CI step covers generation and
+//!   validation.
 //!
 //! ```text
 //! cargo run --release -p sx-bench --bin cluster_sim -- \
-//!     [--mode compare|cache-cliff|fairness|aging-sweep|admission|slo] \
+//!     [--mode compare|cache-cliff|fairness|aging-sweep|admission|slo|bench] \
 //!     [--jobs N] [--qpus N] [--seed S] [--rate R] \
 //!     [--closed CLIENTS] [--workload repeated|mixed|bursty] \
 //!     [--policy fifo|spjf|affinity|wfq|all] [--fleet uniform|hetero] \
 //!     [--capacity N] [--eviction lru|cost-aware] \
-//!     [--cache-admission always|second-chance] [--json PATH] [--virtual]
+//!     [--cache-admission always|second-chance] [--json PATH] [--virtual] \
+//!     [--trace-out PATH] [--sample-interval SECONDS]
 //! ```
+//!
+//! `--trace-out PATH` (compare mode, single `--policy`) re-runs the chosen
+//! policy with a [`PerfettoSink`] attached and
+//! writes a Chrome trace-event JSON document loadable at
+//! <https://ui.perfetto.dev> — job lanes show queued → embed → anneal →
+//! readout spans on the virtual timeline, device tracks show per-QPU
+//! occupancy.  `--sample-interval SECONDS` sets the metrics registry's
+//! virtual-time sampling cadence in bench mode (default 5.0 virtual
+//! seconds).
 //!
 //! `--json PATH` writes the mode's results as a machine-readable JSON
 //! document (via `sx_cluster::json` — the workspace's serde is an offline
@@ -79,6 +99,8 @@ struct Args {
     cache_admission: Option<AdmissionPolicy>,
     json: Option<String>,
     virtual_only: bool,
+    trace_out: Option<String>,
+    sample_interval: Option<f64>,
 }
 
 impl Args {
@@ -98,6 +120,8 @@ impl Args {
             cache_admission: None,
             json: None,
             virtual_only: false,
+            trace_out: None,
+            sample_interval: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -131,6 +155,13 @@ impl Args {
                 }
                 "--json" => args.json = Some(value("--json")),
                 "--virtual" => args.virtual_only = true,
+                "--trace-out" => args.trace_out = Some(value("--trace-out")),
+                "--sample-interval" => {
+                    args.sample_interval = Some(parse_or_die(
+                        &value("--sample-interval"),
+                        "--sample-interval",
+                    ))
+                }
                 other => {
                     eprintln!("unknown flag {other}");
                     std::process::exit(2);
@@ -189,15 +220,21 @@ fn main() {
         "aging-sweep" | "aging_sweep" | "aging" => aging_sweep(&args),
         "admission" | "cache-admission" => admission_compare(&args),
         "slo" | "deadline" | "deadlines" => slo(&args),
+        "bench" | "perf" => bench(&args),
         other => {
             eprintln!(
                 "unknown mode '{other}' (expected compare, cache-cliff, fairness, \
-                 aging-sweep, admission or slo)"
+                 aging-sweep, admission, slo or bench)"
             );
             std::process::exit(2);
         }
     };
-    if let Some(path) = &args.json {
+    // Bench mode owns its output file: BENCH_cluster.json must carry the
+    // `sx-cluster-bench/v1` schema at the top level, not the generic
+    // `{mode, seed, ..., results}` wrapper, so downstream trackers can diff
+    // baselines without unwrapping.
+    let wraps_json = args.mode != "bench" && args.mode != "perf";
+    if let (Some(path), true) = (&args.json, wraps_json) {
         let doc = JsonValue::object([
             ("mode", JsonValue::from(args.mode.as_str())),
             // As a string: a u64 seed above 2^53 would be silently rounded
@@ -253,6 +290,16 @@ fn compare(args: &Args) -> (bool, JsonValue) {
         None => WorkloadMode::Open,
     };
 
+    // A Perfetto export interleaves every policy it records; one trace per
+    // invocation keeps the lanes attributable to a single scheduler.
+    if args.trace_out.is_some() && policies.len() != 1 {
+        eprintln!(
+            "--trace-out needs a single --policy (fifo, spjf, affinity or wfq), not {}",
+            args.policy
+        );
+        std::process::exit(2);
+    }
+
     let cache_label = match args.capacity {
         Some(cap) => format!("cache {cap}/{}", args.eviction.unwrap_or_default()),
         None => "unbounded cache".into(),
@@ -290,7 +337,31 @@ fn compare(args: &Args) -> (bool, JsonValue) {
     for policy in policies {
         let fleet = Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed));
         let mut scheduler = policy.build();
-        let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig { mode });
+        // Telemetry is a pure observer (the sink sees `&TraceRecord` and
+        // cannot perturb the run), so attaching the Perfetto exporter
+        // yields the same report the plain path would.
+        let report = match &args.trace_out {
+            Some(path) => {
+                let mut sink = PerfettoSink::new();
+                let report = simulate_with_telemetry(
+                    fleet,
+                    &workload,
+                    scheduler.as_mut(),
+                    &mut AdmitAll,
+                    SimConfig { mode },
+                    &mut sink,
+                    None,
+                );
+                let doc = sink.finish();
+                if let Err(err) = std::fs::write(path, format!("{doc}\n")) {
+                    eprintln!("cannot write --trace-out {path}: {err}");
+                    std::process::exit(2);
+                }
+                println!("wrote Perfetto trace {path} (open at https://ui.perfetto.dev)");
+                report
+            }
+            None => simulate(fleet, &workload, scheduler.as_mut(), SimConfig { mode }),
+        };
         println!(
             "{:>9} {:>6} {:>4} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6.1} {:>6.1} {:>5} {:>5} {:>9.2} {:>9.1}s",
             report.policy,
@@ -1286,6 +1357,406 @@ fn slo(args: &Args) -> (bool, JsonValue) {
     ]));
 
     (ok, JsonValue::Array(json_points))
+}
+
+/// Schema tag stamped into (and required back out of) `BENCH_cluster.json`.
+/// Bump the version when a field is added, removed or re-typed so baseline
+/// trackers fail loudly instead of misreading old documents.
+const BENCH_SCHEMA: &str = "sx-cluster-bench/v1";
+
+/// Every per-cell key that must be present and a finite number.
+const BENCH_CELL_NUM_KEYS: &[&str] = &[
+    "load",
+    "jobs",
+    "completed",
+    "events",
+    "wall_seconds",
+    "events_per_sec",
+    "jobs_per_sec",
+    "ns_per_event",
+    "makespan_seconds",
+    "latency_p50_seconds",
+    "latency_p95_seconds",
+    "latency_p99_seconds",
+    "hit_rate",
+];
+
+/// `--mode bench`: the engine performance baseline.  Runs a fixed seeded
+/// matrix (policy × fleet × offered load) of two-tenant aggressor/victim
+/// compositions, each cell through [`simulate_with_telemetry`] with a
+/// [`NullSink`] and a sketch-only [`MetricsRegistry`] — the recommended
+/// large-run telemetry configuration — wall-clock timed host-side via
+/// [`HostStopwatch`].  Writes the schema-stable `BENCH_cluster.json`
+/// (path overridable with `--json`), then re-reads the file, parses it
+/// with `sx_cluster::json::parse` and validates it against
+/// [`BENCH_SCHEMA`], so a single CI invocation covers generation and
+/// validation.  Also re-runs the first cell with a retaining [`VecSink`]
+/// and no registry and requires the bit-identical report the telemetry
+/// purity contract promises.
+///
+/// The matrix is deliberately fixed (it ignores `--policy` and
+/// `--fleet`): baselines are only comparable across invocations if every
+/// run measures the same cells.  `--jobs`, `--qpus`, `--seed` and
+/// `--sample-interval` scale the matrix and are recorded in the output.
+fn bench(args: &Args) -> (bool, JsonValue) {
+    let policies = [
+        PolicyKind::Fifo,
+        PolicyKind::CacheAffinity,
+        PolicyKind::WeightedFair,
+    ];
+    let fleets = ["uniform", "hetero"];
+    let loads = [0.7, 1.1];
+    // The aggressor submits 3x the victim's jobs at 3x its rate, so a cell
+    // totals ~4x `victim_jobs` — sized so the default `--jobs 200` yields
+    // 200-job cells like compare mode.
+    let asymmetry = 3.0;
+    let victim_jobs = (args.jobs / 4).max(10);
+    let sample_interval = args.sample_interval.unwrap_or(5.0);
+
+    let fleet_config = |kind: &str| match kind {
+        "uniform" => FleetConfig {
+            qpus: args.qpus,
+            seed: args.seed,
+            ..FleetConfig::default()
+        },
+        _ => FleetConfig::heterogeneous(args.qpus, args.seed),
+    };
+
+    println!(
+        "# cluster_sim bench: {} policies x {} fleets x {} loads, ~{} jobs/cell, {} QPUs, seed {}, \
+         sample interval {sample_interval}s",
+        policies.len(),
+        fleets.len(),
+        loads.len(),
+        victim_jobs * 4,
+        args.qpus,
+        args.seed,
+    );
+    println!(
+        "\n{:>9} {:>8} {:>5} {:>7} {:>8} {:>10} {:>9} {:>9} {:>9} {:>6}",
+        "policy",
+        "fleet",
+        "load",
+        "events",
+        "wall [s]",
+        "events/s",
+        "jobs/s",
+        "ns/event",
+        "p99 [s]",
+        "warm%"
+    );
+
+    let mut ok = true;
+    let mut cells: Vec<JsonValue> = Vec::new();
+    let mut total = EnginePerf {
+        wall_seconds: 0.0,
+        events: 0,
+        jobs: 0,
+    };
+    let mut purity_checked = false;
+
+    for fleet_kind in fleets {
+        // Capacity-derived arrival rates, as in the slo/aging sweeps:
+        // `load` is offered warm work over what this fleet can serve, so
+        // the same nominal load means the same queueing regime on both
+        // fleet shapes.  The aggressor/victim mix spans lps 16, 20
+        // (victim cycles) and 24 (aggressor G(n,p)).
+        let probe = Fleet::new(
+            fleet_config(fleet_kind),
+            SplitExecConfig::with_seed(args.seed),
+        );
+        let mix_sizes = [16usize, 20, 24];
+        let warm_mean_seconds = mix_sizes
+            .iter()
+            .map(|&lps| {
+                let (s1, s2, s3) = probe.devices[0]
+                    .service_breakdown(lps, true)
+                    .expect("warm service model for bench mix sizes");
+                s1 + s2 + s3
+            })
+            .sum::<f64>()
+            / mix_sizes.len() as f64;
+
+        for &load in &loads {
+            let total_rate = args.rate_hz * load * args.qpus as f64 / warm_mean_seconds;
+            let victim_rate = total_rate / (1.0 + asymmetry);
+            let spec = MultiTenantSpec::aggressor_victim(
+                victim_jobs,
+                victim_rate,
+                asymmetry,
+                1.0,
+                args.seed,
+            );
+            let workload = spec.generate();
+
+            for policy in policies {
+                let mut scheduler: Box<dyn Scheduler> = match policy {
+                    PolicyKind::WeightedFair => {
+                        Box::new(WeightedFairQueue::for_workload(&workload))
+                    }
+                    other => other.build(),
+                };
+                let mut registry = MetricsRegistry::new(sample_interval);
+                let fleet = Fleet::new(
+                    fleet_config(fleet_kind),
+                    SplitExecConfig::with_seed(args.seed),
+                );
+                let stopwatch = HostStopwatch::start();
+                let report = simulate_with_telemetry(
+                    fleet,
+                    &workload,
+                    scheduler.as_mut(),
+                    &mut AdmitAll,
+                    SimConfig::default(),
+                    &mut NullSink,
+                    Some(&mut registry),
+                );
+                let wall_seconds = stopwatch.elapsed_seconds();
+
+                // The purity contract, enforced at runtime on the matrix's
+                // first cell: swapping the sink and dropping the registry
+                // must not move a single bit of the report.
+                if !purity_checked {
+                    purity_checked = true;
+                    let mut vec_sink = VecSink::new();
+                    let mut scheduler: Box<dyn Scheduler> = match policy {
+                        PolicyKind::WeightedFair => {
+                            Box::new(WeightedFairQueue::for_workload(&workload))
+                        }
+                        other => other.build(),
+                    };
+                    let rerun = simulate_with_telemetry(
+                        Fleet::new(
+                            fleet_config(fleet_kind),
+                            SplitExecConfig::with_seed(args.seed),
+                        ),
+                        &workload,
+                        scheduler.as_mut(),
+                        &mut AdmitAll,
+                        SimConfig::default(),
+                        &mut vec_sink,
+                        None,
+                    );
+                    if rerun != report {
+                        println!(
+                            "FAIL: sink-on vs sink-off reports differ — telemetry perturbed the run"
+                        );
+                        ok = false;
+                    }
+                    let fired = vec_sink
+                        .records()
+                        .iter()
+                        .filter(|r| matches!(r, TraceRecord::Fired(_)))
+                        .count();
+                    if fired != report.events {
+                        println!(
+                            "FAIL: VecSink saw {fired} fired records but the run popped {} events",
+                            report.events
+                        );
+                        ok = false;
+                    }
+                }
+
+                let perf = EnginePerf {
+                    wall_seconds,
+                    events: report.events,
+                    jobs: report.completed,
+                };
+                total.wall_seconds += perf.wall_seconds;
+                total.events += perf.events;
+                total.jobs += perf.jobs;
+
+                let sketch = registry
+                    .histogram("latency_seconds")
+                    .expect("sim_series registers the latency sketch");
+                if sketch.count() as usize != report.completed {
+                    println!(
+                        "FAIL: latency sketch saw {} observations for {} completions",
+                        sketch.count(),
+                        report.completed
+                    );
+                    ok = false;
+                }
+                println!(
+                    "{:>9} {:>8} {:>5.2} {:>7} {:>8.4} {:>10.0} {:>9.1} {:>9.0} {:>9.2} {:>6.1}",
+                    report.policy,
+                    fleet_kind,
+                    load,
+                    perf.events,
+                    perf.wall_seconds,
+                    perf.events_per_sec(),
+                    perf.jobs_per_sec(),
+                    perf.ns_per_event(),
+                    sketch.p99(),
+                    100.0 * report.hit_rate(),
+                );
+
+                cells.push(JsonValue::object([
+                    ("policy", JsonValue::from(report.policy.as_str())),
+                    ("fleet", JsonValue::from(fleet_kind)),
+                    ("load", JsonValue::from(load)),
+                    ("jobs", JsonValue::from(report.jobs)),
+                    ("completed", JsonValue::from(report.completed)),
+                    ("events", JsonValue::from(perf.events)),
+                    ("wall_seconds", JsonValue::from(perf.wall_seconds)),
+                    ("events_per_sec", JsonValue::from(perf.events_per_sec())),
+                    ("jobs_per_sec", JsonValue::from(perf.jobs_per_sec())),
+                    ("ns_per_event", JsonValue::from(perf.ns_per_event())),
+                    ("makespan_seconds", JsonValue::from(report.makespan_seconds)),
+                    ("latency_p50_seconds", JsonValue::from(sketch.p50())),
+                    ("latency_p95_seconds", JsonValue::from(sketch.p95())),
+                    ("latency_p99_seconds", JsonValue::from(sketch.p99())),
+                    ("hit_rate", JsonValue::from(report.hit_rate())),
+                ]));
+            }
+        }
+    }
+
+    let expected_cells = policies.len() * fleets.len() * loads.len();
+    let doc = JsonValue::object([
+        ("schema", JsonValue::from(BENCH_SCHEMA)),
+        // As a string, like the generic wrapper: a u64 seed above 2^53
+        // would be silently rounded through JsonValue::Num's f64.
+        ("seed", JsonValue::from(args.seed.to_string())),
+        ("jobs", JsonValue::from(args.jobs)),
+        ("qpus", JsonValue::from(args.qpus)),
+        ("sample_interval_seconds", JsonValue::from(sample_interval)),
+        ("telemetry_pure", JsonValue::from(ok)),
+        ("cells", JsonValue::Array(cells)),
+        (
+            "totals",
+            JsonValue::object([
+                ("wall_seconds", JsonValue::from(total.wall_seconds)),
+                ("events", JsonValue::from(total.events)),
+                ("jobs", JsonValue::from(total.jobs)),
+                ("events_per_sec", JsonValue::from(total.events_per_sec())),
+                ("jobs_per_sec", JsonValue::from(total.jobs_per_sec())),
+                ("ns_per_event", JsonValue::from(total.ns_per_event())),
+            ]),
+        ),
+    ]);
+
+    println!(
+        "\ntotal: {} events over {:.3}s host wall clock — {:.0} events/s, {:.0} ns/event",
+        total.events,
+        total.wall_seconds,
+        total.events_per_sec(),
+        total.ns_per_event(),
+    );
+
+    // Write, re-read through the strict parser, validate.  Going through
+    // the filesystem (rather than validating the in-memory document) makes
+    // this the same read path a downstream baseline tracker would use.
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_cluster.json".to_string());
+    if let Err(err) = std::fs::write(&path, format!("{doc}\n")) {
+        eprintln!("cannot write {path}: {err}");
+        std::process::exit(2);
+    }
+    let reread = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot re-read {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    match sx_cluster::json::parse(&reread) {
+        Ok(parsed) => match validate_bench_doc(&parsed, expected_cells) {
+            Ok(()) => {
+                println!("wrote {path} ({expected_cells} cells, schema {BENCH_SCHEMA} valid)")
+            }
+            Err(why) => {
+                println!("FAIL: {path} violates {BENCH_SCHEMA}: {why}");
+                ok = false;
+            }
+        },
+        Err(err) => {
+            println!("FAIL: {path} is not valid JSON: {err}");
+            ok = false;
+        }
+    }
+
+    (ok, doc)
+}
+
+/// Validate a parsed `BENCH_cluster.json` against the `sx-cluster-bench/v1`
+/// schema documented in `docs/cluster_sim.md`.  Returns the first
+/// violation found.  Numeric fields must be finite: `JsonValue` renders
+/// NaN/Inf as `null`, so a non-finite metric shows up here as a
+/// missing-number error rather than slipping into a baseline diff.
+fn validate_bench_doc(doc: &JsonValue, expected_cells: usize) -> Result<(), String> {
+    let num = |obj: &JsonValue, key: &str, at: &str| -> Result<f64, String> {
+        match obj.get(key) {
+            Some(&JsonValue::Num(n)) if n.is_finite() => Ok(n),
+            Some(other) => Err(format!("{at}.{key}: expected a finite number, got {other}")),
+            None => Err(format!("{at}.{key}: missing")),
+        }
+    };
+    let string = |obj: &JsonValue, key: &str, at: &str| -> Result<String, String> {
+        match obj.get(key) {
+            Some(JsonValue::Str(s)) => Ok(s.clone()),
+            Some(other) => Err(format!("{at}.{key}: expected a string, got {other}")),
+            None => Err(format!("{at}.{key}: missing")),
+        }
+    };
+
+    let schema = string(doc, "schema", "$")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!("$.schema: '{schema}' != '{BENCH_SCHEMA}'"));
+    }
+    let seed = string(doc, "seed", "$")?;
+    seed.parse::<u64>()
+        .map_err(|_| format!("$.seed: '{seed}' is not a u64"))?;
+    num(doc, "jobs", "$")?;
+    num(doc, "qpus", "$")?;
+    num(doc, "sample_interval_seconds", "$")?;
+    match doc.get("telemetry_pure") {
+        Some(JsonValue::Bool(_)) => {}
+        other => return Err(format!("$.telemetry_pure: expected a bool, got {other:?}")),
+    }
+
+    let cells = match doc.get("cells") {
+        Some(JsonValue::Array(cells)) => cells,
+        other => return Err(format!("$.cells: expected an array, got {other:?}")),
+    };
+    if cells.len() != expected_cells {
+        return Err(format!(
+            "$.cells: expected {expected_cells} cells, got {}",
+            cells.len()
+        ));
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        let at = format!("$.cells[{i}]");
+        if !matches!(cell, JsonValue::Object(_)) {
+            return Err(format!("{at}: expected an object, got {cell}"));
+        }
+        string(cell, "policy", &at)?;
+        let fleet = string(cell, "fleet", &at)?;
+        if fleet != "uniform" && fleet != "hetero" {
+            return Err(format!("{at}.fleet: unknown fleet '{fleet}'"));
+        }
+        for key in BENCH_CELL_NUM_KEYS {
+            num(cell, key, &at)?;
+        }
+    }
+
+    let totals = match doc.get("totals") {
+        Some(totals @ JsonValue::Object(_)) => totals,
+        other => return Err(format!("$.totals: expected an object, got {other:?}")),
+    };
+    for key in [
+        "wall_seconds",
+        "events",
+        "jobs",
+        "events_per_sec",
+        "jobs_per_sec",
+        "ns_per_event",
+    ] {
+        num(totals, key, "$.totals")?;
+    }
+    Ok(())
 }
 
 /// Execute one real job through the pipeline and compare its stage shape

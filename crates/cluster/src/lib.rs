@@ -61,7 +61,17 @@
 //!   the shared [`split_exec::BatchSummary`] report format.
 //! * [`json`] — deterministic hand-rolled JSON emission ([`JsonValue`],
 //!   `SimReport::to_json`) so sweeps are machine-readable without a
-//!   registry serde.
+//!   registry serde, plus a real RFC 8259 parser ([`json::parse`]) used to
+//!   validate every emitted document.
+//! * [`telemetry`] — the observability layer (`docs/OBSERVABILITY.md`):
+//!   pluggable [`TraceSink`]s (null / retained / JSONL streaming /
+//!   Perfetto export) so trace retention is a policy instead of a default,
+//!   a [`MetricsRegistry`] sampling queue depth, utilization, hit-rate and
+//!   lane depth on the virtual clock, [`StreamingHistogram`] quantile
+//!   sketches (mergeable, documented error bound) for percentiles without
+//!   record retention, and host-side engine profiling
+//!   ([`telemetry::EnginePerf`]) feeding the `BENCH_cluster.json` perf
+//!   baseline.
 //!
 //! Service times are the paper's own stage models ([`split_exec::cost`]),
 //! so the simulator is the paper's performance model instantiated at fleet
@@ -96,6 +106,7 @@ pub mod json;
 pub mod metrics;
 pub mod scheduler;
 pub mod sim;
+pub mod telemetry;
 pub mod tenant;
 pub mod workload;
 
@@ -115,7 +126,14 @@ pub use scheduler::{
     CacheAffinity, EarliestDeadlineFirst, Fifo, LaneOrder, PolicyKind, Scheduler,
     ShortestPredictedFirst, WeightedFairQueue,
 };
-pub use sim::{simulate, simulate_with_admission, SimConfig, TraceRecord, WorkloadMode};
+pub use sim::{
+    simulate, simulate_with_admission, simulate_with_telemetry, SimConfig, TraceRecord,
+    WorkloadMode,
+};
+pub use telemetry::{
+    time_host, EnginePerf, HostStopwatch, JsonlSink, MetricsRegistry, NullSink, PerfettoSink,
+    SimSeries, StreamingHistogram, TraceSink, VecSink,
+};
 pub use tenant::{MultiTenantSpec, TenantId, TenantMeta, TenantSpec};
 pub use workload::{
     ArrivalProcess, DeadlinePolicy, FamilySpec, Workload, WorkloadError, WorkloadSpec,
@@ -141,7 +159,14 @@ pub mod prelude {
         CacheAffinity, EarliestDeadlineFirst, Fifo, LaneOrder, PolicyKind, Scheduler,
         ShortestPredictedFirst, WeightedFairQueue,
     };
-    pub use crate::sim::{simulate, simulate_with_admission, SimConfig, TraceRecord, WorkloadMode};
+    pub use crate::sim::{
+        simulate, simulate_with_admission, simulate_with_telemetry, SimConfig, TraceRecord,
+        WorkloadMode,
+    };
+    pub use crate::telemetry::{
+        time_host, EnginePerf, HostStopwatch, JsonlSink, MetricsRegistry, NullSink, PerfettoSink,
+        SimSeries, StreamingHistogram, TraceSink, VecSink,
+    };
     pub use crate::tenant::{MultiTenantSpec, TenantId, TenantMeta, TenantSpec};
     pub use crate::workload::{
         ArrivalProcess, DeadlinePolicy, FamilySpec, Workload, WorkloadError, WorkloadSpec,

@@ -186,6 +186,9 @@ pub struct SimReport {
     pub admission: String,
     /// Jobs submitted.
     pub jobs: usize,
+    /// Events popped from the future-event list over the run — the
+    /// denominator of the engine's ns/event perf metric.
+    pub events: usize,
     /// Jobs completed.
     pub completed: usize,
     /// Jobs the admission controller shed (all causes).
@@ -613,6 +616,7 @@ mod tests {
             policy: "fifo".into(),
             admission: "admit-all".into(),
             jobs: 3,
+            events: 6,
             completed: 2,
             shed: 0,
             shed_infeasible: 0,

@@ -13,6 +13,16 @@
 //! controller's chosen virtual time (with their original arrival stamp in
 //! open mode, so deferral shows up in the queueing delay).
 //!
+//! [`simulate_with_telemetry`] is the fully instrumented core the other
+//! entry points wrap: the trace stream goes to a caller-chosen
+//! [`TraceSink`] (retention is a *policy* — the legacy entry points attach
+//! a [`crate::telemetry::VecSink`] so `SimReport.trace` keeps working,
+//! large runs attach a [`crate::telemetry::NullSink`]), and an optional
+//! [`MetricsRegistry`] samples queue depth, per-QPU utilization, cache
+//! hit-rate, and per-tenant lane depth on the virtual clock.  Telemetry is
+//! a pure observer: any sink/registry combination yields bit-identical
+//! reports (asserted by the purity tests below).
+//!
 //! Two workload modes:
 //!
 //! * **Open** — jobs arrive at the timestamps the workload generator drew
@@ -27,6 +37,7 @@ use crate::fleet::Fleet;
 use crate::job::{Job, JobRecord};
 use crate::metrics::{LatencyStats, QpuStats, SimReport, TenantStats};
 use crate::scheduler::Scheduler;
+use crate::telemetry::{MetricsRegistry, SimSeries, TraceSink, VecSink};
 use crate::tenant::{TenantId, TenantMeta};
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
@@ -73,10 +84,18 @@ pub enum TraceRecord {
         job: usize,
         /// The device.
         qpu: usize,
+        /// The tenant that submitted the job.
+        tenant: TenantId,
         /// Whether the device's embedding cache was warm.
         warm: bool,
         /// When the job will finish.
         finish: f64,
+        /// Stage-1 (embedding) service seconds.
+        stage1_seconds: f64,
+        /// Stage-2 (anneal) service seconds.
+        stage2_seconds: f64,
+        /// Stage-3 (readout) service seconds.
+        stage3_seconds: f64,
     },
     /// A job was rejected (infeasible on every device).
     Rejected {
@@ -128,15 +147,49 @@ pub fn simulate(
 /// before it reaches the scheduler: accepted jobs queue, shed jobs are
 /// dropped (counted per tenant), deferred jobs re-arrive at the
 /// controller's chosen virtual time.
+///
+/// Retains the full event trace in `SimReport.trace` via a
+/// [`VecSink`] — the pre-telemetry behavior, kept for replay and
+/// determinism tests.  Large runs should call
+/// [`simulate_with_telemetry`] with a [`crate::telemetry::NullSink`]
+/// instead, so retention is opt-in.
 pub fn simulate_with_admission(
-    mut fleet: Fleet,
+    fleet: Fleet,
     workload: &Workload,
     scheduler: &mut dyn Scheduler,
     admission: &mut dyn AdmissionController,
     config: SimConfig,
 ) -> SimReport {
+    let mut sink = VecSink::new();
+    let mut report = simulate_with_telemetry(
+        fleet, workload, scheduler, admission, config, &mut sink, None,
+    );
+    report.trace = sink.into_trace();
+    report
+}
+
+/// The fully instrumented engine core: every trace record goes to `sink`
+/// (never retained by the engine itself — `SimReport.trace` comes back
+/// empty; attach a [`VecSink`] and move its records in if retention is
+/// wanted, as [`simulate_with_admission`] does), and when `registry` is
+/// provided its standard instruments ([`MetricsRegistry::sim_series`]) are
+/// fed and sampled on the virtual clock after every event.
+///
+/// Telemetry is a **pure observer**: for fixed simulation inputs, every
+/// choice of `sink`/`registry` produces an identical report (the
+/// `telemetry_is_a_pure_observer` tests assert bitwise equality).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_with_telemetry(
+    mut fleet: Fleet,
+    workload: &Workload,
+    scheduler: &mut dyn Scheduler,
+    admission: &mut dyn AdmissionController,
+    config: SimConfig,
+    sink: &mut dyn TraceSink,
+    mut registry: Option<&mut MetricsRegistry>,
+) -> SimReport {
     let mut events = EventQueue::new();
-    let mut trace: Vec<TraceRecord> = Vec::new();
+    let mut event_count = 0usize;
     let mut queue: Vec<Job> = Vec::new();
     let mut queue_depth: Vec<(f64, usize)> = Vec::new();
     let mut records: Vec<JobRecord> = Vec::with_capacity(workload.len());
@@ -150,6 +203,11 @@ pub fn simulate_with_admission(
     let mut clock = 0.0_f64;
     // Per-tenant accounting, indexed by tenant id.
     let lanes = workload.lane_count();
+    // Standard instruments, registered once up front so two identical runs
+    // produce identical registration order.
+    let probes: Option<SimSeries> = registry
+        .as_deref_mut()
+        .map(|r| r.sim_series(fleet.devices.len(), lanes));
     let mut tenant_depth = vec![0usize; lanes];
     let mut tenant_depth_max = vec![0usize; lanes];
     let mut tenant_shed = vec![0usize; lanes];
@@ -179,7 +237,8 @@ pub fn simulate_with_admission(
 
     while let Some(event) = events.pop() {
         clock = event.time;
-        trace.push(TraceRecord::Fired(event));
+        event_count += 1;
+        sink.on_record(&TraceRecord::Fired(event), clock);
         let mut release_next = false;
 
         match event.kind {
@@ -206,10 +265,13 @@ pub fn simulate_with_admission(
                 if !fleet.devices.iter().any(|d| d.can_run(job.lps)) {
                     rejected += 1;
                     tenant_rejected[lane] += 1;
-                    trace.push(TraceRecord::Rejected {
-                        time: clock,
-                        job: job.id,
-                    });
+                    sink.on_record(
+                        &TraceRecord::Rejected {
+                            time: clock,
+                            job: job.id,
+                        },
+                        clock,
+                    );
                     release_next = true;
                 } else {
                     // The controller's best-case completion estimate: the
@@ -242,11 +304,14 @@ pub fn simulate_with_admission(
                         AdmissionDecision::Defer { until } if until > clock => {
                             deferrals += 1;
                             tenant_deferrals[lane] += 1;
-                            trace.push(TraceRecord::Deferred {
-                                time: clock,
-                                job: job.id,
-                                until,
-                            });
+                            sink.on_record(
+                                &TraceRecord::Deferred {
+                                    time: clock,
+                                    job: job.id,
+                                    until,
+                                },
+                                clock,
+                            );
                             events.schedule(until, EventKind::JobArrival { job: job.id });
                         }
                         AdmissionDecision::Accept => {
@@ -266,12 +331,15 @@ pub fn simulate_with_admission(
                                 shed_infeasible += 1;
                                 tenant_shed_infeasible[lane] += 1;
                             }
-                            trace.push(TraceRecord::Shed {
-                                time: clock,
-                                job: job.id,
-                                tenant: job.tenant,
-                                infeasible,
-                            });
+                            sink.on_record(
+                                &TraceRecord::Shed {
+                                    time: clock,
+                                    job: job.id,
+                                    tenant: job.tenant,
+                                    infeasible,
+                                },
+                                clock,
+                            );
                             release_next = true;
                         }
                     }
@@ -282,6 +350,11 @@ pub fn simulate_with_admission(
                     .take()
                     // sx-lint: allow(H003) -- engine invariant: a JobCompletion is scheduled exactly once, at dispatch
                     .expect("completion event for a job that was never dispatched");
+                if let (Some(reg), Some(p)) = (registry.as_deref_mut(), probes.as_ref()) {
+                    reg.inc_counter(p.completions, 1);
+                    reg.observe(p.latency, record.latency_seconds());
+                    reg.observe(p.wait, record.wait_seconds());
+                }
                 records.push(record);
                 release_next = true;
             }
@@ -314,10 +387,13 @@ pub fn simulate_with_admission(
                 // sizes; account it as a rejection rather than crashing.
                 rejected += 1;
                 tenant_rejected[job.tenant.index()] += 1;
-                trace.push(TraceRecord::Rejected {
-                    time: clock,
-                    job: job.id,
-                });
+                sink.on_record(
+                    &TraceRecord::Rejected {
+                        time: clock,
+                        job: job.id,
+                    },
+                    clock,
+                );
                 // Closed mode: this departure, too, admits the next job —
                 // otherwise the population silently shrinks.
                 if matches!(config.mode, WorkloadMode::Closed { .. })
@@ -367,16 +443,58 @@ pub fn simulate_with_admission(
                     job: job.id,
                 },
             );
-            trace.push(TraceRecord::Dispatched {
-                time: clock,
-                job: job.id,
-                qpu: d,
-                warm,
-                finish,
-            });
+            sink.on_record(
+                &TraceRecord::Dispatched {
+                    time: clock,
+                    job: job.id,
+                    qpu: d,
+                    tenant: job.tenant,
+                    warm,
+                    finish,
+                    stage1_seconds: s1,
+                    stage2_seconds: s2,
+                    stage3_seconds: s3,
+                },
+                clock,
+            );
+            if let (Some(reg), Some(p)) = (registry.as_deref_mut(), probes.as_ref()) {
+                reg.inc_counter(p.dispatches, 1);
+            }
         }
 
         queue_depth.push((clock, queue.len()));
+
+        // Feed and sample the registry after the dispatch loop settles, so
+        // every sample boundary sees a consistent post-event state.
+        if let (Some(reg), Some(p)) = (registry.as_deref_mut(), probes.as_ref()) {
+            reg.inc_counter(p.events, 1);
+            reg.set_gauge(p.queue_depth, queue.len() as f64);
+            let warm: usize = fleet.devices.iter().map(|d| d.warm_hits).sum();
+            let cold: usize = fleet.devices.iter().map(|d| d.cold_misses).sum();
+            let embeds = warm + cold;
+            let hit_rate = if embeds > 0 {
+                warm as f64 / embeds as f64
+            } else {
+                0.0
+            };
+            reg.set_gauge(p.hit_rate, hit_rate);
+            for (q, d) in fleet.devices.iter().enumerate() {
+                let util = if clock > 0.0 {
+                    d.busy_seconds / clock
+                } else {
+                    0.0
+                };
+                if let Some(&id) = p.qpu_utilization.get(q) {
+                    reg.set_gauge(id, util);
+                }
+            }
+            for (lane, &depth) in tenant_depth.iter().enumerate() {
+                if let Some(&id) = p.lane_depth.get(lane) {
+                    reg.set_gauge(id, depth as f64);
+                }
+            }
+            reg.tick(clock);
+        }
     }
 
     debug_assert!(
@@ -461,6 +579,7 @@ pub fn simulate_with_admission(
         policy: scheduler.name().to_string(),
         admission: admission.name().to_string(),
         jobs: workload.len(),
+        events: event_count,
         completed: records.len(),
         shed,
         shed_infeasible,
@@ -477,7 +596,9 @@ pub fn simulate_with_admission(
         per_tenant,
         queue_depth,
         records,
-        trace,
+        // The engine never retains the trace; callers that want one attach
+        // a `VecSink` and move its records in (see `simulate_with_admission`).
+        trace: Vec::new(),
     }
 }
 
@@ -779,6 +900,123 @@ mod tests {
         assert_eq!(report.jobs, 0);
         assert_eq!(report.completed, 0);
         assert_eq!(report.makespan_seconds, 0.0);
+        assert_eq!(report.events, 0);
         assert!(report.trace.is_empty());
+    }
+
+    #[test]
+    fn telemetry_is_a_pure_observer() {
+        use crate::admission::AdmitAll;
+        use crate::telemetry::{MetricsRegistry, NullSink, PerfettoSink, VecSink};
+
+        // Across seeds and policies: sink on vs sink off (and registry on
+        // vs off) must yield bit-identical reports.  The trace field is the
+        // one deliberate difference — VecSink retains, NullSink drops — so
+        // it is normalized before comparison.
+        for seed in [3, 21, 77] {
+            for policy in [PolicyKind::Fifo, PolicyKind::WeightedFair] {
+                let workload = WorkloadSpec::repeated_topologies(30, 2.0, seed).generate();
+                let mut null_sink = NullSink;
+                let bare = simulate_with_telemetry(
+                    fleet(seed),
+                    &workload,
+                    policy.build().as_mut(),
+                    &mut AdmitAll,
+                    SimConfig::default(),
+                    &mut null_sink,
+                    None,
+                );
+                let mut vec_sink = VecSink::new();
+                let mut registry = MetricsRegistry::new(1.0);
+                let observed = simulate_with_telemetry(
+                    fleet(seed),
+                    &workload,
+                    policy.build().as_mut(),
+                    &mut AdmitAll,
+                    SimConfig::default(),
+                    &mut vec_sink,
+                    Some(&mut registry),
+                );
+                assert_eq!(
+                    bare, observed,
+                    "seed {seed}: attaching telemetry changed the simulation"
+                );
+                let mut perfetto = PerfettoSink::new();
+                let exported = simulate_with_telemetry(
+                    fleet(seed),
+                    &workload,
+                    policy.build().as_mut(),
+                    &mut AdmitAll,
+                    SimConfig::default(),
+                    &mut perfetto,
+                    None,
+                );
+                assert_eq!(
+                    bare, exported,
+                    "seed {seed}: Perfetto sink perturbed the run"
+                );
+                assert!(perfetto.event_count() > 0);
+                // The legacy wrapper is exactly "core + VecSink retention".
+                let mut legacy = simulate(
+                    fleet(seed),
+                    &workload,
+                    policy.build().as_mut(),
+                    SimConfig::default(),
+                );
+                assert_eq!(legacy.trace, vec_sink.records());
+                legacy.trace = Vec::new();
+                assert_eq!(bare, legacy);
+            }
+        }
+    }
+
+    #[test]
+    fn events_count_the_fired_trace_records() {
+        let report = run(PolicyKind::Fifo, 17, WorkloadMode::Open);
+        let fired = report
+            .trace
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::Fired(_)))
+            .count();
+        assert!(report.events > 0);
+        assert_eq!(report.events, fired);
+    }
+
+    #[test]
+    fn attached_registry_samples_the_standard_instruments() {
+        use crate::admission::AdmitAll;
+        use crate::telemetry::{MetricsRegistry, NullSink};
+
+        let workload = WorkloadSpec::repeated_topologies(25, 1.0, 5).generate();
+        let mut sink = NullSink;
+        let mut registry = MetricsRegistry::new(2.0);
+        let report = simulate_with_telemetry(
+            fleet(5),
+            &workload,
+            PolicyKind::CacheAffinity.build().as_mut(),
+            &mut AdmitAll,
+            SimConfig::default(),
+            &mut sink,
+            Some(&mut registry),
+        );
+        assert_eq!(registry.counter_value("events"), Some(report.events as u64));
+        assert_eq!(
+            registry.counter_value("completions"),
+            Some(report.completed as u64)
+        );
+        let depth = registry.gauge_series("queue_depth").expect("registered");
+        assert!(!depth.is_empty());
+        // Samples land on exact interval multiples, in order.
+        for (i, &(t, _)) in depth.iter().enumerate() {
+            assert!((t - 2.0 * i as f64).abs() < 1e-9);
+        }
+        assert!(registry.gauge_series("qpu_utilization.q2").is_some());
+        let latency = registry.histogram("latency_seconds").expect("registered");
+        assert_eq!(latency.count(), report.completed as u64);
+        // Sketch percentiles agree with the exact report percentiles to
+        // within the sketch's documented bound (both are nearest-rank-ish
+        // summaries of the same population; allow both tolerances).
+        let exact_max = report.latency.max;
+        assert!((latency.max() - exact_max).abs() < 1e-9);
     }
 }

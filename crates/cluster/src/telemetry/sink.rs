@@ -1,0 +1,252 @@
+//! Pluggable trace sinks: retention as a policy, not a default.
+//!
+//! The engine used to push every [`TraceRecord`] into an unconditionally
+//! retained `Vec` — fine for forty jobs, fatal for the ROADMAP's "1M jobs
+//! × 1k devices" target.  [`TraceSink`] inverts that: the engine *emits*
+//! records and the caller decides what observing them means.
+//!
+//! * [`NullSink`] — drop everything (the default for large runs).
+//! * [`VecSink`] — retain everything (the pre-telemetry behavior, now
+//!   opt-in; the legacy [`crate::sim::simulate`] entry points use it so
+//!   `SimReport.trace` and every replay/determinism test keep working
+//!   unchanged).
+//! * [`JsonlSink`] — stream each record as one JSON object per line to any
+//!   `io::Write`, so a full trace can go to disk without ever living in
+//!   memory.
+//! * [`crate::telemetry::PerfettoSink`] — render spans for the Perfetto
+//!   UI (its own module).
+//!
+//! Sinks are **observers**: they receive `&TraceRecord` and cannot touch
+//! engine state, so attaching any sink — or none — yields bit-identical
+//! `SimReport`s (the telemetry purity tests assert exactly that).
+
+use crate::sim::TraceRecord;
+use std::io;
+
+/// An observer of the engine's trace stream.
+///
+/// `on_record` is called synchronously as each record is produced, with the
+/// virtual clock at emission time.  Implementations must not panic on
+/// ordinary I/O failure — the engine treats sinks as infallible observers,
+/// so sinks that can fail should latch their errors for later inspection
+/// (see [`JsonlSink::write_errors`]).
+pub trait TraceSink {
+    /// Observe one trace record at virtual time `vclock`.
+    fn on_record(&mut self, record: &TraceRecord, vclock: f64);
+
+    /// A short stable name for reports and debugging.
+    fn name(&self) -> &'static str;
+}
+
+/// Drops every record: zero retention, zero cost.  The right default for
+/// warehouse-scale runs where percentiles come from
+/// [`crate::telemetry::StreamingHistogram`] sketches instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn on_record(&mut self, _record: &TraceRecord, _vclock: f64) {}
+
+    fn name(&self) -> &'static str {
+        "null"
+    }
+}
+
+/// Retains every record in memory — the pre-telemetry behavior, now
+/// opt-in.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VecSink {
+    records: Vec<TraceRecord>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The records observed so far.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Consume the sink, yielding the retained trace.
+    pub fn into_trace(self) -> Vec<TraceRecord> {
+        self.records
+    }
+}
+
+impl TraceSink for VecSink {
+    fn on_record(&mut self, record: &TraceRecord, _vclock: f64) {
+        self.records.push(*record);
+    }
+
+    fn name(&self) -> &'static str {
+        "vec"
+    }
+}
+
+/// Streams each record as one JSON object per line (JSONL) to any
+/// [`io::Write`] — a trace on disk instead of a trace in memory.
+///
+/// Write failures never reach the engine: they are counted in
+/// [`Self::write_errors`] and the sink keeps accepting records, because an
+/// observability failure must not change (or abort) a simulation.
+#[derive(Debug)]
+pub struct JsonlSink<W: io::Write> {
+    out: W,
+    lines: usize,
+    write_errors: usize,
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        Self {
+            out,
+            lines: 0,
+            write_errors: 0,
+        }
+    }
+
+    /// Lines successfully written.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Records that could not be written (I/O failures, latched not
+    /// raised).
+    pub fn write_errors(&self) -> usize {
+        self.write_errors
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        // A final-flush failure is just one more latched error; the writer
+        // is being handed back either way.
+        if self.out.flush().is_err() {
+            self.write_errors += 1;
+        }
+        self.out
+    }
+}
+
+impl<W: io::Write> TraceSink for JsonlSink<W> {
+    fn on_record(&mut self, record: &TraceRecord, _vclock: f64) {
+        let line = record.to_json().to_string();
+        match writeln!(self.out, "{line}") {
+            Ok(()) => self.lines += 1,
+            Err(_) => self.write_errors += 1,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "jsonl"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+    use crate::json;
+    use crate::tenant::TenantId;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::Fired(Event {
+                time: 0.5,
+                seq: 0,
+                kind: EventKind::JobArrival { job: 3 },
+            }),
+            TraceRecord::Dispatched {
+                time: 0.5,
+                job: 3,
+                qpu: 1,
+                tenant: TenantId(0),
+                warm: true,
+                finish: 2.25,
+                stage1_seconds: 1.0,
+                stage2_seconds: 0.5,
+                stage3_seconds: 0.25,
+            },
+            TraceRecord::Shed {
+                time: 0.75,
+                job: 4,
+                tenant: TenantId(1),
+                infeasible: true,
+            },
+            TraceRecord::Deferred {
+                time: 0.8,
+                job: 5,
+                until: 1.9,
+            },
+            TraceRecord::Rejected { time: 1.0, job: 6 },
+        ]
+    }
+
+    #[test]
+    fn vec_sink_retains_in_order_and_null_sink_drops() {
+        let records = sample_records();
+        let mut vec_sink = VecSink::new();
+        let mut null_sink = NullSink;
+        for (i, r) in records.iter().enumerate() {
+            vec_sink.on_record(r, i as f64);
+            null_sink.on_record(r, i as f64);
+        }
+        assert_eq!(vec_sink.records(), records.as_slice());
+        assert_eq!(vec_sink.into_trace(), records);
+        assert_eq!(vec_sink_name(), "vec");
+    }
+
+    fn vec_sink_name() -> &'static str {
+        VecSink::new().name()
+    }
+
+    #[test]
+    fn jsonl_lines_parse_under_the_real_json_parser() {
+        let mut sink = JsonlSink::new(Vec::<u8>::new());
+        for (i, r) in sample_records().iter().enumerate() {
+            sink.on_record(r, i as f64);
+        }
+        assert_eq!(sink.lines(), 5);
+        assert_eq!(sink.write_errors(), 0);
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        let kinds: Vec<String> = lines
+            .iter()
+            .map(|line| {
+                let value = json::parse(line).expect("every JSONL line is valid JSON");
+                match value.get("kind") {
+                    Some(json::JsonValue::Str(s)) => s.clone(),
+                    other => panic!("missing kind: {other:?}"),
+                }
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            ["fired", "dispatched", "shed", "deferred", "rejected"]
+        );
+    }
+
+    #[test]
+    fn jsonl_write_failures_are_latched_not_raised() {
+        struct FailingWriter;
+        impl io::Write for FailingWriter {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Err(io::Error::other("disk full"))
+            }
+        }
+        let mut sink = JsonlSink::new(FailingWriter);
+        for r in sample_records() {
+            sink.on_record(&r, 0.0);
+        }
+        assert_eq!(sink.lines(), 0);
+        assert_eq!(sink.write_errors(), 5, "errors latch; nothing panics");
+    }
+}
