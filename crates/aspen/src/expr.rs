@@ -283,6 +283,7 @@ impl ParamEnv {
     }
 
     /// Look up a binding.
+    // sx-lint: hot-exempt -- parameter lookup happens during model prediction, off the per-event path; `get` name-collides with HashMap calls in engine bodies
     pub fn get(&self, name: &str) -> Result<f64> {
         self.bindings
             .get(name)

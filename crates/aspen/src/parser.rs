@@ -74,6 +74,7 @@ impl Parser {
         }
     }
 
+    // sx-lint: hot-exempt -- aspen parsing runs once at model-load time; `expect` also name-collides with Result::expect tokens in engine bodies
     fn expect(&mut self, expected: &TokenKind) -> Result<()> {
         if self.peek() == expected {
             self.bump();

@@ -1,9 +1,10 @@
 //! `sx_lint` — CLI for the determinism-contract static analyzer.
 //!
-//! Walks the workspace, applies the rule catalog of [`sx_lint::RuleId`],
-//! honors inline allow comments (see [`sx_lint::Suppression`]) and the
-//! `lint.allow` grandfather file at the workspace root, and exits nonzero
-//! on any unsuppressed finding.  CI runs it on every build:
+//! Walks the workspace, applies the rule catalog of [`sx_lint::RuleId`]
+//! (including the flow-aware hot-path A-rules), honors inline allow
+//! comments (see [`sx_lint::Suppression`]) and the `lint.allow`
+//! grandfather file at the workspace root, and exits nonzero on any
+//! unsuppressed finding.  CI runs it on every build:
 //!
 //! ```text
 //! cargo run --release -p sx-bench --bin sx_lint -- --format human
@@ -14,7 +15,11 @@
 //! * `--format human|json` — report format (default `human`);
 //! * `--root <dir>` — workspace root (default: walk up from the current
 //!   directory to the first `Cargo.toml` containing `[workspace]`);
-//! * `--allowlist <file>` — grandfather file (default `<root>/lint.allow`).
+//! * `--allowlist <file>` — grandfather file (default `<root>/lint.allow`);
+//! * `--baseline <file>` — compare against a finding baseline and fail
+//!   only on *regressions* (cells whose unsuppressed count grew);
+//! * `--write-baseline <file>` — snapshot the current unsuppressed
+//!   findings to `<file>` and exit 0.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -24,6 +29,8 @@ fn main() -> ExitCode {
     let mut format = "human".to_string();
     let mut root: Option<PathBuf> = None;
     let mut allowlist: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -39,9 +46,20 @@ fn main() -> ExitCode {
                 Some(a) => allowlist = Some(PathBuf::from(a)),
                 None => return usage("--allowlist takes a file"),
             },
+            "--baseline" => match it.next() {
+                Some(b) => baseline = Some(PathBuf::from(b)),
+                None => return usage("--baseline takes a file"),
+            },
+            "--write-baseline" => match it.next() {
+                Some(b) => write_baseline = Some(PathBuf::from(b)),
+                None => return usage("--write-baseline takes a file"),
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown flag `{other}`")),
         }
+    }
+    if baseline.is_some() && write_baseline.is_some() {
+        return usage("--baseline and --write-baseline are mutually exclusive");
     }
 
     let root = match root.or_else(find_workspace_root) {
@@ -78,6 +96,50 @@ fn main() -> ExitCode {
         "json" => print!("{}", report.json()),
         _ => print!("{}", report.human()),
     }
+
+    if let Some(path) = write_baseline {
+        let snapshot = sx_lint::Baseline::from_report(&report);
+        if let Err(err) = std::fs::write(&path, snapshot.to_json()) {
+            eprintln!("sx_lint: writing {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "sx_lint: wrote baseline ({} cell(s)) to {}",
+            snapshot.entries.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = baseline {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("sx_lint: reading {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let base = match sx_lint::Baseline::parse(&text) {
+            Ok(base) => base,
+            Err(err) => {
+                eprintln!("sx_lint: {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let regs = sx_lint::regressions(&report, &base);
+        if regs.is_empty() {
+            eprintln!("sx_lint: no new findings vs baseline {}", path.display());
+            return ExitCode::SUCCESS;
+        }
+        for r in &regs {
+            eprintln!(
+                "sx_lint: new findings: {} in {} ({} now, {} baselined)",
+                r.rule, r.file, r.current, r.baselined
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
@@ -89,7 +151,10 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("sx_lint: {err}");
     }
-    eprintln!("usage: sx_lint [--format human|json] [--root <dir>] [--allowlist <file>]");
+    eprintln!(
+        "usage: sx_lint [--format human|json] [--root <dir>] [--allowlist <file>] \
+         [--baseline <file> | --write-baseline <file>]"
+    );
     ExitCode::from(if err.is_empty() { 0 } else { 2 })
 }
 

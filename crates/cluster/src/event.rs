@@ -79,11 +79,26 @@ impl EventQueue {
         Self::default()
     }
 
+    /// An empty queue whose heap is pre-sized for `capacity` events.
+    ///
+    /// The dispatch loop's allocation budget (see
+    /// `crates/cluster/tests/alloc_budget.rs`) requires that steady-state
+    /// `schedule` calls never grow the heap, so the engine sizes the queue
+    /// for the whole run up front: one arrival per job plus one in-flight
+    /// completion per device.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
     /// Schedule `kind` at absolute virtual time `time`.
     ///
     /// # Panics
     /// Panics on a non-finite timestamp — a NaN/infinite service time is a
     /// modeling bug that must not silently scramble the event order.
+    // sx-lint: hot-root -- called once per scheduled event inside the dispatch loop
     pub fn schedule(&mut self, time: f64, kind: EventKind) -> Event {
         assert!(time.is_finite(), "non-finite event time {time}");
         let event = Event {
@@ -97,6 +112,7 @@ impl EventQueue {
     }
 
     /// Pop the earliest event, if any.
+    // sx-lint: hot-root -- the dispatch loop's main ratchet: one pop per event
     pub fn pop(&mut self) -> Option<Event> {
         self.heap.pop()
     }

@@ -275,6 +275,7 @@ impl QpuDevice {
     /// cache is at capacity.  Returns the evicted key, if any.
     pub(crate) fn mark_warm(&mut self, topology_key: u64, lps: usize) -> Option<u64> {
         let reembed = self.reembed_seconds(lps);
+        // sx-lint: allow(A001) -- delegates to WarmCache::insert, whose buffers are pre-sized to the cache capacity in cache.rs
         self.warm.insert(topology_key, lps, reembed)
     }
 }

@@ -21,7 +21,13 @@ pub struct Job {
     /// single-tenant workloads).
     pub tenant: TenantId,
     /// Human-readable problem-family label (e.g. `maxcut-cycle-12`).
-    pub family: String,
+    ///
+    /// Stored refcounted rather than as an owned `String`: the dispatch
+    /// loop clones the `Job` once per arrival event, and an `Arc<str>`
+    /// clone is a refcount bump instead of a heap allocation — part of the
+    /// zero-allocation steady-state contract pinned by
+    /// `crates/cluster/tests/alloc_budget.rs`.
+    pub family: std::sync::Arc<str>,
     /// Logical problem size (number of logical spins) — the `LPS` parameter
     /// of the paper's stage models.
     pub lps: usize,

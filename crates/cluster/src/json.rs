@@ -53,6 +53,7 @@ impl JsonValue {
     ///
     /// # Panics
     /// Panics when `self` is not an object.
+    // sx-lint: hot-exempt -- JSON assembly runs at report/export time, never in the event loop; `push` name-collides with Vec calls in engine bodies
     pub fn push(&mut self, key: impl Into<String>, value: JsonValue) {
         match self {
             JsonValue::Object(pairs) => pairs.push((key.into(), value)),

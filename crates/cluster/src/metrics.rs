@@ -37,7 +37,12 @@ impl LatencyStats {
     /// Compute the summary from raw per-job values (zeroes when empty).
     pub fn from_values(values: &[f64]) -> Self {
         let mut sorted = values.to_vec();
-        sorted.sort_by(f64::total_cmp);
+        // Unstable on purpose: equal f64 keys are indistinguishable, and the
+        // in-place sort keeps the allocation count independent of the input
+        // length (a stable sort's scratch buffer appears only past a length
+        // threshold, which tests/alloc_budget.rs would see as a per-event
+        // allocation).
+        sorted.sort_unstable_by(f64::total_cmp);
         let pct = |p| percentile_sorted(&sorted, p).unwrap_or(0.0);
         Self {
             mean: if sorted.is_empty() {

@@ -66,14 +66,21 @@ pub trait Scheduler {
 /// device id — together with that prediction.  The shared deterministic
 /// placement primitive of the cache-affinity and weighted-fair policies:
 /// warmth and device speed are both priced into the prediction.
-fn fastest_idle_device(fleet: &Fleet, idle: &[usize], job: &Job) -> Option<(f64, usize)> {
-    idle.iter()
-        .filter(|&&d| fleet.devices[d].can_run(job.lps))
-        .filter_map(|&d| {
-            let predicted = fleet.devices[d]
+///
+/// Scans the fleet directly with [`crate::fleet::QpuDevice::is_idle`]
+/// rather than taking a materialized idle list: every caller sits on the
+/// dispatch hot path, where collecting `Fleet::idle_devices` into a `Vec`
+/// per call would allocate per event.
+fn fastest_idle_device(fleet: &Fleet, now: f64, job: &Job) -> Option<(f64, usize)> {
+    fleet
+        .devices
+        .iter()
+        .filter(|d| d.is_idle(now) && d.can_run(job.lps))
+        .filter_map(|d| {
+            let predicted = d
                 .predicted_service_seconds(job.lps, job.topology_key)
                 .ok()?;
-            Some((predicted, d))
+            Some((predicted, d.id))
         })
         .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
 }
@@ -95,6 +102,7 @@ impl Scheduler for Fifo {
         "fifo"
     }
 
+    // sx-lint: hot-root -- queried once per dispatch attempt in the event loop
     fn next_assignment(
         &mut self,
         queue: &[Job],
@@ -103,10 +111,10 @@ impl Scheduler for Fifo {
     ) -> Option<(usize, usize)> {
         let head = queue.first()?;
         let device = fleet
-            .idle_devices(now)
-            .into_iter()
-            .find(|&d| fleet.devices[d].can_run(head.lps))?;
-        Some((0, device))
+            .devices
+            .iter()
+            .find(|d| d.is_idle(now) && d.can_run(head.lps))?;
+        Some((0, device.id))
     }
 }
 
@@ -153,19 +161,18 @@ impl Scheduler for ShortestPredictedFirst {
         "spjf"
     }
 
+    // sx-lint: hot-root -- queried once per dispatch attempt in the event loop
     fn next_assignment(
         &mut self,
         queue: &[Job],
         fleet: &Fleet,
         now: f64,
     ) -> Option<(usize, usize)> {
-        let idle = fleet.idle_devices(now);
         let mut best: Option<(f64, usize, usize)> = None;
         for (qi, job) in queue.iter().enumerate() {
             let age = (now - job.arrival).max(0.0);
-            for &d in &idle {
-                let device = &fleet.devices[d];
-                if !device.can_run(job.lps) {
+            for device in &fleet.devices {
+                if !device.is_idle(now) || !device.can_run(job.lps) {
                     continue;
                 }
                 let Ok(predicted) = device.predicted_service_seconds(job.lps, job.topology_key)
@@ -176,7 +183,7 @@ impl Scheduler for ShortestPredictedFirst {
                 // Strict `<` keeps the earliest (queue-order, id-order)
                 // candidate on ties, so the policy is deterministic.
                 if best.map(|(t, _, _)| score < t).unwrap_or(true) {
-                    best = Some((score, qi, d));
+                    best = Some((score, qi, device.id));
                 }
             }
         }
@@ -201,14 +208,14 @@ impl Scheduler for CacheAffinity {
         "affinity"
     }
 
+    // sx-lint: hot-root -- queried once per dispatch attempt in the event loop
     fn next_assignment(
         &mut self,
         queue: &[Job],
         fleet: &Fleet,
         now: f64,
     ) -> Option<(usize, usize)> {
-        let idle = fleet.idle_devices(now);
-        if idle.is_empty() {
+        if !fleet.devices.iter().any(|d| d.is_idle(now)) {
             return None;
         }
 
@@ -218,13 +225,14 @@ impl Scheduler for CacheAffinity {
         // heterogeneous fleet a fast cold device can beat a slow warm one,
         // and the prediction already prices both warmth and device speed.
         for (qi, job) in queue.iter().enumerate() {
-            let warm_idle = idle.iter().any(|&d| {
-                fleet.devices[d].can_run(job.lps) && fleet.devices[d].is_warm(job.topology_key)
-            });
+            let warm_idle = fleet
+                .devices
+                .iter()
+                .any(|d| d.is_idle(now) && d.can_run(job.lps) && d.is_warm(job.topology_key));
             if !warm_idle {
                 continue;
             }
-            if let Some((_, d)) = fastest_idle_device(fleet, &idle, job) {
+            if let Some((_, d)) = fastest_idle_device(fleet, now, job) {
                 return Some((qi, d));
             }
         }
@@ -258,12 +266,12 @@ impl Scheduler for CacheAffinity {
                         Some((dev.busy_until - now).max(0.0) + warm_service)
                     })
                     .fold(f64::INFINITY, f64::min);
-                let cold_cost = idle
+                let cold_cost = fleet
+                    .devices
                     .iter()
-                    .filter(|&&d| fleet.devices[d].can_run(job.lps))
-                    .filter_map(|&d| {
-                        fleet.devices[d]
-                            .predicted_service_seconds(job.lps, job.topology_key)
+                    .filter(|dev| dev.is_idle(now) && dev.can_run(job.lps))
+                    .filter_map(|dev| {
+                        dev.predicted_service_seconds(job.lps, job.topology_key)
                             .ok()
                     })
                     .fold(f64::INFINITY, f64::min);
@@ -271,25 +279,35 @@ impl Scheduler for CacheAffinity {
                     continue; // hold this job for its warm device
                 }
             }
-            let candidates: Vec<(f64, usize, usize)> = idle
+            // Two passes over the fleet instead of a collected candidate
+            // `Vec`: first the fastest prediction, then the in-band device
+            // with the fewest warm topologies (ties by id; strict `<`
+            // keeps the first, matching the old `min_by` on unique keys).
+            let fastest = fleet
+                .devices
                 .iter()
-                .filter(|&&d| fleet.devices[d].can_run(job.lps))
-                .filter_map(|&d| {
-                    let predicted = fleet.devices[d]
-                        .predicted_service_seconds(job.lps, job.topology_key)
-                        .ok()?;
-                    Some((predicted, fleet.devices[d].warm_topologies(), d))
+                .filter(|dev| dev.is_idle(now) && dev.can_run(job.lps))
+                .filter_map(|dev| {
+                    dev.predicted_service_seconds(job.lps, job.topology_key)
+                        .ok()
                 })
-                .collect();
-            let fastest = candidates
-                .iter()
-                .map(|&(predicted, _, _)| predicted)
                 .fold(f64::INFINITY, f64::min);
-            let placement = candidates
-                .iter()
-                .filter(|&&(predicted, _, _)| predicted <= fastest * COLD_SPEED_BAND)
-                .min_by(|a, b| a.1.cmp(&b.1).then(a.2.cmp(&b.2)));
-            if let Some(&(_, _, d)) = placement {
+            let mut placement: Option<(usize, usize)> = None; // (warm count, id)
+            for dev in &fleet.devices {
+                if !dev.is_idle(now) || !dev.can_run(job.lps) {
+                    continue;
+                }
+                let Ok(predicted) = dev.predicted_service_seconds(job.lps, job.topology_key) else {
+                    continue;
+                };
+                if predicted <= fastest * COLD_SPEED_BAND {
+                    let key = (dev.warm_topologies(), dev.id);
+                    if placement.map(|cur| key < cur).unwrap_or(true) {
+                        placement = Some(key);
+                    }
+                }
+            }
+            if let Some((_, d)) = placement {
                 return Some((qi, d));
             }
         }
@@ -319,27 +337,32 @@ impl Scheduler for EarliestDeadlineFirst {
         "edf"
     }
 
+    // sx-lint: hot-root -- queried once per dispatch attempt in the event loop
     fn next_assignment(
         &mut self,
         queue: &[Job],
         fleet: &Fleet,
         now: f64,
     ) -> Option<(usize, usize)> {
-        let idle = fleet.idle_devices(now);
-        if idle.is_empty() {
+        if !fleet.devices.iter().any(|d| d.is_idle(now)) {
             return None;
         }
-        let mut order: Vec<usize> = (0..queue.len()).collect();
-        // Stable sort: equal deadlines (and all deadline-free jobs) keep
-        // queue order, so ties — and the no-deadline degenerate case —
-        // reduce to FIFO.
-        order.sort_by(|&a, &b| deadline_key(&queue[a]).total_cmp(&deadline_key(&queue[b])));
-        for qi in order {
-            if let Some((_, d)) = fastest_idle_device(fleet, &idle, &queue[qi]) {
-                return Some((qi, d));
+        // One pass, no sorted index `Vec`: keep the feasible job with the
+        // lexicographically smallest `(deadline, queue position)`.  A
+        // strictly-smaller comparison means equal deadlines (and all
+        // deadline-free jobs, which share `f64::INFINITY`) keep queue
+        // order — exactly the old stable-sort-then-first-feasible result.
+        let mut best: Option<(f64, usize, usize)> = None; // (deadline, qi, device)
+        for (qi, job) in queue.iter().enumerate() {
+            let key = deadline_key(job);
+            if best.map(|(k, _, _)| key >= k).unwrap_or(false) {
+                continue;
+            }
+            if let Some((_, d)) = fastest_idle_device(fleet, now, job) {
+                best = Some((key, qi, d));
             }
         }
-        None
+        best.map(|(_, qi, d)| (qi, d))
     }
 }
 
@@ -422,6 +445,10 @@ pub struct WeightedFairQueue {
     virtual_time: f64,
     /// In-lane ordering (EDF by default).
     lane_order: LaneOrder,
+    /// Lane-head scratch `(tenant, queue index)`, reused across
+    /// `next_assignment` calls so the hot path never allocates; it grows at
+    /// most once per tenant ever seen.
+    heads: Vec<(usize, usize)>,
 }
 
 impl Default for WeightedFairQueue {
@@ -439,7 +466,9 @@ impl WeightedFairQueue {
     /// Explicit per-tenant weights, indexed by tenant id; tenants beyond
     /// the vector (and non-positive entries) fall back to weight 1.0.
     pub fn with_weights(weights: Vec<f64>) -> Self {
+        let lanes = weights.len().max(8);
         Self {
+            heads: Vec::with_capacity(lanes),
             weights,
             finish_tags: Vec::new(),
             virtual_time: 0.0,
@@ -495,14 +524,14 @@ impl Scheduler for WeightedFairQueue {
         }
     }
 
+    // sx-lint: hot-root -- queried once per dispatch attempt in the event loop
     fn next_assignment(
         &mut self,
         queue: &[Job],
         fleet: &Fleet,
         now: f64,
     ) -> Option<(usize, usize)> {
-        let idle = fleet.idle_devices(now);
-        if idle.is_empty() {
+        if !fleet.devices.iter().any(|d| d.is_idle(now)) {
             return None;
         }
 
@@ -510,7 +539,12 @@ impl Scheduler for WeightedFairQueue {
         // is the tenant's first queued job; under EDF lanes it is the
         // tenant's earliest-deadline job (strictly-smaller comparison, so
         // deadline ties and deadline-free jobs keep submission order).
-        let mut heads: Vec<(usize, usize)> = Vec::new(); // (tenant, queue idx)
+        //
+        // The scratch vector is owned by the scheduler and taken/restored
+        // around the call, so steady-state dispatch never allocates
+        // (`tests/alloc_budget.rs` pins this).
+        let mut heads = std::mem::take(&mut self.heads); // (tenant, queue idx)
+        heads.clear();
         for (qi, job) in queue.iter().enumerate() {
             let tenant = job.tenant.index();
             match heads.iter_mut().find(|(t, _)| *t == tenant) {
@@ -525,26 +559,33 @@ impl Scheduler for WeightedFairQueue {
             }
         }
         // Serve lanes in start-tag order; ties by tenant id keep the order
-        // total and deterministic.
-        heads.sort_by(|&(ta, _), &(tb, _)| {
+        // total and deterministic.  Unstable sort is safe — one head per
+        // tenant makes the `(start tag, tenant)` key unique — and, unlike
+        // the stable sort, it never allocates a merge buffer.
+        heads.sort_unstable_by(|&(ta, _), &(tb, _)| {
             let sa = self.finish_tag(ta).max(self.virtual_time);
             let sb = self.finish_tag(tb).max(self.virtual_time);
             sa.total_cmp(&sb).then(ta.cmp(&tb))
         });
 
-        for (tenant, qi) in heads {
+        let mut chosen: Option<(usize, usize, usize, f64)> = None;
+        for &(tenant, qi) in &heads {
             let job = &queue[qi];
             // Within the lane, the cost oracle picks the placement: the
             // idle device with the smallest prediction (warm beats cold,
             // fast beats slow).
-            if let Some((cost, device)) = fastest_idle_device(fleet, &idle, job) {
-                let start = self.finish_tag(tenant).max(self.virtual_time);
-                self.set_finish_tag(tenant, start + cost / self.weight(tenant));
-                self.virtual_time = start;
-                return Some((qi, device));
+            if let Some((cost, device)) = fastest_idle_device(fleet, now, job) {
+                chosen = Some((tenant, qi, device, cost));
+                break;
             }
         }
-        None
+        self.heads = heads;
+
+        let (tenant, qi, device, cost) = chosen?;
+        let start = self.finish_tag(tenant).max(self.virtual_time);
+        self.set_finish_tag(tenant, start + cost / self.weight(tenant));
+        self.virtual_time = start;
+        Some((qi, device))
     }
 }
 
@@ -646,7 +687,7 @@ mod tests {
         Job {
             id,
             tenant: crate::tenant::TenantId::DEFAULT,
-            family: format!("test-{lps}"),
+            family: format!("test-{lps}").into(),
             lps,
             topology_key: key,
             arrival: id as f64,
@@ -795,7 +836,7 @@ mod tests {
         for (i, job) in jobs.iter_mut().enumerate() {
             job.id = i;
         }
-        let large_id = jobs.iter().position(|j| j.family == "large").unwrap();
+        let large_id = jobs.iter().position(|j| &*j.family == "large").unwrap();
         let workload = Workload::single_tenant(jobs);
         let start_of = |scheduler: &mut dyn Scheduler| {
             let report = simulate(build_fleet(), &workload, scheduler, SimConfig::default());

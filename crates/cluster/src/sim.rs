@@ -168,6 +168,65 @@ pub fn simulate_with_admission(
     report
 }
 
+/// Every buffer the dispatch loop writes to, sized for the whole run up
+/// front.
+///
+/// This is the **hot path contract**'s allocation half (see
+/// `docs/ARCHITECTURE.md`): the event loop in [`simulate_with_telemetry`]
+/// only ever writes into these pre-sized buffers, so steady-state dispatch
+/// performs zero heap allocations.  `sx_lint`'s A001 rule enforces the
+/// shape statically (hot code may only `push`/`insert` into
+/// `with_capacity`-backed receivers) and `tests/alloc_budget.rs` pins the
+/// behavior dynamically with a counting allocator.
+struct SimScratch {
+    events: EventQueue,
+    queue: Vec<Job>,
+    queue_depth: Vec<(f64, usize)>,
+    records: Vec<JobRecord>,
+    in_flight: Vec<Option<JobRecord>>,
+    /// When each job first entered the system (closed mode re-stamps
+    /// arrivals with the release clock, but a deferred re-arrival must keep
+    /// its original stamp or `now - arrival` — the controller's total-defer
+    /// measure — is always zero and `max_defer_seconds` can never bind).
+    released_at: Vec<Option<f64>>,
+    tenant_depth: Vec<usize>,
+    tenant_depth_max: Vec<usize>,
+    tenant_shed: Vec<usize>,
+    tenant_shed_infeasible: Vec<usize>,
+    tenant_deferrals: Vec<usize>,
+    tenant_rejected: Vec<usize>,
+}
+
+impl SimScratch {
+    /// Allocate every per-run buffer once, before the event loop starts.
+    ///
+    /// Capacity arithmetic: the queue and the record list hold at most one
+    /// entry per job; the future-event list holds the un-fired arrivals
+    /// plus one in-flight completion per device; the depth series gets one
+    /// sample per event, and a run without deferrals fires at most one
+    /// arrival plus one completion per job (admission deferrals re-arrive
+    /// and may grow the series past the estimate — amortized doubling,
+    /// never per-event).
+    // sx-lint: hot-exempt -- once-per-run setup: the dispatch loop only writes into buffers sized here
+    fn for_run(workload: &Workload, fleet: &Fleet, lanes: usize) -> Self {
+        let jobs = workload.len();
+        Self {
+            events: EventQueue::with_capacity(jobs + fleet.devices.len() + 1),
+            queue: Vec::with_capacity(jobs),
+            queue_depth: Vec::with_capacity(2 * jobs + 1),
+            records: Vec::with_capacity(jobs),
+            in_flight: vec![None; jobs],
+            released_at: vec![None; jobs],
+            tenant_depth: vec![0usize; lanes],
+            tenant_depth_max: vec![0usize; lanes],
+            tenant_shed: vec![0usize; lanes],
+            tenant_shed_infeasible: vec![0usize; lanes],
+            tenant_deferrals: vec![0usize; lanes],
+            tenant_rejected: vec![0usize; lanes],
+        }
+    }
+}
+
 /// The fully instrumented engine core: every trace record goes to `sink`
 /// (never retained by the engine itself — `SimReport.trace` comes back
 /// empty; attach a [`VecSink`] and move its records in if retention is
@@ -178,7 +237,14 @@ pub fn simulate_with_admission(
 /// Telemetry is a **pure observer**: for fixed simulation inputs, every
 /// choice of `sink`/`registry` produces an identical report (the
 /// `telemetry_is_a_pure_observer` tests assert bitwise equality).
+///
+/// This function is the simulator's hot path: all per-event work happens
+/// in its event loop, which by contract performs no heap allocation in the
+/// steady state (buffers come pre-sized from `SimScratch`, per-job
+/// cloning is refcount-only, and report assembly is deferred to
+/// `assemble_report` after the loop drains).
 #[allow(clippy::too_many_arguments)]
+// sx-lint: hot-root -- the dispatch loop: all per-event work happens in this body
 pub fn simulate_with_telemetry(
     mut fleet: Fleet,
     workload: &Workload,
@@ -188,17 +254,7 @@ pub fn simulate_with_telemetry(
     sink: &mut dyn TraceSink,
     mut registry: Option<&mut MetricsRegistry>,
 ) -> SimReport {
-    let mut events = EventQueue::new();
     let mut event_count = 0usize;
-    let mut queue: Vec<Job> = Vec::new();
-    let mut queue_depth: Vec<(f64, usize)> = Vec::new();
-    let mut records: Vec<JobRecord> = Vec::with_capacity(workload.len());
-    let mut in_flight: Vec<Option<JobRecord>> = vec![None; workload.len()];
-    // When each job first entered the system (closed mode re-stamps
-    // arrivals with the release clock, but a deferred re-arrival must keep
-    // its original stamp or `now - arrival` — the controller's total-defer
-    // measure — is always zero and `max_defer_seconds` can never bind).
-    let mut released_at: Vec<Option<f64>> = vec![None; workload.len()];
     let mut rejected = 0usize;
     let mut clock = 0.0_f64;
     // Per-tenant accounting, indexed by tenant id.
@@ -208,12 +264,20 @@ pub fn simulate_with_telemetry(
     let probes: Option<SimSeries> = registry
         .as_deref_mut()
         .map(|r| r.sim_series(fleet.devices.len(), lanes));
-    let mut tenant_depth = vec![0usize; lanes];
-    let mut tenant_depth_max = vec![0usize; lanes];
-    let mut tenant_shed = vec![0usize; lanes];
-    let mut tenant_shed_infeasible = vec![0usize; lanes];
-    let mut tenant_deferrals = vec![0usize; lanes];
-    let mut tenant_rejected = vec![0usize; lanes];
+    let SimScratch {
+        mut events,
+        mut queue,
+        mut queue_depth,
+        mut records,
+        mut in_flight,
+        mut released_at,
+        mut tenant_depth,
+        mut tenant_depth_max,
+        mut tenant_shed,
+        mut tenant_shed_infeasible,
+        mut tenant_deferrals,
+        mut tenant_rejected,
+    } = SimScratch::for_run(workload, &fleet, lanes);
     let mut shed = 0usize;
     let mut shed_infeasible = 0usize;
     let mut deferrals = 0usize;
@@ -348,6 +412,7 @@ pub fn simulate_with_telemetry(
             EventKind::JobCompletion { qpu: _, job } => {
                 let record = in_flight[job]
                     .take()
+                    // sx-lint: allow(A002) -- same engine invariant as the H003 allow below: the expect is unreachable
                     // sx-lint: allow(H003) -- engine invariant: a JobCompletion is scheduled exactly once, at dispatch
                     .expect("completion event for a job that was never dispatched");
                 if let (Some(reg), Some(p)) = (registry.as_deref_mut(), probes.as_ref()) {
@@ -502,7 +567,77 @@ pub fn simulate_with_telemetry(
         "event list drained with jobs still queued"
     );
 
-    let makespan = clock;
+    assemble_report(
+        &fleet,
+        workload,
+        scheduler.name(),
+        admission.name(),
+        lanes,
+        RunOutcome {
+            event_count,
+            rejected,
+            shed,
+            shed_infeasible,
+            deferrals,
+            makespan: clock,
+            records,
+            queue_depth,
+            tenant_depth_max,
+            tenant_shed,
+            tenant_shed_infeasible,
+            tenant_deferrals,
+            tenant_rejected,
+        },
+    )
+}
+
+/// Everything the post-run summarization needs out of the drained event
+/// loop: the counters and the buffers that move into the [`SimReport`].
+struct RunOutcome {
+    event_count: usize,
+    rejected: usize,
+    shed: usize,
+    shed_infeasible: usize,
+    deferrals: usize,
+    makespan: f64,
+    records: Vec<JobRecord>,
+    queue_depth: Vec<(f64, usize)>,
+    tenant_depth_max: Vec<usize>,
+    tenant_shed: Vec<usize>,
+    tenant_shed_infeasible: Vec<usize>,
+    tenant_deferrals: Vec<usize>,
+    tenant_rejected: Vec<usize>,
+}
+
+/// Summarize a drained run into a [`SimReport`].
+///
+/// Runs once per simulation, after the event loop: the percentile sweeps,
+/// per-tenant regroupings and label formatting below allocate freely and
+/// deliberately stay off the hot path.
+// sx-lint: hot-exempt -- once per run, after the event loop drains; nothing here is per-event
+fn assemble_report(
+    fleet: &Fleet,
+    workload: &Workload,
+    policy: &str,
+    admission: &str,
+    lanes: usize,
+    run: RunOutcome,
+) -> SimReport {
+    let RunOutcome {
+        event_count,
+        rejected,
+        shed,
+        shed_infeasible,
+        deferrals,
+        makespan,
+        records,
+        queue_depth,
+        tenant_depth_max,
+        tenant_shed,
+        tenant_shed_infeasible,
+        tenant_deferrals,
+        tenant_rejected,
+    } = run;
     let latencies: Vec<f64> = records.iter().map(|r| r.latency_seconds()).collect();
     let waits: Vec<f64> = records.iter().map(|r| r.wait_seconds()).collect();
     let per_qpu: Vec<QpuStats> = fleet
@@ -538,14 +673,15 @@ pub fn simulate_with_telemetry(
                     name: format!("{id}"),
                     weight: 1.0,
                 });
-            let tenant_records: Vec<&JobRecord> =
-                records.iter().filter(|r| r.tenant == id).collect();
+            // Pre-sized so the per-tenant regrouping's allocation count is
+            // independent of the record count — keeps the alloc-budget
+            // test's N-vs-2N comparison exact.
+            let mut tenant_records: Vec<&JobRecord> = Vec::with_capacity(records.len());
+            tenant_records.extend(records.iter().filter(|r| r.tenant == id));
             let lat: Vec<f64> = tenant_records.iter().map(|r| r.latency_seconds()).collect();
             let wai: Vec<f64> = tenant_records.iter().map(|r| r.wait_seconds()).collect();
-            let late: Vec<f64> = tenant_records
-                .iter()
-                .filter_map(|r| r.lateness_seconds())
-                .collect();
+            let mut late: Vec<f64> = Vec::with_capacity(tenant_records.len());
+            late.extend(tenant_records.iter().filter_map(|r| r.lateness_seconds()));
             TenantStats {
                 tenant: id,
                 name: meta.name,
@@ -570,14 +706,12 @@ pub fn simulate_with_telemetry(
         })
         .collect();
 
-    let lateness: Vec<f64> = records
-        .iter()
-        .filter_map(|r| r.lateness_seconds())
-        .collect();
+    let mut lateness: Vec<f64> = Vec::with_capacity(records.len());
+    lateness.extend(records.iter().filter_map(|r| r.lateness_seconds()));
 
     SimReport {
-        policy: scheduler.name().to_string(),
-        admission: admission.name().to_string(),
+        policy: policy.to_string(),
+        admission: admission.to_string(),
         jobs: workload.len(),
         events: event_count,
         completed: records.len(),

@@ -140,6 +140,7 @@ impl MetricsRegistry {
     }
 
     /// Record one observation into a histogram sketch.
+    // sx-lint: hot-root -- fed once per completion event by the dispatch loop
     pub fn observe(&mut self, id: HistogramId, value: f64) {
         if let Some((_, h)) = self.histograms.get_mut(id.0) {
             h.observe(value);
@@ -153,6 +154,7 @@ impl MetricsRegistry {
     pub fn tick(&mut self, clock: f64) {
         while self.next_due <= clock {
             for g in &mut self.gauges {
+                // sx-lint: allow(A001) -- sample-series growth is paced by the virtual-time sample interval, not the event rate
                 g.series.push((self.next_due, g.current));
             }
             self.next_due += self.sample_interval;
@@ -259,6 +261,7 @@ impl MetricsRegistry {
     /// Register the standard simulation instruments for a fleet of `qpus`
     /// devices and `lanes` tenant lanes.  Idempotent, like all
     /// registration.
+    // sx-lint: hot-exempt -- registration runs once per simulation, before the event loop
     pub fn sim_series(&mut self, qpus: usize, lanes: usize) -> SimSeries {
         SimSeries {
             queue_depth: self.register_gauge("queue_depth"),

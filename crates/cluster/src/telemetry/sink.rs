@@ -77,6 +77,7 @@ impl VecSink {
 }
 
 impl TraceSink for VecSink {
+    // sx-lint: hot-exempt -- retention is this sink's whole policy; NullSink is the perf default
     fn on_record(&mut self, record: &TraceRecord, _vclock: f64) {
         self.records.push(*record);
     }
@@ -90,13 +91,19 @@ impl TraceSink for VecSink {
 /// [`io::Write`] — a trace on disk instead of a trace in memory.
 ///
 /// Write failures never reach the engine: they are counted in
-/// [`Self::write_errors`] and the sink keeps accepting records, because an
-/// observability failure must not change (or abort) a simulation.
+/// [`Self::write_errors`] and the *first* failure's [`io::Error`] is
+/// latched for later inspection via [`Self::take_error`], while the sink
+/// keeps accepting records — an observability failure must not change (or
+/// abort) a simulation.
 #[derive(Debug)]
 pub struct JsonlSink<W: io::Write> {
     out: W,
     lines: usize,
     write_errors: usize,
+    /// The first write/flush error observed, latched until taken.  Only
+    /// the first: a full disk produces one failure per record, and the
+    /// root cause is the earliest one.
+    error: Option<io::Error>,
 }
 
 impl<W: io::Write> JsonlSink<W> {
@@ -106,6 +113,7 @@ impl<W: io::Write> JsonlSink<W> {
             out,
             lines: 0,
             write_errors: 0,
+            error: None,
         }
     }
 
@@ -120,23 +128,52 @@ impl<W: io::Write> JsonlSink<W> {
         self.write_errors
     }
 
-    /// Flush and return the underlying writer.
+    /// The first latched write/flush failure, if any, leaving the latch
+    /// empty.  Callers that care whether the trace actually landed on disk
+    /// check this (or [`Self::write_errors`]) after the run; the engine
+    /// itself never does.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    /// Latch one I/O failure: bump the count, keep the earliest error.
+    fn latch(&mut self, err: io::Error) {
+        self.write_errors += 1;
+        if self.error.is_none() {
+            self.error = Some(err);
+        }
+    }
+
+    /// Flush and return the underlying writer, discarding any latched
+    /// error (a final-flush failure still counts toward the error total
+    /// first).  Use [`Self::finish`] to observe the failure instead.
     pub fn into_inner(mut self) -> W {
-        // A final-flush failure is just one more latched error; the writer
-        // is being handed back either way.
-        if self.out.flush().is_err() {
-            self.write_errors += 1;
+        if let Err(err) = self.out.flush() {
+            self.latch(err);
         }
         self.out
+    }
+
+    /// Flush and dismantle the sink, reporting the first latched failure:
+    /// `Ok((writer, lines))` only if every record was written and flushed.
+    pub fn finish(mut self) -> Result<(W, usize), io::Error> {
+        if let Err(err) = self.out.flush() {
+            self.latch(err);
+        }
+        match self.error.take() {
+            Some(err) => Err(err),
+            None => Ok((self.out, self.lines)),
+        }
     }
 }
 
 impl<W: io::Write> TraceSink for JsonlSink<W> {
+    // sx-lint: hot-exempt -- serializing every record is this sink's whole policy; NullSink is the perf default
     fn on_record(&mut self, record: &TraceRecord, _vclock: f64) {
         let line = record.to_json().to_string();
         match writeln!(self.out, "{line}") {
             Ok(()) => self.lines += 1,
-            Err(_) => self.write_errors += 1,
+            Err(err) => self.latch(err),
         }
     }
 
@@ -248,5 +285,43 @@ mod tests {
         }
         assert_eq!(sink.lines(), 0);
         assert_eq!(sink.write_errors(), 5, "errors latch; nothing panics");
+        // The first error's io::Error is latched and can be taken exactly
+        // once; the count is unaffected.
+        let err = sink.take_error().expect("first failure is latched");
+        assert_eq!(err.to_string(), "disk full");
+        assert!(sink.take_error().is_none(), "the latch empties on take");
+        assert_eq!(sink.write_errors(), 5);
+    }
+
+    #[test]
+    fn jsonl_finish_reports_the_first_failure() {
+        #[derive(Debug)]
+        struct FailingWriter;
+        impl io::Write for FailingWriter {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Err(io::Error::other("flush failed"))
+            }
+        }
+        // A clean run finishes Ok with the line count.
+        let mut ok_sink = JsonlSink::new(Vec::<u8>::new());
+        for r in sample_records() {
+            ok_sink.on_record(&r, 0.0);
+        }
+        let (bytes, lines) = ok_sink.finish().expect("clean run");
+        assert_eq!(lines, 5);
+        assert!(!bytes.is_empty());
+        // A failed run reports the *earliest* error — the write failure,
+        // not the flush failure that follows it.
+        let mut bad_sink = JsonlSink::new(FailingWriter);
+        bad_sink.on_record(&sample_records()[0], 0.0);
+        let err = bad_sink.finish().expect_err("failures must surface");
+        assert_eq!(err.to_string(), "disk full");
+        // A flush-only failure surfaces too.
+        let empty_sink = JsonlSink::new(FailingWriter);
+        let err = empty_sink.finish().expect_err("flush failure surfaces");
+        assert_eq!(err.to_string(), "flush failed");
     }
 }

@@ -50,14 +50,21 @@ struct Buckets {
 }
 
 impl Buckets {
+    // The bucket array grows only when an observation lands in a
+    // first-seen magnitude bucket; the array length is logarithmic in the
+    // observed value range, so growth stops once the range has been seen
+    // and steady-state increments are allocation-free (the alloc-budget
+    // test pins this).
     fn increment(&mut self, index: i64) {
         if self.counts.is_empty() {
             self.offset = index;
+            // sx-lint: allow(A001) -- first observation ever: one-time growth, bounded by the value range, not the event rate
             self.counts.push(1);
             return;
         }
         if index < self.offset {
             let grow = (self.offset - index) as usize;
+            // sx-lint: allow(A001) -- downward range extension: happens at most log_γ(range) times ever, not per event
             let mut counts = vec![0u64; grow + self.counts.len()];
             counts[grow..].copy_from_slice(&self.counts);
             self.counts = counts;

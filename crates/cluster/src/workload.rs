@@ -522,7 +522,7 @@ impl WorkloadSpec {
             jobs.push(Job {
                 id,
                 tenant: TenantId::DEFAULT,
-                family,
+                family: family.into(),
                 lps,
                 topology_key: graph_key(&interaction),
                 arrival: clock,

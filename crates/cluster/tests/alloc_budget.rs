@@ -1,0 +1,144 @@
+//! The dispatch loop's allocation budget, pinned by a counting global
+//! allocator.
+//!
+//! The hot-path contract (docs/ARCHITECTURE.md) has three enforcement
+//! layers: `sx_lint`'s A-rules prove *statically* that no allocating
+//! construct is reachable from a hot root, this test proves *dynamically*
+//! that the engine's steady state performs **zero allocations per event**,
+//! and `benches/dispatch.rs` watches the resulting throughput.
+//!
+//! The dynamic form of "zero per event" used here: the total number of
+//! heap allocations in a full `simulate_with_telemetry` call is the same
+//! at `N` jobs and at `2N` jobs.  Every buffer the loop writes into is
+//! pre-sized in `SimScratch::for_run` (one allocation each, regardless of
+//! capacity), the cost-model memo misses once per *distinct* topology size
+//! (the repeated-topology workload has the same four sizes at any N), and
+//! the report assembly pre-sizes its filtered collections — so doubling
+//! the event count must not add a single allocation.  If this test fails
+//! after an engine change, something started allocating per event; run
+//! `sx_lint` to find it, or hoist the buffer into `SimScratch`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use split_exec::SplitExecConfig;
+use sx_cluster::prelude::*;
+
+/// Counts every allocation and reallocation; frees are not interesting
+/// (a free can't grow the heap, and counting it would double-charge
+/// buffer growth).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocations performed by one full simulate call (everything else —
+/// workload generation, fleet construction, scheduler build — happens
+/// outside the counted window).
+fn allocations_for(policy: PolicyKind, jobs: usize) -> usize {
+    // The cache is bounded (with room for every distinct topology) so its
+    // buffers are pre-sized at construction: an *unbounded* warm cache
+    // grows with the distinct topologies each device happens to see, and
+    // which device sees which topology depends on the dispatch pattern.
+    let fleet = Fleet::new(
+        FleetConfig {
+            qpus: 4,
+            seed: 11,
+            cache_capacity: Some(8),
+            ..FleetConfig::default()
+        },
+        SplitExecConfig::with_seed(11),
+    );
+    let workload = WorkloadSpec::repeated_topologies(jobs, 2.0, 11).generate();
+    // Pre-warm every device's cost memo for every topology size in the
+    // workload: a memo miss walks the full ASPEN prediction pipeline
+    // (explicitly off the per-event path — see the hot-exempt boundary on
+    // `predict_stage1`), and which (device, size) pairs miss depends on
+    // the dispatch pattern, not the event count.
+    for device in &fleet.devices {
+        for lps in [24, 28, 30, 36] {
+            device.cost.costs(lps).expect("workload sizes cost cleanly");
+        }
+    }
+    let mut scheduler = policy.build();
+    let mut sink = NullSink;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let report = simulate_with_telemetry(
+        fleet,
+        &workload,
+        scheduler.as_mut(),
+        &mut AdmitAll,
+        SimConfig::default(),
+        &mut sink,
+        None,
+    );
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        report.records.len(),
+        jobs,
+        "every job must complete under AdmitAll on an open workload"
+    );
+    after - before
+}
+
+/// One throwaway run so lazily-initialized process state (allocator
+/// internals, thread-locals) is paid for before any counted window opens.
+fn warmup() {
+    let _ = allocations_for(PolicyKind::Fifo, 20);
+}
+
+fn assert_constant_in_n(policy: PolicyKind) {
+    warmup();
+    let at_n = allocations_for(policy, 200);
+    let at_2n = allocations_for(policy, 400);
+    assert_eq!(
+        at_n, at_2n,
+        "{policy:?}: allocation count must not depend on the event count \
+         (got {at_n} at 200 jobs vs {at_2n} at 400 jobs) — something \
+         allocates per event",
+    );
+}
+
+#[test]
+fn fifo_dispatch_loop_allocates_independently_of_event_count() {
+    assert_constant_in_n(PolicyKind::Fifo);
+}
+
+#[test]
+fn wfq_dispatch_loop_allocates_independently_of_event_count() {
+    assert_constant_in_n(PolicyKind::WeightedFair);
+}
+
+#[test]
+fn edf_dispatch_loop_allocates_independently_of_event_count() {
+    assert_constant_in_n(PolicyKind::EarliestDeadline);
+}
+
+#[test]
+fn allocation_count_is_deterministic_run_to_run() {
+    warmup();
+    let first = allocations_for(PolicyKind::Fifo, 200);
+    let second = allocations_for(PolicyKind::Fifo, 200);
+    assert_eq!(
+        first, second,
+        "identical runs must perform identical allocation sequences"
+    );
+}

@@ -18,7 +18,7 @@ fn probe_job(id: usize, deadline: Option<f64>) -> Job {
     Job {
         id,
         tenant: TenantId::DEFAULT,
-        family: "probe".to_string(),
+        family: "probe".into(),
         lps: 40,
         topology_key: id as u64,
         arrival: 0.0,

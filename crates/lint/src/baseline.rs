@@ -1,0 +1,271 @@
+//! Finding baselines: land new rules without a same-PR workspace cleanup.
+//!
+//! A baseline is a snapshot of the *unsuppressed* findings of one lint
+//! run, grouped as `(rule, file) → count` and serialized to
+//! `lint.baseline.json`.  In CI, `sx_lint --baseline <file>` fails only on
+//! **regressions** — a `(rule, file)` cell whose current count exceeds its
+//! baselined count — so a future rule can ship enforcing "no new
+//! violations" while the recorded debt is burned down separately.  Cells
+//! that improve or disappear are simply reported; re-running
+//! `--write-baseline` ratchets them down.
+//!
+//! The format is machine-written JSON with a fixed shape:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "entries": [
+//!     { "rule": "A001", "file": "crates/x/src/y.rs", "count": 2 }
+//!   ]
+//! }
+//! ```
+//!
+//! The parser below accepts exactly that shape (the crate is
+//! dependency-free by design, so it is a purpose-built scanner, not a
+//! general JSON parser).
+
+use crate::report::LintReport;
+
+/// One baselined cell: `count` unsuppressed findings of `rule` in `file`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id string (`"A001"`).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// Unsuppressed findings at snapshot time.
+    pub count: usize,
+}
+
+/// A parsed or freshly snapshotted baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// The cells, sorted by (rule, file).
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// A `(rule, file)` cell whose current count exceeds its baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// Rule id string.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// Count allowed by the baseline (0 for an unbaselined cell).
+    pub baselined: usize,
+    /// Count observed in the current run.
+    pub current: usize,
+}
+
+impl Baseline {
+    /// Snapshot the unsuppressed findings of `report`.
+    pub fn from_report(report: &LintReport) -> Baseline {
+        let mut entries: Vec<BaselineEntry> = Vec::new();
+        for f in report.unsuppressed() {
+            let rule = f.rule.id();
+            match entries
+                .iter_mut()
+                .find(|e| e.rule == rule && e.file == f.file)
+            {
+                Some(e) => e.count += 1,
+                None => entries.push(BaselineEntry {
+                    rule: rule.to_string(),
+                    file: f.file.clone(),
+                    count: 1,
+                }),
+            }
+        }
+        entries.sort_by(|a, b| (&a.rule, &a.file).cmp(&(&b.rule, &b.file)));
+        Baseline { entries }
+    }
+
+    /// Serialize to the `lint.baseline.json` format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{ \"rule\": \"{}\", \"file\": \"{}\", \"count\": {} }}",
+                e.rule, e.file, e.count
+            ));
+        }
+        if !self.entries.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parse the `lint.baseline.json` format.  Rejects unknown versions
+    /// and malformed entries with a human-readable message.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let version = extract_usize(text, "version")
+            .ok_or_else(|| "baseline: missing `\"version\"` key".to_string())?;
+        if version != 1 {
+            return Err(format!("baseline: unsupported version {version}"));
+        }
+        let entries_at = text
+            .find("\"entries\"")
+            .ok_or_else(|| "baseline: missing `\"entries\"` key".to_string())?;
+        let mut entries = Vec::new();
+        let mut rest = &text[entries_at..];
+        while let Some(open) = rest.find('{') {
+            let close = rest[open..]
+                .find('}')
+                .ok_or_else(|| "baseline: unterminated entry object".to_string())?;
+            let obj = &rest[open..open + close + 1];
+            let bad = || format!("baseline: malformed entry `{}`", obj.trim());
+            entries.push(BaselineEntry {
+                rule: extract_string(obj, "rule").ok_or_else(bad)?,
+                file: extract_string(obj, "file").ok_or_else(bad)?,
+                count: extract_usize(obj, "count").ok_or_else(bad)?,
+            });
+            rest = &rest[open + close + 1..];
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// The baselined count for a `(rule, file)` cell (0 if absent).
+    pub fn allowed(&self, rule: &str, file: &str) -> usize {
+        self.entries
+            .iter()
+            .find(|e| e.rule == rule && e.file == file)
+            .map(|e| e.count)
+            .unwrap_or(0)
+    }
+}
+
+/// Compare a report against a baseline: every `(rule, file)` cell whose
+/// current unsuppressed count exceeds the baselined count, sorted by
+/// (rule, file).
+pub fn regressions(report: &LintReport, baseline: &Baseline) -> Vec<Regression> {
+    let current = Baseline::from_report(report);
+    let mut out: Vec<Regression> = current
+        .entries
+        .iter()
+        .filter_map(|e| {
+            let allowed = baseline.allowed(&e.rule, &e.file);
+            (e.count > allowed).then(|| Regression {
+                rule: e.rule.clone(),
+                file: e.file.clone(),
+                baselined: allowed,
+                current: e.count,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| (&a.rule, &a.file).cmp(&(&b.rule, &b.file)));
+    out
+}
+
+/// `"key": "value"` → `value` (no escape handling: paths and rule ids in
+/// this workspace contain neither quotes nor backslashes).
+fn extract_string(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// `"key": 42` → `42`.
+fn extract_usize(obj: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Finding;
+    use crate::rules::RuleId;
+
+    fn report_with(findings: Vec<(RuleId, &str, bool)>) -> LintReport {
+        LintReport {
+            files_scanned: 1,
+            findings: findings
+                .into_iter()
+                .map(|(rule, file, suppressed)| Finding {
+                    rule,
+                    file: file.to_string(),
+                    line: 1,
+                    message: String::new(),
+                    suppressed,
+                    suppress_reason: suppressed.then(|| "test".to_string()),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn snapshot_counts_unsuppressed_by_rule_and_file() {
+        let report = report_with(vec![
+            (RuleId::A001, "a.rs", false),
+            (RuleId::A001, "a.rs", false),
+            (RuleId::A002, "a.rs", false),
+            (RuleId::A001, "b.rs", true), // suppressed: not baselined
+        ]);
+        let base = Baseline::from_report(&report);
+        assert_eq!(base.entries.len(), 2);
+        assert_eq!(base.allowed("A001", "a.rs"), 2);
+        assert_eq!(base.allowed("A002", "a.rs"), 1);
+        assert_eq!(base.allowed("A001", "b.rs"), 0);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let base = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    rule: "A001".to_string(),
+                    file: "crates/x/src/y.rs".to_string(),
+                    count: 2,
+                },
+                BaselineEntry {
+                    rule: "H003".to_string(),
+                    file: "crates/z/src/w.rs".to_string(),
+                    count: 1,
+                },
+            ],
+        };
+        let parsed = Baseline::parse(&base.to_json()).expect("round trip");
+        assert_eq!(parsed, base);
+        let empty = Baseline::default();
+        assert_eq!(Baseline::parse(&empty.to_json()).expect("empty"), empty);
+    }
+
+    #[test]
+    fn parse_rejects_bad_versions_and_garbage() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"version\": 2, \"entries\": []}").is_err());
+        assert!(Baseline::parse("{\"version\": 1, \"entries\": [{\"rule\": \"A001\"}]}").is_err());
+    }
+
+    #[test]
+    fn regressions_fire_only_above_the_baselined_count() {
+        let old = report_with(vec![(RuleId::A001, "a.rs", false)]);
+        let base = Baseline::from_report(&old);
+        // Same count: no regression.  One more: regression.  New cell:
+        // regression against an implicit 0.
+        let same = report_with(vec![(RuleId::A001, "a.rs", false)]);
+        assert!(regressions(&same, &base).is_empty());
+        let worse = report_with(vec![
+            (RuleId::A001, "a.rs", false),
+            (RuleId::A001, "a.rs", false),
+            (RuleId::A002, "b.rs", false),
+        ]);
+        let regs = regressions(&worse, &base);
+        assert_eq!(regs.len(), 2);
+        assert_eq!((regs[0].baselined, regs[0].current), (1, 2));
+        assert_eq!((regs[1].rule.as_str(), regs[1].baselined), ("A002", 0));
+        // Improvement (cell disappears): no regression.
+        let better = report_with(vec![]);
+        assert!(regressions(&better, &base).is_empty());
+    }
+}

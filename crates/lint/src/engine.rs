@@ -1,9 +1,11 @@
 //! The driver: walk the workspace, scan every Rust source, resolve
 //! suppressions and the allowlist, and assemble a [`LintReport`].
 
+use crate::hotpath;
 use crate::report::{Finding, LintReport};
-use crate::rules::{check_file, RuleId};
+use crate::rules::{check_file, check_hot, RawFinding, RuleId};
 use crate::source::SourceFile;
+use crate::symbols::SymbolIndex;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -73,39 +75,63 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, LintError> {
 
 /// Lint a single in-memory source as if it lived at `rel_path` — the entry
 /// point the fixture tests use.  Applies inline suppressions but no
-/// allowlist.
+/// allowlist.  The file is its own whole workspace, so `hot-root`
+/// annotations inside it seed the A-rules.
 pub fn lint_source(rel_path: &str, text: &str) -> Vec<Finding> {
-    let file = SourceFile::parse(rel_path, text);
-    resolve(&file, &[])
+    lint_sources(&[(rel_path.to_string(), text.to_string())], &[]).findings
+}
+
+/// Lint a set of in-memory sources as one workspace: the line-local rules
+/// per file, plus the symbol index / call graph / hot-path pass across
+/// all of them.
+pub fn lint_sources(sources: &[(String, String)], allowlist: &[AllowEntry]) -> LintReport {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(rel, text)| SourceFile::parse(rel, text))
+        .collect();
+    lint_parsed(&files, allowlist)
 }
 
 /// Lint every workspace source under `root`, honoring the allowlist.
 pub fn lint_workspace(root: &Path, allowlist: &[AllowEntry]) -> Result<LintReport, LintError> {
-    let mut files = Vec::new();
-    collect_rust_files(root, root, &mut files)?;
-    files.sort();
-    let mut findings = Vec::new();
-    for rel in &files {
+    let mut rels = Vec::new();
+    collect_rust_files(root, root, &mut rels)?;
+    rels.sort();
+    let mut files = Vec::with_capacity(rels.len());
+    for rel in &rels {
         let abs = root.join(rel);
         let text = fs::read_to_string(&abs).map_err(|e| LintError::Io(abs.clone(), e))?;
-        let file = SourceFile::parse(rel, &text);
-        findings.extend(resolve(&file, allowlist));
+        files.push(SourceFile::parse(rel, &text));
     }
-    Ok(LintReport {
-        files_scanned: files.len(),
-        findings,
-    })
+    Ok(lint_parsed(&files, allowlist))
 }
 
-/// Run the rules over one file and resolve each raw finding against inline
-/// suppressions and the allowlist.
-fn resolve(file: &SourceFile, allowlist: &[AllowEntry]) -> Vec<Finding> {
-    check_file(file)
-        .into_iter()
+/// The two-pass core: line-local rules per file, then the workspace-wide
+/// symbol/call-graph/hot-path pass feeding the A-rules.
+fn lint_parsed(files: &[SourceFile], allowlist: &[AllowEntry]) -> LintReport {
+    let index = SymbolIndex::build(files);
+    let hot = hotpath::propagate(&index);
+    let mut findings = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        let mut raws = check_file(file);
+        let hot_spans = hotpath::spans_for_file(&index, &hot, fi);
+        let all_spans = hotpath::all_spans_for_file(&index, fi);
+        raws.extend(check_hot(file, &hot_spans, &all_spans));
+        findings.extend(resolve(file, raws, allowlist));
+    }
+    LintReport {
+        files_scanned: files.len(),
+        findings,
+    }
+}
+
+/// Resolve each raw finding against inline suppressions and the allowlist.
+fn resolve(file: &SourceFile, raws: Vec<RawFinding>, allowlist: &[AllowEntry]) -> Vec<Finding> {
+    raws.into_iter()
         .map(|raw| {
             let inline = file
-                .suppression_for(raw.line)
-                .filter(|s| s.rule == raw.rule.id() && s.reason.is_some());
+                .suppression_covering(raw.line, raw.rule.id())
+                .filter(|s| s.reason.is_some());
             let grandfathered = allowlist
                 .iter()
                 .find(|a| a.rule == raw.rule && file.rel_path.starts_with(a.path_prefix.as_str()));
@@ -206,7 +232,7 @@ mod tests {
             path_prefix: "crates/cluster/".to_string(),
             reason: "grandfathered for the test".to_string(),
         }];
-        let findings = resolve(&file, &allow);
+        let findings = resolve(&file, check_file(&file), &allow);
         assert!(findings
             .iter()
             .filter(|f| f.rule == RuleId::D001)

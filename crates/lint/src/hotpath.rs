@@ -1,0 +1,143 @@
+//! Hot-path propagation: from annotated roots to every reachable function.
+//!
+//! Hotness is seeded by `// sx-lint: hot-root -- <reason>` annotations on
+//! the engine's per-event functions (the dispatch loop, scheduler
+//! `next_assignment` impls, event-queue and warm-cache operations,
+//! `MetricsRegistry::observe`) and propagated over the
+//! [`crate::symbols::SymbolIndex`] call graph to a fixed point.  A
+//! function marked `// sx-lint: hot-exempt -- <reason>` is a propagation
+//! *boundary*: it never becomes hot and nothing is propagated through it —
+//! the escape hatch for per-run setup (`SimScratch` construction), one-shot
+//! report assembly, and retention sinks whose whole purpose is to allocate.
+//!
+//! Test code (`#[cfg(test)]` / `#[test]`) neither seeds nor receives
+//! hotness: the allocation contract is about the engine, not its tests.
+
+use crate::symbols::SymbolIndex;
+
+/// Why a function is hot: the root it is reachable from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotInfo {
+    /// Index (into [`SymbolIndex::fns`]) of the seeding root.
+    pub root: usize,
+}
+
+/// One hot function's body span within a single file, ready for the
+/// A-rules to scan.
+#[derive(Debug, Clone)]
+pub struct HotSpan {
+    /// 1-based first body line (the `{` line).
+    pub body_start: usize,
+    /// 1-based last body line (the `}` line).
+    pub body_end: usize,
+    /// Qualified name of the hot function.
+    pub qualified: String,
+    /// Qualified name of the hot root it is reachable from.
+    pub root: String,
+}
+
+/// Propagate hotness from every annotated root to a fixed point.
+/// `result[i]` is `Some` iff `fns[i]` is hot, carrying the seeding root.
+pub fn propagate(index: &SymbolIndex) -> Vec<Option<HotInfo>> {
+    let mut hot: Vec<Option<HotInfo>> = vec![None; index.fns.len()];
+    let mut queue: Vec<usize> = Vec::new();
+    for (i, f) in index.fns.iter().enumerate() {
+        if f.hot_root.is_some() && f.hot_exempt.is_none() && !f.in_test {
+            hot[i] = Some(HotInfo { root: i });
+            queue.push(i);
+        }
+    }
+    let mut at = 0;
+    while at < queue.len() {
+        let cur = queue[at];
+        at += 1;
+        let info = hot[cur].clone().expect("queued functions are hot");
+        for &callee in &index.calls[cur] {
+            let f = &index.fns[callee];
+            if hot[callee].is_some() || f.hot_exempt.is_some() || f.in_test {
+                continue;
+            }
+            hot[callee] = Some(HotInfo { root: info.root });
+            queue.push(callee);
+        }
+    }
+    hot
+}
+
+/// The hot body spans within file `file_idx`, in symbol order.
+pub fn spans_for_file(
+    index: &SymbolIndex,
+    hot: &[Option<HotInfo>],
+    file_idx: usize,
+) -> Vec<HotSpan> {
+    index
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.file == file_idx)
+        .filter_map(|(i, f)| {
+            hot.get(i).and_then(|h| h.as_ref()).map(|info| HotSpan {
+                body_start: f.body_start,
+                body_end: f.body_end,
+                qualified: f.qualified.clone(),
+                root: index.fns[info.root].qualified.clone(),
+            })
+        })
+        .collect()
+}
+
+/// Body spans of *every* function in file `file_idx` (hot or not) — the
+/// A-rules use these to keep a nested function's lines out of its
+/// enclosing function's scan.
+pub fn all_spans_for_file(index: &SymbolIndex, file_idx: usize) -> Vec<(usize, usize)> {
+    index
+        .fns
+        .iter()
+        .filter(|f| f.file == file_idx)
+        .map(|f| (f.body_start, f.body_end))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn hot_names(src: &str) -> Vec<String> {
+        let file = SourceFile::parse("crates/cluster/src/x.rs", src);
+        let index = SymbolIndex::build(std::slice::from_ref(&file));
+        let hot = propagate(&index);
+        index
+            .fns
+            .iter()
+            .zip(&hot)
+            .filter(|(_, h)| h.is_some())
+            .map(|(f, _)| f.qualified.clone())
+            .collect()
+    }
+
+    #[test]
+    fn hotness_propagates_through_an_intermediate_helper() {
+        let names = hot_names(
+            "// sx-lint: hot-root -- the loop\nfn root() {\n    middle();\n}\nfn middle() {\n    leaf();\n}\nfn leaf() {}\nfn unrelated() {}\n",
+        );
+        assert_eq!(names, ["root", "middle", "leaf"]);
+    }
+
+    #[test]
+    fn propagation_stops_at_a_hot_exempt_boundary() {
+        let names = hot_names(
+            "// sx-lint: hot-root -- the loop\nfn root() {\n    setup();\n}\n// sx-lint: hot-exempt -- runs once per simulation\nfn setup() {\n    build();\n}\nfn build() {}\n",
+        );
+        // Neither the exempt function nor anything it calls becomes hot.
+        assert_eq!(names, ["root"]);
+    }
+
+    #[test]
+    fn test_code_neither_seeds_nor_receives_hotness() {
+        let names = hot_names(
+            "// sx-lint: hot-root -- the loop\nfn root() {\n    probe();\n}\n#[cfg(test)]\nmod tests {\n    fn probe() {\n        root();\n    }\n}\n",
+        );
+        assert_eq!(names, ["root"]);
+    }
+}

@@ -11,6 +11,13 @@
 //! build environment is offline, so no `syn`) that walks the workspace and
 //! raises findings against the rule catalog in [`rules::RuleId`].
 //!
+//! v2 adds a *flow-aware* layer on top of the line scanner: a workspace
+//! symbol index and token-level call graph ([`symbols`]), hot-path
+//! propagation from hot-root annotations ([`hotpath`]), the
+//! A-rule family enforcing the hot-path allocation contract (A001–A003 in
+//! [`rules::RuleId`]), and finding baselines ([`baseline`]) so new rules
+//! can land gating only *new* violations.
+//!
 //! The catalog, the suppression syntax (an inline allow comment naming the
 //! rule id plus a mandatory `--`-separated reason, see
 //! [`source::Suppression`]) and the allowlist format are documented for
@@ -34,15 +41,23 @@
 // The library renders reports to strings; only the CLI prints.
 #![warn(clippy::print_stdout)]
 
+pub mod baseline;
 pub mod engine;
+pub mod hotpath;
 pub mod report;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 
-pub use engine::{lint_source, lint_workspace, parse_allowlist, AllowEntry, LintError};
+pub use baseline::{regressions, Baseline, BaselineEntry, Regression};
+pub use engine::{
+    lint_source, lint_sources, lint_workspace, parse_allowlist, AllowEntry, LintError,
+};
+pub use hotpath::{propagate, HotInfo, HotSpan};
 pub use report::{Finding, LintReport};
 pub use rules::{RuleId, Severity};
-pub use source::{SourceFile, Suppression};
+pub use source::{HotMark, SourceFile, Suppression};
+pub use symbols::{FnSymbol, SymbolIndex};
 
 use std::path::Path;
 

@@ -8,12 +8,20 @@
 //!   comparators are banned from simulator code.
 //! * **H-rules** are workspace hygiene — crate-root attributes, panicking
 //!   shortcuts in library code, and unfiled task markers.
+//! * **A-rules** protect the hot-path allocation contract: functions
+//!   reachable from a hot-root annotation (see
+//!   [`crate::hotpath`]) must not allocate (A001), must not carry
+//!   panicking shortcuts (A002), and must not take locks or do console
+//!   I/O (A003).  They are flow-aware — the only rules that need the
+//!   workspace call graph.
 //! * **S001** polices the suppression mechanism itself: every
-//!   `sx-lint: allow` must name a real rule and carry a written reason.
+//!   `sx-lint: allow` must name a real rule and carry a written reason
+//!   (and every `hot-root`/`hot-exempt` mark must carry one too).
 //!
 //! Rule ids are stable and pinned by the fixture tests; add new rules at
 //! the end of [`RuleId::ALL`], never renumber.
 
+use crate::hotpath::HotSpan;
 use crate::source::SourceFile;
 
 /// How bad a finding is.  The CI gate fails on *any* unsuppressed finding
@@ -55,11 +63,17 @@ pub enum RuleId {
     H004,
     /// Malformed `sx-lint: allow` (missing reason or unknown rule).
     S001,
+    /// Heap allocation in a hot-path function.
+    A001,
+    /// Panicking shortcut reachable from a hot root.
+    A002,
+    /// Lock acquisition or console I/O in a hot-path function.
+    A003,
 }
 
 impl RuleId {
     /// Every rule, in catalog order.
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::D001,
         RuleId::D002,
         RuleId::D003,
@@ -68,6 +82,9 @@ impl RuleId {
         RuleId::H003,
         RuleId::H004,
         RuleId::S001,
+        RuleId::A001,
+        RuleId::A002,
+        RuleId::A003,
     ];
 
     /// The stable id string (`"D001"`, ...).
@@ -81,6 +98,9 @@ impl RuleId {
             RuleId::H003 => "H003",
             RuleId::H004 => "H004",
             RuleId::S001 => "S001",
+            RuleId::A001 => "A001",
+            RuleId::A002 => "A002",
+            RuleId::A003 => "A003",
         }
     }
 
@@ -92,8 +112,15 @@ impl RuleId {
     /// The rule's severity.
     pub fn severity(self) -> Severity {
         match self {
-            RuleId::D001 | RuleId::D002 | RuleId::D003 | RuleId::S001 => Severity::Error,
-            RuleId::H001 | RuleId::H002 | RuleId::H003 | RuleId::H004 => Severity::Warning,
+            RuleId::D001
+            | RuleId::D002
+            | RuleId::D003
+            | RuleId::S001
+            | RuleId::A001
+            | RuleId::A002 => Severity::Error,
+            RuleId::H001 | RuleId::H002 | RuleId::H003 | RuleId::H004 | RuleId::A003 => {
+                Severity::Warning
+            }
         }
     }
 
@@ -114,6 +141,15 @@ impl RuleId {
             RuleId::H003 => "unwrap()/expect() in sx-cluster library code",
             RuleId::H004 => "TODO/FIXME without an issue reference",
             RuleId::S001 => "malformed sx-lint suppression (reason is mandatory; rule id must exist)",
+            RuleId::A001 => {
+                "heap allocation in a hot-path function (Vec::new, push/insert without with_capacity, collect, clone, to_string, format!, Box::new)"
+            }
+            RuleId::A002 => {
+                "panicking shortcut (unwrap/expect/panic!) reachable from a hot root"
+            }
+            RuleId::A003 => {
+                "lock acquisition (.lock()) or console I/O (println!/write! to a non-self target) in a hot-path function"
+            }
         }
     }
 }
@@ -484,7 +520,9 @@ fn has_hash_number(comment: &str) -> bool {
         })
 }
 
-/// S001: suppression hygiene — mandatory reason, known rule id.
+/// S001: suppression hygiene — mandatory reason, known rule id.  Hot-path
+/// marks are held to the same standard: a `hot-root`/`hot-exempt` without
+/// a written reason is a finding.
 fn check_suppression_hygiene(file: &SourceFile, out: &mut Vec<RawFinding>) {
     for s in &file.suppressions {
         if RuleId::from_id(&s.rule).is_none() {
@@ -505,4 +543,231 @@ fn check_suppression_hygiene(file: &SourceFile, out: &mut Vec<RawFinding>) {
             });
         }
     }
+    for m in &file.hot_marks {
+        if m.reason.is_none() {
+            let kind = if m.exempt { "hot-exempt" } else { "hot-root" };
+            out.push(RawFinding {
+                rule: RuleId::S001,
+                line: m.line,
+                message: format!(
+                    "`sx-lint: {kind}` without a reason: append `-- <why this boundary exists>`"
+                ),
+            });
+        }
+    }
+}
+
+/// The flow-aware A-rules, run over the hot body spans of one file.
+///
+/// `all_fn_spans` holds the body spans of *every* function in the file so
+/// a nested function's lines are scanned under its own hotness verdict,
+/// not its enclosing function's.  Lines inside `#[cfg(test)]` regions are
+/// always skipped.
+pub fn check_hot(
+    file: &SourceFile,
+    hot_spans: &[HotSpan],
+    all_fn_spans: &[(usize, usize)],
+) -> Vec<RawFinding> {
+    let mut findings: Vec<RawFinding> = Vec::new();
+    if classify(&file.rel_path) != FileRole::Lib || file.rel_path.starts_with("crates/compat/") {
+        return findings;
+    }
+    // Identifiers with `with_capacity` evidence anywhere in the file: a
+    // `.push(..)`/`.insert(..)` into such a receiver is a write into a
+    // pre-sized buffer, not a steady-state allocation.  (Lexical and
+    // file-scoped — the alloc-budget test is the dynamic backstop.)
+    let presized = presized_idents(file);
+
+    for span in hot_spans {
+        for line_no in span.body_start..=span.body_end.min(file.lines.len()) {
+            let ln = &file.lines[line_no - 1];
+            if ln.in_test {
+                continue;
+            }
+            // Skip lines belonging to a *different* function nested inside
+            // this span (it has its own span and hotness verdict).
+            let nested = all_fn_spans.iter().any(|&(s, e)| {
+                (s, e) != (span.body_start, span.body_end)
+                    && s >= span.body_start
+                    && e <= span.body_end
+                    && (s..=e).contains(&line_no)
+            });
+            if nested {
+                continue;
+            }
+            check_hot_line(file, span, line_no, &ln.code, &presized, &mut findings);
+        }
+    }
+    // A line can sit in several overlapping hot spans; report it once.
+    findings.sort_by(|a, b| (a.line, a.rule.id()).cmp(&(b.line, b.rule.id())));
+    findings.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    findings
+}
+
+/// Allocating constructs matched verbatim on a hot line (A001), beyond the
+/// receiver-sensitive `.push(`/`.insert(` cases.
+const ALLOC_TOKENS: [&str; 10] = [
+    "Vec::new",
+    "vec!",
+    "Box::new",
+    "String::from",
+    "String::new",
+    ".to_string(",
+    ".to_owned(",
+    ".to_vec(",
+    "format!",
+    ".collect",
+];
+
+/// Panicking shortcuts (A002).  Indexing (`[]`) is deliberately out of
+/// scope: a token scanner cannot tell a slice index from a map key, so the
+/// rule stays token-honest.
+const PANIC_TOKENS: [&str; 3] = [".unwrap()", ".expect(", "panic!"];
+
+/// Locks and console I/O (A003), longest token first so the finding names
+/// `println!` rather than its `print!` substring.
+const LOCK_IO_TOKENS: [&str; 6] = [
+    ".lock()",
+    "eprintln!",
+    "println!",
+    "eprint!",
+    "print!",
+    "dbg!",
+];
+
+/// Run A001/A002/A003 over one code line of a hot function.
+fn check_hot_line(
+    file: &SourceFile,
+    span: &HotSpan,
+    line_no: usize,
+    code: &str,
+    presized: &[String],
+    out: &mut Vec<RawFinding>,
+) {
+    let context = format!(
+        "in hot function `{}` (reachable from hot root `{}`)",
+        span.qualified, span.root
+    );
+
+    if let Some(token) = ALLOC_TOKENS.iter().find(|t| code.contains(*t)) {
+        out.push(RawFinding {
+            rule: RuleId::A001,
+            line: line_no,
+            message: format!(
+                "`{}` allocates {context}: hoist into a pre-sized scratch buffer, or \
+                 `sx-lint: allow(A001)` with the invariant that bounds it",
+                token.trim_matches(|c| c == '.' || c == '(')
+            ),
+        });
+    } else {
+        for grow in [".push(", ".insert("] {
+            let Some(at) = code.find(grow) else { continue };
+            let receiver = receiver_ident(code, at);
+            if presized.iter().any(|p| p == &receiver) {
+                continue;
+            }
+            out.push(RawFinding {
+                rule: RuleId::A001,
+                line: line_no,
+                message: format!(
+                    "`{receiver}{}` may grow the buffer {context}: no `with_capacity` \
+                     evidence for `{receiver}` in this file — pre-size it, or \
+                     `sx-lint: allow(A001)` with the invariant that bounds it",
+                    grow.trim_end_matches('(')
+                ),
+            });
+            break;
+        }
+    }
+
+    if let Some(token) = PANIC_TOKENS.iter().find(|t| code.contains(*t)) {
+        out.push(RawFinding {
+            rule: RuleId::A002,
+            line: line_no,
+            message: format!(
+                "`{}` {context}: a panic here kills the event loop mid-simulation — \
+                 return a typed error, or `sx-lint: allow(A002)` with the invariant \
+                 that makes it unreachable",
+                token.trim_matches(|c| c == '.' || c == '(')
+            ),
+        });
+    }
+
+    if let Some(token) = LOCK_IO_TOKENS.iter().find(|t| code.contains(*t)) {
+        out.push(RawFinding {
+            rule: RuleId::A003,
+            line: line_no,
+            message: format!(
+                "`{}` {context}: locks and console I/O stall the per-event budget — \
+                 move it off the hot path, or `sx-lint: allow(A003)` with the reason \
+                 it cannot contend",
+                token.trim_matches(|c| c == '.' || c == '(')
+            ),
+        });
+    } else if let Some(target) = write_macro_target(file, line_no, code) {
+        if !target.starts_with("self.") {
+            out.push(RawFinding {
+                rule: RuleId::A003,
+                line: line_no,
+                message: format!(
+                    "`write!`/`writeln!` to `{target}` {context}: I/O to a non-self \
+                     target on the hot path — sinks may write to their own writer \
+                     (`self.out`), everything else moves off the hot path"
+                ),
+            });
+        }
+    }
+}
+
+/// Identifiers with `with_capacity` evidence somewhere in the file.
+fn presized_idents(file: &SourceFile) -> Vec<String> {
+    let mut idents = Vec::new();
+    for line in &file.lines {
+        if !line.code.contains("with_capacity") {
+            continue;
+        }
+        // Every identifier on a `with_capacity` line counts as evidence:
+        // covers `queue: Vec::with_capacity(n)` struct fields and
+        // `let mut queue = Vec::with_capacity(n)` bindings alike.
+        let mut word = String::new();
+        for c in line.code.chars().chain(std::iter::once(' ')) {
+            if c.is_alphanumeric() || c == '_' {
+                word.push(c);
+            } else if !word.is_empty() {
+                if word != "with_capacity" && !idents.contains(&word) {
+                    idents.push(word.clone());
+                }
+                word.clear();
+            }
+        }
+    }
+    idents
+}
+
+/// The identifier immediately before a `.push(`/`.insert(` call site.
+fn receiver_ident(code: &str, dot_at: usize) -> String {
+    code[..dot_at]
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect()
+}
+
+/// The first argument of a `write!`/`writeln!` on this statement, if any.
+fn write_macro_target(file: &SourceFile, line_no: usize, code: &str) -> Option<String> {
+    let at = code.find("writeln!(").or_else(|| code.find("write!("))?;
+    let stmt = file.statement(line_no, 4);
+    let rest = &stmt[stmt
+        .find("writeln!(")
+        .or_else(|| stmt.find("write!("))
+        .unwrap_or(at)..];
+    let open = rest.find('(')?;
+    let arg: String = rest[open + 1..]
+        .chars()
+        .take_while(|&c| c != ',' && c != ')')
+        .collect();
+    Some(arg.trim().to_string())
 }

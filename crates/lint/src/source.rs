@@ -36,6 +36,21 @@ pub struct Suppression {
     pub line: usize,
 }
 
+/// A parsed hot-path annotation: `// sx-lint: hot-root -- <reason>` seeds
+/// hotness at the next `fn` declaration; `// sx-lint: hot-exempt -- <reason>`
+/// stops hot-path propagation at that function (a suppression *boundary*,
+/// not a per-line allow).  Like suppressions, the reason is mandatory —
+/// a reasonless mark raises `S001`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotMark {
+    /// `true` for `hot-exempt`, `false` for `hot-root`.
+    pub exempt: bool,
+    /// The mandatory justification after `--`.
+    pub reason: Option<String>,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+}
+
 /// One analyzed line.
 #[derive(Debug, Clone)]
 pub struct Line {
@@ -56,6 +71,8 @@ pub struct SourceFile {
     pub lines: Vec<Line>,
     /// Inline suppressions, in line order.
     pub suppressions: Vec<Suppression>,
+    /// Hot-path annotations (`hot-root` / `hot-exempt`), in line order.
+    pub hot_marks: Vec<HotMark>,
 }
 
 /// Lexer state carried across lines.
@@ -72,6 +89,7 @@ impl SourceFile {
     pub fn parse(rel_path: &str, text: &str) -> Self {
         let mut lines = Vec::new();
         let mut suppressions = Vec::new();
+        let mut hot_marks = Vec::new();
         let mut mode = Mode::Code;
         // Test-region machine.
         let mut pending_test_attr = false;
@@ -84,6 +102,9 @@ impl SourceFile {
 
             if let Some(s) = parse_suppression(&comment, idx + 1) {
                 suppressions.push(s);
+            }
+            if let Some(m) = parse_hot_mark(&comment, idx + 1) {
+                hot_marks.push(m);
             }
 
             // Arm on test attributes (matched on code text, so a commented
@@ -129,6 +150,7 @@ impl SourceFile {
             rel_path: rel_path.to_string(),
             lines,
             suppressions,
+            hot_marks,
         }
     }
 
@@ -168,6 +190,46 @@ impl SourceFile {
             .iter()
             .find(|s| s.line == line || s.line + 1 == line)
     }
+
+    /// The suppression for rule `rule` covering a finding on 1-based
+    /// `line`, if any.  Rule-aware (so one line of code can carry a stacked
+    /// `allow(A002)` *and* `allow(H003)`): a suppression applies to its own
+    /// line (trailing form), or projects downward from a comment-only line
+    /// across at most three further comment-only lines — enough for a
+    /// stack of allow comments above one statement, too few to leak onto
+    /// unrelated code.
+    pub fn suppression_covering(&self, line: usize, rule: &str) -> Option<&Suppression> {
+        self.suppressions
+            .iter()
+            .find(|s| s.rule == rule && self.mark_covers(s.line, line))
+    }
+
+    /// Whether an annotation comment on `mark_line` covers `line` under the
+    /// projection rule of [`Self::suppression_covering`].
+    pub fn mark_covers(&self, mark_line: usize, line: usize) -> bool {
+        if mark_line == line {
+            return true;
+        }
+        if mark_line > line || line - mark_line > 4 {
+            return false;
+        }
+        // Downward projection: the comment's own line and every line
+        // between it and the target must carry no code.
+        (mark_line..line).all(|l| {
+            self.lines
+                .get(l - 1)
+                .is_some_and(|ln| ln.code.trim().is_empty())
+        })
+    }
+
+    /// The hot-path annotation covering a `fn` declared on 1-based `line`,
+    /// if any (same projection rule as suppressions: trailing, or a stack
+    /// of comment-only lines directly above).
+    pub fn hot_mark_for(&self, line: usize) -> Option<&HotMark> {
+        self.hot_marks
+            .iter()
+            .find(|m| self.mark_covers(m.line, line))
+    }
 }
 
 /// Parse a suppression (see [`Suppression`]) out of a line's comment text.
@@ -185,6 +247,31 @@ fn parse_suppression(comment: &str, line: usize) -> Option<Suppression> {
         .filter(|r| !r.is_empty())
         .map(str::to_string);
     Some(Suppression { rule, reason, line })
+}
+
+/// Parse a hot-path annotation (see [`HotMark`]) out of a line's comment
+/// text.
+fn parse_hot_mark(comment: &str, line: usize) -> Option<HotMark> {
+    let at = comment.find("sx-lint:")?;
+    let rest = comment[at + "sx-lint:".len()..].trim_start();
+    let (exempt, rest) = if let Some(r) = rest.strip_prefix("hot-root") {
+        (false, r)
+    } else if let Some(r) = rest.strip_prefix("hot-exempt") {
+        (true, r)
+    } else {
+        return None;
+    };
+    let reason = rest
+        .trim_start()
+        .strip_prefix("--")
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .map(str::to_string);
+    Some(HotMark {
+        exempt,
+        reason,
+        line,
+    })
 }
 
 /// Split one raw line into (code, comment) under the incoming lexer mode,
@@ -361,6 +448,36 @@ mod tests {
         assert_eq!(f.suppressions[1].reason, None);
         assert!(f.suppression_for(2).is_some());
         assert!(f.suppression_for(5).is_none());
+    }
+
+    #[test]
+    fn hot_marks_parse_and_cover_the_next_decl() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// sx-lint: hot-root -- dispatch loop\nfn a() {}\n// sx-lint: hot-exempt -- setup only\nfn b() {}\n// sx-lint: hot-root\nfn c() {}\n",
+        );
+        assert_eq!(f.hot_marks.len(), 3);
+        let root = f.hot_mark_for(2).expect("fn a is marked");
+        assert!(!root.exempt);
+        assert_eq!(root.reason.as_deref(), Some("dispatch loop"));
+        let exempt = f.hot_mark_for(4).expect("fn b is marked");
+        assert!(exempt.exempt);
+        assert_eq!(f.hot_mark_for(6).expect("fn c").reason, None);
+    }
+
+    #[test]
+    fn stacked_suppressions_each_cover_the_code_below() {
+        let src = "// sx-lint: allow(A002) -- invariant one\n// sx-lint: allow(H003) -- invariant two\nx.expect(\"y\");\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.suppression_covering(3, "A002").is_some());
+        assert!(f.suppression_covering(3, "H003").is_some());
+        assert!(f.suppression_covering(3, "A001").is_none());
+        // A suppression does not project past a code line.
+        let far = SourceFile::parse(
+            "x.rs",
+            "// sx-lint: allow(A002) -- reason\nlet a = 1;\nx.expect(\"y\");\n",
+        );
+        assert!(far.suppression_covering(3, "A002").is_none());
     }
 
     #[test]

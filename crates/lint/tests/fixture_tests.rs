@@ -16,6 +16,9 @@ fn triples(rel_path: &str, text: &str) -> Vec<(RuleId, usize, bool)> {
 }
 
 const CLUSTER_PATH: &str = "crates/cluster/src/fixture.rs";
+// Outside H003's cluster-only scope, so A-rule fixtures containing
+// `unwrap` assert exactly their own rule.
+const SPLITEXEC_PATH: &str = "crates/splitexec/src/fixture.rs";
 
 #[test]
 fn d001_wall_clock_exact_lines() {
@@ -157,6 +160,74 @@ fn clean_fixture_has_zero_findings() {
 }
 
 #[test]
+fn a001_hot_allocation_exact_lines() {
+    let got = triples(SPLITEXEC_PATH, include_str!("fixtures/a001_bad.rs"));
+    assert_eq!(
+        got,
+        vec![
+            (RuleId::A001, 5, false),
+            (RuleId::A001, 6, false),
+            (RuleId::A001, 11, false),
+        ],
+        "Vec::new and an unsized push in the hot root flagged; the helper's \
+         to_string flagged via call-graph propagation; the cold function \
+         allocates freely; the with_capacity-backed push is exempt"
+    );
+}
+
+#[test]
+fn a002_hot_panic_exact_lines() {
+    let got = triples(SPLITEXEC_PATH, include_str!("fixtures/a002_bad.rs"));
+    assert_eq!(
+        got,
+        vec![(RuleId::A002, 10, false)],
+        "the helper's unwrap is reachable from the hot root; the cold \
+         function's expect and the test module are out of scope"
+    );
+}
+
+#[test]
+fn a003_hot_lock_and_io_exact_lines() {
+    let got = triples(SPLITEXEC_PATH, include_str!("fixtures/a003_bad.rs"));
+    assert_eq!(
+        got,
+        vec![
+            (RuleId::A002, 9, false),
+            (RuleId::A003, 9, false),
+            (RuleId::A003, 11, false),
+            (RuleId::A003, 12, false),
+        ],
+        ".lock() (plus its unwrap as A002), println!, and writeln! to a \
+         non-self target flagged; the sink writing to self.out is exempt"
+    );
+}
+
+#[test]
+fn a001_suppressed_fixture_is_recorded_but_not_gating() {
+    let findings = lint_source(SPLITEXEC_PATH, include_str!("fixtures/a_suppressed.rs"));
+    assert_eq!(
+        findings.len(),
+        1,
+        "exactly the suppressed A001: {findings:?}"
+    );
+    let f = &findings[0];
+    assert_eq!((f.rule, f.line, f.suppressed), (RuleId::A001, 6, true));
+    assert_eq!(
+        f.suppress_reason.as_deref(),
+        Some("fixture: demonstrates a sanctioned exception")
+    );
+}
+
+#[test]
+fn a_rules_stay_quiet_without_hot_roots() {
+    // The same allocating source with the hot-root annotations stripped
+    // raises nothing: hotness is opt-in by annotation.
+    let cold = include_str!("fixtures/a001_bad.rs").replace("hot-root", "hot-exempt");
+    let got = triples(SPLITEXEC_PATH, &cold);
+    assert!(got.is_empty(), "no roots, no hot findings, got {got:?}");
+}
+
+#[test]
 fn every_rule_id_appears_in_the_corpus() {
     // Completeness check on the corpus itself: each catalog rule has at
     // least one fixture line exercising it above.
@@ -174,6 +245,9 @@ fn every_rule_id_appears_in_the_corpus() {
         triples(CLUSTER_PATH, include_str!("fixtures/h003_bad.rs")),
         triples(CLUSTER_PATH, include_str!("fixtures/h004_bad.rs")),
         triples(CLUSTER_PATH, include_str!("fixtures/s001_bad.rs")),
+        triples(SPLITEXEC_PATH, include_str!("fixtures/a001_bad.rs")),
+        triples(SPLITEXEC_PATH, include_str!("fixtures/a002_bad.rs")),
+        triples(SPLITEXEC_PATH, include_str!("fixtures/a003_bad.rs")),
     ];
     for rule in RuleId::ALL {
         assert!(

@@ -1,0 +1,33 @@
+//! A001 fixture: heap allocation on the hot path.
+
+// sx-lint: hot-root -- fixture: the per-event dispatch loop
+pub fn dispatch_event(scratch: &mut Vec<usize>) {
+    let ids: Vec<usize> = Vec::new();
+    scratch.push(ids.len());
+    stamp(7);
+}
+
+fn stamp(event: usize) -> String {
+    event.to_string()
+}
+
+pub fn cold_setup() -> Vec<String> {
+    let mut names = Vec::new();
+    names.push("warm".to_string());
+    names
+}
+
+pub struct Lane {
+    slots: Vec<usize>,
+}
+
+impl Lane {
+    pub fn grow(capacity: usize) -> Lane {
+        Lane { slots: Vec::with_capacity(capacity) }
+    }
+
+    // sx-lint: hot-root -- fixture: a pre-sized buffer write is exempt
+    pub fn enqueue(&mut self, id: usize) {
+        self.slots.push(id);
+    }
+}

@@ -1,0 +1,24 @@
+//! A002 fixture: a panic reachable from a hot root through a helper,
+//! and a cold function whose panic is out of scope.
+
+// sx-lint: hot-root -- fixture: the per-event completion path
+pub fn complete_event(slot: Option<usize>) -> usize {
+    finish(slot)
+}
+
+fn finish(slot: Option<usize>) -> usize {
+    slot.unwrap()
+}
+
+fn cold_validate(slot: Option<usize>) -> usize {
+    slot.expect("cold code may still panic")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hot_code_may_panic_in_tests() {
+        assert_eq!(super::complete_event(Some(1)), 1);
+        assert_eq!(super::cold_validate(Some(2)), 2);
+    }
+}

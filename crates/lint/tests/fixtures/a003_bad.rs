@@ -1,0 +1,24 @@
+//! A003 fixture: lock acquisition and console I/O on the hot path; a
+//! sink writing to its own writer is exempt.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+// sx-lint: hot-root -- fixture: the per-event observe path
+pub fn observe(counter: &Mutex<usize>, out: &mut impl Write) {
+    let mut guard = counter.lock().unwrap();
+    *guard += 1;
+    println!("observed {guard}");
+    let _ = writeln!(out, "observed");
+}
+
+pub struct Sink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> Sink<W> {
+    // sx-lint: hot-root -- fixture: sinks may write to their own writer
+    pub fn on_record(&mut self) {
+        let _ = writeln!(self.out, "record");
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a correctly suppressed hot-path allocation.
+
+// sx-lint: hot-root -- fixture: the per-event loop
+pub fn dispatch(events: &mut Vec<usize>) {
+    // sx-lint: allow(A001) -- fixture: demonstrates a sanctioned exception
+    events.push(7);
+}

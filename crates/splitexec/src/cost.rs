@@ -103,6 +103,7 @@ impl CostModel {
     /// Predicted per-stage costs for a logical problem of `lps` spins
     /// (memoized).
     pub fn costs(&self, lps: usize) -> Result<StageCosts, PipelineError> {
+        // sx-lint: allow(A003) -- uncontended: the engine is single-threaded; a parking_lot lock is a few ns
         if let Some(found) = self.memo.lock().get(&lps) {
             return Ok(*found);
         }
@@ -125,6 +126,8 @@ impl CostModel {
             stage2_seconds: stage2.total_seconds,
             stage3_seconds: stage3.total_seconds,
         };
+        // sx-lint: allow(A003) -- uncontended: the engine is single-threaded; a parking_lot lock is a few ns
+        // sx-lint: allow(A001) -- the memo insert happens once per distinct lps; steady state serves hits above
         self.memo.lock().insert(lps, costs);
         Ok(costs)
     }

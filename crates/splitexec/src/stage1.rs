@@ -48,6 +48,7 @@ pub struct Stage1Prediction {
 
 /// Walk the paper's Stage-1 model for a logical problem of `lps` spins on the
 /// given machine.
+// sx-lint: hot-exempt -- runs only on a CostModel::costs memo miss: once per distinct problem size, amortized off the per-event path
 pub fn predict_stage1(
     machine: &SplitMachine,
     lps: usize,

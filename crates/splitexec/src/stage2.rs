@@ -40,6 +40,7 @@ pub struct Stage2Prediction {
 ///
 /// The Fig. 7 listing expresses `Accuracy` as a percentage, so the fraction
 /// `accuracy` is multiplied by 100 before being bound.
+// sx-lint: hot-exempt -- runs only on a CostModel::costs memo miss: once per distinct problem size, amortized off the per-event path
 pub fn predict_stage2(
     machine: &SplitMachine,
     accuracy: f64,

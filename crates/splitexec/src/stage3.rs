@@ -38,6 +38,7 @@ pub struct Stage3Prediction {
 /// `accuracy` and `success_probability` determine the number of readout
 /// results via Eq. (6), exactly as the Fig. 8 listing does with its
 /// `Results` parameter.
+// sx-lint: hot-exempt -- runs only on a CostModel::costs memo miss: once per distinct problem size, amortized off the per-event path
 pub fn predict_stage3(
     machine: &SplitMachine,
     lps: usize,
