@@ -1,7 +1,8 @@
 //! Datacenter simulation: scheduling policies, cache sweeps, multi-tenant
-//! fairness and deadline SLOs.
+//! fairness and deadline SLOs — with a flight recorder that can capture
+//! any run and replay it bit-identically.
 //!
-//! Seven modes (see `docs/cluster_sim.md` for the full flag and JSON-schema
+//! Eight modes (see `docs/cluster_sim.md` for the full flag and JSON-schema
 //! reference):
 //!
 //! * `--mode compare` (default) — replays a stream of QUBO jobs against a
@@ -51,26 +52,51 @@
 //!   cross-checks that telemetry was a pure observer (sink-on vs sink-off
 //!   reports bit-identical) — so one CI step covers generation and
 //!   validation.
+//! * `--mode replay --input PATH` — re-simulates every run segment of a
+//!   flight record written by `--record` and verifies the engine
+//!   reproduces each recorded trace bit-for-bit.  Segments recorded under
+//!   a stateful admission controller (`token-bucket`) are skipped with a
+//!   note; the mode FAILs if any replayed segment diverges or if the file
+//!   contains no replayable segment at all.
 //!
 //! ```text
 //! cargo run --release -p sx-bench --bin cluster_sim -- \
-//!     [--mode compare|cache-cliff|fairness|aging-sweep|admission|slo|bench] \
+//!     [--mode compare|cache-cliff|fairness|aging-sweep|admission|slo|bench|replay] \
 //!     [--jobs N] [--qpus N] [--seed S] [--rate R] \
-//!     [--closed CLIENTS] [--workload repeated|mixed|bursty] \
+//!     [--closed CLIENTS] [--workload repeated|mixed|bursty|trace:PATH] \
 //!     [--policy fifo|spjf|affinity|wfq|all] [--fleet uniform|hetero] \
 //!     [--capacity N] [--eviction lru|cost-aware] \
 //!     [--cache-admission always|second-chance] [--json PATH] [--virtual] \
-//!     [--trace-out PATH] [--sample-interval SECONDS]
+//!     [--record PATH] [--input PATH] [--percentiles exact|sketch] \
+//!     [--trace-out PATH] [--arrivals-out PATH] [--sample-interval SECONDS]
 //! ```
 //!
-//! `--trace-out PATH` (compare mode, single `--policy`) re-runs the chosen
-//! policy with a [`PerfettoSink`] attached and
-//! writes a Chrome trace-event JSON document loadable at
+//! `--record PATH` (any mode) streams every simulated run to a versioned
+//! JSONL flight record (`sx-flight-record/v1`): each run contributes a
+//! self-describing header line — schema version, seed, policy, admission,
+//! fleet fingerprint, workload digest, and the complete inputs — followed
+//! by its full trace-record stream.  The file is opened eagerly (a bad
+//! path is a startup error, not a silent no-op) and write failures latched
+//! during the run surface as a FAIL at exit.  `trace_diff` compares two
+//! such records to the first divergent event; `--mode replay` re-simulates
+//! them.
+//!
+//! `--percentiles exact|sketch` selects how `SimReport` summarizes
+//! latency/wait/lateness distributions: `exact` (default) sorts retained
+//! samples, `sketch` streams them through the mergeable log-bucketed
+//! histogram — retention-free, within its documented relative-error bound.
+//!
+//! `--trace-out PATH` (any mode) attaches a [`PerfettoSink`] to the first
+//! simulated run and writes a Chrome trace-event JSON document loadable at
 //! <https://ui.perfetto.dev> — job lanes show queued → embed → anneal →
 //! readout spans on the virtual timeline, device tracks show per-QPU
-//! occupancy.  `--sample-interval SECONDS` sets the metrics registry's
-//! virtual-time sampling cadence in bench mode (default 5.0 virtual
-//! seconds).
+//! occupancy.  Like `--record`, the path is opened eagerly and write
+//! failures are surfaced at exit.  `--arrivals-out PATH` (compare mode)
+//! exports the generated workload as an `sx-arrival-trace/v1` file that
+//! `--workload trace:PATH` feeds back in, bit-identically — recorded
+//! arrival traces are just another workload source.  `--sample-interval
+//! SECONDS` sets the metrics registry's virtual-time sampling cadence in
+//! bench mode (default 5.0 virtual seconds).
 //!
 //! `--json PATH` writes the mode's results as a machine-readable JSON
 //! document (via `sx_cluster::json` — the workspace's serde is an offline
@@ -101,6 +127,10 @@ struct Args {
     virtual_only: bool,
     trace_out: Option<String>,
     sample_interval: Option<f64>,
+    record: Option<String>,
+    input: Option<String>,
+    arrivals_out: Option<String>,
+    percentiles: PercentileMode,
 }
 
 impl Args {
@@ -122,6 +152,10 @@ impl Args {
             virtual_only: false,
             trace_out: None,
             sample_interval: None,
+            record: None,
+            input: None,
+            arrivals_out: None,
+            percentiles: PercentileMode::Exact,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -156,6 +190,19 @@ impl Args {
                 "--json" => args.json = Some(value("--json")),
                 "--virtual" => args.virtual_only = true,
                 "--trace-out" => args.trace_out = Some(value("--trace-out")),
+                "--record" => args.record = Some(value("--record")),
+                "--input" => args.input = Some(value("--input")),
+                "--arrivals-out" => args.arrivals_out = Some(value("--arrivals-out")),
+                "--percentiles" => {
+                    args.percentiles = match value("--percentiles").as_str() {
+                        "exact" => PercentileMode::Exact,
+                        "sketch" => PercentileMode::Sketch,
+                        other => {
+                            eprintln!("unknown --percentiles '{other}' (expected exact or sketch)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 "--sample-interval" => {
                     args.sample_interval = Some(parse_or_die(
                         &value("--sample-interval"),
@@ -197,6 +244,15 @@ impl Args {
             None => base,
         }
     }
+
+    /// The engine configuration every run of this invocation uses:
+    /// the mode at hand plus the `--percentiles` summarization switch.
+    fn sim_config(&self, mode: WorkloadMode) -> SimConfig {
+        SimConfig {
+            mode,
+            percentiles: self.percentiles,
+        }
+    }
 }
 
 fn parse_or_die<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
@@ -206,6 +262,174 @@ fn parse_or_die<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
     })
 }
 
+/// The observation plumbing shared by every mode: the optional flight
+/// recorder (`--record`, every run) and the optional Perfetto export
+/// (`--trace-out`, first run only — interleaving several runs would make
+/// the lanes unattributable).  Modes hand each run to [`Observer::run`] /
+/// [`Observer::observe`] and never know which sinks are active; both
+/// output files are opened eagerly at startup so a bad path is a usage
+/// error, and latched write failures surface in [`Observer::close`].
+struct Observer {
+    record_path: Option<String>,
+    recorder: Option<RecorderSink<std::io::BufWriter<std::fs::File>>>,
+    trace_path: Option<String>,
+    trace_file: Option<std::fs::File>,
+    perfetto: Option<PerfettoSink>,
+    traced: bool,
+}
+
+impl Observer {
+    fn from_args(args: &Args) -> Observer {
+        let open = |flag: &str, path: &String| match std::fs::File::create(path) {
+            Ok(file) => file,
+            Err(err) => {
+                eprintln!("cannot open {flag} {path}: {err}");
+                std::process::exit(2);
+            }
+        };
+        let recorder = args
+            .record
+            .as_ref()
+            .map(|path| RecorderSink::new(std::io::BufWriter::new(open("--record", path))));
+        let trace_file = args
+            .trace_out
+            .as_ref()
+            .map(|path| open("--trace-out", path));
+        Observer {
+            record_path: args.record.clone(),
+            recorder,
+            trace_path: args.trace_out.clone(),
+            perfetto: trace_file.is_some().then(PerfettoSink::new),
+            trace_file,
+            traced: false,
+        }
+    }
+
+    /// Observe one engine run: write its flight-record segment (when
+    /// recording and a header is supplied), attach the Perfetto exporter
+    /// to the first run, fan out to the caller's `extra` sink, and run the
+    /// simulation.  With nothing active this degenerates to a bare
+    /// [`NullSink`] — the perf-default path.
+    /// (One seam carries the whole sink chain, hence the argument count.)
+    #[allow(clippy::too_many_arguments)]
+    // sx-lint: hot-exempt -- bare-name collision with the hot registry/sketch `observe`; this runs once per CLI run, not per event
+    fn observe(
+        &mut self,
+        header: Option<&FlightHeader>,
+        fleet: Fleet,
+        workload: &Workload,
+        scheduler: &mut dyn Scheduler,
+        admission: &mut dyn AdmissionController,
+        config: SimConfig,
+        registry: Option<&mut MetricsRegistry>,
+        extra: Option<&mut dyn TraceSink>,
+    ) -> SimReport {
+        let Self {
+            recorder,
+            perfetto,
+            traced,
+            ..
+        } = self;
+        if let (Some(recorder), Some(header)) = (recorder.as_mut(), header) {
+            recorder.begin_run(header);
+        }
+        let attach_perfetto = !*traced;
+        *traced = true;
+
+        let mut base = NullSink;
+        let mut chain: &mut dyn TraceSink = &mut base;
+        let mut fan_recorder;
+        if let Some(recorder) = recorder.as_mut() {
+            fan_recorder = FanoutSink::new(recorder, chain);
+            chain = &mut fan_recorder;
+        }
+        let mut fan_perfetto;
+        if attach_perfetto {
+            if let Some(perfetto) = perfetto.as_mut() {
+                fan_perfetto = FanoutSink::new(perfetto, chain);
+                chain = &mut fan_perfetto;
+            }
+        }
+        let mut fan_extra;
+        if let Some(extra) = extra {
+            fan_extra = FanoutSink::new(extra, chain);
+            chain = &mut fan_extra;
+        }
+        simulate_with_telemetry(
+            fleet, workload, scheduler, admission, config, chain, registry,
+        )
+    }
+
+    /// The common shape of a primary run: build the fleet from its config
+    /// and the scheduler from its spec, describe the run in a
+    /// [`FlightHeader`] (only when recording — the header embeds a clone
+    /// of the workload), and observe it.
+    #[allow(clippy::too_many_arguments)] // mirrors the engine entry point
+    fn run(
+        &mut self,
+        seed: u64,
+        fleet_config: FleetConfig,
+        workload: &Workload,
+        spec: &SchedulerSpec,
+        admission: &mut dyn AdmissionController,
+        config: SimConfig,
+        registry: Option<&mut MetricsRegistry>,
+    ) -> SimReport {
+        let header = self.recorder.is_some().then(|| {
+            FlightHeader::new(
+                seed,
+                spec.clone(),
+                admission.name(),
+                fleet_config.clone(),
+                config,
+                workload.clone(),
+            )
+        });
+        let fleet = Fleet::new(fleet_config, SplitExecConfig::with_seed(seed));
+        let mut scheduler = spec.build();
+        self.observe(
+            header.as_ref(),
+            fleet,
+            workload,
+            scheduler.as_mut(),
+            admission,
+            config,
+            registry,
+            None,
+        )
+    }
+
+    /// Flush the output files and surface any failure the sinks latched
+    /// mid-run; an `Err` here must fail the invocation.
+    fn close(mut self) -> Result<(), String> {
+        use std::io::Write;
+
+        let mut failures = Vec::new();
+        if let Some(recorder) = self.recorder.take() {
+            let path = self.record_path.as_deref().unwrap_or("--record");
+            match recorder.finish() {
+                Ok((_, lines)) => println!("wrote flight record {path} ({lines} lines)"),
+                Err(err) => failures.push(format!("--record {path}: write failed: {err}")),
+            }
+        }
+        if let (Some(perfetto), Some(mut file)) = (self.perfetto.take(), self.trace_file.take()) {
+            let path = self.trace_path.as_deref().unwrap_or("--trace-out");
+            let doc = perfetto.finish();
+            match file.write_all(format!("{doc}\n").as_bytes()) {
+                Ok(()) => {
+                    println!("wrote Perfetto trace {path} (open at https://ui.perfetto.dev)")
+                }
+                Err(err) => failures.push(format!("--trace-out {path}: write failed: {err}")),
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures.join("; "))
+        }
+    }
+}
+
 fn main() {
     let args = Args::parse();
 
@@ -213,22 +437,28 @@ fn main() {
         calibrate(args.seed);
     }
 
-    let (ok, results) = match args.mode.as_str() {
-        "compare" => compare(&args),
-        "cache-cliff" | "cache_cliff" | "cliff" => cache_cliff(&args),
-        "fairness" | "fair" => fairness(&args),
-        "aging-sweep" | "aging_sweep" | "aging" => aging_sweep(&args),
-        "admission" | "cache-admission" => admission_compare(&args),
-        "slo" | "deadline" | "deadlines" => slo(&args),
-        "bench" | "perf" => bench(&args),
+    let mut observer = Observer::from_args(&args);
+    let (mut ok, results) = match args.mode.as_str() {
+        "compare" => compare(&args, &mut observer),
+        "cache-cliff" | "cache_cliff" | "cliff" => cache_cliff(&args, &mut observer),
+        "fairness" | "fair" => fairness(&args, &mut observer),
+        "aging-sweep" | "aging_sweep" | "aging" => aging_sweep(&args, &mut observer),
+        "admission" | "cache-admission" => admission_compare(&args, &mut observer),
+        "slo" | "deadline" | "deadlines" => slo(&args, &mut observer),
+        "bench" | "perf" => bench(&args, &mut observer),
+        "replay" => replay(&args, &mut observer),
         other => {
             eprintln!(
                 "unknown mode '{other}' (expected compare, cache-cliff, fairness, \
-                 aging-sweep, admission, slo or bench)"
+                 aging-sweep, admission, slo, bench or replay)"
             );
             std::process::exit(2);
         }
     };
+    if let Err(err) = observer.close() {
+        println!("FAIL: {err}");
+        ok = false;
+    }
     // Bench mode owns its output file: BENCH_cluster.json must carry the
     // `sx-cluster-bench/v1` schema at the top level, not the generic
     // `{mode, seed, ..., results}` wrapper, so downstream trackers can diff
@@ -258,23 +488,51 @@ fn main() {
 
 /// The policy-comparison mode (the original `cluster_sim` behavior, now
 /// heterogeneity-, bounded-cache- and tenancy-aware).
-fn compare(args: &Args) -> (bool, JsonValue) {
-    let spec = match args.workload.as_str() {
-        "repeated" => WorkloadSpec::repeated_topologies(args.jobs, args.rate_hz, args.seed),
-        "mixed" => WorkloadSpec::mixed(args.jobs, args.rate_hz, args.seed),
-        "bursty" => WorkloadSpec::bursty(args.jobs, args.rate_hz, 8, args.seed),
-        other => {
-            eprintln!("unknown workload '{other}' (expected repeated, mixed or bursty)");
+fn compare(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
+    // A recorded arrival trace is just another workload source: `trace:PATH`
+    // replays the job stream `--arrivals-out` exported, bit-identically.
+    let workload = if let Some(path) = args.workload.strip_prefix("trace:") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+            eprintln!("cannot read arrival trace {path}: {err}");
             std::process::exit(2);
+        });
+        match parse_arrival_trace(&text) {
+            Ok(workload) => workload,
+            Err(err) => {
+                eprintln!("invalid arrival trace {path}: {err}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        let spec = match args.workload.as_str() {
+            "repeated" => WorkloadSpec::repeated_topologies(args.jobs, args.rate_hz, args.seed),
+            "mixed" => WorkloadSpec::mixed(args.jobs, args.rate_hz, args.seed),
+            "bursty" => WorkloadSpec::bursty(args.jobs, args.rate_hz, 8, args.seed),
+            other => {
+                eprintln!(
+                    "unknown workload '{other}' (expected repeated, mixed, bursty or trace:PATH)"
+                );
+                std::process::exit(2);
+            }
+        };
+        match spec.try_generate() {
+            Ok(workload) => workload,
+            Err(err) => {
+                eprintln!("invalid workload spec: {err}");
+                std::process::exit(2);
+            }
         }
     };
-    let workload = match spec.try_generate() {
-        Ok(workload) => workload,
-        Err(err) => {
-            eprintln!("invalid workload spec: {err}");
+    if let Some(path) = &args.arrivals_out {
+        if let Err(err) = std::fs::write(path, render_arrival_trace(&workload)) {
+            eprintln!("cannot write --arrivals-out {path}: {err}");
             std::process::exit(2);
         }
-    };
+        println!(
+            "wrote arrival trace {path} ({} jobs; replay with --workload trace:{path})",
+            workload.len()
+        );
+    }
 
     let policies: Vec<PolicyKind> = if args.policy == "all" {
         PolicyKind::all().to_vec()
@@ -289,16 +547,6 @@ fn compare(args: &Args) -> (bool, JsonValue) {
         Some(clients) => WorkloadMode::Closed { clients },
         None => WorkloadMode::Open,
     };
-
-    // A Perfetto export interleaves every policy it records; one trace per
-    // invocation keeps the lanes attributable to a single scheduler.
-    if args.trace_out.is_some() && policies.len() != 1 {
-        eprintln!(
-            "--trace-out needs a single --policy (fifo, spjf, affinity or wfq), not {}",
-            args.policy
-        );
-        std::process::exit(2);
-    }
 
     let cache_label = match args.capacity {
         Some(cap) => format!("cache {cap}/{}", args.eviction.unwrap_or_default()),
@@ -335,33 +583,18 @@ fn compare(args: &Args) -> (bool, JsonValue) {
 
     let mut by_policy: Vec<(PolicyKind, SimReport)> = Vec::new();
     for policy in policies {
-        let fleet = Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed));
-        let mut scheduler = policy.build();
-        // Telemetry is a pure observer (the sink sees `&TraceRecord` and
-        // cannot perturb the run), so attaching the Perfetto exporter
-        // yields the same report the plain path would.
-        let report = match &args.trace_out {
-            Some(path) => {
-                let mut sink = PerfettoSink::new();
-                let report = simulate_with_telemetry(
-                    fleet,
-                    &workload,
-                    scheduler.as_mut(),
-                    &mut AdmitAll,
-                    SimConfig { mode },
-                    &mut sink,
-                    None,
-                );
-                let doc = sink.finish();
-                if let Err(err) = std::fs::write(path, format!("{doc}\n")) {
-                    eprintln!("cannot write --trace-out {path}: {err}");
-                    std::process::exit(2);
-                }
-                println!("wrote Perfetto trace {path} (open at https://ui.perfetto.dev)");
-                report
-            }
-            None => simulate(fleet, &workload, scheduler.as_mut(), SimConfig { mode }),
-        };
+        // Telemetry is a pure observer (the sinks see `&TraceRecord` and
+        // cannot perturb the run), so recording/tracing through the
+        // observer yields the same report the plain path would.
+        let report = observer.run(
+            args.seed,
+            args.fleet_config(),
+            &workload,
+            &SchedulerSpec::from(policy),
+            &mut AdmitAll,
+            args.sim_config(mode),
+            None,
+        );
         println!(
             "{:>9} {:>6} {:>4} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>6.1} {:>6.1} {:>5} {:>5} {:>9.2} {:>9.1}s",
             report.policy,
@@ -418,7 +651,7 @@ fn compare(args: &Args) -> (bool, JsonValue) {
 
 /// `--mode cache-cliff`: hit rate and mean latency over capacity ×
 /// topology diversity × eviction policy.
-fn cache_cliff(args: &Args) -> (bool, JsonValue) {
+fn cache_cliff(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
     // The sweep owns the capacity/eviction grid; a pinned value would be
     // silently overridden, so refuse it instead.
     if args.capacity.is_some() || args.eviction.is_some() {
@@ -488,12 +721,15 @@ fn cache_cliff(args: &Args) -> (bool, JsonValue) {
 
         for eviction in EvictionPolicyKind::all() {
             for &capacity in &capacities {
-                let fleet = Fleet::new(
+                let report = observer.run(
+                    args.seed,
                     args.fleet_config().with_cache(capacity, eviction),
-                    SplitExecConfig::with_seed(args.seed),
+                    &workload,
+                    &SchedulerSpec::from(policy),
+                    &mut AdmitAll,
+                    args.sim_config(WorkloadMode::Open),
+                    None,
                 );
-                let mut scheduler = policy.build();
-                let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default());
                 series
                     .points
                     .push(CachePoint::from_report(capacity, eviction.name(), &report));
@@ -579,7 +815,7 @@ const FAIR_BOUND: f64 = 8.0;
 /// `--mode fairness`: tenant weight skew × arrival-rate asymmetry ×
 /// policy on the aggressor/victim composition, with enforced acceptance
 /// checks (see module docs).
-fn fairness(args: &Args) -> (bool, JsonValue) {
+fn fairness(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
     let victim_jobs = (args.jobs / 11).max(8);
     let victim_rate = 0.45 * args.rate_hz;
     let asymmetries = [2.0, 10.0];
@@ -617,17 +853,18 @@ fn fairness(args: &Args) -> (bool, JsonValue) {
         }
         .generate()
     };
-    let isolated_p99 = {
-        let mut policy = PolicyKind::Fifo.build();
-        simulate(
-            Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed)),
+    let isolated_p99 = observer
+        .run(
+            args.seed,
+            args.fleet_config(),
             &isolated_workload,
-            policy.as_mut(),
-            SimConfig::default(),
+            &SchedulerSpec::Fifo,
+            &mut AdmitAll,
+            args.sim_config(WorkloadMode::Open),
+            None,
         )
         .latency
-        .p99
-    };
+        .p99;
 
     for &asymmetry in &asymmetries {
         for &skew in &skews {
@@ -641,14 +878,25 @@ fn fairness(args: &Args) -> (bool, JsonValue) {
             let workload = spec.generate();
 
             for policy in [PolicyKind::Fifo, PolicyKind::WeightedFair] {
-                let fleet = Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed));
-                let mut scheduler: Box<dyn Scheduler> = match policy {
-                    PolicyKind::WeightedFair => {
-                        Box::new(WeightedFairQueue::for_workload(&workload))
-                    }
-                    other => other.build(),
+                // The per-workload WFQ (explicit tenant weights) needs the
+                // full SchedulerSpec form so a recorded run rebuilds the
+                // exact same lanes on replay.
+                let spec = match policy {
+                    PolicyKind::WeightedFair => SchedulerSpec::WeightedFair {
+                        weights: workload.weights(),
+                        lane_order: LaneOrder::default(),
+                    },
+                    other => SchedulerSpec::from(other),
                 };
-                let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default());
+                let report = observer.run(
+                    args.seed,
+                    args.fleet_config(),
+                    &workload,
+                    &spec,
+                    &mut AdmitAll,
+                    args.sim_config(WorkloadMode::Open),
+                    None,
+                );
                 let victim = report.tenant_named("victim").expect("victim stats");
                 let aggressor = report.tenant_named("aggressor").expect("aggressor stats");
                 println!(
@@ -758,13 +1006,20 @@ fn fairness(args: &Args) -> (bool, JsonValue) {
                 ..generous
             },
         );
-        let mut policy = WeightedFairQueue::for_workload(&workload);
-        simulate_with_admission(
-            Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed)),
+        // Recorded as a `token-bucket` segment: the flight record keeps it
+        // for diffing, but replay mode skips it (the gate's internal state
+        // is not serialized).
+        observer.run(
+            args.seed,
+            args.fleet_config(),
             &workload,
-            &mut policy,
+            &SchedulerSpec::WeightedFair {
+                weights: workload.weights(),
+                lane_order: LaneOrder::default(),
+            },
             &mut gate,
-            SimConfig::default(),
+            args.sim_config(WorkloadMode::Open),
+            None,
         )
     };
     let aggressor = gated.tenant_named("aggressor").expect("aggressor stats");
@@ -810,7 +1065,7 @@ fn fairness(args: &Args) -> (bool, JsonValue) {
 /// `--mode aging-sweep`: map `ShortestPredictedFirst`'s aging weight
 /// against p99 latency and starvation incidence, validating the shipped
 /// `DEFAULT_AGING_WEIGHT`.
-fn aging_sweep(args: &Args) -> (bool, JsonValue) {
+fn aging_sweep(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
     use sx_cluster::scheduler::DEFAULT_AGING_WEIGHT;
 
     // A short-job flood with rare large jobs — the starvation-prone shape:
@@ -861,9 +1116,17 @@ fn aging_sweep(args: &Args) -> (bool, JsonValue) {
     let mut points: Vec<(f64, f64, f64)> = Vec::new(); // (weight, p99, starvation)
     let mut json_points: Vec<JsonValue> = Vec::new();
     for &weight in &weights {
-        let fleet = Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed));
-        let mut scheduler = ShortestPredictedFirst::with_aging(weight);
-        let report = simulate(fleet, &workload, &mut scheduler, SimConfig::default());
+        let report = observer.run(
+            args.seed,
+            args.fleet_config(),
+            &workload,
+            &SchedulerSpec::ShortestPredictedFirst {
+                aging_weight: weight,
+            },
+            &mut AdmitAll,
+            args.sim_config(WorkloadMode::Open),
+            None,
+        );
         // Starvation incidence: fraction of completed jobs that spent more
         // than a quarter of the whole makespan just waiting — jobs the
         // scheduler effectively parked until the stream dried up.
@@ -926,7 +1189,7 @@ fn aging_sweep(args: &Args) -> (bool, JsonValue) {
 
 /// `--mode admission`: cache-admission comparison (always vs the
 /// second-chance doorkeeper) on a low-repetition mix with a bounded cache.
-fn admission_compare(args: &Args) -> (bool, JsonValue) {
+fn admission_compare(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
     // A hot set of two recurring topologies drowned in one-shot variants —
     // the mix where unconditional caching churns the bounded cache.
     let spec = WorkloadSpec {
@@ -977,14 +1240,17 @@ fn admission_compare(args: &Args) -> (bool, JsonValue) {
     let mut results: Vec<(AdmissionPolicy, SimReport)> = Vec::new();
     let mut json_points: Vec<JsonValue> = Vec::new();
     for admission in AdmissionPolicy::all() {
-        let fleet = Fleet::new(
+        let report = observer.run(
+            args.seed,
             args.fleet_config()
                 .with_cache(capacity, args.eviction.unwrap_or_default())
                 .with_cache_admission(admission),
-            SplitExecConfig::with_seed(args.seed),
+            &workload,
+            &SchedulerSpec::Fifo,
+            &mut AdmitAll,
+            args.sim_config(WorkloadMode::Open),
+            None,
         );
-        let mut scheduler = PolicyKind::Fifo.build();
-        let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default());
         println!(
             "{:>14} {:>7.1} {:>10.3} {:>10} {:>10} {:>6}",
             admission.name(),
@@ -1101,7 +1367,7 @@ fn slo_spec(
 /// (FIFO-lane) WFQ on SLO miss-rate without degrading Jain's index, and
 /// token-bucket deadline-infeasibility shedding sheds doomed aggressor
 /// jobs while never touching the feasible victim.
-fn slo(args: &Args) -> (bool, JsonValue) {
+fn slo(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
     // Capacity-derived arrival rates, as in the aging sweep: `load` is the
     // ratio of offered warm work to what the fleet can serve.  The mix
     // spans lps 12..=36 and warm service grows with size, so capacity is
@@ -1151,17 +1417,28 @@ fn slo(args: &Args) -> (bool, JsonValue) {
                 args.seed,
             );
             let workload = spec.generate();
-            let schedulers: Vec<Box<dyn Scheduler>> = vec![
-                Box::new(Fifo),
-                Box::new(
-                    WeightedFairQueue::for_workload(&workload).with_lane_order(LaneOrder::Fifo),
-                ),
-                Box::new(WeightedFairQueue::for_workload(&workload)),
-                Box::new(EarliestDeadlineFirst),
+            let scheduler_specs = vec![
+                SchedulerSpec::Fifo,
+                SchedulerSpec::WeightedFair {
+                    weights: workload.weights(),
+                    lane_order: LaneOrder::Fifo,
+                },
+                SchedulerSpec::WeightedFair {
+                    weights: workload.weights(),
+                    lane_order: LaneOrder::EarliestDeadline,
+                },
+                SchedulerSpec::EarliestDeadlineFirst,
             ];
-            for mut scheduler in schedulers {
-                let fleet = Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed));
-                let report = simulate(fleet, &workload, scheduler.as_mut(), SimConfig::default());
+            for scheduler_spec in &scheduler_specs {
+                let report = observer.run(
+                    args.seed,
+                    args.fleet_config(),
+                    &workload,
+                    scheduler_spec,
+                    &mut AdmitAll,
+                    args.sim_config(WorkloadMode::Open),
+                    None,
+                );
                 println!(
                     "{:>5} {:>6} {:>9} {:>6} {:>7.1} {:>8} {:>10.2}s {:>10.2}s {:>7.3}",
                     load,
@@ -1294,7 +1571,7 @@ fn slo(args: &Args) -> (bool, JsonValue) {
         ],
     };
     let workload = spec.generate();
-    let run_gated = |shed_infeasible: bool| {
+    let mut run_gated = |shed_infeasible: bool| {
         let mut gate = TokenBucket::new(TokenBucketConfig {
             rate_hz: 1e3, // only the feasibility check binds
             burst: 1e3,
@@ -1302,13 +1579,17 @@ fn slo(args: &Args) -> (bool, JsonValue) {
             max_defer_seconds: 1e9,
             shed_infeasible,
         });
-        let mut policy = WeightedFairQueue::for_workload(&workload);
-        simulate_with_admission(
-            Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed)),
+        observer.run(
+            args.seed,
+            args.fleet_config(),
             &workload,
-            &mut policy,
+            &SchedulerSpec::WeightedFair {
+                weights: workload.weights(),
+                lane_order: LaneOrder::default(),
+            },
             &mut gate,
-            SimConfig::default(),
+            args.sim_config(WorkloadMode::Open),
+            None,
         )
     };
     let open = run_gated(false);
@@ -1398,7 +1679,7 @@ const BENCH_CELL_NUM_KEYS: &[&str] = &[
 /// `--fleet`): baselines are only comparable across invocations if every
 /// run measures the same cells.  `--jobs`, `--qpus`, `--seed` and
 /// `--sample-interval` scale the matrix and are recorded in the output.
-fn bench(args: &Args) -> (bool, JsonValue) {
+fn bench(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
     let policies = [
         PolicyKind::Fifo,
         PolicyKind::CacheAffinity,
@@ -1490,25 +1771,27 @@ fn bench(args: &Args) -> (bool, JsonValue) {
             let workload = spec.generate();
 
             for policy in policies {
-                let mut scheduler: Box<dyn Scheduler> = match policy {
-                    PolicyKind::WeightedFair => {
-                        Box::new(WeightedFairQueue::for_workload(&workload))
-                    }
-                    other => other.build(),
+                let spec = match policy {
+                    PolicyKind::WeightedFair => SchedulerSpec::WeightedFair {
+                        weights: workload.weights(),
+                        lane_order: LaneOrder::default(),
+                    },
+                    other => SchedulerSpec::from(other),
                 };
+                let cell_config = args.sim_config(WorkloadMode::Open);
                 let mut registry = MetricsRegistry::new(sample_interval);
-                let fleet = Fleet::new(
-                    fleet_config(fleet_kind),
-                    SplitExecConfig::with_seed(args.seed),
-                );
+                // CI's baseline runs bench without --record/--trace-out,
+                // where the observer degenerates to the bare NullSink this
+                // mode always timed; recording a cell does fold the
+                // serialization cost into its wall clock.
                 let stopwatch = HostStopwatch::start();
-                let report = simulate_with_telemetry(
-                    fleet,
+                let report = observer.run(
+                    args.seed,
+                    fleet_config(fleet_kind),
                     &workload,
-                    scheduler.as_mut(),
+                    &spec,
                     &mut AdmitAll,
-                    SimConfig::default(),
-                    &mut NullSink,
+                    cell_config,
                     Some(&mut registry),
                 );
                 let wall_seconds = stopwatch.elapsed_seconds();
@@ -1519,12 +1802,7 @@ fn bench(args: &Args) -> (bool, JsonValue) {
                 if !purity_checked {
                     purity_checked = true;
                     let mut vec_sink = VecSink::new();
-                    let mut scheduler: Box<dyn Scheduler> = match policy {
-                        PolicyKind::WeightedFair => {
-                            Box::new(WeightedFairQueue::for_workload(&workload))
-                        }
-                        other => other.build(),
-                    };
+                    let mut scheduler = spec.build();
                     let rerun = simulate_with_telemetry(
                         Fleet::new(
                             fleet_config(fleet_kind),
@@ -1533,7 +1811,7 @@ fn bench(args: &Args) -> (bool, JsonValue) {
                         &workload,
                         scheduler.as_mut(),
                         &mut AdmitAll,
-                        SimConfig::default(),
+                        cell_config,
                         &mut vec_sink,
                         None,
                     );
@@ -1757,6 +2035,115 @@ fn validate_bench_doc(doc: &JsonValue, expected_cells: usize) -> Result<(), Stri
         num(totals, key, "$.totals")?;
     }
     Ok(())
+}
+
+/// `--mode replay`: re-simulate every run segment of a flight record
+/// (`--input`, written by `--record`) and verify the engine reproduces
+/// each recorded trace stream bit-for-bit.  Segments recorded under a
+/// stateful admission controller are skipped (their gate state is not
+/// serialized); the mode FAILs on any divergence or when no segment is
+/// replayable at all.  `--record`/`--trace-out` still apply, so a replay
+/// can itself be re-recorded — the round-trip is byte-stable.
+fn replay(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
+    let path = args.input.as_deref().unwrap_or_else(|| {
+        eprintln!("--mode replay needs --input <flight-record.jsonl>");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("cannot read --input {path}: {err}");
+        std::process::exit(2);
+    });
+    let record = match parse_flight_record(&text) {
+        Ok(record) => record,
+        Err(err) => {
+            eprintln!("invalid flight record {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "# cluster_sim replay: {path}, {} recorded run segment(s)",
+        record.runs.len()
+    );
+
+    let mut ok = true;
+    let mut verified = 0usize;
+    let mut json_points: Vec<JsonValue> = Vec::new();
+    for (segment, run) in record.runs.iter().enumerate() {
+        let header = &run.header;
+        if !header.replayable() {
+            println!(
+                "segment {segment}: policy {}, admission {} — skipped \
+                 (only admit-all segments are replayable)",
+                header.policy, header.admission
+            );
+            json_points.push(JsonValue::object([
+                ("segment", JsonValue::from(segment)),
+                ("policy", JsonValue::from(header.policy.as_str())),
+                ("admission", JsonValue::from(header.admission.as_str())),
+                ("replayed", JsonValue::from(false)),
+            ]));
+            continue;
+        }
+        let mut sink = VecSink::new();
+        let fleet = Fleet::new(
+            header.fleet.clone(),
+            SplitExecConfig::with_seed(header.seed),
+        );
+        let mut scheduler = header.scheduler.build();
+        let report = observer.observe(
+            Some(header),
+            fleet,
+            &header.workload,
+            scheduler.as_mut(),
+            &mut AdmitAll,
+            header.config,
+            None,
+            Some(&mut sink),
+        );
+        let replayed = sink.records();
+        let compared = replayed.len().min(run.records.len());
+        let divergence = (0..compared)
+            .find(|&i| replayed[i] != run.records[i])
+            .or((replayed.len() != run.records.len()).then_some(compared));
+        verified += 1;
+        match divergence {
+            None => println!(
+                "segment {segment}: policy {}, seed {} — bit-identical \
+                 ({} records, {} jobs completed)",
+                header.policy,
+                header.seed,
+                run.records.len(),
+                report.completed
+            ),
+            Some(at) => {
+                ok = false;
+                println!(
+                    "FAIL: segment {segment} (policy {}, seed {}) DIVERGED at record {at}: \
+                     recorded {:?} vs replayed {:?}",
+                    header.policy,
+                    header.seed,
+                    run.records.get(at),
+                    replayed.get(at)
+                );
+            }
+        }
+        json_points.push(JsonValue::object([
+            ("segment", JsonValue::from(segment)),
+            ("policy", JsonValue::from(header.policy.as_str())),
+            ("seed", JsonValue::from(header.seed.to_string())),
+            ("replayed", JsonValue::from(true)),
+            ("records", JsonValue::from(run.records.len())),
+            (
+                "divergence",
+                divergence.map_or(JsonValue::Null, JsonValue::from),
+            ),
+        ]));
+    }
+    if verified == 0 {
+        println!("FAIL: {path} contains no replayable (admit-all) segment");
+        ok = false;
+    }
+    (ok, JsonValue::Array(json_points))
 }
 
 /// Execute one real job through the pipeline and compare its stage shape

@@ -104,6 +104,7 @@ pub mod fleet;
 pub mod job;
 pub mod json;
 pub mod metrics;
+pub mod replay;
 pub mod scheduler;
 pub mod sim;
 pub mod telemetry;
@@ -122,17 +123,23 @@ pub use json::JsonValue;
 pub use metrics::{
     jains_index, CacheCliffSeries, CachePoint, LatencyStats, QpuStats, SimReport, TenantStats,
 };
+pub use replay::{
+    check_replay, fleet_fingerprint, parse_arrival_trace, parse_flight_record,
+    render_arrival_trace, replay_run, workload_digest, FlightHeader, FlightRecord, RecordedRun,
+    RecordedTrace, RecorderSink, ReplayCheck, ReplayError, SchedulerSpec, TraceReader,
+    ARRIVAL_SCHEMA, FLIGHT_SCHEMA,
+};
 pub use scheduler::{
     CacheAffinity, EarliestDeadlineFirst, Fifo, LaneOrder, PolicyKind, Scheduler,
     ShortestPredictedFirst, WeightedFairQueue,
 };
 pub use sim::{
-    simulate, simulate_with_admission, simulate_with_telemetry, SimConfig, TraceRecord,
-    WorkloadMode,
+    simulate, simulate_with_admission, simulate_with_telemetry, PercentileMode, SimConfig,
+    TraceRecord, WorkloadMode,
 };
 pub use telemetry::{
-    time_host, EnginePerf, HostStopwatch, JsonlSink, MetricsRegistry, NullSink, PerfettoSink,
-    SimSeries, StreamingHistogram, TraceSink, VecSink,
+    time_host, EnginePerf, FanoutSink, HostStopwatch, JsonlSink, MetricsRegistry, NullSink,
+    PerfettoSink, SimSeries, StreamingHistogram, TraceSink, VecSink,
 };
 pub use tenant::{MultiTenantSpec, TenantId, TenantMeta, TenantSpec};
 pub use workload::{
@@ -155,17 +162,23 @@ pub mod prelude {
     pub use crate::metrics::{
         jains_index, CacheCliffSeries, CachePoint, LatencyStats, QpuStats, SimReport, TenantStats,
     };
+    pub use crate::replay::{
+        check_replay, fleet_fingerprint, parse_arrival_trace, parse_flight_record,
+        render_arrival_trace, replay_run, workload_digest, FlightHeader, FlightRecord, RecordedRun,
+        RecordedTrace, RecorderSink, ReplayCheck, ReplayError, SchedulerSpec, TraceReader,
+        ARRIVAL_SCHEMA, FLIGHT_SCHEMA,
+    };
     pub use crate::scheduler::{
         CacheAffinity, EarliestDeadlineFirst, Fifo, LaneOrder, PolicyKind, Scheduler,
         ShortestPredictedFirst, WeightedFairQueue,
     };
     pub use crate::sim::{
-        simulate, simulate_with_admission, simulate_with_telemetry, SimConfig, TraceRecord,
-        WorkloadMode,
+        simulate, simulate_with_admission, simulate_with_telemetry, PercentileMode, SimConfig,
+        TraceRecord, WorkloadMode,
     };
     pub use crate::telemetry::{
-        time_host, EnginePerf, HostStopwatch, JsonlSink, MetricsRegistry, NullSink, PerfettoSink,
-        SimSeries, StreamingHistogram, TraceSink, VecSink,
+        time_host, EnginePerf, FanoutSink, HostStopwatch, JsonlSink, MetricsRegistry, NullSink,
+        PerfettoSink, SimSeries, StreamingHistogram, TraceSink, VecSink,
     };
     pub use crate::tenant::{MultiTenantSpec, TenantId, TenantMeta, TenantSpec};
     pub use crate::workload::{

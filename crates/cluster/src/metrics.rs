@@ -9,6 +9,7 @@
 
 use crate::job::JobRecord;
 use crate::sim::TraceRecord;
+use crate::telemetry::StreamingHistogram;
 use crate::tenant::TenantId;
 use quantum_anneal::stats::{percentile_sorted, Histogram};
 use serde::{Deserialize, Serialize};
@@ -55,6 +56,26 @@ impl LatencyStats {
             p95: pct(0.95),
             p99: pct(0.99),
             max: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Compute the summary from a streaming sketch instead of retained
+    /// samples (zeroes when the sketch is empty, matching
+    /// [`Self::from_values`] on empty input).
+    ///
+    /// `min`/`max`/`mean` are tracked exactly by the sketch; the quantiles
+    /// carry its documented relative-error bound
+    /// ([`StreamingHistogram::relative_error_bound`]).  This is the
+    /// retention-free path behind
+    /// [`crate::sim::PercentileMode::Sketch`].
+    pub fn from_sketch(sketch: &StreamingHistogram) -> Self {
+        Self {
+            mean: sketch.mean(),
+            min: sketch.min(),
+            p50: sketch.p50(),
+            p95: sketch.p95(),
+            p99: sketch.p99(),
+            max: sketch.max(),
         }
     }
 

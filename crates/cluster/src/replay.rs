@@ -1,0 +1,1754 @@
+//! Flight recorder: record any run, replay it bit-identically, diff two
+//! runs to the first divergent event.
+//!
+//! The engine already guarantees that a run is a pure function of its
+//! inputs — same seed, workload, policy and fleet ⇒ bit-identical
+//! [`TraceRecord`] stream (the determinism tests in `lib.rs` pin this).
+//! This module persists that guarantee: a **flight record** is a versioned
+//! JSONL file holding, for every simulated run, one self-describing header
+//! line (schema version, seed, policy, fleet fingerprint, workload digest,
+//! and the full inputs needed to re-run) followed by the run's complete
+//! trace, one record per line.  Anything that can be recorded can be
+//! re-ingested ([`parse_flight_record`]), re-simulated ([`replay_run`]),
+//! mechanically verified ([`check_replay`]) and compared run-to-run (the
+//! `trace_diff` CLI in `crates/bench`) — every regression becomes a
+//! replayable artifact.
+//!
+//! Three layers:
+//!
+//! * [`RecorderSink`] — a [`TraceSink`] that streams header + records to
+//!   any `io::Write` using [`JsonlSink`]'s latched-error plumbing (an
+//!   observability failure never aborts a simulation).
+//! * [`TraceReader`] — workload *sources*: a recorded arrival trace
+//!   ([`ARRIVAL_SCHEMA`]) is just another workload next to the synthetic
+//!   generators ([`WorkloadSpec`] / [`MultiTenantSpec`] implement the same
+//!   trait), so a captured job stream replays bit-identically against
+//!   policy changes.
+//! * [`replay_run`] / [`check_replay`] — rebuild the fleet and scheduler
+//!   from a parsed header and re-run, optionally comparing the replayed
+//!   stream element-wise against the recorded one.
+//!
+//! Parsing never panics: every malformed input — truncated JSONL,
+//! unknown schema version, out-of-order arrivals, duplicate job ids — is a
+//! typed [`ReplayError`].
+//!
+//! **Replay limitation:** only `admit-all` runs are replayable.  A
+//! [`crate::admission::TokenBucket`]'s configuration and mid-run state are
+//! not serialized into the header, so segments recorded under token-bucket
+//! admission parse fine (and diff fine) but [`replay_run`] refuses them
+//! with [`ReplayError::UnsupportedAdmission`].
+
+use std::io;
+use std::sync::Arc;
+
+use split_exec::{QpuModel, SplitExecConfig};
+
+use crate::admission::AdmitAll;
+use crate::cache::{AdmissionPolicy, EvictionPolicyKind};
+use crate::event::{Event, EventKind};
+use crate::fleet::{Fleet, FleetConfig};
+use crate::job::Job;
+use crate::json::{self, JsonValue, ParseError};
+use crate::metrics::SimReport;
+use crate::scheduler::{
+    LaneOrder, PolicyKind, Scheduler, ShortestPredictedFirst, WeightedFairQueue,
+    DEFAULT_AGING_WEIGHT,
+};
+use crate::sim::{simulate_with_telemetry, PercentileMode, SimConfig, TraceRecord, WorkloadMode};
+use crate::telemetry::{JsonlSink, TraceSink, VecSink};
+use crate::tenant::{MultiTenantSpec, TenantId, TenantMeta};
+use crate::workload::{Workload, WorkloadError, WorkloadSpec};
+
+/// Schema tag carried by every flight-record header line.
+pub const FLIGHT_SCHEMA: &str = "sx-flight-record/v1";
+
+/// Schema tag carried by every arrival-trace header line.
+pub const ARRIVAL_SCHEMA: &str = "sx-arrival-trace/v1";
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a flight record or arrival trace could not be parsed or replayed.
+///
+/// Line numbers are 1-based positions in the input text.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The input held no header and no records at all.
+    Empty,
+    /// A header line declared a schema this build does not understand.
+    UnknownSchema {
+        /// The schema tag found in the input.
+        found: String,
+        /// The schema tag this build expects.
+        expected: &'static str,
+    },
+    /// A line was not valid JSON (e.g. a truncated final line).
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying JSON parse failure.
+        source: ParseError,
+    },
+    /// A field was missing, had the wrong type, or held an invalid value.
+    Field {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field.
+        field: &'static str,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A trace record carried an unrecognized `"kind"`.
+    UnknownKind {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized kind tag.
+        kind: String,
+    },
+    /// A job arrived earlier than its predecessor in the trace.
+    OutOfOrderArrival {
+        /// 1-based line number of the offending job.
+        line: usize,
+        /// The previous job's arrival time.
+        prev: f64,
+        /// The offending (earlier) arrival time.
+        next: f64,
+    },
+    /// A job id appeared twice.
+    DuplicateJobId {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The duplicated id.
+        id: usize,
+    },
+    /// The recorded run used an admission controller whose state is not
+    /// serialized, so the run cannot be reconstructed.
+    UnsupportedAdmission {
+        /// The controller's recorded name.
+        admission: String,
+    },
+    /// A replayed workload failed the generator's own validation.
+    Workload(WorkloadError),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Empty => write!(f, "no flight-record or trace content found"),
+            ReplayError::UnknownSchema { found, expected } => {
+                write!(f, "unknown schema {found:?} (this build reads {expected:?})")
+            }
+            ReplayError::Json { line, source } => {
+                write!(f, "line {line}: invalid JSON: {source}")
+            }
+            ReplayError::Field {
+                line,
+                field,
+                reason,
+            } => write!(f, "line {line}: field {field:?}: {reason}"),
+            ReplayError::UnknownKind { line, kind } => {
+                write!(f, "line {line}: unknown record kind {kind:?}")
+            }
+            ReplayError::OutOfOrderArrival { line, prev, next } => write!(
+                f,
+                "line {line}: out-of-order arrival {next} after {prev} (arrivals must be non-decreasing)"
+            ),
+            ReplayError::DuplicateJobId { line, id } => {
+                write!(f, "line {line}: duplicate job id {id}")
+            }
+            ReplayError::UnsupportedAdmission { admission } => write!(
+                f,
+                "admission {admission:?} cannot be replayed: controller state is not recorded (only admit-all runs replay)"
+            ),
+            ReplayError::Workload(err) => write!(f, "replayed workload is invalid: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Json { source, .. } => Some(source),
+            ReplayError::Workload(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for ReplayError {
+    fn from(err: WorkloadError) -> Self {
+        ReplayError::Workload(err)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed field access over the hand-rolled JSON tree
+// ---------------------------------------------------------------------------
+
+/// Human label for a JSON value's type, for error messages.
+fn type_name(value: &JsonValue) -> &'static str {
+    match value {
+        JsonValue::Null => "null",
+        JsonValue::Bool(_) => "bool",
+        JsonValue::Num(_) => "number",
+        JsonValue::Str(_) => "string",
+        JsonValue::Array(_) => "array",
+        JsonValue::Object(_) => "object",
+    }
+}
+
+fn field_err(line: usize, field: &'static str, reason: impl Into<String>) -> ReplayError {
+    ReplayError::Field {
+        line,
+        field,
+        reason: reason.into(),
+    }
+}
+
+fn req<'a>(
+    line: usize,
+    value: &'a JsonValue,
+    field: &'static str,
+) -> Result<&'a JsonValue, ReplayError> {
+    value
+        .get(field)
+        .ok_or_else(|| field_err(line, field, "missing"))
+}
+
+fn num_field(line: usize, value: &JsonValue, field: &'static str) -> Result<f64, ReplayError> {
+    match req(line, value, field)? {
+        JsonValue::Num(n) => Ok(*n),
+        other => Err(field_err(
+            line,
+            field,
+            format!("expected number, found {}", type_name(other)),
+        )),
+    }
+}
+
+/// A number field that must also be finite (the event queue rejects
+/// non-finite times, so letting one through would turn a malformed input
+/// into a panic downstream).
+fn finite_field(line: usize, value: &JsonValue, field: &'static str) -> Result<f64, ReplayError> {
+    let n = num_field(line, value, field)?;
+    if n.is_finite() {
+        Ok(n)
+    } else {
+        Err(field_err(line, field, "must be finite"))
+    }
+}
+
+fn usize_field(line: usize, value: &JsonValue, field: &'static str) -> Result<usize, ReplayError> {
+    let n = num_field(line, value, field)?;
+    if n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53) {
+        Ok(n as usize)
+    } else {
+        Err(field_err(
+            line,
+            field,
+            format!("expected non-negative integer, found {n}"),
+        ))
+    }
+}
+
+/// `u64` values (seeds, digests, topology keys) travel as decimal strings:
+/// they exceed the 2^53 range a JSON number can carry exactly.
+fn u64_field(line: usize, value: &JsonValue, field: &'static str) -> Result<u64, ReplayError> {
+    match req(line, value, field)? {
+        JsonValue::Str(s) => s
+            .parse::<u64>()
+            .map_err(|_| field_err(line, field, format!("expected u64 string, found {s:?}"))),
+        other => Err(field_err(
+            line,
+            field,
+            format!("expected u64 string, found {}", type_name(other)),
+        )),
+    }
+}
+
+fn bool_field(line: usize, value: &JsonValue, field: &'static str) -> Result<bool, ReplayError> {
+    match req(line, value, field)? {
+        JsonValue::Bool(b) => Ok(*b),
+        other => Err(field_err(
+            line,
+            field,
+            format!("expected bool, found {}", type_name(other)),
+        )),
+    }
+}
+
+fn str_field<'a>(
+    line: usize,
+    value: &'a JsonValue,
+    field: &'static str,
+) -> Result<&'a str, ReplayError> {
+    match req(line, value, field)? {
+        JsonValue::Str(s) => Ok(s.as_str()),
+        other => Err(field_err(
+            line,
+            field,
+            format!("expected string, found {}", type_name(other)),
+        )),
+    }
+}
+
+fn array_field<'a>(
+    line: usize,
+    value: &'a JsonValue,
+    field: &'static str,
+) -> Result<&'a [JsonValue], ReplayError> {
+    match req(line, value, field)? {
+        JsonValue::Array(items) => Ok(items.as_slice()),
+        other => Err(field_err(
+            line,
+            field,
+            format!("expected array, found {}", type_name(other)),
+        )),
+    }
+}
+
+/// `deadline`-style fields: `null` means absent, a finite number means set.
+fn opt_finite_field(
+    line: usize,
+    value: &JsonValue,
+    field: &'static str,
+) -> Result<Option<f64>, ReplayError> {
+    match req(line, value, field)? {
+        JsonValue::Null => Ok(None),
+        JsonValue::Num(n) if n.is_finite() => Ok(Some(*n)),
+        JsonValue::Num(_) => Err(field_err(line, field, "must be finite")),
+        other => Err(field_err(
+            line,
+            field,
+            format!("expected number or null, found {}", type_name(other)),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Digests
+// ---------------------------------------------------------------------------
+
+/// FNV-1a, 64-bit: dependency-free, deterministic across platforms.
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// A stable 64-bit fingerprint of a fleet configuration.
+///
+/// Two runs with equal fingerprints were simulated against identical racks
+/// (same device count, generations, fault rates, cache bounds and fault
+/// seed) — the quick header-level compatibility check `trace_diff` surfaces
+/// before walking records.
+pub fn fleet_fingerprint(config: &FleetConfig) -> u64 {
+    let mut fnv = Fnv::new();
+    // `FleetConfig`'s Debug form is deterministic and covers every field;
+    // hashing it means a new field can never silently escape the
+    // fingerprint.
+    fnv.write(format!("{config:?}").as_bytes());
+    fnv.finish()
+}
+
+/// A stable 64-bit digest of a workload: every tenant and every job field
+/// participates (float fields by their exact bit patterns), so two equal
+/// digests mean bit-identical job streams.
+pub fn workload_digest(workload: &Workload) -> u64 {
+    let mut fnv = Fnv::new();
+    fnv.write_u64(workload.tenants.len() as u64);
+    for tenant in &workload.tenants {
+        fnv.write_u64(tenant.id.index() as u64);
+        fnv.write(tenant.name.as_bytes());
+        fnv.write_f64(tenant.weight);
+    }
+    fnv.write_u64(workload.jobs.len() as u64);
+    for job in &workload.jobs {
+        fnv.write_u64(job.id as u64);
+        fnv.write_u64(job.tenant.index() as u64);
+        fnv.write(job.family.as_bytes());
+        fnv.write_u64(job.lps as u64);
+        fnv.write_u64(job.topology_key);
+        fnv.write_f64(job.arrival);
+        match job.deadline {
+            Some(d) => {
+                fnv.write_u64(1);
+                fnv.write_f64(d);
+            }
+            None => fnv.write_u64(0),
+        }
+    }
+    fnv.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler specs: a serializable recipe for rebuilding a policy
+// ---------------------------------------------------------------------------
+
+/// A serializable description of a scheduling policy — everything needed to
+/// rebuild the exact scheduler a run used, including the knobs
+/// [`PolicyKind`] cannot carry (aging weight, explicit lane weights, lane
+/// ordering).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerSpec {
+    /// [`crate::scheduler::Fifo`].
+    Fifo,
+    /// [`crate::scheduler::CacheAffinity`].
+    CacheAffinity,
+    /// [`crate::scheduler::EarliestDeadlineFirst`].
+    EarliestDeadlineFirst,
+    /// [`ShortestPredictedFirst`] with an explicit aging weight.
+    ShortestPredictedFirst {
+        /// Anti-starvation aging weight (seconds of credit per second
+        /// queued).
+        aging_weight: f64,
+    },
+    /// [`WeightedFairQueue`] with explicit lane weights and lane order.
+    WeightedFair {
+        /// Per-lane fair-share weights; missing lanes default to 1.0, so an
+        /// empty vector is the uniform-weight queue.
+        weights: Vec<f64>,
+        /// How jobs are ordered within a lane.
+        lane_order: LaneOrder,
+    },
+}
+
+impl SchedulerSpec {
+    /// The display name the rebuilt scheduler reports
+    /// ([`Scheduler::name`]): `fifo`, `affinity`, `edf`, `spjf`, `wfq` or
+    /// `wfq-fifo`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerSpec::Fifo => "fifo",
+            SchedulerSpec::CacheAffinity => "affinity",
+            SchedulerSpec::EarliestDeadlineFirst => "edf",
+            SchedulerSpec::ShortestPredictedFirst { .. } => "spjf",
+            SchedulerSpec::WeightedFair { lane_order, .. } => match lane_order {
+                LaneOrder::EarliestDeadline => "wfq",
+                LaneOrder::Fifo => "wfq-fifo",
+            },
+        }
+    }
+
+    /// Instantiate the described scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerSpec::Fifo => Box::new(crate::scheduler::Fifo),
+            SchedulerSpec::CacheAffinity => Box::new(crate::scheduler::CacheAffinity),
+            SchedulerSpec::EarliestDeadlineFirst => {
+                Box::new(crate::scheduler::EarliestDeadlineFirst)
+            }
+            SchedulerSpec::ShortestPredictedFirst { aging_weight } => {
+                Box::new(ShortestPredictedFirst::with_aging(*aging_weight))
+            }
+            SchedulerSpec::WeightedFair {
+                weights,
+                lane_order,
+            } => Box::new(
+                WeightedFairQueue::with_weights(weights.clone()).with_lane_order(*lane_order),
+            ),
+        }
+    }
+
+    /// The spec as a flat JSON object (the header's `"scheduler"` field).
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            SchedulerSpec::Fifo => JsonValue::object([("policy", JsonValue::from("fifo"))]),
+            SchedulerSpec::CacheAffinity => {
+                JsonValue::object([("policy", JsonValue::from("affinity"))])
+            }
+            SchedulerSpec::EarliestDeadlineFirst => {
+                JsonValue::object([("policy", JsonValue::from("edf"))])
+            }
+            SchedulerSpec::ShortestPredictedFirst { aging_weight } => JsonValue::object([
+                ("policy", JsonValue::from("spjf")),
+                ("aging_weight", JsonValue::from(*aging_weight)),
+            ]),
+            SchedulerSpec::WeightedFair {
+                weights,
+                lane_order,
+            } => JsonValue::object([
+                ("policy", JsonValue::from("wfq")),
+                (
+                    "weights",
+                    JsonValue::array(weights.iter().map(|w| JsonValue::from(*w))),
+                ),
+                (
+                    "lane_order",
+                    JsonValue::from(match lane_order {
+                        LaneOrder::EarliestDeadline => "edf",
+                        LaneOrder::Fifo => "fifo",
+                    }),
+                ),
+            ]),
+        }
+    }
+
+    /// Parse a spec back out of the header's `"scheduler"` object.
+    pub fn from_json(line: usize, value: &JsonValue) -> Result<Self, ReplayError> {
+        match str_field(line, value, "policy")? {
+            "fifo" => Ok(SchedulerSpec::Fifo),
+            "affinity" => Ok(SchedulerSpec::CacheAffinity),
+            "edf" => Ok(SchedulerSpec::EarliestDeadlineFirst),
+            "spjf" => {
+                let aging_weight = finite_field(line, value, "aging_weight")?;
+                Ok(SchedulerSpec::ShortestPredictedFirst { aging_weight })
+            }
+            "wfq" => {
+                let raw = array_field(line, value, "weights")?;
+                let mut weights = Vec::with_capacity(raw.len());
+                for item in raw {
+                    match item {
+                        JsonValue::Num(n) if n.is_finite() => weights.push(*n),
+                        other => {
+                            return Err(field_err(
+                                line,
+                                "weights",
+                                format!("expected finite numbers, found {}", type_name(other)),
+                            ))
+                        }
+                    }
+                }
+                let lane_order = match str_field(line, value, "lane_order")? {
+                    "edf" => LaneOrder::EarliestDeadline,
+                    "fifo" => LaneOrder::Fifo,
+                    other => {
+                        return Err(field_err(
+                            line,
+                            "lane_order",
+                            format!("expected \"edf\" or \"fifo\", found {other:?}"),
+                        ))
+                    }
+                };
+                Ok(SchedulerSpec::WeightedFair {
+                    weights,
+                    lane_order,
+                })
+            }
+            other => Err(field_err(
+                line,
+                "policy",
+                format!("unknown policy {other:?}"),
+            )),
+        }
+    }
+}
+
+impl From<PolicyKind> for SchedulerSpec {
+    /// The spec describing exactly what [`PolicyKind::build`] constructs.
+    fn from(kind: PolicyKind) -> Self {
+        match kind {
+            PolicyKind::Fifo => SchedulerSpec::Fifo,
+            PolicyKind::CacheAffinity => SchedulerSpec::CacheAffinity,
+            PolicyKind::EarliestDeadline => SchedulerSpec::EarliestDeadlineFirst,
+            PolicyKind::ShortestPredictedFirst => SchedulerSpec::ShortestPredictedFirst {
+                aging_weight: DEFAULT_AGING_WEIGHT,
+            },
+            PolicyKind::WeightedFair => SchedulerSpec::WeightedFair {
+                weights: Vec::new(),
+                lane_order: LaneOrder::default(),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config / workload <-> JSON
+// ---------------------------------------------------------------------------
+
+fn qpu_model_to_json(model: QpuModel) -> JsonValue {
+    JsonValue::from(model.name())
+}
+
+fn qpu_model_from_name(
+    line: usize,
+    field: &'static str,
+    name: &str,
+) -> Result<QpuModel, ReplayError> {
+    match name {
+        "vesuvius" => Ok(QpuModel::Vesuvius),
+        "dw2x" => Ok(QpuModel::Dw2x),
+        other => Err(field_err(
+            line,
+            field,
+            format!("unknown QPU model {other:?}"),
+        )),
+    }
+}
+
+fn fleet_to_json(config: &FleetConfig) -> JsonValue {
+    JsonValue::object([
+        ("qpus", JsonValue::from(config.qpus)),
+        ("qpu_model", qpu_model_to_json(config.qpu_model)),
+        (
+            "models",
+            JsonValue::array(config.models.iter().map(|m| qpu_model_to_json(*m))),
+        ),
+        (
+            "cache_capacity",
+            match config.cache_capacity {
+                Some(n) => JsonValue::from(n),
+                None => JsonValue::Null,
+            },
+        ),
+        ("eviction", JsonValue::from(config.eviction.name())),
+        (
+            "cache_admission",
+            JsonValue::from(config.cache_admission.name()),
+        ),
+        ("qubit_fault_rate", JsonValue::from(config.qubit_fault_rate)),
+        (
+            "coupler_fault_rate",
+            JsonValue::from(config.coupler_fault_rate),
+        ),
+        ("seed", JsonValue::from(config.seed.to_string())),
+    ])
+}
+
+fn fleet_from_json(line: usize, value: &JsonValue) -> Result<FleetConfig, ReplayError> {
+    let qpus = usize_field(line, value, "qpus")?;
+    let qpu_model = qpu_model_from_name(line, "qpu_model", str_field(line, value, "qpu_model")?)?;
+    let raw_models = array_field(line, value, "models")?;
+    let mut models = Vec::with_capacity(raw_models.len());
+    for item in raw_models {
+        match item {
+            JsonValue::Str(s) => models.push(qpu_model_from_name(line, "models", s)?),
+            other => {
+                return Err(field_err(
+                    line,
+                    "models",
+                    format!("expected strings, found {}", type_name(other)),
+                ))
+            }
+        }
+    }
+    let cache_capacity = match req(line, value, "cache_capacity")? {
+        JsonValue::Null => None,
+        _ => Some(usize_field(line, value, "cache_capacity")?),
+    };
+    let eviction = match str_field(line, value, "eviction")? {
+        "lru" => EvictionPolicyKind::Lru,
+        "cost-aware" => EvictionPolicyKind::CostAware,
+        other => {
+            return Err(field_err(
+                line,
+                "eviction",
+                format!("unknown eviction policy {other:?}"),
+            ))
+        }
+    };
+    let cache_admission = match str_field(line, value, "cache_admission")? {
+        "always" => AdmissionPolicy::Always,
+        "second-chance" => AdmissionPolicy::SecondChance,
+        other => {
+            return Err(field_err(
+                line,
+                "cache_admission",
+                format!("unknown cache admission policy {other:?}"),
+            ))
+        }
+    };
+    Ok(FleetConfig {
+        qpus,
+        qpu_model,
+        models,
+        cache_capacity,
+        eviction,
+        cache_admission,
+        qubit_fault_rate: finite_field(line, value, "qubit_fault_rate")?,
+        coupler_fault_rate: finite_field(line, value, "coupler_fault_rate")?,
+        seed: u64_field(line, value, "seed")?,
+    })
+}
+
+fn sim_config_to_json(config: &SimConfig) -> JsonValue {
+    let mut obj = match config.mode {
+        WorkloadMode::Open => JsonValue::object([("mode", JsonValue::from("open"))]),
+        WorkloadMode::Closed { clients } => JsonValue::object([
+            ("mode", JsonValue::from("closed")),
+            ("clients", JsonValue::from(clients)),
+        ]),
+    };
+    obj.push(
+        "percentiles",
+        JsonValue::from(match config.percentiles {
+            PercentileMode::Exact => "exact",
+            PercentileMode::Sketch => "sketch",
+        }),
+    );
+    obj
+}
+
+fn sim_config_from_json(line: usize, value: &JsonValue) -> Result<SimConfig, ReplayError> {
+    let mode = match str_field(line, value, "mode")? {
+        "open" => WorkloadMode::Open,
+        "closed" => WorkloadMode::Closed {
+            clients: usize_field(line, value, "clients")?,
+        },
+        other => {
+            return Err(field_err(
+                line,
+                "mode",
+                format!("expected \"open\" or \"closed\", found {other:?}"),
+            ))
+        }
+    };
+    let percentiles = match str_field(line, value, "percentiles")? {
+        "exact" => PercentileMode::Exact,
+        "sketch" => PercentileMode::Sketch,
+        other => {
+            return Err(field_err(
+                line,
+                "percentiles",
+                format!("expected \"exact\" or \"sketch\", found {other:?}"),
+            ))
+        }
+    };
+    Ok(SimConfig { mode, percentiles })
+}
+
+fn tenant_to_json(tenant: &TenantMeta) -> JsonValue {
+    JsonValue::object([
+        ("id", JsonValue::from(tenant.id.index())),
+        ("name", JsonValue::from(tenant.name.as_str())),
+        ("weight", JsonValue::from(tenant.weight)),
+    ])
+}
+
+fn tenant_from_json(line: usize, value: &JsonValue) -> Result<TenantMeta, ReplayError> {
+    Ok(TenantMeta {
+        id: TenantId(usize_field(line, value, "id")?),
+        name: str_field(line, value, "name")?.to_string(),
+        weight: finite_field(line, value, "weight")?,
+    })
+}
+
+fn job_to_json(job: &Job) -> JsonValue {
+    JsonValue::object([
+        ("id", JsonValue::from(job.id)),
+        ("tenant", JsonValue::from(job.tenant.index())),
+        ("family", JsonValue::from(job.family.as_ref())),
+        ("lps", JsonValue::from(job.lps)),
+        (
+            "topology_key",
+            JsonValue::from(job.topology_key.to_string()),
+        ),
+        ("arrival", JsonValue::from(job.arrival)),
+        (
+            "deadline",
+            match job.deadline {
+                Some(d) => JsonValue::from(d),
+                None => JsonValue::Null,
+            },
+        ),
+    ])
+}
+
+fn job_from_json(line: usize, value: &JsonValue) -> Result<Job, ReplayError> {
+    Ok(Job {
+        id: usize_field(line, value, "id")?,
+        tenant: TenantId(usize_field(line, value, "tenant")?),
+        family: Arc::from(str_field(line, value, "family")?),
+        lps: usize_field(line, value, "lps")?,
+        topology_key: u64_field(line, value, "topology_key")?,
+        arrival: finite_field(line, value, "arrival")?,
+        deadline: opt_finite_field(line, value, "deadline")?,
+    })
+}
+
+/// Append one parsed job, enforcing the trace invariants: ids dense and in
+/// submission order, arrivals non-decreasing, tenant indices in range.
+fn push_job(
+    jobs: &mut Vec<Job>,
+    tenant_count: usize,
+    job: Job,
+    line: usize,
+) -> Result<(), ReplayError> {
+    if job.tenant.index() >= tenant_count {
+        return Err(field_err(
+            line,
+            "tenant",
+            format!(
+                "index {} out of range for {tenant_count} declared tenants",
+                job.tenant.index()
+            ),
+        ));
+    }
+    if job.id < jobs.len() {
+        return Err(ReplayError::DuplicateJobId { line, id: job.id });
+    }
+    if job.id > jobs.len() {
+        return Err(field_err(
+            line,
+            "id",
+            format!(
+                "job ids must be dense and in submission order (expected {}, found {})",
+                jobs.len(),
+                job.id
+            ),
+        ));
+    }
+    if let Some(prev) = jobs.last() {
+        if job.arrival < prev.arrival {
+            return Err(ReplayError::OutOfOrderArrival {
+                line,
+                prev: prev.arrival,
+                next: job.arrival,
+            });
+        }
+    }
+    jobs.push(job);
+    Ok(())
+}
+
+fn workload_to_json(workload: &Workload) -> JsonValue {
+    JsonValue::object([
+        (
+            "tenants",
+            JsonValue::array(workload.tenants.iter().map(tenant_to_json)),
+        ),
+        (
+            "jobs",
+            JsonValue::array(workload.jobs.iter().map(job_to_json)),
+        ),
+    ])
+}
+
+fn workload_from_json(line: usize, value: &JsonValue) -> Result<Workload, ReplayError> {
+    let raw_tenants = array_field(line, value, "tenants")?;
+    let mut tenants = Vec::with_capacity(raw_tenants.len());
+    for item in raw_tenants {
+        tenants.push(tenant_from_json(line, item)?);
+    }
+    let raw_jobs = array_field(line, value, "jobs")?;
+    let mut jobs = Vec::with_capacity(raw_jobs.len());
+    for item in raw_jobs {
+        let job = job_from_json(line, item)?;
+        push_job(&mut jobs, tenants.len(), job, line)?;
+    }
+    Ok(Workload { jobs, tenants })
+}
+
+// ---------------------------------------------------------------------------
+// Flight headers and flight records
+// ---------------------------------------------------------------------------
+
+/// The self-describing first line of a recorded run: schema version, the
+/// run's identity (seed, policy, admission), integrity digests, and the
+/// complete inputs ([`FleetConfig`], [`SimConfig`], [`Workload`],
+/// [`SchedulerSpec`]) needed to re-simulate it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightHeader {
+    /// The run's execution seed (`SplitExecConfig::with_seed`).
+    pub seed: u64,
+    /// The scheduler's display name (e.g. `wfq-fifo`) — always equal to
+    /// `self.scheduler.name()`.
+    pub policy: String,
+    /// The admission controller's name (`admit-all`, `token-bucket`).
+    pub admission: String,
+    /// Recipe for rebuilding the exact scheduler.
+    pub scheduler: SchedulerSpec,
+    /// The fleet the run was simulated against.
+    pub fleet: FleetConfig,
+    /// Engine configuration (release mode, percentile mode).
+    pub config: SimConfig,
+    /// The full job stream, embedded so the record is self-contained.
+    pub workload: Workload,
+    /// [`fleet_fingerprint`] of `fleet` at record time.
+    pub fleet_fingerprint: u64,
+    /// [`workload_digest`] of `workload` at record time.
+    pub workload_digest: u64,
+}
+
+impl FlightHeader {
+    /// Describe a run about to be recorded; digests are computed here.
+    pub fn new(
+        seed: u64,
+        scheduler: SchedulerSpec,
+        admission: &str,
+        fleet: FleetConfig,
+        config: SimConfig,
+        workload: Workload,
+    ) -> Self {
+        let fleet_fingerprint = fleet_fingerprint(&fleet);
+        let workload_digest = workload_digest(&workload);
+        Self {
+            seed,
+            policy: scheduler.name().to_string(),
+            admission: admission.to_string(),
+            scheduler,
+            fleet,
+            config,
+            workload,
+            fleet_fingerprint,
+            workload_digest,
+        }
+    }
+
+    /// Whether [`replay_run`] can reconstruct this run (only `admit-all`
+    /// runs can — see the module docs).
+    pub fn replayable(&self) -> bool {
+        self.admission == "admit-all"
+    }
+
+    /// The header as one JSON object (the flight record's header line).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("schema", JsonValue::from(FLIGHT_SCHEMA)),
+            ("seed", JsonValue::from(self.seed.to_string())),
+            ("policy", JsonValue::from(self.policy.as_str())),
+            ("admission", JsonValue::from(self.admission.as_str())),
+            (
+                "fleet_fingerprint",
+                JsonValue::from(self.fleet_fingerprint.to_string()),
+            ),
+            (
+                "workload_digest",
+                JsonValue::from(self.workload_digest.to_string()),
+            ),
+            ("jobs", JsonValue::from(self.workload.jobs.len())),
+            ("scheduler", self.scheduler.to_json()),
+            ("config", sim_config_to_json(&self.config)),
+            ("fleet", fleet_to_json(&self.fleet)),
+            ("workload", workload_to_json(&self.workload)),
+        ])
+    }
+
+    /// Parse a header line, verifying schema, digests and internal
+    /// consistency (policy name matches the scheduler spec, job count
+    /// matches the embedded workload).
+    pub fn from_json(line: usize, value: &JsonValue) -> Result<Self, ReplayError> {
+        let schema = str_field(line, value, "schema")?;
+        if schema != FLIGHT_SCHEMA {
+            return Err(ReplayError::UnknownSchema {
+                found: schema.to_string(),
+                expected: FLIGHT_SCHEMA,
+            });
+        }
+        let seed = u64_field(line, value, "seed")?;
+        let policy = str_field(line, value, "policy")?.to_string();
+        let admission = str_field(line, value, "admission")?.to_string();
+        let recorded_fleet_fp = u64_field(line, value, "fleet_fingerprint")?;
+        let recorded_workload_digest = u64_field(line, value, "workload_digest")?;
+        let jobs = usize_field(line, value, "jobs")?;
+        let scheduler = SchedulerSpec::from_json(line, req(line, value, "scheduler")?)?;
+        let config = sim_config_from_json(line, req(line, value, "config")?)?;
+        let fleet = fleet_from_json(line, req(line, value, "fleet")?)?;
+        let workload = workload_from_json(line, req(line, value, "workload")?)?;
+        if policy != scheduler.name() {
+            return Err(field_err(
+                line,
+                "policy",
+                format!(
+                    "{policy:?} does not match the scheduler spec ({:?})",
+                    scheduler.name()
+                ),
+            ));
+        }
+        if jobs != workload.jobs.len() {
+            return Err(field_err(
+                line,
+                "jobs",
+                format!(
+                    "header declares {jobs} jobs but the embedded workload has {}",
+                    workload.jobs.len()
+                ),
+            ));
+        }
+        if recorded_fleet_fp != fleet_fingerprint(&fleet) {
+            return Err(field_err(
+                line,
+                "fleet_fingerprint",
+                "does not match the embedded fleet config (corrupt or hand-edited record)",
+            ));
+        }
+        if recorded_workload_digest != workload_digest(&workload) {
+            return Err(field_err(
+                line,
+                "workload_digest",
+                "does not match the embedded workload (corrupt or hand-edited record)",
+            ));
+        }
+        Ok(Self {
+            seed,
+            policy,
+            admission,
+            scheduler,
+            fleet,
+            config,
+            workload,
+            fleet_fingerprint: recorded_fleet_fp,
+            workload_digest: recorded_workload_digest,
+        })
+    }
+}
+
+/// One recorded run: its header plus the complete trace that followed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedRun {
+    /// The run's self-describing header.
+    pub header: FlightHeader,
+    /// The run's trace records, in emission order.
+    pub records: Vec<TraceRecord>,
+}
+
+/// A parsed flight record: one or more recorded runs (a single `--record`
+/// file captures every primary run of a `cluster_sim` invocation — a
+/// compare sweep records one segment per policy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecord {
+    /// The recorded runs, in file order.
+    pub runs: Vec<RecordedRun>,
+}
+
+/// Parse a flight-record file: header lines (objects with a `"schema"`
+/// key) open a new run, every other line is a trace record of the run in
+/// progress.  Blank lines are ignored; anything else is a typed error.
+pub fn parse_flight_record(text: &str) -> Result<FlightRecord, ReplayError> {
+    let mut runs: Vec<RecordedRun> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let value = json::parse(trimmed).map_err(|source| ReplayError::Json { line, source })?;
+        if value.get("schema").is_some() {
+            runs.push(RecordedRun {
+                header: FlightHeader::from_json(line, &value)?,
+                records: Vec::new(),
+            });
+        } else {
+            let Some(run) = runs.last_mut() else {
+                return Err(field_err(
+                    line,
+                    "schema",
+                    "trace record before any flight-record header",
+                ));
+            };
+            run.records.push(record_from_json(line, &value)?);
+        }
+    }
+    if runs.is_empty() {
+        return Err(ReplayError::Empty);
+    }
+    Ok(FlightRecord { runs })
+}
+
+/// Parse one trace-record line (the inverse of [`TraceRecord::to_json`]).
+fn record_from_json(line: usize, value: &JsonValue) -> Result<TraceRecord, ReplayError> {
+    let time = finite_field(line, value, "t")?;
+    match str_field(line, value, "kind")? {
+        "fired" => {
+            let seq = usize_field(line, value, "seq")? as u64;
+            let kind = match str_field(line, value, "event")? {
+                "arrival" => EventKind::JobArrival {
+                    job: usize_field(line, value, "job")?,
+                },
+                "completion" => EventKind::JobCompletion {
+                    qpu: usize_field(line, value, "qpu")?,
+                    job: usize_field(line, value, "job")?,
+                },
+                other => {
+                    return Err(field_err(
+                        line,
+                        "event",
+                        format!("expected \"arrival\" or \"completion\", found {other:?}"),
+                    ))
+                }
+            };
+            Ok(TraceRecord::Fired(Event { time, seq, kind }))
+        }
+        "dispatched" => Ok(TraceRecord::Dispatched {
+            time,
+            job: usize_field(line, value, "job")?,
+            qpu: usize_field(line, value, "qpu")?,
+            tenant: TenantId(usize_field(line, value, "tenant")?),
+            warm: bool_field(line, value, "warm")?,
+            finish: finite_field(line, value, "finish")?,
+            stage1_seconds: finite_field(line, value, "stage1_seconds")?,
+            stage2_seconds: finite_field(line, value, "stage2_seconds")?,
+            stage3_seconds: finite_field(line, value, "stage3_seconds")?,
+        }),
+        "rejected" => Ok(TraceRecord::Rejected {
+            time,
+            job: usize_field(line, value, "job")?,
+        }),
+        "shed" => Ok(TraceRecord::Shed {
+            time,
+            job: usize_field(line, value, "job")?,
+            tenant: TenantId(usize_field(line, value, "tenant")?),
+            infeasible: bool_field(line, value, "infeasible")?,
+        }),
+        "deferred" => Ok(TraceRecord::Deferred {
+            time,
+            job: usize_field(line, value, "job")?,
+            until: finite_field(line, value, "until")?,
+        }),
+        other => Err(ReplayError::UnknownKind {
+            line,
+            kind: other.to_string(),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RecorderSink
+// ---------------------------------------------------------------------------
+
+/// A [`TraceSink`] that streams a flight record to any [`io::Write`]:
+/// call [`Self::begin_run`] with the run's header, then attach the sink to
+/// the engine — every record becomes one JSONL line.  Reuses
+/// [`JsonlSink`]'s latched-error plumbing: I/O failures are counted and
+/// latched ([`Self::take_error`] / [`Self::finish`]), never raised into
+/// the engine.
+///
+/// One sink can record many runs back-to-back (one `begin_run` per run);
+/// [`parse_flight_record`] splits them back apart.
+#[derive(Debug)]
+pub struct RecorderSink<W: io::Write> {
+    inner: JsonlSink<W>,
+}
+
+impl<W: io::Write> RecorderSink<W> {
+    /// A recorder writing to `out`.
+    pub fn new(out: W) -> Self {
+        Self {
+            inner: JsonlSink::new(out),
+        }
+    }
+
+    /// Open a new run segment by writing its header line.  Must be called
+    /// before the run's first record; may be called again for each
+    /// subsequent run recorded into the same file.
+    pub fn begin_run(&mut self, header: &FlightHeader) {
+        self.inner.write_value(&header.to_json());
+    }
+
+    /// Lines (headers + records) successfully written.
+    pub fn lines(&self) -> usize {
+        self.inner.lines()
+    }
+
+    /// Write failures latched so far.
+    pub fn write_errors(&self) -> usize {
+        self.inner.write_errors()
+    }
+
+    /// The first latched write failure, if any, leaving the latch empty.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.inner.take_error()
+    }
+
+    /// Flush and return the underlying writer, discarding any latched
+    /// error; use [`Self::finish`] to observe failures instead.
+    pub fn into_inner(self) -> W {
+        self.inner.into_inner()
+    }
+
+    /// Flush and dismantle the recorder, reporting the first latched
+    /// failure: `Ok((writer, lines))` only if every line landed.
+    pub fn finish(self) -> Result<(W, usize), io::Error> {
+        self.inner.finish()
+    }
+}
+
+impl<W: io::Write> TraceSink for RecorderSink<W> {
+    // sx-lint: hot-exempt -- streaming serialization is this sink's whole policy; NullSink is the perf default
+    fn on_record(&mut self, record: &TraceRecord, vclock: f64) {
+        self.inner.on_record(record, vclock);
+    }
+
+    fn name(&self) -> &'static str {
+        "recorder"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arrival traces: recorded workloads as just another workload source
+// ---------------------------------------------------------------------------
+
+/// Render a workload as an arrival trace: one [`ARRIVAL_SCHEMA`] header
+/// line (tenant table + job count), then one line per job in submission
+/// order.  [`parse_arrival_trace`] inverts this bit-identically.
+pub fn render_arrival_trace(workload: &Workload) -> String {
+    let header = JsonValue::object([
+        ("schema", JsonValue::from(ARRIVAL_SCHEMA)),
+        ("jobs", JsonValue::from(workload.jobs.len())),
+        (
+            "tenants",
+            JsonValue::array(workload.tenants.iter().map(tenant_to_json)),
+        ),
+    ]);
+    let mut out = header.to_string();
+    out.push('\n');
+    for job in &workload.jobs {
+        out.push_str(&job_to_json(job).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse an arrival trace back into a [`Workload`], enforcing the trace
+/// invariants: matching schema, dense in-order job ids, non-decreasing
+/// arrivals, tenant indices within the declared tenant table, and a job
+/// count matching the header's declaration (so a truncated file is a typed
+/// error, not a silently shorter workload).
+pub fn parse_arrival_trace(text: &str) -> Result<Workload, ReplayError> {
+    let mut header: Option<(usize, Vec<TenantMeta>)> = None;
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut last_line = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        last_line = line;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let value = json::parse(trimmed).map_err(|source| ReplayError::Json { line, source })?;
+        match &header {
+            None => {
+                let Some(schema) = value.get("schema") else {
+                    return Err(field_err(
+                        line,
+                        "schema",
+                        "first line must be the arrival-trace header",
+                    ));
+                };
+                let schema = match schema {
+                    JsonValue::Str(s) => s.as_str(),
+                    other => {
+                        return Err(field_err(
+                            line,
+                            "schema",
+                            format!("expected string, found {}", type_name(other)),
+                        ))
+                    }
+                };
+                if schema != ARRIVAL_SCHEMA {
+                    return Err(ReplayError::UnknownSchema {
+                        found: schema.to_string(),
+                        expected: ARRIVAL_SCHEMA,
+                    });
+                }
+                let declared = usize_field(line, &value, "jobs")?;
+                let raw_tenants = array_field(line, &value, "tenants")?;
+                let mut tenants = Vec::with_capacity(raw_tenants.len());
+                for item in raw_tenants {
+                    tenants.push(tenant_from_json(line, item)?);
+                }
+                jobs.reserve(declared);
+                header = Some((declared, tenants));
+            }
+            Some((_, tenants)) => {
+                let job = job_from_json(line, &value)?;
+                push_job(&mut jobs, tenants.len(), job, line)?;
+            }
+        }
+    }
+    let Some((declared, tenants)) = header else {
+        return Err(ReplayError::Empty);
+    };
+    if jobs.len() != declared {
+        return Err(field_err(
+            last_line.max(1),
+            "jobs",
+            format!(
+                "header declares {declared} jobs but the trace contains {} (truncated file?)",
+                jobs.len()
+            ),
+        ));
+    }
+    Ok(Workload { jobs, tenants })
+}
+
+/// A source of workloads: recorded arrival traces and the synthetic
+/// generators behind one interface, so the engine (and `cluster_sim`) can
+/// treat "replay this capture" exactly like "generate me a workload".
+pub trait TraceReader {
+    /// Produce the workload.
+    fn read(&self) -> Result<Workload, ReplayError>;
+}
+
+/// A recorded arrival trace held as text (read the file, hand it here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedTrace {
+    text: String,
+}
+
+impl RecordedTrace {
+    /// Wrap the raw text of an arrival-trace file.
+    pub fn new(text: impl Into<String>) -> Self {
+        Self { text: text.into() }
+    }
+}
+
+impl TraceReader for RecordedTrace {
+    fn read(&self) -> Result<Workload, ReplayError> {
+        parse_arrival_trace(&self.text)
+    }
+}
+
+impl TraceReader for WorkloadSpec {
+    fn read(&self) -> Result<Workload, ReplayError> {
+        self.try_generate().map_err(ReplayError::Workload)
+    }
+}
+
+impl TraceReader for MultiTenantSpec {
+    fn read(&self) -> Result<Workload, ReplayError> {
+        self.try_generate().map_err(ReplayError::Workload)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+/// Re-simulate a recorded run from its header: rebuild the fleet (same
+/// config + seed ⇒ identical fault maps), rebuild the scheduler from its
+/// spec, and run the engine with `sink` attached.  The determinism
+/// contract guarantees the emitted stream is bit-identical to the recorded
+/// one; [`check_replay`] asserts it.
+///
+/// Refuses runs whose admission controller cannot be reconstructed
+/// ([`ReplayError::UnsupportedAdmission`]).
+pub fn replay_run(run: &RecordedRun, sink: &mut dyn TraceSink) -> Result<SimReport, ReplayError> {
+    if !run.header.replayable() {
+        return Err(ReplayError::UnsupportedAdmission {
+            admission: run.header.admission.clone(),
+        });
+    }
+    let fleet = Fleet::new(
+        run.header.fleet.clone(),
+        SplitExecConfig::with_seed(run.header.seed),
+    );
+    let mut scheduler = run.header.scheduler.build();
+    let mut admission = AdmitAll;
+    Ok(simulate_with_telemetry(
+        fleet,
+        &run.header.workload,
+        scheduler.as_mut(),
+        &mut admission,
+        run.header.config,
+        sink,
+        None,
+    ))
+}
+
+/// The outcome of replaying a recorded run and comparing streams.
+#[derive(Debug)]
+pub struct ReplayCheck {
+    /// Records compared (the shorter of the two streams).
+    pub compared: usize,
+    /// Index of the first divergent record, `None` when the replay is
+    /// bit-identical.  A length mismatch diverges at the shorter length.
+    pub divergence: Option<usize>,
+    /// The replayed run's report.
+    pub report: SimReport,
+}
+
+/// Replay `run` and compare the replayed stream element-wise against the
+/// recorded one.
+pub fn check_replay(run: &RecordedRun) -> Result<ReplayCheck, ReplayError> {
+    let mut sink = VecSink::new();
+    let report = replay_run(run, &mut sink)?;
+    let replayed = sink.into_trace();
+    let compared = run.records.len().min(replayed.len());
+    let mut divergence = (0..compared).find(|&i| run.records[i] != replayed[i]);
+    if divergence.is_none() && run.records.len() != replayed.len() {
+        divergence = Some(compared);
+    }
+    Ok(ReplayCheck {
+        compared,
+        divergence,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workload(n: usize) -> Workload {
+        let jobs = (0..n)
+            .map(|i| Job {
+                id: i,
+                tenant: TenantId(0),
+                family: Arc::from(format!("fam-{}", i % 3).as_str()),
+                lps: 8 + (i % 3),
+                topology_key: (i % 3) as u64 + 17,
+                arrival: i as f64 * 0.5,
+                deadline: if i % 2 == 0 {
+                    Some(i as f64 * 0.5 + 40.0)
+                } else {
+                    None
+                },
+            })
+            .collect();
+        Workload::single_tenant(jobs)
+    }
+
+    fn small_header(seed: u64, spec: SchedulerSpec) -> FlightHeader {
+        FlightHeader::new(
+            seed,
+            spec,
+            "admit-all",
+            FleetConfig {
+                qpus: 2,
+                seed,
+                ..FleetConfig::default()
+            },
+            SimConfig::default(),
+            tiny_workload(8),
+        )
+    }
+
+    fn record_run(header: &FlightHeader) -> String {
+        let mut recorder = RecorderSink::new(Vec::<u8>::new());
+        recorder.begin_run(header);
+        let fleet = Fleet::new(
+            header.fleet.clone(),
+            SplitExecConfig::with_seed(header.seed),
+        );
+        let mut scheduler = header.scheduler.build();
+        simulate_with_telemetry(
+            fleet,
+            &header.workload,
+            scheduler.as_mut(),
+            &mut AdmitAll,
+            header.config,
+            &mut recorder,
+            None,
+        );
+        let (bytes, lines) = recorder.finish().expect("in-memory writes cannot fail");
+        assert!(lines > 1, "header plus at least one record");
+        String::from_utf8(bytes).expect("utf8")
+    }
+
+    #[test]
+    fn scheduler_specs_round_trip_through_json() {
+        let specs = [
+            SchedulerSpec::Fifo,
+            SchedulerSpec::CacheAffinity,
+            SchedulerSpec::EarliestDeadlineFirst,
+            SchedulerSpec::ShortestPredictedFirst { aging_weight: 0.25 },
+            SchedulerSpec::WeightedFair {
+                weights: vec![1.0, 3.5],
+                lane_order: LaneOrder::Fifo,
+            },
+            SchedulerSpec::WeightedFair {
+                weights: vec![],
+                lane_order: LaneOrder::EarliestDeadline,
+            },
+        ];
+        for spec in specs {
+            let rendered = spec.to_json().to_string();
+            let parsed = json::parse(&rendered).expect("valid JSON");
+            let back = SchedulerSpec::from_json(1, &parsed).expect("round trip");
+            assert_eq!(back, spec);
+            assert_eq!(back.name(), spec.build().name(), "spec names its scheduler");
+        }
+    }
+
+    #[test]
+    fn policy_kind_specs_build_what_policy_kind_builds() {
+        for kind in PolicyKind::all() {
+            let spec = SchedulerSpec::from(kind);
+            assert_eq!(spec.build().name(), kind.build().name());
+        }
+    }
+
+    #[test]
+    fn flight_header_round_trips_through_json() {
+        let header = small_header(
+            42,
+            SchedulerSpec::WeightedFair {
+                weights: vec![2.0, 1.0],
+                lane_order: LaneOrder::Fifo,
+            },
+        );
+        let rendered = header.to_json().to_string();
+        let parsed = json::parse(&rendered).expect("valid JSON");
+        let back = FlightHeader::from_json(1, &parsed).expect("round trip");
+        assert_eq!(back, header);
+        // Re-rendering is byte-identical: trace_diff can compare raw lines.
+        assert_eq!(back.to_json().to_string(), rendered);
+    }
+
+    #[test]
+    fn recorded_run_replays_bit_identically() {
+        let header = small_header(7, SchedulerSpec::CacheAffinity);
+        let text = record_run(&header);
+        let flight = parse_flight_record(&text).expect("parses");
+        assert_eq!(flight.runs.len(), 1);
+        let run = &flight.runs[0];
+        assert_eq!(run.header, header);
+        assert!(!run.records.is_empty());
+        let check = check_replay(run).expect("replayable");
+        assert_eq!(check.divergence, None, "replay must be bit-identical");
+        assert_eq!(check.compared, run.records.len());
+    }
+
+    #[test]
+    fn multi_segment_records_split_into_runs() {
+        let a = small_header(3, SchedulerSpec::Fifo);
+        let b = small_header(4, SchedulerSpec::EarliestDeadlineFirst);
+        let text = format!("{}{}", record_run(&a), record_run(&b));
+        let flight = parse_flight_record(&text).expect("parses");
+        assert_eq!(flight.runs.len(), 2);
+        assert_eq!(flight.runs[0].header.seed, 3);
+        assert_eq!(flight.runs[1].header.seed, 4);
+        for run in &flight.runs {
+            assert_eq!(check_replay(run).expect("replayable").divergence, None);
+        }
+    }
+
+    #[test]
+    fn a_perturbed_record_diverges_at_a_definite_index() {
+        let header = small_header(11, SchedulerSpec::Fifo);
+        let text = record_run(&header);
+        let mut flight = parse_flight_record(&text).expect("parses");
+        let run = &mut flight.runs[0];
+        // Tamper with one mid-stream record.
+        let mid = run.records.len() / 2;
+        if let TraceRecord::Fired(event) = &mut run.records[mid] {
+            event.time += 0.125;
+        } else {
+            run.records[mid] = TraceRecord::Rejected {
+                time: 0.0,
+                job: 9999,
+            };
+        }
+        let check = check_replay(run).expect("replayable");
+        assert_eq!(check.divergence, Some(mid));
+    }
+
+    #[test]
+    fn truncated_records_diverge_at_the_missing_suffix() {
+        let header = small_header(12, SchedulerSpec::Fifo);
+        let text = record_run(&header);
+        let mut flight = parse_flight_record(&text).expect("parses");
+        let run = &mut flight.runs[0];
+        let keep = run.records.len() - 2;
+        run.records.truncate(keep);
+        let check = check_replay(run).expect("replayable");
+        assert_eq!(check.divergence, Some(keep));
+    }
+
+    #[test]
+    fn token_bucket_segments_are_refused_not_panicked() {
+        let mut header = small_header(5, SchedulerSpec::Fifo);
+        header.admission = "token-bucket".to_string();
+        assert!(!header.replayable());
+        let run = RecordedRun {
+            header,
+            records: Vec::new(),
+        };
+        let mut sink = VecSink::new();
+        match replay_run(&run, &mut sink) {
+            Err(ReplayError::UnsupportedAdmission { admission }) => {
+                assert_eq!(admission, "token-bucket");
+            }
+            other => panic!("expected UnsupportedAdmission, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arrival_traces_round_trip_bit_identically() {
+        let workload = tiny_workload(10);
+        let text = render_arrival_trace(&workload);
+        let back = RecordedTrace::new(text.as_str()).read().expect("parses");
+        assert_eq!(back, workload);
+        // Render → parse → render is byte-stable.
+        assert_eq!(render_arrival_trace(&back), text);
+    }
+
+    #[test]
+    fn generator_specs_are_trace_readers_too() {
+        let spec = WorkloadSpec::repeated_topologies(12, 2.0, 9);
+        let direct = spec.try_generate().expect("valid spec");
+        let via_reader = TraceReader::read(&spec).expect("reader path");
+        assert_eq!(via_reader, direct);
+        // And the recorded form of a generated workload replays identically.
+        let text = render_arrival_trace(&direct);
+        assert_eq!(RecordedTrace::new(text).read().expect("parses"), direct);
+    }
+
+    #[test]
+    fn workload_digest_separates_unequal_workloads() {
+        let a = tiny_workload(8);
+        let mut b = tiny_workload(8);
+        b.jobs[3].arrival += 1e-9;
+        assert_ne!(workload_digest(&a), workload_digest(&b));
+        assert_eq!(workload_digest(&a), workload_digest(&tiny_workload(8)));
+        let fa = FleetConfig::default();
+        let fb = FleetConfig {
+            seed: 1,
+            ..FleetConfig::default()
+        };
+        assert_ne!(fleet_fingerprint(&fa), fleet_fingerprint(&fb));
+    }
+
+    // -- malformed inputs: typed errors, never panics --------------------
+
+    #[test]
+    fn truncated_jsonl_mid_record_is_a_json_error() {
+        let header = small_header(6, SchedulerSpec::Fifo);
+        let text = record_run(&header);
+        // Chop the file mid-way through its final line.
+        let cut = text.trim_end().len() - 10;
+        let err = parse_flight_record(&text[..cut]).expect_err("must fail");
+        match err {
+            ReplayError::Json { line, .. } => assert!(line > 1),
+            other => panic!("expected Json error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_schema_versions_are_refused() {
+        let err =
+            parse_flight_record(r#"{"schema":"sx-flight-record/v999"}"#).expect_err("must fail");
+        match err {
+            ReplayError::UnknownSchema { found, expected } => {
+                assert_eq!(found, "sx-flight-record/v999");
+                assert_eq!(expected, FLIGHT_SCHEMA);
+            }
+            other => panic!("expected UnknownSchema, got {other}"),
+        }
+        let err = parse_arrival_trace(r#"{"schema":"sx-arrival-trace/v0","jobs":0,"tenants":[]}"#)
+            .expect_err("must fail");
+        assert!(matches!(err, ReplayError::UnknownSchema { .. }));
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_a_typed_error() {
+        let mut workload = tiny_workload(4);
+        workload.jobs[2].arrival = 0.1; // earlier than job 1's 0.5
+        let text = render_arrival_trace(&workload);
+        let err = parse_arrival_trace(&text).expect_err("must fail");
+        match err {
+            ReplayError::OutOfOrderArrival { line, prev, next } => {
+                assert_eq!(line, 4, "job 2 sits on line 4 (header + jobs 0..2)");
+                assert_eq!(prev, 0.5);
+                assert_eq!(next, 0.1);
+            }
+            other => panic!("expected OutOfOrderArrival, got {other}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_job_ids_are_a_typed_error() {
+        let mut workload = tiny_workload(4);
+        workload.jobs[3].id = 1;
+        workload.jobs[3].arrival = workload.jobs[2].arrival;
+        let text = render_arrival_trace(&workload);
+        let err = parse_arrival_trace(&text).expect_err("must fail");
+        match err {
+            ReplayError::DuplicateJobId { line, id } => {
+                assert_eq!(line, 5);
+                assert_eq!(id, 1);
+            }
+            other => panic!("expected DuplicateJobId, got {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_arrival_traces_are_caught_by_the_declared_count() {
+        let workload = tiny_workload(6);
+        let text = render_arrival_trace(&workload);
+        // Drop the last complete line (a clean truncation: every remaining
+        // line still parses, only the count betrays it).
+        let trimmed = text.trim_end();
+        let cut = trimmed.rfind('\n').expect("multi-line");
+        let err = parse_arrival_trace(&trimmed[..cut]).expect_err("must fail");
+        match err {
+            ReplayError::Field { field, reason, .. } => {
+                assert_eq!(field, "jobs");
+                assert!(reason.contains("declares 6"), "got: {reason}");
+            }
+            other => panic!("expected Field error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn records_before_any_header_are_refused() {
+        let err =
+            parse_flight_record(r#"{"t":0.0,"kind":"rejected","job":0}"#).expect_err("must fail");
+        assert!(matches!(err, ReplayError::Field { .. }));
+        assert!(matches!(parse_flight_record(""), Err(ReplayError::Empty)));
+        assert!(matches!(
+            parse_arrival_trace("\n\n"),
+            Err(ReplayError::Empty)
+        ));
+    }
+
+    #[test]
+    fn unknown_record_kinds_are_a_typed_error() {
+        let header = small_header(2, SchedulerSpec::Fifo);
+        let mut text = record_run(&header);
+        text.push_str("{\"t\":1.0,\"kind\":\"teleported\",\"job\":0}\n");
+        let err = parse_flight_record(&text).expect_err("must fail");
+        match err {
+            ReplayError::UnknownKind { kind, .. } => assert_eq!(kind, "teleported"),
+            other => panic!("expected UnknownKind, got {other}"),
+        }
+    }
+
+    #[test]
+    fn tampered_digests_are_an_integrity_error() {
+        let header = small_header(13, SchedulerSpec::Fifo);
+        let rendered = header.to_json().to_string();
+        let tampered =
+            rendered.replacen(&format!("\"{}\"", header.workload_digest), "\"12345\"", 1);
+        assert_ne!(tampered, rendered, "digest must appear in the header");
+        let parsed = json::parse(&tampered).expect("still valid JSON");
+        let err = FlightHeader::from_json(1, &parsed).expect_err("must fail");
+        match err {
+            ReplayError::Field { field, .. } => assert_eq!(field, "workload_digest"),
+            other => panic!("expected Field error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn error_display_names_the_line() {
+        let err = ReplayError::OutOfOrderArrival {
+            line: 7,
+            prev: 2.0,
+            next: 1.0,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("line 7"), "got: {msg}");
+        let err = ReplayError::Json {
+            line: 3,
+            source: json::parse("{").expect_err("invalid"),
+        };
+        assert!(err.to_string().contains("line 3"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -37,7 +37,7 @@ use crate::fleet::Fleet;
 use crate::job::{Job, JobRecord};
 use crate::metrics::{LatencyStats, QpuStats, SimReport, TenantStats};
 use crate::scheduler::Scheduler;
-use crate::telemetry::{MetricsRegistry, SimSeries, TraceSink, VecSink};
+use crate::telemetry::{MetricsRegistry, SimSeries, StreamingHistogram, TraceSink, VecSink};
 use crate::tenant::{TenantId, TenantMeta};
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
@@ -56,17 +56,37 @@ pub enum WorkloadMode {
     },
 }
 
+/// How [`crate::metrics::LatencyStats`] percentiles are computed when the
+/// run is summarized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PercentileMode {
+    /// Sort the full sample set and take exact rank statistics (the
+    /// historical behavior; allocation per summary is proportional to the
+    /// completed-job count).
+    #[default]
+    Exact,
+    /// Stream samples through a [`StreamingHistogram`] sketch: constant
+    /// memory regardless of run size, quantiles within the sketch's
+    /// documented relative-error bound
+    /// ([`StreamingHistogram::relative_error_bound`]), `min`/`max`/`mean`
+    /// still exact.  The right choice for million-job runs.
+    Sketch,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Open or closed workload release.
     pub mode: WorkloadMode,
+    /// Exact or sketch-backed report percentiles.
+    pub percentiles: PercentileMode,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
         Self {
             mode: WorkloadMode::Open,
+            percentiles: PercentileMode::Exact,
         }
     }
 }
@@ -573,6 +593,7 @@ pub fn simulate_with_telemetry(
         scheduler.name(),
         admission.name(),
         lanes,
+        config.percentiles,
         RunOutcome {
             event_count,
             rejected,
@@ -614,6 +635,36 @@ struct RunOutcome {
 /// Runs once per simulation, after the event loop: the percentile sweeps,
 /// per-tenant regroupings and label formatting below allocate freely and
 /// deliberately stay off the hot path.
+/// Summarize one value stream under the configured percentile mode.
+///
+/// Exact mode materializes the values into one pre-sized buffer (capacity
+/// from the caller, so the allocation count is independent of how many
+/// values actually arrive — the alloc-budget test's N-vs-2N comparison
+/// depends on that) and takes exact rank statistics.  Sketch mode streams
+/// the values through a [`StreamingHistogram`] and never materializes
+/// them.
+// sx-lint: hot-exempt -- once per run, after the event loop drains; nothing here is per-event
+fn summarize(
+    percentiles: PercentileMode,
+    capacity: usize,
+    values: impl Iterator<Item = f64>,
+) -> LatencyStats {
+    match percentiles {
+        PercentileMode::Exact => {
+            let mut buf: Vec<f64> = Vec::with_capacity(capacity);
+            buf.extend(values);
+            LatencyStats::from_values(&buf)
+        }
+        PercentileMode::Sketch => {
+            let mut sketch = StreamingHistogram::default();
+            for v in values {
+                sketch.observe(v);
+            }
+            LatencyStats::from_sketch(&sketch)
+        }
+    }
+}
+
 // sx-lint: hot-exempt -- once per run, after the event loop drains; nothing here is per-event
 fn assemble_report(
     fleet: &Fleet,
@@ -621,6 +672,7 @@ fn assemble_report(
     policy: &str,
     admission: &str,
     lanes: usize,
+    percentiles: PercentileMode,
     run: RunOutcome,
 ) -> SimReport {
     let RunOutcome {
@@ -638,8 +690,6 @@ fn assemble_report(
         tenant_deferrals,
         tenant_rejected,
     } = run;
-    let latencies: Vec<f64> = records.iter().map(|r| r.latency_seconds()).collect();
-    let waits: Vec<f64> = records.iter().map(|r| r.wait_seconds()).collect();
     let per_qpu: Vec<QpuStats> = fleet
         .devices
         .iter()
@@ -678,10 +728,6 @@ fn assemble_report(
             // test's N-vs-2N comparison exact.
             let mut tenant_records: Vec<&JobRecord> = Vec::with_capacity(records.len());
             tenant_records.extend(records.iter().filter(|r| r.tenant == id));
-            let lat: Vec<f64> = tenant_records.iter().map(|r| r.latency_seconds()).collect();
-            let wai: Vec<f64> = tenant_records.iter().map(|r| r.wait_seconds()).collect();
-            let mut late: Vec<f64> = Vec::with_capacity(tenant_records.len());
-            late.extend(tenant_records.iter().filter_map(|r| r.lateness_seconds()));
             TenantStats {
                 tenant: id,
                 name: meta.name,
@@ -693,21 +739,33 @@ fn assemble_report(
                 deferrals: tenant_deferrals[lane],
                 rejected: tenant_rejected[lane],
                 max_queue_depth: tenant_depth_max[lane],
-                latency: LatencyStats::from_values(&lat),
-                wait: LatencyStats::from_values(&wai),
-                slo_jobs: late.len(),
+                latency: summarize(
+                    percentiles,
+                    tenant_records.len(),
+                    tenant_records.iter().map(|r| r.latency_seconds()),
+                ),
+                wait: summarize(
+                    percentiles,
+                    tenant_records.len(),
+                    tenant_records.iter().map(|r| r.wait_seconds()),
+                ),
+                slo_jobs: tenant_records
+                    .iter()
+                    .filter(|r| r.deadline.is_some())
+                    .count(),
                 slo_misses: tenant_records
                     .iter()
                     .filter(|r| r.slo_miss() == Some(true))
                     .count(),
-                lateness: LatencyStats::from_values(&late),
+                lateness: summarize(
+                    percentiles,
+                    tenant_records.len(),
+                    tenant_records.iter().filter_map(|r| r.lateness_seconds()),
+                ),
                 service_seconds: tenant_records.iter().map(|r| r.service_seconds()).sum(),
             }
         })
         .collect();
-
-    let mut lateness: Vec<f64> = Vec::with_capacity(records.len());
-    lateness.extend(records.iter().filter_map(|r| r.lateness_seconds()));
 
     SimReport {
         policy: policy.to_string(),
@@ -720,9 +778,21 @@ fn assemble_report(
         deferrals,
         rejected,
         makespan_seconds: makespan,
-        latency: LatencyStats::from_values(&latencies),
-        wait: LatencyStats::from_values(&waits),
-        lateness: LatencyStats::from_values(&lateness),
+        latency: summarize(
+            percentiles,
+            records.len(),
+            records.iter().map(|r| r.latency_seconds()),
+        ),
+        wait: summarize(
+            percentiles,
+            records.len(),
+            records.iter().map(|r| r.wait_seconds()),
+        ),
+        lateness: summarize(
+            percentiles,
+            records.len(),
+            records.iter().filter_map(|r| r.lateness_seconds()),
+        ),
         stage1_seconds: records.iter().map(|r| r.stage1_seconds).sum(),
         stage2_seconds: records.iter().map(|r| r.stage2_seconds).sum(),
         stage3_seconds: records.iter().map(|r| r.stage3_seconds).sum(),
@@ -762,8 +832,103 @@ mod tests {
             fleet(seed),
             &workload,
             scheduler.as_mut(),
-            SimConfig { mode },
+            SimConfig {
+                mode,
+                ..SimConfig::default()
+            },
         )
+    }
+
+    /// The sketch's own rank rule (1-based nearest rank ⌈q·n⌉), applied to
+    /// the exact sorted samples — the value the sketch approximates.
+    fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn sketch_percentiles_agree_with_exact_within_the_documented_bound() {
+        let workload = WorkloadSpec::repeated_topologies(60, 0.8, 21).generate();
+        let mut exact_sched = PolicyKind::CacheAffinity.build();
+        let exact = simulate(
+            fleet(21),
+            &workload,
+            exact_sched.as_mut(),
+            SimConfig::default(),
+        );
+        let sketch_config = SimConfig {
+            percentiles: PercentileMode::Sketch,
+            ..SimConfig::default()
+        };
+        let mut sketch_sched = PolicyKind::CacheAffinity.build();
+        let sketch = simulate(fleet(21), &workload, sketch_sched.as_mut(), sketch_config);
+
+        // The percentile mode only changes how the report summarizes; the
+        // simulation itself is bit-identical.
+        assert_eq!(exact.records, sketch.records);
+        assert_eq!(exact.makespan_seconds, sketch.makespan_seconds);
+        assert_eq!(exact.events, sketch.events);
+
+        // And the sketch path is itself deterministic.
+        let mut again_sched = PolicyKind::CacheAffinity.build();
+        let again = simulate(fleet(21), &workload, again_sched.as_mut(), sketch_config);
+        assert_eq!(again, sketch);
+
+        let bound = StreamingHistogram::default().relative_error_bound();
+        for (what, values, exact_stats, sketch_stats) in [
+            (
+                "latency",
+                exact
+                    .records
+                    .iter()
+                    .map(|r| r.latency_seconds())
+                    .collect::<Vec<f64>>(),
+                &exact.latency,
+                &sketch.latency,
+            ),
+            (
+                "wait",
+                exact
+                    .records
+                    .iter()
+                    .map(|r| r.wait_seconds())
+                    .collect::<Vec<f64>>(),
+                &exact.wait,
+                &sketch.wait,
+            ),
+        ] {
+            let mut sorted = values;
+            sorted.sort_unstable_by(f64::total_cmp);
+            assert!(sketch_stats.percentiles_ordered(), "{what}: order holds");
+            // min/max/mean are tracked exactly by the sketch (mean may
+            // differ by summation order only).
+            assert_eq!(exact_stats.min, sketch_stats.min, "{what}: exact min");
+            assert_eq!(exact_stats.max, sketch_stats.max, "{what}: exact max");
+            assert!(
+                (exact_stats.mean - sketch_stats.mean).abs()
+                    <= 1e-9 * exact_stats.mean.abs().max(1.0),
+                "{what}: mean {} vs {}",
+                exact_stats.mean,
+                sketch_stats.mean
+            );
+            // Quantiles: within the documented relative-error bound of the
+            // nearest-rank sample the sketch targets.
+            for (name, q, got) in [
+                ("p50", 0.50, sketch_stats.p50),
+                ("p95", 0.95, sketch_stats.p95),
+                ("p99", 0.99, sketch_stats.p99),
+            ] {
+                let target = nearest_rank(&sorted, q);
+                assert!(
+                    (got - target).abs() <= bound * target.abs() + 1e-12,
+                    "{what}/{name}: sketch {got} vs nearest-rank {target} (bound {bound})"
+                );
+            }
+        }
+        // No deadlines in this workload: both lateness summaries are the
+        // all-zero empty summary.
+        assert_eq!(exact.lateness, sketch.lateness);
     }
 
     #[test]
@@ -936,6 +1101,7 @@ mod tests {
             &mut gate,
             SimConfig {
                 mode: WorkloadMode::Closed { clients: 2 },
+                ..SimConfig::default()
             },
         );
         assert!(report.shed > 0, "defer bound never bound in closed mode");
@@ -968,6 +1134,7 @@ mod tests {
             PolicyKind::Fifo.build().as_mut(),
             SimConfig {
                 mode: WorkloadMode::Closed { clients: 2 },
+                ..SimConfig::default()
             },
         );
         assert_eq!(report.completed, 30);

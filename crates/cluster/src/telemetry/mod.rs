@@ -32,6 +32,6 @@ pub mod stopwatch;
 
 pub use perfetto::PerfettoSink;
 pub use registry::{CounterId, GaugeId, HistogramId, MetricsRegistry, SimSeries};
-pub use sink::{JsonlSink, NullSink, TraceSink, VecSink};
+pub use sink::{FanoutSink, JsonlSink, NullSink, TraceSink, VecSink};
 pub use sketch::StreamingHistogram;
 pub use stopwatch::{time_host, EnginePerf, HostStopwatch};

@@ -136,6 +136,18 @@ impl<W: io::Write> JsonlSink<W> {
         self.error.take()
     }
 
+    /// Write one arbitrary JSON value as its own line, with the same
+    /// latched-error discipline as record writes.  This is the framing
+    /// seam the flight recorder ([`crate::replay::RecorderSink`]) uses for
+    /// its header lines: headers and records share one writer, one line
+    /// counter and one error latch.
+    pub fn write_value(&mut self, value: &crate::json::JsonValue) {
+        match writeln!(self.out, "{value}") {
+            Ok(()) => self.lines += 1,
+            Err(err) => self.latch(err),
+        }
+    }
+
     /// Latch one I/O failure: bump the count, keep the earliest error.
     fn latch(&mut self, err: io::Error) {
         self.write_errors += 1;
@@ -179,6 +191,33 @@ impl<W: io::Write> TraceSink for JsonlSink<W> {
 
     fn name(&self) -> &'static str {
         "jsonl"
+    }
+}
+
+/// A tee: forwards every record to two sinks, in order.  Lets one run feed
+/// a recorder and a live visualization (or a retained [`VecSink`]) at once
+/// without either knowing about the other; nest fanouts for more than two.
+pub struct FanoutSink<'a, 'b> {
+    first: &'a mut dyn TraceSink,
+    second: &'b mut dyn TraceSink,
+}
+
+impl<'a, 'b> FanoutSink<'a, 'b> {
+    /// Forward to `first`, then `second`.
+    pub fn new(first: &'a mut dyn TraceSink, second: &'b mut dyn TraceSink) -> Self {
+        Self { first, second }
+    }
+}
+
+impl TraceSink for FanoutSink<'_, '_> {
+    // sx-lint: hot-exempt -- pure forwarding; cost is whatever the wrapped sinks cost
+    fn on_record(&mut self, record: &TraceRecord, vclock: f64) {
+        self.first.on_record(record, vclock);
+        self.second.on_record(record, vclock);
+    }
+
+    fn name(&self) -> &'static str {
+        "fanout"
     }
 }
 
@@ -266,6 +305,53 @@ mod tests {
             kinds,
             ["fired", "dispatched", "shed", "deferred", "rejected"]
         );
+    }
+
+    #[test]
+    fn fanout_forwards_to_both_sinks_in_order() {
+        let records = sample_records();
+        let mut left = VecSink::new();
+        let mut right = VecSink::new();
+        {
+            let mut tee = FanoutSink::new(&mut left, &mut right);
+            assert_eq!(tee.name(), "fanout");
+            for (i, r) in records.iter().enumerate() {
+                tee.on_record(r, i as f64);
+            }
+        }
+        assert_eq!(left.records(), records.as_slice());
+        assert_eq!(right.records(), records.as_slice());
+    }
+
+    #[test]
+    fn write_value_shares_the_line_counter_and_error_latch() {
+        let mut sink = JsonlSink::new(Vec::<u8>::new());
+        sink.write_value(&json::JsonValue::object([(
+            "schema",
+            json::JsonValue::from("test/v1"),
+        )]));
+        sink.on_record(&sample_records()[0], 0.0);
+        assert_eq!(sink.lines(), 2, "headers and records share one counter");
+        let (bytes, lines) = sink.finish().expect("clean run");
+        assert_eq!(lines, 2);
+        let text = String::from_utf8(bytes).expect("utf8");
+        let mut parsed = text.lines().map(|l| json::parse(l).expect("valid"));
+        assert!(parsed.next().expect("header").get("schema").is_some());
+        assert!(parsed.next().expect("record").get("kind").is_some());
+
+        struct FailingWriter;
+        impl io::Write for FailingWriter {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut bad = JsonlSink::new(FailingWriter);
+        bad.write_value(&json::JsonValue::Null);
+        assert_eq!(bad.write_errors(), 1, "header failures latch like records");
+        assert!(bad.take_error().is_some());
     }
 
     #[test]

@@ -731,6 +731,7 @@ fn closed_loop_completes_the_stream() {
         scheduler.as_mut(),
         SimConfig {
             mode: WorkloadMode::Closed { clients: 3 },
+            percentiles: PercentileMode::Exact,
         },
     );
     assert_eq!(report.completed + report.rejected, 30);
