@@ -2,7 +2,7 @@
 //! fairness and deadline SLOs — with a flight recorder that can capture
 //! any run and replay it bit-identically.
 //!
-//! Eight modes (see `docs/cluster_sim.md` for the full flag and JSON-schema
+//! Nine modes (see `docs/cluster_sim.md` for the full flag and JSON-schema
 //! reference):
 //!
 //! * `--mode compare` (default) — replays a stream of QUBO jobs against a
@@ -46,12 +46,23 @@
 //!   policy × fleet × offered load, each cell run with a
 //!   [`NullSink`] and a sketch-only metrics
 //!   registry, wall-clock timed host-side.  Emits a schema-stable
-//!   `BENCH_cluster.json` (`sx-cluster-bench/v1`: events/sec, jobs/sec,
-//!   ns/event, latency quantiles per cell), re-reads the file through
+//!   `BENCH_cluster.json` (`sx-cluster-bench/v2`: events/sec, jobs/sec,
+//!   ns/event, latency quantiles per cell, plus a parallel-scaling section
+//!   comparing the serial oracle against a `--threads N` re-run that must
+//!   be bit-identical), re-reads the file through
 //!   `sx_cluster::json::parse` and validates it against the schema, and
 //!   cross-checks that telemetry was a pure observer (sink-on vs sink-off
 //!   reports bit-identical) — so one CI step covers generation and
 //!   validation.
+//! * `--mode sweep` — the deterministic parallel experiment runner,
+//!   exposed directly: an explicit (seed × load × policy) grid expanded
+//!   through `sx_cluster::sweep::SweepPlan` (arrival rates calibrated once
+//!   per fleet, see below) and executed across `--threads` workers.  Emits
+//!   a schema-stable `sx-sweep/v1` JSON document — per-cell rows plus
+//!   merged sketch percentiles, no wall-clock fields — that is
+//!   byte-identical for every thread count; CI diffs a `--threads 2` run
+//!   against the `--threads 1` serial oracle.  Host-side events/sec goes
+//!   to stdout only, so it cannot perturb the diff.
 //! * `--mode replay --input PATH` — re-simulates every run segment of a
 //!   flight record written by `--record` and verifies the engine
 //!   reproduces each recorded trace bit-for-bit.  Segments recorded under
@@ -61,15 +72,28 @@
 //!
 //! ```text
 //! cargo run --release -p sx-bench --bin cluster_sim -- \
-//!     [--mode compare|cache-cliff|fairness|aging-sweep|admission|slo|bench|replay] \
-//!     [--jobs N] [--qpus N] [--seed S] [--rate R] \
+//!     [--mode compare|cache-cliff|fairness|aging-sweep|admission|slo|bench|sweep|replay] \
+//!     [--jobs N] [--qpus N] [--seed S] [--rate R] [--threads N] \
 //!     [--closed CLIENTS] [--workload repeated|mixed|bursty|trace:PATH] \
 //!     [--policy fifo|spjf|affinity|wfq|all] [--fleet uniform|hetero] \
 //!     [--capacity N] [--eviction lru|cost-aware] \
 //!     [--cache-admission always|second-chance] [--json PATH] [--virtual] \
 //!     [--record PATH] [--input PATH] [--percentiles exact|sketch] \
-//!     [--trace-out PATH] [--arrivals-out PATH] [--sample-interval SECONDS]
+//!     [--trace-out PATH] [--arrivals-out PATH] [--sample-interval SECONDS] \
+//!     [--seeds S1,S2,..] [--loads L1,L2,..] [--policies P1,P2,..]
 //! ```
+//!
+//! `--threads N` (the sweep-shaped modes: cache-cliff, fairness,
+//! aging-sweep, slo, bench, sweep) fans the mode's independent cells across
+//! N worker threads via the workspace's deterministic `rayon` facade
+//! (default `0` = available parallelism; `--threads 1` is the serial
+//! oracle).  Every cell is a pure function of its [`CellSpec`] and results
+//! are collected in cell-index order, so all outputs are bit-identical for
+//! every thread count.  `--record`/`--trace-out` force serial execution
+//! (their sinks are single-stream writers) without changing any result —
+//! sinks are pure observers.  `--seeds`/`--loads`/`--policies` set the
+//! explicit axis grid of `--mode sweep` (defaults: `--seed`'s value,
+//! `0.7,1.1`, `fifo,affinity,wfq`).
 //!
 //! `--record PATH` (any mode) streams every simulated run to a versioned
 //! JSONL flight record (`sx-flight-record/v1`): each run contributes a
@@ -106,8 +130,11 @@
 //! through `split_exec::Pipeline` to sanity-check the analytic service
 //! model; CI runs the modes with `--virtual` as smoke tests.
 
+use std::sync::Arc;
+
 use split_exec::SplitExecConfig;
 use sx_cluster::prelude::*;
+use sx_cluster::sweep::DEFAULT_SAMPLE_INTERVAL;
 
 #[derive(Debug)]
 struct Args {
@@ -116,6 +143,7 @@ struct Args {
     qpus: usize,
     seed: u64,
     rate_hz: f64,
+    threads: usize,
     closed: Option<usize>,
     workload: String,
     policy: String,
@@ -131,6 +159,9 @@ struct Args {
     input: Option<String>,
     arrivals_out: Option<String>,
     percentiles: PercentileMode,
+    seeds: Option<Vec<u64>>,
+    loads: Option<Vec<f64>>,
+    policies: Option<Vec<String>>,
 }
 
 impl Args {
@@ -141,6 +172,7 @@ impl Args {
             qpus: 4,
             seed: 7,
             rate_hz: 1.0,
+            threads: 0,
             closed: None,
             workload: "repeated".into(),
             policy: "all".into(),
@@ -156,6 +188,9 @@ impl Args {
             input: None,
             arrivals_out: None,
             percentiles: PercentileMode::Exact,
+            seeds: None,
+            loads: None,
+            policies: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -171,6 +206,17 @@ impl Args {
                 "--qpus" => args.qpus = parse_or_die(&value("--qpus"), "--qpus"),
                 "--seed" => args.seed = parse_or_die(&value("--seed"), "--seed"),
                 "--rate" => args.rate_hz = parse_or_die(&value("--rate"), "--rate"),
+                "--threads" => args.threads = parse_or_die(&value("--threads"), "--threads"),
+                "--seeds" => args.seeds = Some(parse_csv(&value("--seeds"), "--seeds")),
+                "--loads" => args.loads = Some(parse_csv(&value("--loads"), "--loads")),
+                "--policies" => {
+                    args.policies = Some(
+                        value("--policies")
+                            .split(',')
+                            .map(|p| p.trim().to_string())
+                            .collect(),
+                    )
+                }
                 "--closed" => args.closed = Some(parse_or_die(&value("--closed"), "--closed")),
                 "--workload" => args.workload = value("--workload"),
                 "--policy" => args.policy = value("--policy"),
@@ -262,6 +308,33 @@ fn parse_or_die<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
     })
 }
 
+fn parse_csv<T: std::str::FromStr>(raw: &str, flag: &str) -> Vec<T> {
+    raw.split(',')
+        .map(|part| parse_or_die(part.trim(), flag))
+        .collect()
+}
+
+/// Execute a mode's cell list: across `--threads` workers through the
+/// parallel sweep runner when nothing is observing, serially through the
+/// observer's sink chain otherwise (the flight recorder and the Perfetto
+/// exporter are single-stream writers).  Both paths produce bit-identical
+/// [`CellResult`]s — cells are pure functions of their specs and sinks are
+/// pure observers — so `--record`/`--trace-out` never change a sweep's
+/// outputs, only its wall clock.
+fn run_cells(args: &Args, observer: &mut Observer, cells: &[CellSpec]) -> SweepOutcome {
+    if observer.active() || args.threads == 1 {
+        let stopwatch = HostStopwatch::start();
+        let results = cells
+            .iter()
+            .enumerate()
+            .map(|(index, cell)| observer.run_cell(index, cell))
+            .collect();
+        SweepOutcome::collect(results, stopwatch.elapsed_seconds())
+    } else {
+        run_sweep(cells, args.threads)
+    }
+}
+
 /// The observation plumbing shared by every mode: the optional flight
 /// recorder (`--record`, every run) and the optional Perfetto export
 /// (`--trace-out`, first run only — interleaving several runs would make
@@ -305,25 +378,24 @@ impl Observer {
         }
     }
 
-    /// Observe one engine run: write its flight-record segment (when
-    /// recording and a header is supplied), attach the Perfetto exporter
-    /// to the first run, fan out to the caller's `extra` sink, and run the
-    /// simulation.  With nothing active this degenerates to a bare
-    /// [`NullSink`] — the perf-default path.
-    /// (One seam carries the whole sink chain, hence the argument count.)
-    #[allow(clippy::too_many_arguments)]
-    // sx-lint: hot-exempt -- bare-name collision with the hot registry/sketch `observe`; this runs once per CLI run, not per event
-    fn observe(
+    /// Whether any observation sink is attached.  Active observation
+    /// forces a sweep to run serially: the recorder and Perfetto exporter
+    /// are single-stream writers and cannot interleave concurrent cells.
+    fn active(&self) -> bool {
+        self.recorder.is_some() || self.perfetto.is_some()
+    }
+
+    /// Assemble the sink chain for one run — flight-record segment header
+    /// (when recording and a header is supplied), Perfetto exporter on the
+    /// first run only, the caller's `extra` sink — and hand it to `run`.
+    /// With nothing active the chain degenerates to a bare [`NullSink`],
+    /// the perf-default path.
+    fn with_chain<T>(
         &mut self,
         header: Option<&FlightHeader>,
-        fleet: Fleet,
-        workload: &Workload,
-        scheduler: &mut dyn Scheduler,
-        admission: &mut dyn AdmissionController,
-        config: SimConfig,
-        registry: Option<&mut MetricsRegistry>,
         extra: Option<&mut dyn TraceSink>,
-    ) -> SimReport {
+        run: impl FnOnce(&mut dyn TraceSink) -> T,
+    ) -> T {
         let Self {
             recorder,
             perfetto,
@@ -355,9 +427,50 @@ impl Observer {
             fan_extra = FanoutSink::new(extra, chain);
             chain = &mut fan_extra;
         }
-        simulate_with_telemetry(
-            fleet, workload, scheduler, admission, config, chain, registry,
-        )
+        run(chain)
+    }
+
+    /// Observe one engine run through the sink chain.
+    /// (One seam carries the whole chain, hence the argument count.)
+    #[allow(clippy::too_many_arguments)]
+    // sx-lint: hot-exempt -- bare-name collision with the hot registry/sketch `observe`; this runs once per CLI run, not per event
+    fn observe(
+        &mut self,
+        header: Option<&FlightHeader>,
+        fleet: Fleet,
+        workload: &Workload,
+        scheduler: &mut dyn Scheduler,
+        admission: &mut dyn AdmissionController,
+        config: SimConfig,
+        registry: Option<&mut MetricsRegistry>,
+        extra: Option<&mut dyn TraceSink>,
+    ) -> SimReport {
+        self.with_chain(header, extra, |chain| {
+            simulate_with_telemetry(
+                fleet, workload, scheduler, admission, config, chain, registry,
+            )
+        })
+    }
+
+    /// Execute one sweep cell through the observation chain — the serial
+    /// path of [`run_cells`].  Produces the identical [`CellResult`] that
+    /// `sweep::run_cell` with a bare [`NullSink`] would (sinks are pure
+    /// observers), which is what lets `--record`/`--trace-out` capture a
+    /// sweep without perturbing its outputs.
+    fn run_cell(&mut self, index: usize, cell: &CellSpec) -> CellResult {
+        let header = self.recorder.is_some().then(|| {
+            FlightHeader::new(
+                cell.seed,
+                cell.scheduler.clone(),
+                cell.admission.name(),
+                cell.fleet.clone(),
+                cell.config,
+                (*cell.workload).clone(),
+            )
+        });
+        self.with_chain(header.as_ref(), None, |chain| {
+            sx_cluster::sweep::run_cell(index, cell, chain)
+        })
     }
 
     /// The common shape of a primary run: build the fleet from its config
@@ -446,11 +559,12 @@ fn main() {
         "admission" | "cache-admission" => admission_compare(&args, &mut observer),
         "slo" | "deadline" | "deadlines" => slo(&args, &mut observer),
         "bench" | "perf" => bench(&args, &mut observer),
+        "sweep" => sweep_mode(&args, &mut observer),
         "replay" => replay(&args, &mut observer),
         other => {
             eprintln!(
                 "unknown mode '{other}' (expected compare, cache-cliff, fairness, \
-                 aging-sweep, admission, slo, bench or replay)"
+                 aging-sweep, admission, slo, bench, sweep or replay)"
             );
             std::process::exit(2);
         }
@@ -459,11 +573,11 @@ fn main() {
         println!("FAIL: {err}");
         ok = false;
     }
-    // Bench mode owns its output file: BENCH_cluster.json must carry the
-    // `sx-cluster-bench/v1` schema at the top level, not the generic
-    // `{mode, seed, ..., results}` wrapper, so downstream trackers can diff
-    // baselines without unwrapping.
-    let wraps_json = args.mode != "bench" && args.mode != "perf";
+    // Bench and sweep modes own their output files: BENCH_cluster.json and
+    // the sweep document must carry their schema tags at the top level, not
+    // the generic `{mode, seed, ..., results}` wrapper, so downstream
+    // trackers can diff baselines without unwrapping.
+    let wraps_json = !matches!(args.mode.as_str(), "bench" | "perf" | "sweep");
     if let (Some(path), true) = (&args.json, wraps_json) {
         let doc = JsonValue::object([
             ("mode", JsonValue::from(args.mode.as_str())),
@@ -719,20 +833,33 @@ fn cache_cliff(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
         capacities.sort_unstable();
         capacities.dedup();
 
+        // The (eviction × capacity) grid as independent sweep cells — one
+        // workload per diversity shared across the grid, fleet configs
+        // carrying the per-cell cache bound.
+        let workload = Arc::new(workload);
+        let mut cells: Vec<CellSpec> = Vec::new();
         for eviction in EvictionPolicyKind::all() {
             for &capacity in &capacities {
-                let report = observer.run(
-                    args.seed,
-                    args.fleet_config().with_cache(capacity, eviction),
-                    &workload,
-                    &SchedulerSpec::from(policy),
-                    &mut AdmitAll,
-                    args.sim_config(WorkloadMode::Open),
-                    None,
-                );
+                cells.push(CellSpec {
+                    label: format!("d{diversity}/{}/cap{capacity}", eviction.name()),
+                    seed: args.seed,
+                    fleet: args.fleet_config().with_cache(capacity, eviction),
+                    scheduler: SchedulerSpec::from(policy),
+                    admission: AdmissionSpec::AdmitAll,
+                    config: args.sim_config(WorkloadMode::Open),
+                    sample_interval: args.sample_interval.unwrap_or(DEFAULT_SAMPLE_INTERVAL),
+                    workload: Arc::clone(&workload),
+                });
+            }
+        }
+        let outcome = run_cells(args, observer, &cells);
+        let mut results = outcome.cells.iter();
+        for eviction in EvictionPolicyKind::all() {
+            for &capacity in &capacities {
+                let report = &results.next().expect("one result per cell").report;
                 series
                     .points
-                    .push(CachePoint::from_report(capacity, eviction.name(), &report));
+                    .push(CachePoint::from_report(capacity, eviction.name(), report));
             }
         }
 
@@ -839,7 +966,7 @@ fn fairness(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
     // The grid's (asym 10, skew 1, WFQ) report doubles as the un-gated
     // baseline of the admission check below — same spec, fleet and
     // scheduler, so re-simulating it would be pure waste.
-    let mut wfq_at_full_load: Option<SimReport> = None;
+    let mut wfq_at_full_load: Option<&SimReport> = None;
 
     // The victim alone on the same fleet: its no-contention baseline.
     // Tenant 0's stream is independent of asymmetry and weight skew (only
@@ -853,30 +980,35 @@ fn fairness(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
         }
         .generate()
     };
-    let isolated_p99 = observer
-        .run(
-            args.seed,
-            args.fleet_config(),
-            &isolated_workload,
-            &SchedulerSpec::Fifo,
-            &mut AdmitAll,
-            args.sim_config(WorkloadMode::Open),
-            None,
-        )
-        .latency
-        .p99;
 
+    // The whole mode as one cell list, in table order — isolated baseline,
+    // the (asymmetry × skew × policy) grid, then the gated admission run —
+    // executed in a single pass through the sweep runner (`--threads`).
+    let config = args.sim_config(WorkloadMode::Open);
+    let sample_interval = args.sample_interval.unwrap_or(DEFAULT_SAMPLE_INTERVAL);
+    let depth_limit = 6;
+    let mut cells: Vec<CellSpec> = vec![CellSpec {
+        label: "isolated".to_string(),
+        seed: args.seed,
+        fleet: args.fleet_config(),
+        scheduler: SchedulerSpec::Fifo,
+        admission: AdmissionSpec::AdmitAll,
+        config,
+        sample_interval,
+        workload: Arc::new(isolated_workload),
+    }];
     for &asymmetry in &asymmetries {
         for &skew in &skews {
-            let spec = MultiTenantSpec::aggressor_victim(
-                victim_jobs,
-                victim_rate,
-                asymmetry,
-                skew,
-                args.seed,
+            let workload = Arc::new(
+                MultiTenantSpec::aggressor_victim(
+                    victim_jobs,
+                    victim_rate,
+                    asymmetry,
+                    skew,
+                    args.seed,
+                )
+                .generate(),
             );
-            let workload = spec.generate();
-
             for policy in [PolicyKind::Fifo, PolicyKind::WeightedFair] {
                 // The per-workload WFQ (explicit tenant weights) needs the
                 // full SchedulerSpec form so a recorded run rebuilds the
@@ -888,15 +1020,66 @@ fn fairness(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
                     },
                     other => SchedulerSpec::from(other),
                 };
-                let report = observer.run(
-                    args.seed,
-                    args.fleet_config(),
-                    &workload,
-                    &spec,
-                    &mut AdmitAll,
-                    args.sim_config(WorkloadMode::Open),
-                    None,
-                );
+                cells.push(CellSpec {
+                    label: format!("asym{asymmetry}/skew{skew}/{}", spec.name()),
+                    seed: args.seed,
+                    fleet: args.fleet_config(),
+                    scheduler: spec,
+                    admission: AdmissionSpec::AdmitAll,
+                    config,
+                    sample_interval,
+                    workload: Arc::clone(&workload),
+                });
+            }
+        }
+    }
+    // Admission shedding bounds queue depth: budget the aggressor's lane.
+    // Recorded as a `token-bucket` segment: the flight record keeps it for
+    // diffing, but replay mode skips it (the gate's internal state is not
+    // serialized).
+    let gated_workload = Arc::new(
+        MultiTenantSpec::aggressor_victim(victim_jobs, victim_rate, 10.0, 1.0, args.seed)
+            .generate(),
+    );
+    let generous = TokenBucketConfig {
+        rate_hz: 1e3,
+        burst: 1e3,
+        max_queue_depth: usize::MAX,
+        max_defer_seconds: 1e9,
+        ..TokenBucketConfig::default()
+    };
+    cells.push(CellSpec {
+        label: "gated".to_string(),
+        seed: args.seed,
+        fleet: args.fleet_config(),
+        scheduler: SchedulerSpec::WeightedFair {
+            weights: gated_workload.weights(),
+            lane_order: LaneOrder::default(),
+        },
+        admission: AdmissionSpec::TokenBucket {
+            default: generous,
+            per_tenant: vec![(
+                TenantId(1),
+                TokenBucketConfig {
+                    max_queue_depth: depth_limit,
+                    ..generous
+                },
+            )],
+        },
+        config,
+        sample_interval,
+        workload: Arc::clone(&gated_workload),
+    });
+
+    let outcome = run_cells(args, observer, &cells);
+    let isolated_p99 = outcome.cells[0].report.latency.p99;
+
+    let mut cell_index = 1;
+    for &asymmetry in &asymmetries {
+        for &skew in &skews {
+            for policy in [PolicyKind::Fifo, PolicyKind::WeightedFair] {
+                let report = &outcome.cells[cell_index].report;
+                cell_index += 1;
                 let victim = report.tenant_named("victim").expect("victim stats");
                 let aggressor = report.tenant_named("aggressor").expect("aggressor stats");
                 println!(
@@ -985,43 +1168,10 @@ fn fairness(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
         ok = false;
     }
 
-    // Admission shedding bounds queue depth: budget the aggressor's lane.
-    // The un-gated baseline is the grid's own (asym 10, skew 1, WFQ) run.
-    let spec = MultiTenantSpec::aggressor_victim(victim_jobs, victim_rate, 10.0, 1.0, args.seed);
-    let workload = spec.generate();
-    let depth_limit = 6;
+    // The un-gated baseline is the grid's own (asym 10, skew 1, WFQ) run;
+    // the gated run is the cell list's last entry.
     let open = wfq_at_full_load.expect("grid covered asym 10 / skew 1 under WFQ");
-    let gated = {
-        let generous = TokenBucketConfig {
-            rate_hz: 1e3,
-            burst: 1e3,
-            max_queue_depth: usize::MAX,
-            max_defer_seconds: 1e9,
-            ..TokenBucketConfig::default()
-        };
-        let mut gate = TokenBucket::new(generous).with_tenant_budget(
-            TenantId(1),
-            TokenBucketConfig {
-                max_queue_depth: depth_limit,
-                ..generous
-            },
-        );
-        // Recorded as a `token-bucket` segment: the flight record keeps it
-        // for diffing, but replay mode skips it (the gate's internal state
-        // is not serialized).
-        observer.run(
-            args.seed,
-            args.fleet_config(),
-            &workload,
-            &SchedulerSpec::WeightedFair {
-                weights: workload.weights(),
-                lane_order: LaneOrder::default(),
-            },
-            &mut gate,
-            args.sim_config(WorkloadMode::Open),
-            None,
-        )
-    };
+    let gated = &outcome.cells[cells.len() - 1].report;
     let aggressor = gated.tenant_named("aggressor").expect("aggressor stats");
     let victim = gated.tenant_named("victim").expect("victim stats");
     println!(
@@ -1073,32 +1223,54 @@ fn aging_sweep(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
     // stretch toward the whole makespan.  The flood must actually exceed
     // the fleet's service capacity or queues never form and every weight
     // looks identical, so the arrival rate is derived from the cost
-    // model itself: ~125% of what the fleet can serve warm.
-    let probe = Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed));
-    let (s1, s2, s3) = probe.devices[0]
-        .service_breakdown(10, true)
-        .expect("warm service model for lps 10");
-    let warm_short_seconds = s1 + s2 + s3;
-    let rate_hz = args.rate_hz * 1.25 * args.qpus as f64 / warm_short_seconds;
-    let spec = WorkloadSpec {
-        jobs: args.jobs,
-        seed: args.seed,
-        arrivals: ArrivalProcess::Poisson { rate_hz },
-        mix: vec![
-            (12.0, FamilySpec::MaxCutCycle { sizes: vec![8, 10] }),
-            (1.0, FamilySpec::Partition { n: 40 }),
-        ],
-        deadlines: DeadlinePolicy::None,
-    };
-    let workload = match spec.try_generate() {
-        Ok(workload) => workload,
-        Err(err) => {
-            eprintln!("invalid workload spec: {err}");
+    // model itself: ~125% of what the fleet can serve warm.  The capacity
+    // probe is hoisted into the plan (`SweepPlan::calibrated`), so the rate
+    // is pinned to the (fleet, load) coordinate and cannot drift if axes
+    // are added or reordered.
+    let plan = SweepPlan::new(args.rate_hz, args.qpus, args.sim_config(WorkloadMode::Open))
+        .seeds(vec![args.seed])
+        .fleets(vec![(String::new(), args.fleet_config())])
+        .loads(vec![1.25])
+        .sample_interval(args.sample_interval.unwrap_or(DEFAULT_SAMPLE_INTERVAL))
+        .calibrated(&[10])
+        .unwrap_or_else(|err| {
+            eprintln!("aging-sweep calibration failed: {err}");
             std::process::exit(2);
-        }
-    };
+        });
 
     let weights = [0.0, 0.01, 0.03, DEFAULT_AGING_WEIGHT, 0.3, 1.0];
+    // The aging weight is the scheduler axis: f64 `Display` round-trips
+    // exactly, so the axis names parse back to the identical weights.
+    let weight_names: Vec<String> = weights.iter().map(|w| format!("{w}")).collect();
+    let scheduler_names: Vec<&str> = weight_names.iter().map(String::as_str).collect();
+    let cells = plan.expand(
+        &[(String::new(), ())],
+        &scheduler_names,
+        |seed, rate_hz, ()| {
+            let spec = WorkloadSpec {
+                jobs: args.jobs,
+                seed,
+                arrivals: ArrivalProcess::Poisson { rate_hz },
+                mix: vec![
+                    (12.0, FamilySpec::MaxCutCycle { sizes: vec![8, 10] }),
+                    (1.0, FamilySpec::Partition { n: 40 }),
+                ],
+                deadlines: DeadlinePolicy::None,
+            };
+            match spec.try_generate() {
+                Ok(workload) => Arc::new(workload),
+                Err(err) => {
+                    eprintln!("invalid workload spec: {err}");
+                    std::process::exit(2);
+                }
+            }
+        },
+        |name, _| SchedulerSpec::ShortestPredictedFirst {
+            aging_weight: name.parse().expect("weight axis names are f64 strings"),
+        },
+    );
+    let workload = Arc::clone(&cells[0].workload);
+
     println!(
         "# cluster_sim aging-sweep: {} jobs ({} distinct topologies), {} QPUs, seed {} \
          (default weight {DEFAULT_AGING_WEIGHT})",
@@ -1112,21 +1284,13 @@ fn aging_sweep(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
         "aging", "p99 [s]", "mean [s]", "max wait", "starved", "makespan"
     );
 
+    let outcome = run_cells(args, observer, &cells);
+
     let mut ok = true;
     let mut points: Vec<(f64, f64, f64)> = Vec::new(); // (weight, p99, starvation)
     let mut json_points: Vec<JsonValue> = Vec::new();
-    for &weight in &weights {
-        let report = observer.run(
-            args.seed,
-            args.fleet_config(),
-            &workload,
-            &SchedulerSpec::ShortestPredictedFirst {
-                aging_weight: weight,
-            },
-            &mut AdmitAll,
-            args.sim_config(WorkloadMode::Open),
-            None,
-        );
+    for (&weight, cell) in weights.iter().zip(&outcome.cells) {
+        let report = &cell.report;
         // Starvation incidence: fraction of completed jobs that spent more
         // than a quarter of the whole makespan just waiting — jobs the
         // scheduler effectively parked until the stream dried up.
@@ -1373,23 +1537,25 @@ fn slo(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
     // spans lps 12..=36 and warm service grows with size, so capacity is
     // calibrated against the *mean* warm service over the grid's sizes —
     // calibrating on one mid size would make nominal load 1.0 quietly
-    // super-critical and saturate long runs into all-miss ties.
-    let probe = Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed));
+    // super-critical and saturate long runs into all-miss ties.  The probe
+    // is hoisted into the plan (`SweepPlan::calibrated`): one calibration
+    // per fleet, every cell's rate derived from the stored value.
     let grid_sizes = [12usize, 14, 20, 22, 28, 30, 34, 36];
-    let warm_mean_seconds = grid_sizes
-        .iter()
-        .map(|&lps| {
-            let (s1, s2, s3) = probe.devices[0]
-                .service_breakdown(lps, true)
-                .expect("warm service model for grid sizes");
-            s1 + s2 + s3
-        })
-        .sum::<f64>()
-        / grid_sizes.len() as f64;
-    let rate_at = |load: f64| args.rate_hz * load * args.qpus as f64 / warm_mean_seconds;
     let loads = [0.6, 1.1];
     let factors = [6.0, 12.0]; // tight vs loose proportional slack
     let victim_jobs = (args.jobs / 2).max(10);
+    let config = args.sim_config(WorkloadMode::Open);
+    let sample_interval = args.sample_interval.unwrap_or(DEFAULT_SAMPLE_INTERVAL);
+    let plan = SweepPlan::new(args.rate_hz, args.qpus, config)
+        .seeds(vec![args.seed])
+        .fleets(vec![(String::new(), args.fleet_config())])
+        .loads(loads.to_vec())
+        .sample_interval(sample_interval)
+        .calibrated(&grid_sizes)
+        .unwrap_or_else(|err| {
+            eprintln!("slo calibration failed: {err}");
+            std::process::exit(2);
+        });
 
     println!(
         "# cluster_sim slo: 2 tenants x {victim_jobs} jobs, {} {} QPUs, seed {}, \
@@ -1406,39 +1572,120 @@ fn slo(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
     // (policy name -> (miss_rate, jain)) at the enforced grid point.
     let mut at_high_load: Vec<(String, f64, f64)> = Vec::new();
 
+    // The (load × slack × policy) grid through the plan: one workload per
+    // (load, slack) coordinate shared across the four scheduler specs.
+    let variants: Vec<(String, f64)> = factors.iter().map(|&f| (format!("slack{f}"), f)).collect();
+    let schedulers = ["fifo", "wfq-fifo", "wfq", "edf"];
+    let mut cells = plan.expand(
+        &variants,
+        &schedulers,
+        |seed, rate_hz, &factor| {
+            Arc::new(slo_spec(victim_jobs, rate_hz / 2.0, factor, factor, 1.0, seed).generate())
+        },
+        |name, workload| match name {
+            "fifo" => SchedulerSpec::Fifo,
+            "wfq-fifo" => SchedulerSpec::WeightedFair {
+                weights: workload.weights(),
+                lane_order: LaneOrder::Fifo,
+            },
+            "wfq" => SchedulerSpec::WeightedFair {
+                weights: workload.weights(),
+                lane_order: LaneOrder::EarliestDeadline,
+            },
+            _ => SchedulerSpec::EarliestDeadlineFirst,
+        },
+    );
+    let grid_len = cells.len();
+
+    // Deadline-infeasibility shedding cells (checked after the grid): a
+    // loose-slack victim (every job feasible at admission) shares the
+    // fleet with a tight-slack cache-busting flood.  The aggressor's
+    // diverse Gnp jobs embed cold and pin devices for long stretches; an
+    // aggressor arrival with only a few seconds of slack while every
+    // device is mid-embed is provably doomed (even the best case — warm
+    // service the instant a device frees — lands past its deadline) and
+    // must shed.  The victim's slack clears the worst possible pin (the
+    // costliest cold service in the mix, with headroom), so the
+    // admission-time bound can never claim a victim job.
+    let probe = Fleet::new(args.fleet_config(), SplitExecConfig::with_seed(args.seed));
+    let worst_pin = probe.worst_cold_service_seconds(36);
+    let shed_workload = Arc::new(
+        MultiTenantSpec {
+            seed: args.seed,
+            tenants: vec![
+                TenantSpec {
+                    name: "victim".to_string(),
+                    weight: 1.0,
+                    jobs: victim_jobs,
+                    arrivals: ArrivalProcess::Poisson {
+                        rate_hz: plan.rate_for(0, loads[1]) / 4.0,
+                    },
+                    mix: vec![(
+                        1.0,
+                        FamilySpec::MaxCutCycle {
+                            sizes: vec![20, 28],
+                        },
+                    )],
+                    deadlines: DeadlinePolicy::FixedSlack {
+                        slack_seconds: 4.0 * worst_pin,
+                    },
+                },
+                TenantSpec {
+                    name: "aggressor".to_string(),
+                    weight: 1.0,
+                    jobs: victim_jobs * 3,
+                    arrivals: ArrivalProcess::Poisson {
+                        rate_hz: 3.0 * plan.rate_for(0, loads[1]) / 4.0,
+                    },
+                    mix: vec![(
+                        1.0,
+                        FamilySpec::MaxCutGnp {
+                            n: 30,
+                            p: 0.3,
+                            variants: 40,
+                        },
+                    )],
+                    deadlines: DeadlinePolicy::FixedSlack {
+                        slack_seconds: 0.05 * worst_pin,
+                    },
+                },
+            ],
+        }
+        .generate(),
+    );
+    for shed_infeasible in [false, true] {
+        cells.push(CellSpec {
+            label: format!("shed-{shed_infeasible}"),
+            seed: args.seed,
+            fleet: args.fleet_config(),
+            scheduler: SchedulerSpec::WeightedFair {
+                weights: shed_workload.weights(),
+                lane_order: LaneOrder::default(),
+            },
+            admission: AdmissionSpec::TokenBucket {
+                default: TokenBucketConfig {
+                    rate_hz: 1e3, // only the feasibility check binds
+                    burst: 1e3,
+                    max_queue_depth: usize::MAX,
+                    max_defer_seconds: 1e9,
+                    shed_infeasible,
+                },
+                per_tenant: Vec::new(),
+            },
+            config,
+            sample_interval,
+            workload: Arc::clone(&shed_workload),
+        });
+    }
+
+    let outcome = run_cells(args, observer, &cells);
+
+    let mut cell_index = 0;
     for &load in &loads {
         for &factor in &factors {
-            let spec = slo_spec(
-                victim_jobs,
-                rate_at(load) / 2.0,
-                factor,
-                factor,
-                1.0,
-                args.seed,
-            );
-            let workload = spec.generate();
-            let scheduler_specs = vec![
-                SchedulerSpec::Fifo,
-                SchedulerSpec::WeightedFair {
-                    weights: workload.weights(),
-                    lane_order: LaneOrder::Fifo,
-                },
-                SchedulerSpec::WeightedFair {
-                    weights: workload.weights(),
-                    lane_order: LaneOrder::EarliestDeadline,
-                },
-                SchedulerSpec::EarliestDeadlineFirst,
-            ];
-            for scheduler_spec in &scheduler_specs {
-                let report = observer.run(
-                    args.seed,
-                    args.fleet_config(),
-                    &workload,
-                    scheduler_spec,
-                    &mut AdmitAll,
-                    args.sim_config(WorkloadMode::Open),
-                    None,
-                );
+            for _scheduler in &schedulers {
+                let report = &outcome.cells[cell_index].report;
+                cell_index += 1;
                 println!(
                     "{:>5} {:>6} {:>9} {:>6} {:>7.1} {:>8} {:>10.2}s {:>10.2}s {:>7.3}",
                     load,
@@ -1519,81 +1766,10 @@ fn slo(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
         ok = false;
     }
 
-    // Deadline-infeasibility shedding: a loose-slack victim (every job
-    // feasible at admission) shares the fleet with a tight-slack
-    // cache-busting flood.  The aggressor's diverse Gnp jobs embed cold and
-    // pin devices for long stretches; an aggressor arrival with only a few
-    // seconds of slack while every device is mid-embed is provably doomed
-    // (even the best case — warm service the instant a device frees —
-    // lands past its deadline) and must shed.  The victim's slack clears
-    // the worst possible pin (the costliest cold service in the mix, with
-    // headroom), so the admission-time bound can never claim a victim job.
-    let worst_pin = probe.worst_cold_service_seconds(36);
-    let spec = MultiTenantSpec {
-        seed: args.seed,
-        tenants: vec![
-            TenantSpec {
-                name: "victim".to_string(),
-                weight: 1.0,
-                jobs: victim_jobs,
-                arrivals: ArrivalProcess::Poisson {
-                    rate_hz: rate_at(loads[1]) / 4.0,
-                },
-                mix: vec![(
-                    1.0,
-                    FamilySpec::MaxCutCycle {
-                        sizes: vec![20, 28],
-                    },
-                )],
-                deadlines: DeadlinePolicy::FixedSlack {
-                    slack_seconds: 4.0 * worst_pin,
-                },
-            },
-            TenantSpec {
-                name: "aggressor".to_string(),
-                weight: 1.0,
-                jobs: victim_jobs * 3,
-                arrivals: ArrivalProcess::Poisson {
-                    rate_hz: 3.0 * rate_at(loads[1]) / 4.0,
-                },
-                mix: vec![(
-                    1.0,
-                    FamilySpec::MaxCutGnp {
-                        n: 30,
-                        p: 0.3,
-                        variants: 40,
-                    },
-                )],
-                deadlines: DeadlinePolicy::FixedSlack {
-                    slack_seconds: 0.05 * worst_pin,
-                },
-            },
-        ],
-    };
-    let workload = spec.generate();
-    let mut run_gated = |shed_infeasible: bool| {
-        let mut gate = TokenBucket::new(TokenBucketConfig {
-            rate_hz: 1e3, // only the feasibility check binds
-            burst: 1e3,
-            max_queue_depth: usize::MAX,
-            max_defer_seconds: 1e9,
-            shed_infeasible,
-        });
-        observer.run(
-            args.seed,
-            args.fleet_config(),
-            &workload,
-            &SchedulerSpec::WeightedFair {
-                weights: workload.weights(),
-                lane_order: LaneOrder::default(),
-            },
-            &mut gate,
-            args.sim_config(WorkloadMode::Open),
-            None,
-        )
-    };
-    let open = run_gated(false);
-    let gated = run_gated(true);
+    // The shedding cells are the list's last two entries: open (shedding
+    // off) then gated (shedding on).
+    let open = &outcome.cells[grid_len].report;
+    let gated = &outcome.cells[grid_len + 1].report;
     let victim = gated.tenant_named("victim").expect("victim stats");
     let aggressor = gated.tenant_named("aggressor").expect("aggressor stats");
     println!(
@@ -1643,7 +1819,7 @@ fn slo(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
 /// Schema tag stamped into (and required back out of) `BENCH_cluster.json`.
 /// Bump the version when a field is added, removed or re-typed so baseline
 /// trackers fail loudly instead of misreading old documents.
-const BENCH_SCHEMA: &str = "sx-cluster-bench/v1";
+const BENCH_SCHEMA: &str = "sx-cluster-bench/v2";
 
 /// Every per-cell key that must be present and a finite number.
 const BENCH_CELL_NUM_KEYS: &[&str] = &[
@@ -1680,11 +1856,7 @@ const BENCH_CELL_NUM_KEYS: &[&str] = &[
 /// run measures the same cells.  `--jobs`, `--qpus`, `--seed` and
 /// `--sample-interval` scale the matrix and are recorded in the output.
 fn bench(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
-    let policies = [
-        PolicyKind::Fifo,
-        PolicyKind::CacheAffinity,
-        PolicyKind::WeightedFair,
-    ];
+    let schedulers = ["fifo", "affinity", "wfq"];
     let fleets = ["uniform", "hetero"];
     let loads = [0.7, 1.1];
     // The aggressor submits 3x the victim's jobs at 3x its rate, so a cell
@@ -1692,7 +1864,7 @@ fn bench(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
     // 200-job cells like compare mode.
     let asymmetry = 3.0;
     let victim_jobs = (args.jobs / 4).max(10);
-    let sample_interval = args.sample_interval.unwrap_or(5.0);
+    let sample_interval = args.sample_interval.unwrap_or(DEFAULT_SAMPLE_INTERVAL);
 
     let fleet_config = |kind: &str| match kind {
         "uniform" => FleetConfig {
@@ -1706,7 +1878,7 @@ fn bench(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
     println!(
         "# cluster_sim bench: {} policies x {} fleets x {} loads, ~{} jobs/cell, {} QPUs, seed {}, \
          sample interval {sample_interval}s",
-        policies.len(),
+        schedulers.len(),
         fleets.len(),
         loads.len(),
         victim_jobs * 4,
@@ -1727,116 +1899,108 @@ fn bench(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
         "warm%"
     );
 
+    // The cell matrix through the plan — capacity-derived arrival rates as
+    // in the slo/aging sweeps (`load` is offered warm work over what each
+    // fleet can serve, mix spans lps 16, 20, 24), with the per-fleet
+    // calibration probes hoisted into `SweepPlan::calibrated`.
+    let plan = SweepPlan::new(args.rate_hz, args.qpus, args.sim_config(WorkloadMode::Open))
+        .seeds(vec![args.seed])
+        .fleets(vec![
+            ("uniform".to_string(), fleet_config("uniform")),
+            ("hetero".to_string(), fleet_config("hetero")),
+        ])
+        .loads(loads.to_vec())
+        .sample_interval(sample_interval)
+        .calibrated(&[16, 20, 24])
+        .unwrap_or_else(|err| {
+            eprintln!("bench calibration failed: {err}");
+            std::process::exit(2);
+        });
+    let cell_specs = plan.expand(
+        &[(String::new(), ())],
+        &schedulers,
+        |seed, total_rate, ()| {
+            let victim_rate = total_rate / (1.0 + asymmetry);
+            Arc::new(
+                MultiTenantSpec::aggressor_victim(victim_jobs, victim_rate, asymmetry, 1.0, seed)
+                    .generate(),
+            )
+        },
+        |name, workload| match name {
+            "fifo" => SchedulerSpec::Fifo,
+            "affinity" => SchedulerSpec::CacheAffinity,
+            _ => SchedulerSpec::WeightedFair {
+                weights: workload.weights(),
+                lane_order: LaneOrder::default(),
+            },
+        },
+    );
+
     let mut ok = true;
+    // The serial oracle pass: per-cell wall clocks for the baseline's
+    // cells section, through the observer chain so `--record` still
+    // captures every cell.  (CI's baseline runs without --record, where
+    // the chain degenerates to the bare NullSink this mode always timed.)
+    let serial = {
+        let stopwatch = HostStopwatch::start();
+        let results: Vec<CellResult> = cell_specs
+            .iter()
+            .enumerate()
+            .map(|(index, cell)| observer.run_cell(index, cell))
+            .collect();
+        SweepOutcome::collect(results, stopwatch.elapsed_seconds())
+    };
+
+    // The purity contract, enforced at runtime on the matrix's first cell:
+    // swapping the sink for a retaining VecSink and dropping the registry
+    // must not move a single bit of the report.
+    {
+        let first = &cell_specs[0];
+        let mut vec_sink = VecSink::new();
+        let mut scheduler = first.scheduler.build();
+        let mut admission = first.admission.build();
+        let rerun = simulate_with_telemetry(
+            Fleet::new(first.fleet.clone(), SplitExecConfig::with_seed(first.seed)),
+            &first.workload,
+            scheduler.as_mut(),
+            admission.as_mut(),
+            first.config,
+            &mut vec_sink,
+            None,
+        );
+        if rerun != serial.cells[0].report {
+            println!("FAIL: sink-on vs sink-off reports differ — telemetry perturbed the run");
+            ok = false;
+        }
+        let fired = vec_sink
+            .records()
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::Fired(_)))
+            .count();
+        if fired != rerun.events {
+            println!(
+                "FAIL: VecSink saw {fired} fired records but the run popped {} events",
+                rerun.events
+            );
+            ok = false;
+        }
+    }
+
     let mut cells: Vec<JsonValue> = Vec::new();
     let mut total = EnginePerf {
         wall_seconds: 0.0,
         events: 0,
         jobs: 0,
     };
-    let mut purity_checked = false;
-
+    let mut cell_index = 0;
     for fleet_kind in fleets {
-        // Capacity-derived arrival rates, as in the slo/aging sweeps:
-        // `load` is offered warm work over what this fleet can serve, so
-        // the same nominal load means the same queueing regime on both
-        // fleet shapes.  The aggressor/victim mix spans lps 16, 20
-        // (victim cycles) and 24 (aggressor G(n,p)).
-        let probe = Fleet::new(
-            fleet_config(fleet_kind),
-            SplitExecConfig::with_seed(args.seed),
-        );
-        let mix_sizes = [16usize, 20, 24];
-        let warm_mean_seconds = mix_sizes
-            .iter()
-            .map(|&lps| {
-                let (s1, s2, s3) = probe.devices[0]
-                    .service_breakdown(lps, true)
-                    .expect("warm service model for bench mix sizes");
-                s1 + s2 + s3
-            })
-            .sum::<f64>()
-            / mix_sizes.len() as f64;
-
         for &load in &loads {
-            let total_rate = args.rate_hz * load * args.qpus as f64 / warm_mean_seconds;
-            let victim_rate = total_rate / (1.0 + asymmetry);
-            let spec = MultiTenantSpec::aggressor_victim(
-                victim_jobs,
-                victim_rate,
-                asymmetry,
-                1.0,
-                args.seed,
-            );
-            let workload = spec.generate();
-
-            for policy in policies {
-                let spec = match policy {
-                    PolicyKind::WeightedFair => SchedulerSpec::WeightedFair {
-                        weights: workload.weights(),
-                        lane_order: LaneOrder::default(),
-                    },
-                    other => SchedulerSpec::from(other),
-                };
-                let cell_config = args.sim_config(WorkloadMode::Open);
-                let mut registry = MetricsRegistry::new(sample_interval);
-                // CI's baseline runs bench without --record/--trace-out,
-                // where the observer degenerates to the bare NullSink this
-                // mode always timed; recording a cell does fold the
-                // serialization cost into its wall clock.
-                let stopwatch = HostStopwatch::start();
-                let report = observer.run(
-                    args.seed,
-                    fleet_config(fleet_kind),
-                    &workload,
-                    &spec,
-                    &mut AdmitAll,
-                    cell_config,
-                    Some(&mut registry),
-                );
-                let wall_seconds = stopwatch.elapsed_seconds();
-
-                // The purity contract, enforced at runtime on the matrix's
-                // first cell: swapping the sink and dropping the registry
-                // must not move a single bit of the report.
-                if !purity_checked {
-                    purity_checked = true;
-                    let mut vec_sink = VecSink::new();
-                    let mut scheduler = spec.build();
-                    let rerun = simulate_with_telemetry(
-                        Fleet::new(
-                            fleet_config(fleet_kind),
-                            SplitExecConfig::with_seed(args.seed),
-                        ),
-                        &workload,
-                        scheduler.as_mut(),
-                        &mut AdmitAll,
-                        cell_config,
-                        &mut vec_sink,
-                        None,
-                    );
-                    if rerun != report {
-                        println!(
-                            "FAIL: sink-on vs sink-off reports differ — telemetry perturbed the run"
-                        );
-                        ok = false;
-                    }
-                    let fired = vec_sink
-                        .records()
-                        .iter()
-                        .filter(|r| matches!(r, TraceRecord::Fired(_)))
-                        .count();
-                    if fired != report.events {
-                        println!(
-                            "FAIL: VecSink saw {fired} fired records but the run popped {} events",
-                            report.events
-                        );
-                        ok = false;
-                    }
-                }
-
+            for _scheduler in &schedulers {
+                let cell = &serial.cells[cell_index];
+                cell_index += 1;
+                let report = &cell.report;
                 let perf = EnginePerf {
-                    wall_seconds,
+                    wall_seconds: cell.wall_seconds,
                     events: report.events,
                     jobs: report.completed,
                 };
@@ -1844,9 +2008,7 @@ fn bench(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
                 total.events += perf.events;
                 total.jobs += perf.jobs;
 
-                let sketch = registry
-                    .histogram("latency_seconds")
-                    .expect("sim_series registers the latency sketch");
+                let sketch = &cell.latency_sketch;
                 if sketch.count() as usize != report.completed {
                     println!(
                         "FAIL: latency sketch saw {} observations for {} completions",
@@ -1890,7 +2052,54 @@ fn bench(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
         }
     }
 
-    let expected_cells = policies.len() * fleets.len() * loads.len();
+    // Parallel-scaling measurement: re-run the identical cell list across
+    // `--threads` workers and require bit-identical results — the
+    // determinism contract's "parallelism is invisible" clause, enforced
+    // on every bench run.  Degenerate single-thread figures when observing
+    // forces serial or only one worker is available.
+    let resolved_threads = if args.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        args.threads
+    };
+    let run_parallel = resolved_threads > 1 && !observer.active();
+    let (scaling_threads, parallel_wall, parallel_eps, bit_identical) = if run_parallel {
+        let parallel = run_sweep(&cell_specs, resolved_threads);
+        let identical = parallel.cells.len() == serial.cells.len()
+            && parallel.cells.iter().zip(&serial.cells).all(|(a, b)| {
+                a.report == b.report
+                    && a.latency_sketch == b.latency_sketch
+                    && a.wait_sketch == b.wait_sketch
+            });
+        if !identical {
+            println!(
+                "FAIL: parallel sweep ({resolved_threads} threads) diverged from the serial oracle"
+            );
+            ok = false;
+        }
+        (
+            resolved_threads,
+            parallel.wall_seconds,
+            parallel.events_per_sec(),
+            identical,
+        )
+    } else {
+        (1, serial.wall_seconds, serial.events_per_sec(), true)
+    };
+    let speedup = if parallel_wall > 0.0 {
+        serial.wall_seconds / parallel_wall
+    } else {
+        1.0
+    };
+    println!(
+        "\nparallel scaling: {scaling_threads} thread(s), serial {:.3}s -> parallel {:.3}s \
+         ({speedup:.2}x, bit-identical: {bit_identical})",
+        serial.wall_seconds, parallel_wall,
+    );
+
+    let expected_cells = schedulers.len() * fleets.len() * loads.len();
     let doc = JsonValue::object([
         ("schema", JsonValue::from(BENCH_SCHEMA)),
         // As a string, like the generic wrapper: a u64 seed above 2^53
@@ -1901,6 +2110,21 @@ fn bench(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
         ("sample_interval_seconds", JsonValue::from(sample_interval)),
         ("telemetry_pure", JsonValue::from(ok)),
         ("cells", JsonValue::Array(cells)),
+        (
+            "parallel_scaling",
+            JsonValue::object([
+                ("threads", JsonValue::from(scaling_threads)),
+                ("serial_wall_seconds", JsonValue::from(serial.wall_seconds)),
+                (
+                    "serial_events_per_sec",
+                    JsonValue::from(serial.events_per_sec()),
+                ),
+                ("parallel_wall_seconds", JsonValue::from(parallel_wall)),
+                ("parallel_events_per_sec", JsonValue::from(parallel_eps)),
+                ("speedup", JsonValue::from(speedup)),
+                ("bit_identical", JsonValue::from(bit_identical)),
+            ]),
+        ),
         (
             "totals",
             JsonValue::object([
@@ -1959,7 +2183,7 @@ fn bench(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
     (ok, doc)
 }
 
-/// Validate a parsed `BENCH_cluster.json` against the `sx-cluster-bench/v1`
+/// Validate a parsed `BENCH_cluster.json` against the `sx-cluster-bench/v2`
 /// schema documented in `docs/cluster_sim.md`.  Returns the first
 /// violation found.  Numeric fields must be finite: `JsonValue` renders
 /// NaN/Inf as `null`, so a non-finite metric shows up here as a
@@ -2020,6 +2244,33 @@ fn validate_bench_doc(doc: &JsonValue, expected_cells: usize) -> Result<(), Stri
         }
     }
 
+    let scaling = match doc.get("parallel_scaling") {
+        Some(scaling @ JsonValue::Object(_)) => scaling,
+        other => {
+            return Err(format!(
+                "$.parallel_scaling: expected an object, got {other:?}"
+            ))
+        }
+    };
+    for key in [
+        "threads",
+        "serial_wall_seconds",
+        "serial_events_per_sec",
+        "parallel_wall_seconds",
+        "parallel_events_per_sec",
+        "speedup",
+    ] {
+        num(scaling, key, "$.parallel_scaling")?;
+    }
+    match scaling.get("bit_identical") {
+        Some(JsonValue::Bool(_)) => {}
+        other => {
+            return Err(format!(
+                "$.parallel_scaling.bit_identical: expected a bool, got {other:?}"
+            ))
+        }
+    }
+
     let totals = match doc.get("totals") {
         Some(totals @ JsonValue::Object(_)) => totals,
         other => return Err(format!("$.totals: expected an object, got {other:?}")),
@@ -2033,6 +2284,419 @@ fn validate_bench_doc(doc: &JsonValue, expected_cells: usize) -> Result<(), Stri
         "ns_per_event",
     ] {
         num(totals, key, "$.totals")?;
+    }
+    Ok(())
+}
+
+/// Schema tag stamped into (and required back out of) the `--mode sweep`
+/// JSON document.  The document is fully deterministic — no wall-clock
+/// fields — so CI can byte-diff a `--threads N` run against the
+/// `--threads 1` serial oracle.
+const SWEEP_SCHEMA: &str = "sx-sweep/v1";
+
+/// Per-cell keys of an `sx-sweep/v1` cell row that must be present and
+/// finite numbers.
+const SWEEP_CELL_NUM_KEYS: &[&str] = &[
+    "load",
+    "jobs",
+    "completed",
+    "shed",
+    "events",
+    "makespan_seconds",
+    "latency_p50_seconds",
+    "latency_p95_seconds",
+    "latency_p99_seconds",
+    "wait_p50_seconds",
+    "wait_p95_seconds",
+    "wait_p99_seconds",
+    "hit_rate",
+];
+
+/// `--mode sweep`: the deterministic parallel experiment runner exposed
+/// directly.  Expands an explicit seed × load × policy grid over the
+/// aggressor/victim composition through [`SweepPlan`] (arrival rates
+/// calibrated once per fleet, so axis order cannot move a cell's rate) and
+/// executes it across `--threads` workers.  Emits a schema-stable
+/// [`SWEEP_SCHEMA`] document with per-cell rows and merged sketch
+/// percentiles and **no wall-clock fields** — byte-identical for every
+/// thread count — then re-reads and validates it like bench mode does.
+/// Host-side events/sec goes to stdout only, where it cannot perturb a
+/// CI byte-diff of the document.
+fn sweep_mode(args: &Args, observer: &mut Observer) -> (bool, JsonValue) {
+    let seeds = args.seeds.clone().unwrap_or_else(|| vec![args.seed]);
+    let loads = args.loads.clone().unwrap_or_else(|| vec![0.7, 1.1]);
+    let policy_names = args.policies.clone().unwrap_or_else(|| {
+        ["fifo", "affinity", "wfq"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    });
+    // Validate and canonicalize every policy name up front: a typo is a
+    // usage error, not an empty grid or a mid-sweep panic.
+    let policies: Vec<PolicyKind> = policy_names
+        .iter()
+        .map(|name| {
+            name.parse().unwrap_or_else(|err| {
+                eprintln!("--policies: {err}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    if seeds.is_empty() || loads.is_empty() || policies.is_empty() {
+        eprintln!("--seeds/--loads/--policies must each name at least one axis value");
+        std::process::exit(2);
+    }
+    let canonical_names: Vec<String> = policies.iter().map(|p| p.name().to_string()).collect();
+    let scheduler_names: Vec<&str> = canonical_names.iter().map(String::as_str).collect();
+
+    // The same two-tenant aggressor/victim composition bench mode runs, so
+    // sweep cells are comparable against the perf baseline's.
+    let asymmetry = 3.0;
+    let victim_jobs = (args.jobs / 4).max(10);
+    let sample_interval = args.sample_interval.unwrap_or(DEFAULT_SAMPLE_INTERVAL);
+
+    let plan = SweepPlan::new(args.rate_hz, args.qpus, args.sim_config(WorkloadMode::Open))
+        .seeds(seeds.clone())
+        .fleets(vec![(args.fleet.clone(), args.fleet_config())])
+        .loads(loads.clone())
+        .sample_interval(sample_interval)
+        .calibrated(&[16, 20, 24])
+        .unwrap_or_else(|err| {
+            eprintln!("sweep calibration failed: {err}");
+            std::process::exit(2);
+        });
+    let cells = plan.expand(
+        &[(String::new(), ())],
+        &scheduler_names,
+        |seed, total_rate, ()| {
+            let victim_rate = total_rate / (1.0 + asymmetry);
+            Arc::new(
+                MultiTenantSpec::aggressor_victim(victim_jobs, victim_rate, asymmetry, 1.0, seed)
+                    .generate(),
+            )
+        },
+        |name, workload| match name.parse::<PolicyKind>() {
+            Ok(PolicyKind::WeightedFair) => SchedulerSpec::WeightedFair {
+                weights: workload.weights(),
+                lane_order: LaneOrder::default(),
+            },
+            Ok(kind) => SchedulerSpec::from(kind),
+            Err(_) => unreachable!("policy names were validated above"),
+        },
+    );
+
+    println!(
+        "# cluster_sim sweep: {} seeds x {} loads x {} policies = {} cells, ~{} jobs/cell, \
+         {} QPUs, fleet {}",
+        seeds.len(),
+        loads.len(),
+        policies.len(),
+        cells.len(),
+        victim_jobs * 4,
+        args.qpus,
+        args.fleet,
+    );
+    println!(
+        "\n{:>24} {:>9} {:>5} {:>7} {:>7} {:>7} {:>9} {:>9} {:>6}",
+        "cell", "policy", "load", "jobs", "done", "events", "p99 [s]", "wait p99", "warm%"
+    );
+
+    let outcome = run_cells(args, observer, &cells);
+
+    let mut ok = true;
+    let mut rows: Vec<JsonValue> = Vec::new();
+    let mut cell_index = 0;
+    let mut sketch_latency_total = 0u64;
+    for &seed in &seeds {
+        for &load in &loads {
+            for policy in &policies {
+                let cell = &outcome.cells[cell_index];
+                cell_index += 1;
+                let report = &cell.report;
+                if report.policy != policy.name() {
+                    println!(
+                        "FAIL: cell {} ran policy '{}' where the grid expected '{}'",
+                        cell.label,
+                        report.policy,
+                        policy.name()
+                    );
+                    ok = false;
+                }
+                sketch_latency_total += cell.latency_sketch.count();
+                println!(
+                    "{:>24} {:>9} {:>5.2} {:>7} {:>7} {:>7} {:>9.2} {:>9.2} {:>6.1}",
+                    cell.label,
+                    report.policy,
+                    load,
+                    report.jobs,
+                    report.completed,
+                    report.events,
+                    cell.latency_sketch.p99(),
+                    cell.wait_sketch.p99(),
+                    100.0 * report.hit_rate(),
+                );
+                rows.push(JsonValue::object([
+                    ("label", JsonValue::from(cell.label.as_str())),
+                    // Seeds travel as strings, like the other documents: a
+                    // u64 above 2^53 would round through Num's f64.
+                    ("seed", JsonValue::from(seed.to_string())),
+                    ("policy", JsonValue::from(report.policy.as_str())),
+                    ("load", JsonValue::from(load)),
+                    ("jobs", JsonValue::from(report.jobs)),
+                    ("completed", JsonValue::from(report.completed)),
+                    ("shed", JsonValue::from(report.shed)),
+                    ("events", JsonValue::from(report.events)),
+                    ("makespan_seconds", JsonValue::from(report.makespan_seconds)),
+                    (
+                        "latency_p50_seconds",
+                        JsonValue::from(cell.latency_sketch.p50()),
+                    ),
+                    (
+                        "latency_p95_seconds",
+                        JsonValue::from(cell.latency_sketch.p95()),
+                    ),
+                    (
+                        "latency_p99_seconds",
+                        JsonValue::from(cell.latency_sketch.p99()),
+                    ),
+                    ("wait_p50_seconds", JsonValue::from(cell.wait_sketch.p50())),
+                    ("wait_p95_seconds", JsonValue::from(cell.wait_sketch.p95())),
+                    ("wait_p99_seconds", JsonValue::from(cell.wait_sketch.p99())),
+                    ("hit_rate", JsonValue::from(report.hit_rate())),
+                ]));
+            }
+        }
+    }
+    if outcome.merged.latency.count() != sketch_latency_total {
+        println!(
+            "FAIL: merged latency sketch holds {} observations, cells sum to {}",
+            outcome.merged.latency.count(),
+            sketch_latency_total
+        );
+        ok = false;
+    }
+
+    let doc = JsonValue::object([
+        ("schema", JsonValue::from(SWEEP_SCHEMA)),
+        (
+            "seeds",
+            JsonValue::Array(
+                seeds
+                    .iter()
+                    .map(|s| JsonValue::from(s.to_string()))
+                    .collect(),
+            ),
+        ),
+        ("fleet", JsonValue::from(args.fleet.as_str())),
+        ("qpus", JsonValue::from(args.qpus)),
+        ("jobs_per_cell", JsonValue::from(victim_jobs * 4)),
+        (
+            "loads",
+            JsonValue::Array(loads.iter().map(|&l| JsonValue::from(l)).collect()),
+        ),
+        (
+            "policies",
+            JsonValue::Array(
+                canonical_names
+                    .iter()
+                    .map(|n| JsonValue::from(n.as_str()))
+                    .collect(),
+            ),
+        ),
+        (
+            "calibrated_rates",
+            JsonValue::Array(
+                loads
+                    .iter()
+                    .map(|&load| {
+                        JsonValue::object([
+                            ("load", JsonValue::from(load)),
+                            ("rate_hz", JsonValue::from(plan.rate_for(0, load))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("cells", JsonValue::Array(rows)),
+        ("merged", outcome.merged.to_json()),
+    ]);
+
+    // Host-side throughput to stdout ONLY: the JSON document must not
+    // contain a single nondeterministic byte.
+    println!(
+        "\nhost: {} events over {:.3}s wall clock — {:.0} events/s",
+        outcome.merged.events,
+        outcome.wall_seconds,
+        outcome.events_per_sec(),
+    );
+
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "SWEEP_cluster.json".to_string());
+    if let Err(err) = std::fs::write(&path, format!("{doc}\n")) {
+        eprintln!("cannot write {path}: {err}");
+        std::process::exit(2);
+    }
+    let reread = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot re-read {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    let expected_cells = seeds.len() * loads.len() * policies.len();
+    match sx_cluster::json::parse(&reread) {
+        Ok(parsed) => match validate_sweep_doc(&parsed, expected_cells) {
+            Ok(()) => {
+                println!("wrote {path} ({expected_cells} cells, schema {SWEEP_SCHEMA} valid)")
+            }
+            Err(why) => {
+                println!("FAIL: {path} violates {SWEEP_SCHEMA}: {why}");
+                ok = false;
+            }
+        },
+        Err(err) => {
+            println!("FAIL: {path} is not valid JSON: {err}");
+            ok = false;
+        }
+    }
+
+    (ok, doc)
+}
+
+/// Validate a parsed `SWEEP_cluster.json` against the `sx-sweep/v1` schema
+/// documented in `docs/cluster_sim.md`.  Returns the first violation
+/// found.  As in [`validate_bench_doc`], numeric fields must be finite —
+/// `JsonValue` renders NaN/Inf as `null`, so a non-finite metric surfaces
+/// here instead of slipping into a baseline diff.
+fn validate_sweep_doc(doc: &JsonValue, expected_cells: usize) -> Result<(), String> {
+    let num = |obj: &JsonValue, key: &str, at: &str| -> Result<f64, String> {
+        match obj.get(key) {
+            Some(&JsonValue::Num(n)) if n.is_finite() => Ok(n),
+            Some(other) => Err(format!("{at}.{key}: expected a finite number, got {other}")),
+            None => Err(format!("{at}.{key}: missing")),
+        }
+    };
+    let string = |obj: &JsonValue, key: &str, at: &str| -> Result<String, String> {
+        match obj.get(key) {
+            Some(JsonValue::Str(s)) => Ok(s.clone()),
+            Some(other) => Err(format!("{at}.{key}: expected a string, got {other}")),
+            None => Err(format!("{at}.{key}: missing")),
+        }
+    };
+
+    let schema = string(doc, "schema", "$")?;
+    if schema != SWEEP_SCHEMA {
+        return Err(format!("$.schema: '{schema}' != '{SWEEP_SCHEMA}'"));
+    }
+    match doc.get("seeds") {
+        Some(JsonValue::Array(seeds)) if !seeds.is_empty() => {
+            for (i, seed) in seeds.iter().enumerate() {
+                match seed {
+                    JsonValue::Str(s) if s.parse::<u64>().is_ok() => {}
+                    other => return Err(format!("$.seeds[{i}]: '{other}' is not a u64 string")),
+                }
+            }
+        }
+        other => {
+            return Err(format!(
+                "$.seeds: expected a non-empty array, got {other:?}"
+            ))
+        }
+    }
+    string(doc, "fleet", "$")?;
+    num(doc, "qpus", "$")?;
+    num(doc, "jobs_per_cell", "$")?;
+    for key in ["loads", "policies"] {
+        match doc.get(key) {
+            Some(JsonValue::Array(values)) if !values.is_empty() => {}
+            other => {
+                return Err(format!(
+                    "$.{key}: expected a non-empty array, got {other:?}"
+                ))
+            }
+        }
+    }
+    let rates = match doc.get("calibrated_rates") {
+        Some(JsonValue::Array(rates)) if !rates.is_empty() => rates,
+        other => {
+            return Err(format!(
+                "$.calibrated_rates: expected a non-empty array, got {other:?}"
+            ))
+        }
+    };
+    for (i, rate) in rates.iter().enumerate() {
+        let at = format!("$.calibrated_rates[{i}]");
+        num(rate, "load", &at)?;
+        let rate_hz = num(rate, "rate_hz", &at)?;
+        if rate_hz <= 0.0 {
+            return Err(format!("{at}.rate_hz: {rate_hz} is not positive"));
+        }
+    }
+
+    let cells = match doc.get("cells") {
+        Some(JsonValue::Array(cells)) => cells,
+        other => return Err(format!("$.cells: expected an array, got {other:?}")),
+    };
+    if cells.len() != expected_cells {
+        return Err(format!(
+            "$.cells: expected {expected_cells} cells, got {}",
+            cells.len()
+        ));
+    }
+    let mut summed_jobs = 0.0;
+    let mut summed_events = 0.0;
+    for (i, cell) in cells.iter().enumerate() {
+        let at = format!("$.cells[{i}]");
+        if !matches!(cell, JsonValue::Object(_)) {
+            return Err(format!("{at}: expected an object, got {cell}"));
+        }
+        string(cell, "label", &at)?;
+        let seed = string(cell, "seed", &at)?;
+        seed.parse::<u64>()
+            .map_err(|_| format!("{at}.seed: '{seed}' is not a u64"))?;
+        string(cell, "policy", &at)?;
+        for key in SWEEP_CELL_NUM_KEYS {
+            num(cell, key, &at)?;
+        }
+        summed_jobs += num(cell, "jobs", &at)?;
+        summed_events += num(cell, "events", &at)?;
+    }
+
+    let merged = match doc.get("merged") {
+        Some(merged @ JsonValue::Object(_)) => merged,
+        other => return Err(format!("$.merged: expected an object, got {other:?}")),
+    };
+    for key in [
+        "cells",
+        "jobs",
+        "completed",
+        "shed",
+        "events",
+        "relative_error_bound",
+        "latency_count",
+        "latency_p50_seconds",
+        "latency_p95_seconds",
+        "latency_p99_seconds",
+        "wait_count",
+        "wait_p50_seconds",
+        "wait_p95_seconds",
+        "wait_p99_seconds",
+    ] {
+        num(merged, key, "$.merged")?;
+    }
+    if num(merged, "cells", "$.merged")? != expected_cells as f64 {
+        return Err(format!(
+            "$.merged.cells: {} != the {expected_cells} cell rows",
+            num(merged, "cells", "$.merged")?
+        ));
+    }
+    if num(merged, "jobs", "$.merged")? != summed_jobs {
+        return Err("$.merged.jobs: does not equal the sum of cell rows".to_string());
+    }
+    if num(merged, "events", "$.merged")? != summed_events {
+        return Err("$.merged.events: does not equal the sum of cell rows".to_string());
     }
     Ok(())
 }

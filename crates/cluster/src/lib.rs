@@ -107,6 +107,7 @@ pub mod metrics;
 pub mod replay;
 pub mod scheduler;
 pub mod sim;
+pub mod sweep;
 pub mod telemetry;
 pub mod tenant;
 pub mod workload;
@@ -136,6 +137,10 @@ pub use scheduler::{
 pub use sim::{
     simulate, simulate_with_admission, simulate_with_telemetry, PercentileMode, SimConfig,
     TraceRecord, WorkloadMode,
+};
+pub use sweep::{
+    run_cell, run_sweep, AdmissionSpec, CellResult, CellSpec, MergedAggregates, RateCalibration,
+    SweepOutcome, SweepPlan,
 };
 pub use telemetry::{
     time_host, EnginePerf, FanoutSink, HostStopwatch, JsonlSink, MetricsRegistry, NullSink,
@@ -175,6 +180,10 @@ pub mod prelude {
     pub use crate::sim::{
         simulate, simulate_with_admission, simulate_with_telemetry, PercentileMode, SimConfig,
         TraceRecord, WorkloadMode,
+    };
+    pub use crate::sweep::{
+        run_cell, run_sweep, AdmissionSpec, CellResult, CellSpec, MergedAggregates,
+        RateCalibration, SweepOutcome, SweepPlan,
     };
     pub use crate::telemetry::{
         time_host, EnginePerf, FanoutSink, HostStopwatch, JsonlSink, MetricsRegistry, NullSink,

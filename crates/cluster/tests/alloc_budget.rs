@@ -142,3 +142,103 @@ fn allocation_count_is_deterministic_run_to_run() {
         "identical runs must perform identical allocation sequences"
     );
 }
+
+// --- the sweep runner's allocation budget ------------------------------
+//
+// `run_sweep`'s per-cell body (`sweep::run_cell`, marked hot-root for
+// sx_lint's A-rules) wraps the same engine the tests above budget.  Its
+// contract: the runner adds NOTHING per cell beyond the cell body itself —
+// collection and merging are per-sweep constants — so the per-cell
+// steady-state allocation count is unchanged under the sweep runner.
+//
+// **Thread-spawn exemption**: these tests measure at `threads = 1`, the
+// serial oracle, where the compat rayon facade spawns no threads.  At
+// `threads > 1` the facade pays one scoped-thread spawn per worker per
+// *sweep* — a per-sweep constant owned by `std::thread`, not a per-event
+// or per-cell cost — and runs the bit-identical per-cell body (pinned by
+// tests/sweep_determinism.rs), so exempting spawn cost loses nothing.
+
+use std::sync::Arc;
+
+/// A self-contained sweep cell mirroring `allocations_for`'s setup: bounded
+/// cache (pre-sized buffers) and the repeated-topology mix.
+fn sweep_cell(jobs: usize) -> CellSpec {
+    CellSpec {
+        label: "alloc-budget".to_string(),
+        seed: 11,
+        fleet: FleetConfig {
+            qpus: 4,
+            seed: 11,
+            cache_capacity: Some(8),
+            ..FleetConfig::default()
+        },
+        scheduler: SchedulerSpec::Fifo,
+        admission: AdmissionSpec::AdmitAll,
+        config: SimConfig::default(),
+        sample_interval: 5.0,
+        workload: Arc::new(WorkloadSpec::repeated_topologies(jobs, 2.0, 11).generate()),
+    }
+}
+
+fn allocations_for_sweep(cells: &[CellSpec]) -> usize {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let outcome = run_sweep(cells, 1);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(outcome.cells.len(), cells.len());
+    after - before
+}
+
+#[test]
+fn sweep_runner_adds_constant_overhead_and_nothing_per_cell() {
+    warmup();
+    // Identical cells (one shared workload): every per-cell quantity —
+    // dispatch pattern, memo misses, sketch bucket spans, registry sample
+    // counts — is identical, so allocation counts must be exactly linear
+    // in the cell count.  A super-linear term means the runner itself
+    // started allocating per cell beyond the cell body.
+    let cell = sweep_cell(200);
+    let one = vec![cell.clone()];
+    let two = vec![cell.clone(), cell.clone()];
+    let three = vec![cell.clone(), cell.clone(), cell.clone()];
+    // Throwaway sweep: pays one-time lazy state (thread-local init, first
+    // merge growth patterns) before any counted window opens.
+    let _ = run_sweep(&one, 1);
+    let c1 = allocations_for_sweep(&one);
+    let c2 = allocations_for_sweep(&two);
+    let c3 = allocations_for_sweep(&three);
+    assert_eq!(
+        c2 - c1,
+        c3 - c2,
+        "per-cell marginal allocation cost must be constant under the sweep \
+         runner (got {c1}/{c2}/{c3} for 1/2/3 identical cells)"
+    );
+}
+
+#[test]
+fn sweep_cell_body_matches_direct_execution() {
+    warmup();
+    let cell = sweep_cell(200);
+    let _ = run_sweep(std::slice::from_ref(&cell), 1);
+
+    // The cell body run directly, outside the runner.
+    let mut sink = NullSink;
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let direct_result = sx_cluster::sweep::run_cell(0, &cell, &mut sink);
+    let direct = ALLOCATIONS.load(Ordering::SeqCst) - before;
+
+    // The same cell as the marginal cost of one more cell in a sweep: the
+    // merged sketches already span the (identical) cell's bucket range
+    // after the first cell, so the second cell's merge allocates nothing
+    // and the marginal cost is exactly the cell body.
+    let one = vec![cell.clone()];
+    let two = vec![cell.clone(), cell.clone()];
+    let c1 = allocations_for_sweep(&one);
+    let c2 = allocations_for_sweep(&two);
+    assert_eq!(
+        c2 - c1,
+        direct,
+        "a cell inside run_sweep must allocate exactly what the cell body \
+         allocates directly ({direct}) — the runner adds nothing per cell"
+    );
+    assert_eq!(direct_result.report.records.len(), 200);
+}

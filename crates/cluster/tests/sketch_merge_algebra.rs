@@ -1,0 +1,160 @@
+//! Property tests for [`StreamingHistogram::merge`]'s algebra — the
+//! operation `--mode sweep` leans on when it folds per-cell sketches into
+//! fleet-wide percentiles.
+//!
+//! The contract under test:
+//!
+//! * **Commutative**: `a ⊕ b == b ⊕ a`, bitwise — bucket counts and
+//!   extremes combine symmetrically, and IEEE addition of the running sums
+//!   is commutative.
+//! * **Associative** (up to sum rounding): `(a ⊕ b) ⊕ c` and `a ⊕ (b ⊕ c)`
+//!   agree exactly on counts, extremes, non-finite tallies, and every
+//!   quantile (bucket counts are integer sums); only the float `sum`
+//!   behind `mean()` may differ by rounding, bounded here to a few ulps.
+//! * **Merge = concatenate**: folding per-shard sketches equals one sketch
+//!   that observed the concatenated stream, so the merged
+//!   `relative_error_bound()` still holds against the exact nearest-rank
+//!   percentile of the concatenated samples.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sx_cluster::telemetry::StreamingHistogram;
+
+fn sketch_of(values: &[f64]) -> StreamingHistogram {
+    let mut sketch = StreamingHistogram::default();
+    for &v in values {
+        sketch.observe(v);
+    }
+    sketch
+}
+
+fn merged(a: &StreamingHistogram, b: &StreamingHistogram) -> StreamingHistogram {
+    let mut out = a.clone();
+    out.merge(b).expect("same-resolution sketches merge");
+    out
+}
+
+/// Exact nearest-rank percentile, the yardstick of the accuracy contract.
+fn exact_nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Stretch raw samples over the sketch's whole domain: positive and
+/// negative magnitudes across several decades, exact zeros, and the
+/// occasional non-finite value (which the sketch counts and drops).  The
+/// offline proptest facade samples plain ranges, so the decoration is a
+/// pure index-driven function of the raw draw — still deterministic per
+/// case.
+fn decorate(raw: &[f64]) -> Vec<f64> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &v)| match i % 13 {
+            11 => 0.0,
+            12 if i % 2 == 0 => f64::NAN,
+            12 => f64::INFINITY,
+            _ => v,
+        })
+        .collect()
+}
+
+const QS: [f64; 7] = [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative_bitwise(
+        xs in vec(-1e4..1e4f64, 0..60),
+        ys in vec(-1e4..1e4f64, 0..60),
+    ) {
+        let (xs, ys) = (decorate(&xs), decorate(&ys));
+        let (a, b) = (sketch_of(&xs), sketch_of(&ys));
+        // Derived PartialEq covers γ, counts, extremes, sums and both
+        // bucket arrays — the full serialized state.
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative_on_everything_but_sum_rounding(
+        xs in vec(-1e4..1e4f64, 0..40),
+        ys in vec(-1e4..1e4f64, 0..40),
+        zs in vec(-1e4..1e4f64, 0..40),
+    ) {
+        let (xs, ys, zs) = (decorate(&xs), decorate(&ys), decorate(&zs));
+        let (a, b, c) = (sketch_of(&xs), sketch_of(&ys), sketch_of(&zs));
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.non_finite(), right.non_finite());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        for q in QS {
+            prop_assert_eq!(
+                left.quantile(q),
+                right.quantile(q),
+                "quantile({}) differs between association orders", q
+            );
+        }
+        // The running sum is the one float-addition-order-sensitive field.
+        let scale = left.count().max(1) as f64 * 1e4;
+        prop_assert!(
+            (left.mean() - right.mean()).abs() <= scale * f64::EPSILON,
+            "means differ beyond rounding: {} vs {}", left.mean(), right.mean()
+        );
+    }
+
+    #[test]
+    fn folded_shards_match_the_concatenated_stream(
+        shards in vec(vec(-1e4..1e4f64, 0..30), 1..6),
+    ) {
+        let shards: Vec<Vec<f64>> = shards.iter().map(|s| decorate(s)).collect();
+        let concatenated: Vec<f64> = shards.iter().flatten().copied().collect();
+        let whole = sketch_of(&concatenated);
+        let folded = shards
+            .iter()
+            .map(|shard| sketch_of(shard))
+            .fold(StreamingHistogram::default(), |acc, s| merged(&acc, &s));
+        // Identical state: observing a stream and merging its shards land
+        // every value in the same bucket, and integer bucket counts add
+        // losslessly.  (Sums may round differently, so compare the
+        // quantile-bearing state rather than derived PartialEq.)
+        prop_assert_eq!(whole.count(), folded.count());
+        prop_assert_eq!(whole.non_finite(), folded.non_finite());
+        prop_assert_eq!(whole.min(), folded.min());
+        prop_assert_eq!(whole.max(), folded.max());
+        for q in QS {
+            prop_assert_eq!(whole.quantile(q), folded.quantile(q));
+        }
+    }
+
+    #[test]
+    fn merged_error_bound_holds_against_exact_nearest_rank(
+        shards in vec(vec(1e-3..1e4f64, 1..40), 1..6),
+    ) {
+        let folded = shards
+            .iter()
+            .map(|shard| sketch_of(shard))
+            .fold(StreamingHistogram::default(), |acc, s| merged(&acc, &s));
+        let mut sorted: Vec<f64> = shards.iter().flatten().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let bound = folded.relative_error_bound();
+        for q in QS {
+            let exact = exact_nearest_rank(&sorted, q);
+            let approx = folded.quantile(q);
+            prop_assert!(
+                (approx - exact).abs() <= bound * exact.abs() + f64::EPSILON,
+                "quantile({}) = {} misses exact {} beyond the {} bound",
+                q, approx, exact, bound
+            );
+        }
+    }
+}
+
+#[test]
+fn merging_mismatched_resolutions_is_refused() {
+    let mut coarse = StreamingHistogram::with_relative_error(0.05);
+    let fine = StreamingHistogram::with_relative_error(0.01);
+    let err = coarse.merge(&fine).expect_err("γ mismatch must be refused");
+    assert_eq!(err, (1.0 + 2.0 * 0.05, 1.0 + 2.0 * 0.01));
+}

@@ -11,11 +11,102 @@
 //! call) that overhead is noise.  If a future PR needs finer-grained
 //! parallelism, swap this facade for the real `rayon` — the call sites
 //! already use its API.
+//!
+//! An explicit worker count is available through the same API real `rayon`
+//! uses: [`ThreadPoolBuilder::num_threads`] + [`ThreadPool::install`].
+//! `install` scopes the override to the calling thread (a thread-local, as
+//! the facade has no persistent pool), so `pool.install(|| range
+//! .into_par_iter()...)` runs that map on exactly `num_threads` workers —
+//! and `num_threads(1)` degenerates to a plain serial loop on the calling
+//! thread, the serial oracle deterministic sweeps compare against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::ops::Range;
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] on the
+    /// current thread; `None` means use `available_parallelism`.
+    static INSTALLED_WORKERS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Builds a [`ThreadPool`] with an explicit worker count (mirrors
+/// `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Default, Clone)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (automatic) worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use exactly `num_threads` workers; `0` means
+    /// `available_parallelism` (rayon's convention).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Build the pool.  The facade has no spawn-at-build machinery, so
+    /// this cannot fail; the `Result` mirrors rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; never produced by the
+/// facade, present for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rayon facade thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle carrying an explicit worker count for parallel maps run under
+/// [`ThreadPool::install`].
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The worker count parallel maps under [`Self::install`] use (`0` =
+    /// automatic).
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's worker count installed for every parallel
+    /// map `op` performs on the calling thread.  The previous override is
+    /// restored on exit (installs nest).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED_WORKERS
+            .with(|w| w.replace((self.num_threads > 0).then_some(self.num_threads)));
+        // Restore on unwind too: a panicking op must not leak its override
+        // into unrelated later work on this thread.
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0;
+                INSTALLED_WORKERS.with(|w| w.set(prev));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+}
 
 /// Run `f` over `range` with ordered results, splitting across threads.
 fn par_map_range<T, F>(range: Range<usize>, f: F) -> Vec<T>
@@ -24,9 +115,13 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let len = range.end.saturating_sub(range.start);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    let workers = INSTALLED_WORKERS
+        .with(Cell::get)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
         .min(len.max(1));
     if len <= 1 || workers <= 1 {
         return range.map(f).collect();
@@ -148,5 +243,38 @@ mod tests {
         let (a, b) = join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn installed_worker_counts_agree_with_serial() {
+        let serial: Vec<usize> = (0..257).map(|i| i * 3 + 1).collect();
+        for workers in [1usize, 2, 3, 8] {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(workers)
+                .build()
+                .expect("facade build cannot fail");
+            let mapped: Vec<usize> =
+                pool.install(|| (0..257).into_par_iter().map(|i| i * 3 + 1).collect());
+            assert_eq!(mapped, serial, "worker count {workers} changed the output");
+        }
+    }
+
+    #[test]
+    fn install_restores_the_previous_override() {
+        let outer = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("facade build cannot fail");
+        let inner = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("facade build cannot fail");
+        outer.install(|| {
+            let nested: Vec<usize> = inner.install(|| (0..16).into_par_iter().map(|i| i).collect());
+            assert_eq!(nested.len(), 16);
+            // Back on the outer pool's override after the nested install.
+            let again: Vec<usize> = (0..16).into_par_iter().map(|i| i + 1).collect();
+            assert_eq!(again[15], 16);
+        });
     }
 }
